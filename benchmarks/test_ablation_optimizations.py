@@ -1,0 +1,89 @@
+"""Ablation study (research question Q3): per-optimization contributions.
+
+The paper credits the speedups to the synergy of DGGT + grammar-based
+pruning + size-based pruning + orphan node relocation (Table III breaks the
+combination counts down by stage).  This bench re-runs the hard TextEditing
+cases with each optimization disabled and reports times and counter deltas.
+"""
+
+from benchmarks.conftest import BENCH_TIMEOUT, _domain
+from repro.core.dggt import DggtConfig
+from repro.eval.harness import run_case
+from repro.synthesis.pipeline import Synthesizer
+
+CONFIGS = {
+    "full": DggtConfig(),
+    "no-grammar-pruning": DggtConfig(grammar_pruning=False),
+    "no-size-pruning": DggtConfig(size_pruning=False),
+    "no-orphan-reloc": DggtConfig(orphan_relocation=False),
+    "bare-dggt": DggtConfig(
+        grammar_pruning=False, size_pruning=False, orphan_relocation=False
+    ),
+}
+
+
+def _run(domain, cases, config):
+    synth = Synthesizer(domain, engine="dggt", config=config)
+    out = []
+    for case in cases:
+        out.append(run_case(synth, case, BENCH_TIMEOUT))
+    return out
+
+
+def test_ablation(te_cases, benchmark):
+    domain = _domain("textediting")
+    hard = sorted(te_cases, key=lambda c: (-c.complexity, c.case_id))[:10]
+
+    def sweep():
+        return {
+            name: _run(domain, hard, config) for name, config in CONFIGS.items()
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(f"{'config':<22}{'total(s)':>10}{'merged':>10}{'ok':>5}")
+    summary = {}
+    for name, rows in results.items():
+        total = sum(r.elapsed_seconds for r in rows)
+        merged = sum(r.stats.n_merged for r in rows if r.stats)
+        ok = sum(1 for r in rows if r.status == "ok")
+        summary[name] = (total, merged, ok)
+        print(f"{name:<22}{total:>10.3f}{merged:>10}{ok:>5}")
+
+    full_total, full_merged, full_ok = summary["full"]
+    # Losslessness: disabling pruning never changes which cases succeed.
+    assert summary["no-grammar-pruning"][2] == full_ok
+    assert summary["no-size-pruning"][2] == full_ok
+    # Pruning reduces (or equals) the number of merge operations.
+    assert full_merged <= summary["no-grammar-pruning"][1]
+    assert full_merged <= summary["no-size-pruning"][1]
+
+
+def test_orphan_relocation_cuts_paths(te_cases, benchmark):
+    """Table III's "# of path" column: relocation shrinks the candidate
+    path set on orphan-rich queries."""
+    import pytest
+
+    domain = _domain("textediting")
+    orphan_rich = [c for c in te_cases if c.family == "insert_position"][:4]
+    if not orphan_rich:
+        pytest.skip("orphan-rich family not in the limited case subset")
+    synth = Synthesizer(domain, engine="dggt")
+
+    def run():
+        return [run_case(synth, case, BENCH_TIMEOUT) for case in orphan_rich]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    shrunk = 0
+    for case, result in zip(orphan_rich, results):
+        if result.stats is None or result.stats.n_orphans == 0:
+            continue
+        s = result.stats
+        print(
+            f"{case.case_id}: orphans={s.n_orphans} "
+            f"paths {s.n_orig_paths} -> {s.n_paths_after_reloc}"
+        )
+        if s.n_paths_after_reloc <= s.n_orig_paths:
+            shrunk += 1
+    assert shrunk > 0, "expected relocation to shrink some path sets"

@@ -1,0 +1,54 @@
+"""Fig. 7 reproduction: execution-time distribution per engine per domain.
+
+Paper shape (laptop): DGGT finishes ~74% (ASTMatcher) / ~89% (TextEditing)
+of cases under 0.1s; HISyn only ~59% / ~45%, with a heavy >1s tail.
+The shape to reproduce: DGGT's distribution is strictly faster-leaning and
+HISyn owns (almost) all the timeouts.
+"""
+
+from benchmarks.conftest import evaluation
+from repro.eval.figures import fig7_series, render_fig7
+from repro.eval.metrics import FIG7_BUCKETS, time_distribution
+
+PAPER_LAPTOP = {
+    "astmatcher": {"dggt<0.1": 0.738, "hisyn<0.1": 0.588},
+    "textediting": {"dggt<0.1": 0.885, "hisyn<0.1": 0.451},
+}
+
+
+def _fast_fraction(results):
+    dist = time_distribution(results)
+    return dist[f"<{FIG7_BUCKETS[0]}s"]
+
+
+def test_fig7(benchmark):
+    def series():
+        return {
+            domain: fig7_series(
+                {
+                    "hisyn": evaluation(domain, "hisyn"),
+                    "dggt": evaluation(domain, "dggt"),
+                }
+            )
+            for domain in ("astmatcher", "textediting")
+        }
+
+    all_series = benchmark.pedantic(series, rounds=1, iterations=1)
+    print()
+    for domain, s in all_series.items():
+        print(render_fig7(s, title=f"({domain})"))
+        paper = PAPER_LAPTOP[domain]
+        print(
+            f"  paper: DGGT <0.1s {paper['dggt<0.1'] * 100:.1f}%, "
+            f"HISyn <0.1s {paper['hisyn<0.1'] * 100:.1f}%"
+        )
+
+    for domain in ("astmatcher", "textediting"):
+        dggt = evaluation(domain, "dggt")
+        hisyn = evaluation(domain, "hisyn")
+        # Shape: DGGT's fast bucket dominates HISyn's.
+        assert _fast_fraction(dggt) >= _fast_fraction(hisyn), domain
+        # Shape: HISyn has at least as many timeouts.
+        assert time_distribution(dggt)["timeout"] <= time_distribution(hisyn)[
+            "timeout"
+        ], domain

@@ -1,0 +1,40 @@
+"""Fig. 8 reproduction: accumulated execution time over the query sets.
+
+Paper shape: "The curves of DGGT raise much slower than those of HISyn."
+We regenerate both curves per domain and assert HISyn's total is a large
+multiple of DGGT's, and that HISyn dominates DGGT along the whole curve.
+"""
+
+from benchmarks.conftest import BENCH_LIMIT, evaluation
+from repro.eval.figures import fig8_series, render_fig8
+
+
+def test_fig8(benchmark):
+    def series():
+        return {
+            domain: fig8_series(
+                {
+                    "hisyn": evaluation(domain, "hisyn"),
+                    "dggt": evaluation(domain, "dggt"),
+                }
+            )
+            for domain in ("astmatcher", "textediting")
+        }
+
+    all_series = benchmark.pedantic(series, rounds=1, iterations=1)
+    print()
+    for domain, s in all_series.items():
+        print(render_fig8(s, title=f"({domain})"))
+
+    for domain, s in all_series.items():
+        hisyn, dggt = s["hisyn"], s["dggt"]
+        assert hisyn[-1] > dggt[-1], domain
+        if not BENCH_LIMIT:
+            assert hisyn[-1] > dggt[-1] * 3, (
+                domain,
+                "HISyn accumulated time should dwarf DGGT's",
+            )
+        # The accumulated HISyn curve stays above DGGT's at every point
+        # beyond warm-up.
+        ahead = sum(1 for h, d in zip(hisyn, dggt) if h >= d)
+        assert ahead / len(hisyn) > 0.9, domain

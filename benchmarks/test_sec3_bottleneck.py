@@ -1,0 +1,56 @@
+"""Sec. III-A reproduction: the PathMerging bottleneck.
+
+The paper measures that for queries HISyn takes >2s on, Step-5 (combination
+enumeration + merging) weighs 90.24% of total time.  We time the shared
+front end (Steps 1-4) against HISyn's Step-5 on the hardest TextEditing
+queries and assert Step-5 dominates.
+"""
+
+import time
+
+from benchmarks.conftest import _domain
+from repro.baseline.hisyn import HISynEngine
+from repro.errors import SynthesisError, SynthesisTimeout
+from repro.synthesis.deadline import Deadline
+from repro.synthesis.problem import build_problem
+
+
+def _measure(domain, query, budget=10.0):
+    t0 = time.monotonic()
+    problem = build_problem(domain, query)
+    front = time.monotonic() - t0
+    t0 = time.monotonic()
+    try:
+        HISynEngine().synthesize(problem, Deadline(budget))
+    except (SynthesisTimeout, SynthesisError):
+        pass
+    step5 = time.monotonic() - t0
+    return front, step5
+
+
+def test_step5_dominates_on_slow_queries(te_cases, benchmark):
+    domain = _domain("textediting")
+    hard = sorted(te_cases, key=lambda c: -c.complexity)[:3]
+
+    def run():
+        rows = []
+        for case in hard:
+            front, step5 = _measure(domain, case.query)
+            rows.append((case.case_id, front, step5))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    # "Slow" relative to DGGT's milliseconds: anything beyond 0.1s total.
+    slow = [(cid, f, s) for cid, f, s in rows if f + s > 0.1]
+    for cid, front, step5 in rows:
+        share = step5 / (front + step5) * 100
+        print(
+            f"{cid}: front-end {front * 1000:8.1f}ms   "
+            f"step-5 {step5 * 1000:9.1f}ms   step-5 share {share:5.1f}%"
+        )
+    print("paper: step-5 weighs 90.24% of total time on >2s queries")
+
+    assert slow, "expected at least one slow query in the hard set"
+    for cid, front, step5 in slow:
+        assert step5 / (front + step5) > 0.8, cid

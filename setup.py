@@ -1,0 +1,6 @@
+"""Legacy setup shim: the sandbox has setuptools but no `wheel` package, so
+editable installs must go through the legacy (non-PEP517) code path."""
+
+from setuptools import setup
+
+setup()

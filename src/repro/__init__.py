@@ -1,0 +1,51 @@
+"""DGGT: near real-time NLU-driven natural language programming.
+
+Reproduction of Nan, Shen & Guan, "Enabling Near Real-Time NLU-Driven
+Natural Language Programming through Dynamic Grammar Graph-Based
+Translation" (CGO 2022).
+
+Quickstart::
+
+    from repro import Synthesizer, load_domain
+
+    domain = load_domain("textediting")
+    synth = Synthesizer(domain, engine="dggt")
+    print(synth.synthesize("insert ':' at the start of each line").codelet)
+"""
+
+from repro.core.dggt import DggtConfig, DggtEngine
+from repro.baseline.hisyn import HISynEngine
+from repro.domains import available_domains, load_domain
+from repro.errors import (
+    DomainError,
+    GrammarError,
+    ParseError,
+    ReproError,
+    SynthesisError,
+    SynthesisTimeout,
+)
+from repro.synthesis.domain import Domain
+from repro.synthesis.pipeline import Synthesizer, make_engine
+from repro.synthesis.result import SynthesisOutcome, SynthesisStats
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Synthesizer",
+    "Domain",
+    "load_domain",
+    "available_domains",
+    "make_engine",
+    "DggtEngine",
+    "DggtConfig",
+    "HISynEngine",
+    "SynthesisOutcome",
+    "SynthesisStats",
+    "ReproError",
+    "GrammarError",
+    "ParseError",
+    "SynthesisError",
+    "SynthesisTimeout",
+    "DomainError",
+    "__version__",
+]

@@ -1,0 +1,158 @@
+"""Command-line interface: ``python -m repro "<query>" [options]``.
+
+The interactive scenario the paper targets (IDE hints, smart-home commands)
+needs exactly this loop: type English, get a codelet, in near real time.
+
+Examples::
+
+    python -m repro "delete every word that contains numbers"
+    python -m repro --domain astmatcher 'find virtual methods'
+    python -m repro --engine hisyn --timeout 20 "insert ':' at the start"
+    python -m repro --explain "append ':' in every line containing numerals"
+    python -m repro --list-domains
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__, available_domains, load_domain
+from repro.core.dggt import DggtConfig
+from repro.errors import ReproError, SynthesisTimeout
+from repro.synthesis.explain import explain_query
+from repro.synthesis.pipeline import Synthesizer
+from repro.synthesis.ranking import ranked_candidates
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NLU-driven natural language programming (DGGT, CGO 2022)",
+    )
+    parser.add_argument("query", nargs="?", help="the English query to synthesize")
+    parser.add_argument(
+        "--domain",
+        default="textediting",
+        help="target domain (default: textediting)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("dggt", "hisyn"),
+        default="dggt",
+        help="synthesis engine (default: dggt)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=20.0,
+        help="per-query budget in seconds (default: 20, as in the paper)",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print every intermediate pipeline artifact (Fig. 3 walk-through)",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=1,
+        metavar="K",
+        help="print up to K ranked candidate codelets (IDE mode, Sec. VII-B.4)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the engine's instrumentation counters",
+    )
+    parser.add_argument(
+        "--no-grammar-pruning", action="store_true",
+        help="disable grammar-based pruning (ablation)",
+    )
+    parser.add_argument(
+        "--no-size-pruning", action="store_true",
+        help="disable size-based pruning (ablation)",
+    )
+    parser.add_argument(
+        "--no-orphan-relocation", action="store_true",
+        help="disable orphan node relocation (ablation)",
+    )
+    parser.add_argument(
+        "--list-domains", action="store_true", help="list built-in domains"
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+
+    if args.list_domains:
+        for name in available_domains():
+            domain = load_domain(name)
+            print(f"{name}: {len(domain.document)} APIs — {domain.description}")
+        return 0
+
+    if not args.query:
+        print("error: a query is required (or use --list-domains)", file=sys.stderr)
+        return 2
+
+    try:
+        domain = load_domain(args.domain)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    config = DggtConfig(
+        grammar_pruning=not args.no_grammar_pruning,
+        size_pruning=not args.no_size_pruning,
+        orphan_relocation=not args.no_orphan_relocation,
+    )
+    synth = Synthesizer(domain, engine=args.engine, config=config)
+
+    if args.explain:
+        print(explain_query(domain, args.query))
+
+    if args.top > 1:
+        try:
+            ranked = ranked_candidates(
+                domain, args.query, k=args.top, engine=args.engine,
+                timeout_seconds=args.timeout,
+            )
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        for cand in ranked:
+            print(f"{cand.rank}. {cand.codelet}")
+        return 0
+
+    try:
+        out = synth.synthesize(args.query, timeout_seconds=args.timeout)
+    except SynthesisTimeout:
+        print(
+            f"timeout: no result within {args.timeout:g}s "
+            "(the paper counts this as an error case)",
+            file=sys.stderr,
+        )
+        return 1
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    print(out.codelet)
+    print(
+        f"# engine={out.engine} size={out.size} "
+        f"time={out.elapsed_seconds * 1000:.1f}ms",
+        file=sys.stderr,
+    )
+    if args.stats:
+        for key, value in out.stats.as_dict().items():
+            print(f"# {key} = {value}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

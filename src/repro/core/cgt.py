@@ -1,0 +1,183 @@
+"""Code generation trees (CGTs) — paper Sec. IV-A.
+
+"If after the candidate paths of all dependency edges are fused (by merging
+common nodes and edges), they form a tree, we call the tree a code generation
+tree (CGT).  By definition, a CGT is a subgraph of the CFG [grammar graph].
+A CGT can hence be reformatted into a grammar-valid codelet in the DSL."
+
+A :class:`CGT` here is exactly that: a set of grammar-graph edges (the node
+set is implied), plus *literal bindings* — the query's quoted strings and
+numerals assigned to the grammar's literal-slot nodes, so Step-6 can emit
+``STRING(":")`` rather than an empty placeholder.
+
+Both engines build CGTs the same way (:meth:`CGT.from_paths`); they differ
+only in *which* path combinations they materialize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.grammar.graph import GrammarGraph, NodeKind
+from repro.grammar.paths import GrammarPath
+
+Edge = Tuple[str, str]
+
+
+def merge_bindings(
+    base: Mapping[str, str], extra: Mapping[str, str]
+) -> Optional[Dict[str, str]]:
+    """Merge two literal-binding maps; ``None`` on conflict.
+
+    A conflict means two different query literals would occupy the same
+    grammar literal slot (e.g. both strings of a *replace* query landing in
+    ``src_val``) — such a merge cannot represent the query and the
+    combination must be discarded.
+    """
+    merged = dict(base)
+    for key, value in extra.items():
+        existing = merged.get(key)
+        if existing is not None and existing != value:
+            return None
+        merged[key] = value
+    return merged
+
+
+@dataclass(frozen=True)
+class CGT:
+    """An immutable merged-path tree over a grammar graph.
+
+    Invariants are *checked*, not assumed: use :meth:`is_tree` and
+    :meth:`or_conflicts` before treating a merge result as a valid CGT —
+    HISyn merges first and discards invalid results, which is part of what
+    makes it slow.
+    """
+
+    edges: FrozenSet[Edge]
+    bindings: Mapping[str, str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_paths(
+        cls,
+        paths: Iterable[GrammarPath],
+        bindings: Optional[Mapping[str, str]] = None,
+    ) -> "CGT":
+        """Fuse paths by merging common nodes and edges."""
+        edges: Set[Edge] = set()
+        for path in paths:
+            edges.update(path.edges())
+        return cls(frozenset(edges), dict(bindings or {}))
+
+    def merged_with(self, other: "CGT") -> "CGT":
+        merged_bindings = dict(self.bindings)
+        merged_bindings.update(other.bindings)
+        return CGT(self.edges | other.edges, merged_bindings)
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    def nodes(self) -> Set[str]:
+        out: Set[str] = set()
+        for src, dst in self.edges:
+            out.add(src)
+            out.add(dst)
+        return out
+
+    def children(self, node_id: str) -> List[str]:
+        return [dst for src, dst in self.edges if src == node_id]
+
+    def parents(self, node_id: str) -> List[str]:
+        return [src for src, dst in self.edges if dst == node_id]
+
+    def roots(self) -> List[str]:
+        nodes = self.nodes()
+        have_parent = {dst for _src, dst in self.edges}
+        return sorted(n for n in nodes if n not in have_parent)
+
+    def root(self) -> Optional[str]:
+        roots = self.roots()
+        return roots[0] if len(roots) == 1 else None
+
+    def is_tree(self) -> bool:
+        """Single root, every other node has exactly one parent, connected."""
+        nodes = self.nodes()
+        if not nodes:
+            return False
+        roots = self.roots()
+        if len(roots) != 1:
+            return False
+        parent_count: Dict[str, int] = {}
+        for _src, dst in self.edges:
+            parent_count[dst] = parent_count.get(dst, 0) + 1
+            if parent_count[dst] > 1:
+                return False
+        # connectivity: |E| == |V| - 1 with single root and <=1 parent each
+        return len(self.edges) == len(nodes) - 1
+
+    # ------------------------------------------------------------------
+    # Grammar validity & size
+    # ------------------------------------------------------------------
+
+    def or_conflicts(self, graph: GrammarGraph) -> List[Tuple[str, List[str]]]:
+        """Choice non-terminals taking two or more alternatives in this tree
+        (grammar-incorrect: alternatives are mutually exclusive)."""
+        conflicts = []
+        adjacency: Dict[str, List[str]] = {}
+        for src, dst in self.edges:
+            adjacency.setdefault(src, []).append(dst)
+        groups = graph.or_group_map
+        for nt_id, kids in adjacency.items():
+            alternatives = groups.get(nt_id)
+            if alternatives is None or len(kids) < 2:
+                continue
+            present = [a for a in kids if a in alternatives]
+            if len(present) >= 2:
+                conflicts.append((nt_id, sorted(present)))
+        return conflicts
+
+    def is_grammar_valid(self, graph: GrammarGraph) -> bool:
+        return self.is_tree() and not self.or_conflicts(graph)
+
+    def api_count(self, graph: GrammarGraph) -> int:
+        """Number of API nodes in the CGT (reporting measure)."""
+        return sum(
+            1 for n in self.nodes() if graph.node(n).kind is NodeKind.API
+        )
+
+    def weighted_size(self, graph: GrammarGraph) -> int:
+        """Semantic weight of the CGT: ordinary APIs count 1, generic APIs
+        count 0 — the objective both engines minimize (the paper's "smallest
+        CGT" with "minimum unmentioned semantic")."""
+        return sum(graph.api_weight(n) for n in self.nodes())
+
+    def api_names(self, graph: GrammarGraph) -> List[str]:
+        return sorted(
+            graph.node(n).label
+            for n in self.nodes()
+            if graph.node(n).kind is NodeKind.API
+        )
+
+    # ------------------------------------------------------------------
+    # Ordering helper for deterministic tie-breaks
+    # ------------------------------------------------------------------
+
+    def sort_key(self, graph: GrammarGraph) -> Tuple[int, int, Tuple[Edge, ...]]:
+        """(weighted size, |edges|, canonical edge list) — both engines break
+        size ties with this key so their outputs coincide."""
+        return (
+            self.weighted_size(graph),
+            len(self.edges),
+            tuple(sorted(self.edges)),
+        )
+
+    def describe(self, graph: GrammarGraph) -> str:
+        lines = []
+        for src, dst in sorted(self.edges):
+            lines.append(f"{graph.node(src).label} -> {graph.node(dst).label}")
+        return "\n".join(lines)

@@ -1,0 +1,387 @@
+"""Dynamic grammar graph-based translation — the paper's Algorithm 1.
+
+DGGT replaces HISyn's exhaustive Step-5 with dynamic programming:
+
+1. **Bottom-up dynamic grammar graph generation** — traverse the pruned
+   dependency graph from the deepest level up.  An edge without siblings
+   (Case I) extends each predecessor's memoized optimal partial CGT by one
+   grammar path; sibling edges (Case II) enumerate the combinations of their
+   candidate paths *within the level only*, filtered by grammar-based
+   pruning (Sec. V-A) and size-based pruning (Sec. V-C), and each surviving
+   combination becomes a partial-CGT node.
+2. **Optimal CGT backtrack** — the node at the grammar start holds the
+   optimal CGT; emit the codelet from it.
+
+Per-level work is ``O(p_l^{e_l})``; joining memoized partial CGTs makes the
+whole algorithm ``O(Σ_l p_l^{e_l})`` instead of ``O(∏_l p_l^{e_l})``
+(Sec. VI).  Orphan node relocation (Sec. V-B) runs first, producing one
+problem variant per plausible placement; the smallest CGT across variants
+wins.
+
+All three optimizations are individually toggleable via :class:`DggtConfig`
+for the ablation study (research question Q3).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cgt import CGT
+from repro.core.dynamic_graph import VIRTUAL, DynamicGrammarGraph, DynKey
+from repro.core.expression import cgt_to_expression
+from repro.core.grammar_pruning import (
+    combination_conflicts,
+    conflict_pairs_for,
+)
+from repro.core.orphan import relocation_variants
+from repro.core.size_pruning import bound_combination, exact_tree_cost
+from repro.errors import SynthesisError, SynthesisTimeout
+from repro.synthesis.deadline import Deadline
+from repro.synthesis.problem import (
+    CandidatePath,
+    EndpointCandidate,
+    SynthesisProblem,
+)
+from repro.synthesis.result import SynthesisOutcome, SynthesisStats
+
+#: One sibling group: (dependent dep-node id, its usable candidate paths).
+SiblingEntry = Tuple[int, List[CandidatePath]]
+
+
+@dataclass(frozen=True)
+class DggtConfig:
+    """Optimization toggles (all on = the paper's full system)."""
+
+    grammar_pruning: bool = True
+    size_pruning: bool = True
+    orphan_relocation: bool = True
+    max_reloc_variants: int = 16
+    deadline_stride: int = 256
+
+
+class DggtEngine:
+    """The paper's contribution: near real-time NLU-driven synthesis."""
+
+    name = "dggt"
+
+    def __init__(self, config: Optional[DggtConfig] = None):
+        self.config = config or DggtConfig()
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def synthesize(
+        self,
+        problem: SynthesisProblem,
+        deadline: Optional[Deadline] = None,
+    ) -> SynthesisOutcome:
+        deadline = deadline or Deadline.unlimited()
+        started = time.monotonic()
+        graph = problem.domain.graph
+        stats = SynthesisStats()
+        stats.n_dep_edges = len(problem.dep_graph.edges()) + 1
+        # "# of orig. path" (Table III) is the path count the *baseline*
+        # faces: orphan edges carry the full root-attachment path sets
+        # there, not the zero paths our orphan detection sees.
+        stats.n_orig_paths = problem.total_paths() + sum(
+            len(problem.start_attach_paths(orphan))
+            for orphan in problem.orphan_nodes()
+        )
+
+        if self.config.orphan_relocation:
+            variants, n_orphans = relocation_variants(
+                problem, self.config.max_reloc_variants
+            )
+        else:
+            variants, n_orphans = [problem], len(problem.orphan_nodes())
+        stats.n_orphans = n_orphans
+        stats.n_reloc_variants = len(variants)
+
+        best: Optional[CGT] = None
+        best_key = None
+        best_variant: Optional[SynthesisProblem] = None
+        failures: List[str] = []
+
+        def attempt(variant: SynthesisProblem) -> None:
+            nonlocal best, best_key, best_variant
+            deadline.check()
+            try:
+                cgt, size, rank = self._synthesize_variant(
+                    variant, deadline, stats
+                )
+            except SynthesisTimeout:
+                raise
+            except SynthesisError as exc:
+                failures.append(str(exc))
+                return
+            _w, _n_edges, edge_key = cgt.sort_key(graph)
+            key = (size, rank, edge_key)
+            if best_key is None or key < best_key:
+                best, best_key, best_variant = cgt, key, variant
+
+        for variant in variants:
+            attempt(variant)
+        if best is None and problem not in variants:
+            # Every relocation failed: fall back to the unrelocated problem
+            # (HISyn's root-attachment treatment), so relocation never
+            # loses solutions the baseline can find.
+            attempt(problem)
+
+        if best is None or best_variant is None:
+            detail = failures[0] if failures else "no variant synthesized"
+            raise SynthesisError(f"DGGT failed on all variants: {detail}")
+        stats.n_paths_after_reloc = best_variant.total_paths()
+
+        expr = cgt_to_expression(best, graph)
+        return SynthesisOutcome(
+            query="",
+            engine=self.name,
+            expression=expr,
+            cgt=best,
+            size=best.api_count(graph),
+            stats=stats,
+            elapsed_seconds=time.monotonic() - started,
+        )
+
+    # ------------------------------------------------------------------
+    # One dependency-graph variant
+    # ------------------------------------------------------------------
+
+    def _synthesize_variant(
+        self,
+        problem: SynthesisProblem,
+        deadline: Deadline,
+        stats: SynthesisStats,
+    ) -> Tuple[CGT, int, int]:
+        graph = problem.domain.graph
+        dep = problem.dep_graph
+        dyng = DynamicGrammarGraph(graph)
+        orphans = set(problem.orphan_nodes())
+
+        # Bottom-up traversal: deepest governors first (Algorithm 1 line 4).
+        order = sorted(
+            (n.node_id for n in dep.nodes()),
+            key=lambda n: (-dep.depth(n), n),
+        )
+        for node_id in order:
+            effective = [
+                e for e in dep.children(node_id) if e.dep not in orphans
+            ]
+            if not effective:
+                for cand in problem.candidates.get(node_id, ()):
+                    dyng.add_leaf(node_id, cand)
+                continue
+            if len(effective) == 1:
+                edge = effective[0]
+                self._case_one(
+                    dyng, node_id, edge.dep, problem.paths_of(edge), stats
+                )
+            else:
+                gov_cands = [
+                    c
+                    for c in problem.candidates.get(node_id, ())
+                    if not c.is_literal
+                ]
+                entries = {
+                    e.dep: problem.paths_of(e) for e in effective
+                }
+                self._case_two(
+                    dyng, node_id, gov_cands, entries, stats, deadline, graph
+                )
+            if not any(
+                dyng.has((node_id, c.node_id))
+                for c in problem.candidates.get(node_id, ())
+            ):
+                word = dep.node(node_id).word
+                raise SynthesisError(
+                    f"no partial CGT covers the subtree of {word!r}"
+                )
+
+        # Virtual root level: the dependency root plus any orphan that
+        # relocation could not place, all governed by the grammar start.
+        virtual_entries: Dict[int, List[CandidatePath]] = {
+            dep.root: list(problem.root_paths)
+        }
+        for orphan in sorted(orphans):
+            virtual_entries[orphan] = problem.start_attach_paths(orphan)
+
+        if len(virtual_entries) == 1:
+            self._case_one(
+                dyng, VIRTUAL, dep.root, virtual_entries[dep.root], stats
+            )
+        else:
+            start_cand = EndpointCandidate(node_id=graph.start_id)
+            self._case_two(
+                dyng,
+                VIRTUAL,
+                [start_cand],
+                virtual_entries,
+                stats,
+                deadline,
+                graph,
+            )
+
+        final_key: DynKey = (VIRTUAL, graph.start_id)
+        if not dyng.has(final_key):
+            raise SynthesisError("no CGT reaches the grammar start symbol")
+        edges, bindings, size, rank = dyng.optimal(final_key)
+        cgt = CGT(edges, bindings)
+        if not cgt.is_grammar_valid(graph):
+            # Cross-level prefix overlap (the pathology Sec. V-B discusses)
+            # can, in rare cases, make the joined CGT invalid.
+            raise SynthesisError(
+                "joined optimal CGT is not grammar-valid "
+                "(cross-level prefix overlap)"
+            )
+        return cgt, size, rank
+
+    # ------------------------------------------------------------------
+    # Case I: an edge without siblings (Algorithm 1 lines 5-11)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _case_one(
+        dyng: DynamicGrammarGraph,
+        gov_dep_id: int,
+        child_dep_id: int,
+        paths: Sequence[CandidatePath],
+        stats: SynthesisStats,
+    ) -> None:
+        for cp in paths:
+            pred_key = (child_dep_id, cp.dst)
+            if not dyng.has(pred_key):
+                continue
+            dyng.offer_path(gov_dep_id, cp, pred_key)
+            stats.n_combinations += 1
+            stats.n_merged += 1
+            stats.n_valid_cgts += 1
+
+    # ------------------------------------------------------------------
+    # Case II: sibling edges (Algorithm 1 lines 12-22)
+    # ------------------------------------------------------------------
+
+    def _case_two(
+        self,
+        dyng: DynamicGrammarGraph,
+        gov_dep_id: int,
+        gov_candidates: Sequence[EndpointCandidate],
+        entries: Dict[int, List[CandidatePath]],
+        stats: SynthesisStats,
+        deadline: Deadline,
+        graph,
+    ) -> None:
+        child_ids = sorted(entries)
+        for gov_cand in gov_candidates:
+            sibling_lists: List[SiblingEntry] = []
+            viable = True
+            for child in child_ids:
+                usable = [
+                    cp
+                    for cp in entries[child]
+                    if cp.src == gov_cand.node_id
+                    and dyng.has((child, cp.dst))
+                ]
+                if not usable:
+                    viable = False
+                    break
+                sibling_lists.append((child, usable))
+            if not viable:
+                continue
+            self._process_sibling_group(
+                dyng, gov_dep_id, gov_cand, sibling_lists, stats,
+                deadline, graph,
+            )
+
+    def _process_sibling_group(
+        self,
+        dyng: DynamicGrammarGraph,
+        gov_dep_id: int,
+        gov_cand: EndpointCandidate,
+        sibling_lists: Sequence[SiblingEntry],
+        stats: SynthesisStats,
+        deadline: Deadline,
+        graph,
+    ) -> None:
+        src_node_id = gov_cand.node_id
+        child_ids = [child for child, _paths in sibling_lists]
+        all_paths = [cp for _child, paths in sibling_lists for cp in paths]
+        pairs = (
+            conflict_pairs_for(graph, all_paths)
+            if self.config.grammar_pruning
+            else set()
+        )
+        path_sizes = {cp.path_id: cp.path.size(graph) for cp in all_paths}
+
+        # Enumerate this level's combinations (the per-level p^e the paper
+        # accepts), filtering conflicts before any merging happens.
+        survivors: List[Tuple[CandidatePath, ...]] = []
+        count = 0
+        for combo in product(*[paths for _child, paths in sibling_lists]):
+            count += 1
+            if count % self.config.deadline_stride == 0:
+                deadline.check()
+            ids = [cp.path_id for cp in combo]
+            if pairs and combination_conflicts(ids, pairs):
+                stats.pruned_by_grammar += 1
+                continue
+            survivors.append(combo)
+        stats.n_combinations += count
+
+        sized = [
+            bound_combination(
+                graph,
+                combo,
+                [
+                    dyng.min_size((child, cp.dst))
+                    for child, cp in zip(child_ids, combo)
+                ],
+                path_sizes,
+            )
+            for combo in survivors
+        ]
+
+        # Size-based pruning (Sec. V-C), run as lossless branch-and-bound:
+        # combinations are processed in ascending lower-bound order and a
+        # combination is skipped only when its optimistic total exceeds the
+        # exact total of some already-merged *valid* combination.  (A pure
+        # bound-vs-bound filter could discard a valid combination on the
+        # strength of an invalid one — validity is only known after the
+        # merge, e.g. cross-level "or" conflicts through memoized subtrees.)
+        sized.sort(key=lambda sc: (sc.lower, sc.upper))
+        best_total: Optional[int] = None
+        for idx, sc in enumerate(sized):
+            if idx % self.config.deadline_stride == 0:
+                deadline.check()
+            if (
+                self.config.size_pruning
+                and best_total is not None
+                and sc.lower > best_total
+            ):
+                stats.pruned_by_size += len(sized) - idx
+                break
+            combo = sc.combo
+            stats.n_merged += 1
+            tree = CGT.from_paths(cp.path for cp in combo)
+            if not tree.is_tree() or tree.or_conflicts(graph):
+                continue  # reconvergent or grammar-conflicting merge
+            leaf_keys = [
+                (child, cp.dst) for child, cp in zip(child_ids, combo)
+            ]
+            tree_cost = exact_tree_cost(graph, combo)
+            created = dyng.add_pcgt(
+                gov_dep_id, src_node_id, combo, leaf_keys, tree_cost,
+                gov_rank=gov_cand.rank,
+            )
+            if created is None:
+                continue  # binding conflict or cross-level invalidity
+            stats.n_valid_cgts += 1
+            total = tree_cost + sum(
+                dyng.min_size((child, cp.dst))
+                for child, cp in zip(child_ids, combo)
+            )
+            if best_total is None or total < best_total:
+                best_total = total

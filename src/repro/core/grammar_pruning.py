@@ -1,0 +1,70 @@
+"""Grammar-based pruning (paper Sec. V-A).
+
+"Given a set of 'or' edges that share the same non-terminal node, only one
+of the 'or' edges should be selected at a time to produce the CGT."  Two
+candidate paths form a *conflict paths pair* when merging them would select
+two alternatives of one choice rule; any combination containing a conflict
+pair is grammar-incorrect and is pruned before the (expensive) merge.
+
+The implementation follows the paper's recipe: merge the candidate paths of
+the sibling edges into an all-path prefix structure recording path ids per
+edge (that is the :class:`~repro.grammar.path_voted.PathVotedGraph`), find
+the conflict "or" edges, expand them into conflict path pairs, and filter
+the combinations.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.grammar.graph import GrammarGraph
+from repro.grammar.path_voted import PathVotedGraph
+from repro.synthesis.problem import CandidatePath
+
+
+def conflict_pairs_for(
+    graph: GrammarGraph,
+    candidate_paths: Iterable[CandidatePath],
+) -> Set[FrozenSet[str]]:
+    """All conflict path pairs among the given candidate paths."""
+    voted = PathVotedGraph(graph, (cp.path for cp in candidate_paths))
+    return voted.conflict_path_pairs()
+
+
+def combination_conflicts(
+    combo_ids: Sequence[str],
+    pairs: Set[FrozenSet[str]],
+) -> bool:
+    """True when the combination contains any conflict pair."""
+    n = len(combo_ids)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if frozenset((combo_ids[i], combo_ids[j])) in pairs:
+                return True
+    return False
+
+
+def prune_combinations(
+    graph: GrammarGraph,
+    all_paths: Sequence[CandidatePath],
+    combinations: Iterable[Tuple[CandidatePath, ...]],
+) -> Tuple[List[Tuple[CandidatePath, ...]], int]:
+    """Filter combinations containing conflict pairs.
+
+    Returns (surviving combinations, number pruned).  The conflict pairs are
+    computed once over all sibling-edge candidate paths, then each
+    combination is checked pairwise — cheap id-set tests, no merging.
+    """
+    pairs = conflict_pairs_for(graph, all_paths)
+    if not pairs:
+        result = list(combinations)
+        return result, 0
+    kept: List[Tuple[CandidatePath, ...]] = []
+    pruned = 0
+    for combo in combinations:
+        ids = [cp.path_id for cp in combo]
+        if combination_conflicts(ids, pairs):
+            pruned += 1
+        else:
+            kept.append(combo)
+    return kept, pruned

@@ -1,0 +1,97 @@
+"""Size-based pruning (paper Sec. V-C).
+
+For a path combination ``c = {p_1, ..., p_n}`` the merged size is bounded::
+
+    len(union of APIs in the p_i)  <=  size(c)  <=  sum(size(p_i)) - (n - 1)
+
+— the upper bound holds because the paths of one combination share at least
+their first node (the common governor API); the lower bound because merging
+can at best deduplicate every common API.
+
+Our bounds additionally fold in the ``min_size`` of each path's sink node in
+the dynamic grammar graph, so the pruning stays *lossless* with respect to
+the full partial-CGT cost (tree + already-memoized subtrees): a combination
+is pruned only when its optimistic total still exceeds some other
+combination's pessimistic total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.grammar.graph import GrammarGraph, NodeKind
+from repro.synthesis.problem import CandidatePath
+
+
+@dataclass(frozen=True)
+class SizedCombination:
+    """A combination with its cost bounds (min_size/max_size of Sec. V-C)."""
+
+    combo: Tuple[CandidatePath, ...]
+    lower: int
+    upper: int
+
+
+def _path_api_sizes(
+    graph: GrammarGraph, paths: Sequence[CandidatePath]
+) -> Dict[str, int]:
+    """size(p) per path id — APIs excluding the sink (DESIGN.md accounting)."""
+    return {cp.path_id: cp.path.size(graph) for cp in paths}
+
+
+def bound_combination(
+    graph: GrammarGraph,
+    combo: Sequence[CandidatePath],
+    sink_min_sizes: Sequence[int],
+    path_sizes: Dict[str, int],
+) -> SizedCombination:
+    """Compute the (lower, upper) cost bounds of one combination.
+
+    ``sink_min_sizes[i]`` is the memoized ``min_size`` of the dynamic-graph
+    node the i-th path's sink resolves to.
+    """
+    sizes = [path_sizes[cp.path_id] for cp in combo]
+    pred_total = sum(sink_min_sizes)
+    n = len(combo)
+    # Lower bound: even with maximal merging, the tree weighs at least the
+    # heaviest path; subtrees below the sinks are already optimal.
+    lower = max(sizes) + pred_total
+    # Upper bound: merging deduplicates at least the shared governor API
+    # (counted n times in the sum, once in the tree).
+    src = combo[0].path.nodes[0]
+    src_weight = 1 if graph.node(src).kind is NodeKind.API else 0
+    upper = sum(sizes) - (n - 1) * src_weight + pred_total
+    return SizedCombination(tuple(combo), lower, upper)
+
+
+def prune_by_size(
+    sized: Sequence[SizedCombination],
+) -> Tuple[List[SizedCombination], int]:
+    """Drop combinations whose lower bound exceeds the global minimum upper
+    bound (``C.min_size > C.min(max_size)`` in the paper's notation)."""
+    if not sized:
+        return [], 0
+    best_upper = min(s.upper for s in sized)
+    kept = [s for s in sized if s.lower <= best_upper]
+    return kept, len(sized) - len(kept)
+
+
+def exact_tree_cost(
+    graph: GrammarGraph,
+    combo: Sequence[CandidatePath],
+) -> int:
+    """Exact merged-tree semantic weight excluding the sink nodes (whose
+    cost is carried by their dynamic-graph nodes).  The shared source — the
+    governor word's endpoint — always counts 1 when it is an API; interior
+    generic catch-alls weigh 0."""
+    nodes: Set[str] = set()
+    sinks: Set[str] = set()
+    for cp in combo:
+        nodes.update(cp.path.nodes)
+        sinks.add(cp.dst)
+    src = combo[0].path.nodes[0]
+    total = sum(graph.api_weight(n) for n in nodes - sinks - {src})
+    if src not in sinks and graph.node(src).kind is NodeKind.API:
+        total += 1
+    return total

@@ -1,0 +1,39 @@
+"""Evaluation domains (paper Table I) and the domain registry."""
+
+from typing import Callable, Dict, List
+
+from repro.errors import DomainError
+from repro.synthesis.domain import Domain
+
+
+def _textediting() -> Domain:
+    from repro.domains.textediting import build_domain
+
+    return build_domain()
+
+
+def _astmatcher() -> Domain:
+    from repro.domains.astmatcher import build_domain
+
+    return build_domain()
+
+
+_REGISTRY: Dict[str, Callable[[], Domain]] = {
+    "textediting": _textediting,
+    "astmatcher": _astmatcher,
+}
+
+
+def load_domain(name: str) -> Domain:
+    """Load a built-in domain by name ("textediting" or "astmatcher")."""
+    try:
+        factory = _REGISTRY[name.lower()]
+    except KeyError:
+        raise DomainError(
+            f"unknown domain {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory()
+
+
+def available_domains() -> List[str]:
+    return sorted(_REGISTRY)

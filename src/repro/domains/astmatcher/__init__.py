@@ -1,0 +1,105 @@
+"""ASTMatcher domain (paper Table I: Clang LibASTMatchers, 505 APIs)."""
+
+from functools import lru_cache
+
+from repro.grammar.paths import PathSearchLimits
+from repro.nlp.pruning import PruneConfig
+from repro.nlu.docs import ApiDoc
+from repro.synthesis.domain import Domain
+from repro.domains.astmatcher.catalog import full_catalog
+from repro.domains.astmatcher.grammar import generate_bnf, literal_slots
+
+#: Command verbs with no API meaning in code search — the query root is
+#: dropped and its object ("... expressions") becomes the synthesis root.
+_GENERIC_ROOTS = frozenset(
+    {
+        "find", "search", "list", "show", "get", "locate", "look",
+        "give", "return", "report", "collect", "fetch", "retrieve",
+        "identify", "detect", "print", "display", "extract", "match",
+        "select", "want", "need",
+    }
+)
+
+#: Adjectives that are part of a matcher's name rather than predicates of
+#: their own ("binary operator" -> binaryOperator); true qualifiers such as
+#: "virtual" or "static" stay separate nodes (they become is* predicates).
+_NAME_ADJECTIVES = frozenset(
+    {
+        "cxx", "cpp", "binary", "unary", "ternary", "conditional",
+        "dynamic", "reinterpret", "implicit", "compound", "imaginary",
+        "predefined", "lambda", "nullptr", "builtin", "atomic",
+        "elaborated", "designated", "opaque",
+        # code keywords retagged JJ before statement nouns ("if statements")
+        "if", "for", "while", "do", "switch", "case", "try", "catch",
+        "return", "goto", "break", "continue", "new", "delete", "throw",
+        "using", "auto",
+    }
+)
+
+
+#: Explicit name tokens where the camel-case split misses the everyday
+#: wording ("for loops" for forStmt).
+_NAME_TOKEN_OVERRIDES = {
+    "forStmt": ("for", "loop", "statement"),
+    "whileStmt": ("while", "loop", "statement"),
+    "doStmt": ("do", "while", "loop", "statement"),
+    "cxxForRangeStmt": ("cxx", "range", "for", "loop", "statement"),
+    "stmt": ("statement",),
+    "expr": ("expression",),
+    "decl": ("declaration",),
+}
+
+
+@lru_cache(maxsize=1)
+def build_domain() -> Domain:
+    """Build (and cache) the ASTMatcher domain from the catalog."""
+    quoted, number = literal_slots()
+    docs = [
+        ApiDoc(
+            name=spec.name,
+            description=spec.description,
+            name_tokens=_NAME_TOKEN_OVERRIDES.get(spec.name, ()),
+            category=spec.kind,
+        )
+        for spec in full_catalog()
+    ]
+    prune = PruneConfig(
+        # ASTMatcher has no quantifier APIs: "all"/"every" are noise here.
+        quantifier_lemmas=frozenset(),
+        merge_amod_lemmas=_NAME_ADJECTIVES,
+        drop_root_lemmas=_GENERIC_ROOTS,
+        keep_lemmas=frozenset(),
+        # Light verbs and quantifiers carry no API meaning here; the nouns
+        # they govern do.
+        drop_lemmas=frozenset(
+            {"have", "be", "do", "want", "code",
+             "all", "every", "each", "any"}
+        ),
+    )
+    return Domain.create(
+        name="astmatcher",
+        bnf_source=generate_bnf(),
+        api_docs=docs,
+        prune_config=prune,
+        literal_targets={"quoted": quoted, "number": number},
+        description=(
+            "Clang LibASTMatchers: a tool for constructing AST matching "
+            "expressions to find code patterns of interest."
+        ),
+        # The matcher grammar is recursive, so simple paths are unbounded;
+        # one dependency edge spans about one nesting level, which fits
+        # comfortably in 16 grammar-graph nodes.  Shortest paths are found
+        # first, so the caps keep the most plausible candidates.
+        path_limits=PathSearchLimits(
+            max_path_len=16,
+            max_paths=32,
+            max_paths_per_edge=96,
+            max_visits=30_000,
+            max_extra_len=4,
+        ),
+        # The catch-all node matchers add no semantics of their own; they
+        # weigh 0 in the smallest-CGT objective, so e.g.
+        # hasBody(stmt(hasDescendant(...))) beats routing through a random
+        # concrete statement matcher.
+        generic_apis=("expr", "stmt", "decl", "type", "qualType"),
+    )

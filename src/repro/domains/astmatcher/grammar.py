@@ -1,0 +1,122 @@
+"""BNF generation for the ASTMatcher domain.
+
+The grammar is generated from the matcher catalog, mirroring how the real
+LibASTMatchers reference is organized:
+
+* the start symbol derives one *node matcher* per AST category
+  (``matcher ::= expr_matcher | stmt_matcher | decl_matcher | type_matcher``);
+* every node matcher ``X`` owns two **private** trait slots
+  (``n_X ::= X X_t1 X_t2``) listing the narrowing/traversal matchers that
+  apply to X's category.  The slots are private per matcher — a shared slot
+  non-terminal would acquire two parents as soon as a query used traits on
+  two different matchers, and a CGT (a subgraph of the grammar graph) must
+  stay a tree.  Two slots allow two predicates on one node
+  (``forStmt(hasBody(...), hasCondition(...))``);
+* every trait ``T`` becomes ``t_T ::= T <args>`` where each inner-matcher
+  argument gets a **private** argument group (``T_arg ::= n_... | ...``)
+  over the node matchers of the argument's category, and literal arguments
+  get a dedicated slot terminal ``<name>_lit`` / ``<name>_num``.
+
+The generated grammar is recursive (matchers nest arbitrarily), which is
+exactly what makes the reversed all-path search and DGGT's pruning earn
+their keep in this domain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.domains.astmatcher.catalog import (
+    CATEGORIES,
+    MatcherSpec,
+    full_catalog,
+)
+
+#: Literal slots listed first when binding quoted / numeric query tokens
+#: (their list order is the Step-3 rank of the literal endpoints).
+_PREFERRED_QUOTED = (
+    "hasName_lit",
+    "hasOperatorName_lit",
+    "asString_lit",
+    "hasType_lit",
+    "matchesName_lit",
+)
+_PREFERRED_NUMBER = (
+    "argumentCountIs_num",
+    "parameterCountIs_num",
+    "hasSize_num",
+)
+
+
+def generate_bnf() -> str:
+    """Render the full ASTMatcher BNF from the catalog."""
+    specs = full_catalog()
+    nodes = [s for s in specs if s.kind == "node"]
+    traits = [s for s in specs if s.kind != "node"]
+
+    by_category: Dict[str, List[MatcherSpec]] = {c: [] for c in CATEGORIES}
+    for spec in nodes:
+        by_category[spec.categories[0]].append(spec)
+    traits_for: Dict[str, List[MatcherSpec]] = {c: [] for c in CATEGORIES}
+    for spec in traits:
+        for cat in spec.categories:
+            traits_for[cat].append(spec)
+
+    lines: List[str] = []
+    lines.append(
+        "matcher ::= " + " | ".join(f"{c}_matcher" for c in CATEGORIES)
+    )
+    for cat in CATEGORIES:
+        alts = " | ".join(f"n_{s.name}" for s in by_category[cat])
+        lines.append(f"{cat}_matcher ::= {alts}")
+
+    # Node matchers: one rule plus two private trait slots each.
+    for cat in CATEGORIES:
+        trait_alts = " | ".join(f"t_{s.name}" for s in traits_for[cat])
+        for spec in by_category[cat]:
+            lines.append(f"n_{spec.name} ::= {spec.name} {spec.name}_t1 {spec.name}_t2")
+            lines.append(f"{spec.name}_t1 ::= {trait_alts}")
+            lines.append(f"{spec.name}_t2 ::= {trait_alts}")
+
+    # Traits: one rule each, with private argument groups.
+    for spec in traits:
+        symbols: List[str] = [spec.name]
+        extra_rules: List[str] = []
+        for index, arg in enumerate(spec.args):
+            if arg in CATEGORIES or arg == "any":
+                group = f"{spec.name}_arg{index if index else ''}"
+                pool = (
+                    nodes if arg == "any" else by_category[arg]
+                )
+                alts = " | ".join(f"n_{s.name}" for s in pool)
+                extra_rules.append(f"{group} ::= {alts}")
+                symbols.append(group)
+            elif arg == "string":
+                symbols.append(f"{spec.name}_lit")
+            elif arg == "number":
+                symbols.append(f"{spec.name}_num")
+            else:
+                raise ValueError(f"unknown arg kind {arg!r} on {spec.name}")
+        lines.append(f"t_{spec.name} ::= " + " ".join(symbols))
+        lines.extend(extra_rules)
+
+    return "\n".join(lines) + "\n"
+
+
+def literal_slots() -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """(quoted slots, number slots) in binding-preference order."""
+    quoted: List[str] = []
+    number: List[str] = []
+    for spec in full_catalog():
+        for arg in spec.args:
+            if arg == "string":
+                quoted.append(f"{spec.name}_lit")
+            elif arg == "number":
+                number.append(f"{spec.name}_num")
+
+    def ordered(slots: List[str], preferred: Tuple[str, ...]) -> Tuple[str, ...]:
+        head = [s for s in preferred if s in slots]
+        tail = sorted(s for s in slots if s not in preferred)
+        return tuple(dict.fromkeys(head + tail))
+
+    return ordered(quoted, _PREFERRED_QUOTED), ordered(number, _PREFERRED_NUMBER)

@@ -1,0 +1,309 @@
+"""ASTMatcher query set: 100 queries with authored ground truths.
+
+Re-creation of the 100-query Clang ASTMatcher set of HISyn [34] (see
+DESIGN.md, "Substitutions").  The families mirror the paper's published
+examples (Table I rows 5-7) and the common code-search intents the
+LibASTMatchers reference motivates.  Ground truths are authored from
+intended semantics; synthesis mistakes count against accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.eval.dataset import QueryCase, make_cases, validate_dataset
+
+
+def _build() -> List[QueryCase]:
+    cases: List[QueryCase] = []
+    n = 1
+
+    def add(family, entries, complexity):
+        nonlocal n
+        cases.extend(make_cases(family, entries, n, "ast", complexity))
+        n += len(entries)
+
+    # ------------------------------------------------------------------
+    # A1: named declarations.  14 cases.
+    # ------------------------------------------------------------------
+    a1 = []
+    a1_specs = (
+        ("functions", "functionDecl", "main"),
+        ("functions", "functionDecl", "compute"),
+        ("cxx methods", "cxxMethodDecl", "PI"),
+        ("cxx methods", "cxxMethodDecl", "size"),
+        ("variable declarations", "varDecl", "counter"),
+        ("field declarations", "fieldDecl", "data"),
+        ("namespace declarations", "namespaceDecl", "std"),
+        ("enum declarations", "enumDecl", "Color"),
+        ("class declarations", "recordDecl", "Widget"),
+        ("parameter declarations", "parmVarDecl", "argc"),
+        ("typedef declarations", "typedefDecl", "size_type"),
+        ("cxx constructor declarations", "cxxConstructorDecl", "Vector"),
+        ("function template declarations", "functionTemplateDecl", "max"),
+        ("label declarations", "labelDecl", "retry"),
+    )
+    for i, (noun, api, name) in enumerate(a1_specs):
+        verb = ("find", "search for", "list", "show")[i % 4]
+        a1.append((
+            f'{verb} {noun} named "{name}"',
+            f'{api}(hasName("{name}"))',
+        ))
+    add("named_decl", a1, complexity=3)
+
+    # ------------------------------------------------------------------
+    # A2: operators by name (paper example 7).  8 cases.
+    # ------------------------------------------------------------------
+    a2 = []
+    for i, op in enumerate(("*", "+", "==", "&&", "<", "-", "%", "|")):
+        kind, api = (("binary operators", "binaryOperator"),
+                     ("unary operators", "unaryOperator"))[i % 2]
+        if i % 2:
+            op = ("!", "~", "-", "++")[(i // 2) % 4]
+        verb = ("list all", "find", "search for", "show all")[i % 4]
+        a2.append((
+            f'{verb} {kind} named "{op}"',
+            f'{("binaryOperator", "unaryOperator")[i % 2]}'
+            f'(hasOperatorName("{op}"))',
+        ))
+    add("operator_name", a2, complexity=3)
+
+    # ------------------------------------------------------------------
+    # A3: call arguments by literal kind (paper example 6).  8 cases.
+    # ------------------------------------------------------------------
+    a3 = []
+    a3_lits = (
+        ("a float literal", "floatLiteral"),
+        ("an integer literal", "integerLiteral"),
+        ("a string literal", "stringLiteral"),
+        ("a character literal", "characterLiteral"),
+    )
+    for i in range(8):
+        lit_words, lit_api = a3_lits[i % 4]
+        subj, subj_api = (
+            ("call expressions", "callExpr"),
+            ("cxx constructor expressions", "cxxConstructExpr"),
+        )[i // 4]
+        a3.append((
+            f'search for {subj} whose argument is {lit_words}',
+            f'{subj_api}(hasArgument({lit_api}()))',
+        ))
+    add("call_argument", a3, complexity=4)
+
+    # ------------------------------------------------------------------
+    # A4: nested declaration queries (paper example 5).  6 cases.
+    # ------------------------------------------------------------------
+    a4 = []
+    a4_specs = (
+        ("cxx constructor expressions", "cxxConstructExpr",
+         "cxx method", "cxxMethodDecl", "PI"),
+        ("cxx constructor expressions", "cxxConstructExpr",
+         "cxx method", "cxxMethodDecl", "area"),
+        ("call expressions", "callExpr",
+         "function", "functionDecl", "malloc"),
+        ("call expressions", "callExpr",
+         "function", "functionDecl", "printf"),
+        ("declaration reference expressions", "declRefExpr",
+         "variable", "varDecl", "errno"),
+        ("member expressions", "memberExpr",
+         "field", "fieldDecl", "next"),
+    )
+    for i, (subj, subj_api, inner, inner_api, name) in enumerate(a4_specs):
+        verb = ("find", "search for")[i % 2]
+        if i < 2:
+            a4.append((
+                f'{verb} {subj} which declare a {inner} named "{name}"',
+                f'{subj_api}(hasDeclaration({inner_api}(hasName("{name}"))))',
+            ))
+        elif i < 4:
+            a4.append((
+                f'{verb} {subj} whose callee is a {inner} named "{name}"',
+                f'{subj_api}(callee({inner_api}(hasName("{name}"))))',
+            ))
+        else:
+            a4.append((
+                f'{verb} {subj} whose declaration is a {inner} named "{name}"',
+                f'{subj_api}(hasDeclaration({inner_api}(hasName("{name}"))))',
+            ))
+    add("nested_declaration", a4, complexity=5)
+
+    # ------------------------------------------------------------------
+    # A5: typed declarations.  8 cases.
+    # ------------------------------------------------------------------
+    a5 = []
+    for i, ty in enumerate(
+        ("int", "float", "double", "char", "bool", "long", "unsigned", "short")
+    ):
+        subj, api = (
+            ("variable declarations", "varDecl"),
+            ("field declarations", "fieldDecl"),
+        )[i % 2]
+        verb = ("match", "find", "list", "search for")[i % 4]
+        a5.append((
+            f'{verb} {subj} of type "{ty}"',
+            f'{api}(hasType("{ty}"))',
+        ))
+    add("typed_decl", a5, complexity=4)
+
+    # ------------------------------------------------------------------
+    # A6: statements by condition.  8 cases.
+    # ------------------------------------------------------------------
+    a6 = []
+    for i in range(8):
+        subj, api = (
+            ("if statements", "ifStmt"),
+            ("while loops", "whileStmt"),
+            ("for loops", "forStmt"),
+            ("conditional operators", "conditionalOperator"),
+        )[i % 4]
+        inner, inner_api = (
+            ("a binary operator", "binaryOperator"),
+            ("a call expression", "callExpr"),
+        )[i // 4]
+        a6.append((
+            f'list {subj} whose condition is {inner}',
+            f'{api}(hasCondition({inner_api}()))',
+        ))
+    add("condition", a6, complexity=4)
+
+    # ------------------------------------------------------------------
+    # A7: loops/functions whose body contains something.  8 cases.
+    # ------------------------------------------------------------------
+    a7 = []
+    for i in range(8):
+        subj, api = (
+            ("for loops", "forStmt"),
+            ("while loops", "whileStmt"),
+        )[i % 2]
+        inner, inner_api = (
+            ("a call expression", "callExpr"),
+            ("a return statement", "returnStmt"),
+            ("an if statement", "ifStmt"),
+            ("a break statement", "breakStmt"),
+        )[i % 4]
+        if i < 4:
+            a7.append((
+                f'find {subj} that have a body containing {inner}',
+                f'{api}(hasBody(stmt(hasDescendant({inner_api}()))))',
+            ))
+        else:
+            a7.append((
+                f'find {subj} containing {inner}',
+                f'{api}(hasDescendant({inner_api}()))',
+            ))
+    add("body_contains", a7, complexity=5)
+
+    # ------------------------------------------------------------------
+    # A8: qualifier predicates.  8 cases.
+    # ------------------------------------------------------------------
+    a8 = []
+    a8_specs = (
+        ("virtual", "isVirtual", "cxx methods", "cxxMethodDecl"),
+        ("pure", "isPure", "cxx methods", "cxxMethodDecl"),
+        ("static", "isStatic", "variable declarations", "varDecl"),
+        ("constexpr", "isConstexpr", "variable declarations", "varDecl"),
+        ("inline", "isInline", "functions", "functionDecl"),
+        ("variadic", "isVariadic", "functions", "functionDecl"),
+        ("deleted", "isDeleted", "functions", "functionDecl"),
+        ("defaulted", "isDefaulted", "functions", "functionDecl"),
+    )
+    for i, (adj, pred, noun, api) in enumerate(a8_specs):
+        verb = ("find", "list all", "show", "search for")[i % 4]
+        a8.append((
+            f'{verb} {adj} {noun}',
+            f'{api}({pred}())',
+        ))
+    add("qualifier", a8, complexity=2)
+
+    # ------------------------------------------------------------------
+    # A9: derived classes.  6 cases.
+    # ------------------------------------------------------------------
+    a9 = []
+    for i, base in enumerate(
+        ("Base", "Shape", "Widget", "Node", "Visitor", "Exception")
+    ):
+        verb = ("find", "list", "search for")[i % 3]
+        a9.append((
+            f'{verb} class declarations derived from "{base}"',
+            f'recordDecl(isDerivedFrom("{base}"))',
+        ))
+    add("derived_from", a9, complexity=3)
+
+    # ------------------------------------------------------------------
+    # A10: arity predicates.  6 cases.
+    # ------------------------------------------------------------------
+    a10 = []
+    for i in range(6):
+        if i % 2 == 0:
+            a10.append((
+                f'find functions with {i + 1} parameters',
+                f'functionDecl(parameterCountIs("{i + 1}"))',
+            ))
+        else:
+            a10.append((
+                f'find call expressions with {i + 1} arguments',
+                f'callExpr(argumentCountIs("{i + 1}"))',
+            ))
+    add("arity", a10, complexity=3)
+
+    # ------------------------------------------------------------------
+    # A11: return types.  6 cases.
+    # ------------------------------------------------------------------
+    a11 = []
+    for i, (ty_words, ty_api) in enumerate((
+        ("a pointer type", "pointerType"),
+        ("a reference type", "referenceType"),
+        ("a builtin type", "builtinType"),
+        ("an enum type", "enumType"),
+        ("an auto type", "autoType"),
+        ("a record type", "recordType"),
+    )):
+        a11.append((
+            f'find functions that return {ty_words}',
+            f'functionDecl(returns({ty_api}()))',
+        ))
+    add("return_type", a11, complexity=4)
+
+    # ------------------------------------------------------------------
+    # A12: initializers.  6 cases.
+    # ------------------------------------------------------------------
+    a12 = []
+    for i, (lit_words, lit_api) in enumerate((
+        ("an integer literal", "integerLiteral"),
+        ("a float literal", "floatLiteral"),
+        ("a string literal", "stringLiteral"),
+        ("a lambda expression", "lambdaExpr"),
+        ("a cxx new expression", "cxxNewExpr"),
+        ("an initializer list expression", "initListExpr"),
+    )):
+        verb = ("match", "find")[i % 2]
+        a12.append((
+            f'{verb} variable declarations whose initializer is {lit_words}',
+            f'varDecl(hasInitializer({lit_api}()))',
+        ))
+    add("initializer", a12, complexity=4)
+
+    # ------------------------------------------------------------------
+    # A13: bare node matchers.  8 cases.
+    # ------------------------------------------------------------------
+    a13 = []
+    a13_specs = (
+        ("lambda expressions", "lambdaExpr"),
+        ("cxx throw expressions", "cxxThrowExpr"),
+        ("cxx new expressions", "cxxNewExpr"),
+        ("cxx delete expressions", "cxxDeleteExpr"),
+        ("goto statements", "gotoStmt"),
+        ("switch statements", "switchStmt"),
+        ("cxx try statements", "cxxTryStmt"),
+        ("cxx catch statements", "cxxCatchStmt"),
+    )
+    for i, (noun, api) in enumerate(a13_specs):
+        verb = ("find all", "list", "show all", "search for")[i % 4]
+        a13.append((f'{verb} {noun}', f'{api}()'))
+    add("bare_node", a13, complexity=1)
+
+    validate_dataset(cases, 100)
+    return cases
+
+
+ASTMATCHER_QUERIES: List[QueryCase] = _build()

@@ -1,0 +1,80 @@
+"""TextEditing domain (paper Table I, 52 APIs, 200 queries)."""
+
+from functools import lru_cache
+from typing import List
+
+from repro.nlp.pruning import PruneConfig
+from repro.nlu.synonyms import default_synonyms
+from repro.synthesis.domain import Domain
+from repro.domains.textediting.apis import TEXTEDITING_APIS
+from repro.domains.textediting.grammar import (
+    NUMBER_SLOTS,
+    QUOTED_SLOTS,
+    TEXTEDITING_BNF,
+)
+
+
+#: Ordinal modifiers that mark their head noun as a *token* target
+#: ("the first character" selects characters; it does not set the scope).
+_ORDINAL_LEMMAS = frozenset({"first", "last", "second", "third", "nth"})
+
+#: Dependency relations that put a noun in scope position ("in every
+#: sentence", "of each line" hanging off the verb).
+_SCOPE_RELS = frozenset({"obl", "advcl"})
+
+
+def _rerank_by_syntax(node, dep_graph, entries: List) -> List:
+    """Break token-vs-scope candidate ties with syntactic context.
+
+    A noun governed by an ordinal ("the first **word**") means the token
+    class; a noun inside a locative phrase attached to the verb ("in every
+    **sentence**") means the iteration scope.  Only reorders; the candidate
+    set is unchanged.
+    """
+    from repro.domains.textediting.apis import TEXTEDITING_APIS
+
+    categories = {doc.name: doc.category for doc in TEXTEDITING_APIS}
+
+    has_ordinal_child = any(
+        dep_graph.node(e.dep).lemma in _ORDINAL_LEMMAS
+        for e in dep_graph.children(node.node_id)
+    )
+    parent = dep_graph.parent_edge(node.node_id)
+    prefer: str = ""
+    if has_ordinal_child:
+        prefer = "token"
+    elif parent is not None and parent.rel in _SCOPE_RELS:
+        prefer = "scope"
+    if not prefer:
+        return entries
+    preferred = [e for e in entries if categories.get(e.name) == prefer]
+    rest = [e for e in entries if categories.get(e.name) != prefer]
+    return preferred + rest
+
+
+@lru_cache(maxsize=1)
+def build_domain() -> Domain:
+    """Build (and cache) the TextEditing domain."""
+    prune = PruneConfig(
+        quantifier_lemmas=frozenset({"each", "every", "all", "any"}),
+        merge_amod_lemmas=frozenset(),
+        drop_root_lemmas=frozenset(),
+        # "after"/"before" are position APIs here; keep them past pruning.
+        keep_lemmas=frozenset({"after", "before"}),
+    )
+    synonyms = default_synonyms()
+    # "lines that have numbers" intends containment in this domain.
+    synonyms.add_group(("contain", "have"))
+    return Domain.create(
+        name="textediting",
+        bnf_source=TEXTEDITING_BNF,
+        api_docs=TEXTEDITING_APIS,
+        prune_config=prune,
+        synonyms=synonyms,
+        literal_targets={"quoted": QUOTED_SLOTS, "number": NUMBER_SLOTS},
+        description=(
+            "A command language that frees Office-suite end-users from "
+            "regular expressions, conditionals, and loops (Desai et al.)."
+        ),
+        candidate_reranker=_rerank_by_syntax,
+    )

@@ -1,0 +1,147 @@
+"""API document for the TextEditing domain (52 APIs, paper Table I).
+
+Each entry mirrors the reference documentation style of Desai et al. [9]:
+the function name, explicit name tokens (the DSL uses fused ALL-CAPS names),
+and a one-line description whose content words serve as matching keywords.
+"""
+
+from repro.nlu.docs import ApiDoc
+
+TEXTEDITING_APIS = [
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+    ApiDoc("INSERT", "Insert a string at a position within an iteration scope.",
+           ("insert",), "command"),
+    ApiDoc("DELETE", "Delete the target tokens or string within an iteration scope.",
+           ("delete",), "command"),
+    ApiDoc("REPLACE", "Replace the source string with the destination string.",
+           ("replace",), "command"),
+    ApiDoc("SELECT", "Select the target tokens or string for later commands.",
+           ("select",), "command"),
+    ApiDoc("COPY", "Copy the target to a position within an iteration scope.",
+           ("copy",), "command"),
+    ApiDoc("MOVE", "Move the target to a position within an iteration scope.",
+           ("move",), "command"),
+    ApiDoc("PRINT", "Print the target tokens or string.",
+           ("print",), "command"),
+    ApiDoc("COUNT", "Count the target tokens or string.",
+           ("count",), "command"),
+    ApiDoc("CAPITALIZE", "Convert the target to upper case.",
+           ("capitalize",), "command"),
+    ApiDoc("LOWERCASE", "Convert the target to lower case.",
+           ("lowercase",), "command"),
+    ApiDoc("SORT", "Sort the units of a scope.",
+           ("sort",), "command"),
+    # ------------------------------------------------------------------
+    # String slots
+    # ------------------------------------------------------------------
+    ApiDoc("STRING", "A literal string value given by the user.",
+           ("string",), "string"),
+    ApiDoc("SRCSTRING", "The source string a replace command searches for.",
+           ("src", "string"), "string"),
+    ApiDoc("DSTSTRING", "The destination string a replace command writes.",
+           ("dst", "string"), "string"),
+    ApiDoc("ANCHORSTR", "An anchor string that after and before positions refer to.",
+           ("anchor", "string"), "string"),
+    # ------------------------------------------------------------------
+    # Positions
+    # ------------------------------------------------------------------
+    ApiDoc("START", "The start of the current scope unit.",
+           ("start",), "position"),
+    ApiDoc("END", "The end of the current scope unit.",
+           ("end",), "position"),
+    ApiDoc("POSITION", "An absolute character position given as a number.",
+           ("position",), "position"),
+    ApiDoc("AFTER", "The position right after an anchor token or string.",
+           ("after",), "position"),
+    ApiDoc("BEFORE", "The position right before an anchor token or string.",
+           ("before",), "position"),
+    ApiDoc("STARTFROM", "Start from the given character offset.",
+           ("start", "from"), "position"),
+    ApiDoc("ENDAT", "End at the given character offset.",
+           ("end", "at"), "position"),
+    # ------------------------------------------------------------------
+    # Iteration
+    # ------------------------------------------------------------------
+    ApiDoc("ITERATIONSCOPE", "Iterate a command over scope units that satisfy a condition.",
+           ("iteration", "scope"), "iteration"),
+    ApiDoc("LINESCOPE", "Iterate over lines.",
+           ("line", "scope"), "scope"),
+    ApiDoc("WORDSCOPE", "Iterate over words.",
+           ("word", "scope"), "scope"),
+    ApiDoc("SENTENCESCOPE", "Iterate over sentences.",
+           ("sentence", "scope"), "scope"),
+    ApiDoc("PARAGRAPHSCOPE", "Iterate over paragraphs.",
+           ("paragraph", "scope"), "scope"),
+    ApiDoc("DOCUMENTSCOPE", "Apply to the whole document.",
+           ("document", "scope"), "scope"),
+    ApiDoc("CHARSCOPE", "Iterate over characters.",
+           ("char", "scope"), "scope"),
+    # ------------------------------------------------------------------
+    # Conditions
+    # ------------------------------------------------------------------
+    ApiDoc("BCONDOCCURRENCE", "Boolean condition on the occurrences inside a scope unit.",
+           ("condition", "occurrence"), "condition"),
+    ApiDoc("ALWAYS", "Condition that always holds (no filtering).",
+           ("always",), "condition"),
+    ApiDoc("CONTAINS", "Scope unit contains the given token or string.",
+           ("contains",), "occurrence"),
+    ApiDoc("STARTSWITH", "Scope unit starts with the given token or string.",
+           ("start", "with"), "occurrence"),
+    ApiDoc("ENDSWITH", "Scope unit ends with the given token or string.",
+           ("end", "with"), "occurrence"),
+    ApiDoc("MATCHES", "Scope unit matches the given token or string exactly.",
+           ("match",), "occurrence"),
+    ApiDoc("EMPTY", "Scope unit is empty or blank.",
+           ("empty",), "occurrence"),
+    # ------------------------------------------------------------------
+    # Quantifiers
+    # ------------------------------------------------------------------
+    ApiDoc("ALL", "Quantifier: every occurrence.",
+           ("all",), "quantifier"),
+    ApiDoc("FIRSTOCC", "Quantifier: the first occurrence.",
+           ("first", "occ"), "quantifier"),
+    ApiDoc("LASTOCC", "Quantifier: the last occurrence.",
+           ("last", "occ"), "quantifier"),
+    ApiDoc("NTHOCC", "Quantifier: the n-th occurrence, n given as a number.",
+           ("nth", "occ"), "quantifier"),
+    # ------------------------------------------------------------------
+    # Ordinal target selectors
+    # ------------------------------------------------------------------
+    ApiDoc("FIRSTTOKEN", "Target selector: the first token of its kind.",
+           ("first", "token"), "selector"),
+    ApiDoc("LASTTOKEN", "Target selector: the last token of its kind.",
+           ("last", "token"), "selector"),
+    ApiDoc("NTHTOKEN", "Target selector: the n-th token of its kind.",
+           ("nth", "token"), "selector"),
+    # ------------------------------------------------------------------
+    # Token classes
+    # ------------------------------------------------------------------
+    ApiDoc("NUMBERTOKEN", "A numeral token (digits).",
+           ("number", "token"), "token"),
+    ApiDoc("WORDTOKEN", "A word token.",
+           ("word", "token"), "token"),
+    ApiDoc("CHARTOKEN", "A character token; optionally the n-th character.",
+           ("character", "token"), "token"),
+    ApiDoc("LINETOKEN", "A line token.",
+           ("line", "token"), "token"),
+    ApiDoc("SENTENCETOKEN", "A sentence token.",
+           ("sentence", "token"), "token"),
+    ApiDoc("COMMATOKEN", "The comma symbol.",
+           ("comma", "token"), "token"),
+    ApiDoc("COLONTOKEN", "The colon symbol.",
+           ("colon", "token"), "token"),
+    ApiDoc("SEMICOLONTOKEN", "The semicolon symbol.",
+           ("semicolon", "token"), "token"),
+    ApiDoc("SPACETOKEN", "The whitespace symbol.",
+           ("space", "token"), "token"),
+    ApiDoc("TABTOKEN", "The tab symbol.",
+           ("tab", "token"), "token"),
+    ApiDoc("DASHTOKEN", "The dash or hyphen symbol.",
+           ("dash", "token"), "token"),
+    ApiDoc("QUOTETOKEN", "The quotation-mark symbol.",
+           ("quote", "token"), "token"),
+    ApiDoc("CAPSTOKEN", "An upper-case letter.",
+           ("caps", "token"), "token"),
+]

@@ -1,0 +1,157 @@
+"""The TextEditing DSL grammar (re-creation of Desai et al. [9]).
+
+A command language "that aims to free Office-suite end-users from
+understanding syntax and semantics of regular expressions, conditionals, and
+loops" (paper Table I): editing commands, string slots, positions, iteration
+scopes, occurrence conditions, quantifiers, ordinal selectors, and token
+classes.
+
+Design notes (see DESIGN.md):
+
+* every command's arguments hang off the command API via the head-API
+  convention, so grammar paths run command -> argument (Fig. 4(a));
+* a CGT is a subgraph of the grammar graph and must stay a tree, so any
+  non-terminal that two parts of one query may need simultaneously (the
+  token classes: a *target* token and a *condition* token; the scopes: a
+  sort scope and an iteration scope) gets a **private per-context group**;
+  the API terminals themselves stay shared.  The groups are generated
+  programmatically below;
+* literal slots (``str_val``, ``num_val``, ...) are non-API terminals, each
+  used by exactly one production, so distinct query literals bind distinct
+  slots;
+* ``REPLACE`` takes distinct ``SRCSTRING``/``DSTSTRING`` argument APIs (and
+  position anchors use ``ANCHORSTR``) because the same API node cannot
+  appear twice in one CGT.
+"""
+
+from typing import List
+
+#: Token-class APIs (shared terminals; the per-context groups reference
+#: them).  CHARTOKEN additionally takes a numeral slot.
+TOKEN_APIS = (
+    "NUMBERTOKEN", "WORDTOKEN", "LINETOKEN", "SENTENCETOKEN",
+    "COMMATOKEN", "COLONTOKEN", "SEMICOLONTOKEN", "SPACETOKEN",
+    "TABTOKEN", "DASHTOKEN", "QUOTETOKEN", "CAPSTOKEN",
+)
+
+SCOPE_APIS = (
+    "LINESCOPE", "WORDSCOPE", "SENTENCESCOPE", "PARAGRAPHSCOPE",
+    "DOCUMENTSCOPE", "CHARSCOPE",
+)
+
+#: Contexts that may each hold a token class in one query.
+_TOKEN_CONTEXTS = (
+    "del", "sel", "cp", "mv", "pr", "cnt", "case", "anchor", "occ", "ord"
+)
+
+
+def _token_group(ctx: str) -> List[str]:
+    """Private token group for one context: ``<ctx>_token`` plus its
+    CHARTOKEN wrapper rule."""
+    alts = list(TOKEN_APIS) + [f"{ctx}_char"]
+    return [
+        f"{ctx}_token ::= " + " | ".join(alts),
+        f"{ctx}_char ::= CHARTOKEN char_num",
+    ]
+
+
+def _build_bnf() -> str:
+    lines: List[str] = []
+    lines.append(
+        "cmd ::= insert_cmd | delete_cmd | replace_cmd | select_cmd"
+        " | copy_cmd | move_cmd | print_cmd | count_cmd | case_cmd"
+        " | sort_cmd"
+    )
+    # Commands -----------------------------------------------------------
+    lines += [
+        "insert_cmd ::= INSERT ins_str ins_pos ins_iter",
+        "ins_str ::= string_expr",
+        "ins_pos ::= pos_expr",
+        "ins_iter ::= iter_expr",
+        "delete_cmd ::= DELETE del_target del_iter",
+        "del_target ::= del_token | string_expr | ord_token",
+        "del_iter ::= iter_expr",
+        "replace_cmd ::= REPLACE rep_src rep_dst rep_iter",
+        "rep_src ::= SRCSTRING src_val",
+        "rep_dst ::= DSTSTRING dst_val",
+        "rep_iter ::= iter_expr",
+        "select_cmd ::= SELECT sel_target sel_iter",
+        "sel_target ::= sel_token | string_expr | ord_token",
+        "sel_iter ::= iter_expr",
+        "copy_cmd ::= COPY cp_target cp_pos cp_iter",
+        "cp_target ::= cp_token | string_expr | ord_token",
+        "cp_pos ::= pos_expr",
+        "cp_iter ::= iter_expr",
+        "move_cmd ::= MOVE mv_target mv_pos mv_iter",
+        "mv_target ::= mv_token | string_expr | ord_token",
+        "mv_pos ::= pos_expr",
+        "mv_iter ::= iter_expr",
+        "print_cmd ::= PRINT pr_target pr_iter",
+        "pr_target ::= pr_token | string_expr | ord_token",
+        "pr_iter ::= iter_expr",
+        "count_cmd ::= COUNT cnt_target cnt_iter",
+        "cnt_target ::= cnt_token | string_expr | ord_token",
+        "cnt_iter ::= iter_expr",
+        "case_cmd ::= CAPITALIZE case_target case_iter"
+        " | LOWERCASE case_target case_iter",
+        "case_target ::= case_token | string_expr | ord_token",
+        "case_iter ::= iter_expr",
+        "sort_cmd ::= SORT sort_scope sort_iter",
+        "sort_scope ::= " + " | ".join(SCOPE_APIS),
+        "sort_iter ::= iter_expr",
+    ]
+    # Strings and positions ----------------------------------------------
+    lines += [
+        "string_expr ::= STRING str_val",
+        "pos_expr ::= START | END | position_expr | after_expr"
+        " | before_expr | startfrom_expr | endat_expr",
+        "position_expr ::= POSITION num_val",
+        "after_expr ::= AFTER pos_anchor",
+        "before_expr ::= BEFORE pos_anchor",
+        "startfrom_expr ::= STARTFROM from_val",
+        "endat_expr ::= ENDAT upto_val",
+        "pos_anchor ::= anchor_token | anchor_str",
+        "anchor_str ::= ANCHORSTR anchor_val",
+    ]
+    # Iteration scopes and conditions --------------------------------------
+    lines += [
+        "iter_expr ::= ITERATIONSCOPE iter_scope iter_cond",
+        "iter_scope ::= " + " | ".join(SCOPE_APIS),
+        "iter_cond ::= cond_occurrence | ALWAYS",
+        "cond_occurrence ::= BCONDOCCURRENCE occ_expr quant_expr",
+        "occ_expr ::= contains_expr | startswith_expr | endswith_expr"
+        " | matches_expr | EMPTY",
+        "contains_expr ::= CONTAINS occ_arg",
+        "startswith_expr ::= STARTSWITH occ_arg",
+        "endswith_expr ::= ENDSWITH occ_arg",
+        "matches_expr ::= MATCHES occ_arg",
+        "occ_arg ::= occ_token | occ_val",
+        "quant_expr ::= ALL | FIRSTOCC | LASTOCC | nth_expr",
+        "nth_expr ::= NTHOCC nth_val",
+    ]
+    # Ordinal target selectors ---------------------------------------------
+    lines += [
+        "ord_token ::= first_token | last_token | nth_token",
+        "first_token ::= FIRSTTOKEN ord_arg",
+        "last_token ::= LASTTOKEN ord_arg",
+        "nth_token ::= NTHTOKEN nth_tok ord_arg",
+        "ord_arg ::= ord_token_grp",
+        "ord_token_grp ::= " + " | ".join(list(TOKEN_APIS) + ["ord_char"]),
+        "ord_char ::= CHARTOKEN char_num",
+    ]
+    # Per-context token groups ---------------------------------------------
+    for ctx in ("del", "sel", "cp", "mv", "pr", "cnt", "case", "anchor", "occ"):
+        lines += _token_group(ctx)
+    return "\n".join(lines) + "\n"
+
+
+TEXTEDITING_BNF = _build_bnf()
+
+#: Literal (non-API) terminals and the token kinds that may bind to them.
+#: Order matters: the list position is the Step-3 rank of the literal
+#: endpoint, so e.g. the *find* string of a replace binds ``src_val``
+#: before ``dst_val``.
+QUOTED_SLOTS = ("str_val", "src_val", "dst_val", "occ_val", "anchor_val")
+NUMBER_SLOTS = (
+    "num_val", "from_val", "upto_val", "char_num", "nth_val", "nth_tok"
+)

@@ -1,0 +1,388 @@
+"""TextEditing query set: 200 queries with authored ground truths.
+
+Re-creation of the 200-query TextEditing set of Desai et al. [9] / HISyn
+(see DESIGN.md, "Substitutions").  Queries are organized in template
+families whose phrasing mirrors the paper's published examples; ground
+truths are authored from the intended semantics of each template —
+*not* from system output — so synthesis mistakes count against accuracy.
+
+Family complexity spans the paper's reported range: from single-edge
+commands up to 6-edge conditional commands with orphan-inducing phrasing.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.eval.dataset import QueryCase, make_cases, validate_dataset
+
+# Shared vocabulary: (surface plural, surface singular, scope API)
+_SCOPES = (
+    ("lines", "line", "LINESCOPE"),
+    ("sentences", "sentence", "SENTENCESCOPE"),
+    ("paragraphs", "paragraph", "PARAGRAPHSCOPE"),
+    ("words", "word", "WORDSCOPE"),
+)
+
+# (surface, token API)
+_TOKENS = (
+    ("numerals", "NUMBERTOKEN"),
+    ("numbers", "NUMBERTOKEN"),
+    ("digits", "NUMBERTOKEN"),
+    ("commas", "COMMATOKEN"),
+    ("colons", "COLONTOKEN"),
+    ("semicolons", "SEMICOLONTOKEN"),
+    ("spaces", "SPACETOKEN"),
+    ("tabs", "TABTOKEN"),
+    ("dashes", "DASHTOKEN"),
+    ("quotes", "QUOTETOKEN"),
+)
+
+
+def _iter(scope: str, cond: str = "") -> str:
+    inner = f"{scope}()"
+    if cond:
+        inner += f", BCONDOCCURRENCE({cond})"
+    return f"ITERATIONSCOPE({inner})"
+
+
+def _build() -> List[QueryCase]:
+    cases: List[QueryCase] = []
+    n = 1
+
+    def add(family, entries, complexity):
+        nonlocal n
+        cases.extend(make_cases(family, entries, n, "te", complexity))
+        n += len(entries)
+
+    # ------------------------------------------------------------------
+    # F1: append/insert a string into scopes filtered by a contained token
+    # (the paper's example 1 family).  28 cases.
+    # ------------------------------------------------------------------
+    f1 = []
+    f1_verbs = ("append", "add", "insert", "put")
+    f1_strings = (":", "#", "->", "*")
+    for i, (tok_word, tok_api) in enumerate(_TOKENS[:7]):
+        verb = f1_verbs[i % 4]
+        s = f1_strings[i % 4]
+        plural, singular, scope_api = _SCOPES[i % 3]
+        f1.append((
+            f'{verb} "{s}" in every {singular} containing {tok_word}',
+            f'INSERT(STRING("{s}"), '
+            f'{_iter(scope_api, f"CONTAINS({tok_api}()), ALL()")})',
+        ))
+        f1.append((
+            f'{verb} "{s}" into each {singular} that contains {tok_word}',
+            f'INSERT(STRING("{s}"), '
+            f'{_iter(scope_api, f"CONTAINS({tok_api}()), ALL()")})',
+        ))
+        f1.append((
+            f'{verb} "{s}" to all {plural} containing {tok_word}',
+            f'INSERT(STRING("{s}"), '
+            f'{_iter(scope_api, f"CONTAINS({tok_api}()), ALL()")})',
+        ))
+        f1.append((
+            f'{verb} "{s}" in every {singular} that includes {tok_word}',
+            f'INSERT(STRING("{s}"), '
+            f'{_iter(scope_api, f"CONTAINS({tok_api}()), ALL()")})',
+        ))
+    add("append_contains", f1, complexity=4)
+
+    # ------------------------------------------------------------------
+    # F2: insert at start/end of scope units (position semantics; known
+    # PP-collapse challenge).  10 cases.
+    # ------------------------------------------------------------------
+    f2 = []
+    for i, pos_word in enumerate(("start", "end")):
+        pos_api = "START" if pos_word == "start" else "END"
+        for j in range(5):
+            plural, singular, scope_api = _SCOPES[j % 4]
+            s = (":", ";", "-", ">", ".")[j]
+            f2.append((
+                f'insert "{s}" at the {pos_word} of {"each" if j % 2 else "every"} {singular}',
+                f'INSERT(STRING("{s}"), {pos_api}(), '
+                f'{_iter(scope_api, "ALL()")})',
+            ))
+    add("insert_position", f2, complexity=4)
+
+    # ------------------------------------------------------------------
+    # F3: conditional insert with a character offset (paper example 2).
+    # 8 cases.
+    # ------------------------------------------------------------------
+    f3 = []
+    for i in range(8):
+        plural, singular, scope_api = _SCOPES[i % 2]
+        mark = ("-", "*", ">", "#")[i % 4]
+        s = (":", ";", ",", ".")[i % 4]
+        count = (14, 3, 8, 20)[i % 4]
+        relation = "starts" if i < 4 else "ends"
+        rel_api = "STARTSWITH" if i < 4 else "ENDSWITH"
+        cond = f'{rel_api}("{mark}")'
+        f3.append((
+            f'if a {singular} {relation} with "{mark}", '
+            f'add "{s}" after {count} characters',
+            f'INSERT(STRING("{s}"), AFTER(CHARTOKEN("{count}")), '
+            + _iter(scope_api, cond) + ')',
+        ))
+    add("conditional_insert", f3, complexity=6)
+
+    # ------------------------------------------------------------------
+    # F4: delete scope units by contained-token condition.  18 cases.
+    # ------------------------------------------------------------------
+    f4 = []
+    f4_verbs = ("delete", "remove", "erase")
+    for i, (tok_word, tok_api) in enumerate(_TOKENS[:9]):
+        verb = f4_verbs[i % 3]
+        plural, singular, scope_api = _SCOPES[i % 4]
+        f4.append((
+            f'{verb} every {singular} that contains {tok_word}',
+            f'DELETE({_iter(scope_api, f"CONTAINS({tok_api}()), ALL()")})',
+        ))
+        f4.append((
+            f'{verb} all {plural} containing {tok_word}',
+            f'DELETE({_iter(scope_api, f"CONTAINS({tok_api}()), ALL()")})',
+        ))
+    add("delete_conditional", f4, complexity=4)
+
+    # ------------------------------------------------------------------
+    # F5: replace A with B inside a scope.  16 cases.
+    # ------------------------------------------------------------------
+    f5 = []
+    f5_pairs = (
+        ("foo", "bar"), ("colour", "color"), ("Mr", "Mister"),
+        ("&", "and"), (";", ","), ("TODO", "DONE"), ("4", "four"),
+        ("hte", "the"),
+    )
+    for i, (a, b) in enumerate(f5_pairs):
+        verb = "replace" if i % 2 == 0 else "substitute"
+        plural, singular, scope_api = _SCOPES[i % 4]
+        f5.append((
+            f'{verb} "{a}" with "{b}" in all {plural}',
+            f'REPLACE(SRCSTRING("{a}"), DSTSTRING("{b}"), '
+            f'{_iter(scope_api, "ALL()")})',
+        ))
+        f5.append((
+            f'{verb} "{a}" with "{b}" in the document',
+            f'REPLACE(SRCSTRING("{a}"), DSTSTRING("{b}"), '
+            f'{_iter("DOCUMENTSCOPE")})',
+        ))
+    add("replace", f5, complexity=4)
+
+    # ------------------------------------------------------------------
+    # F6: print/count with boundary conditions.  16 cases.
+    # ------------------------------------------------------------------
+    f6 = []
+    for i in range(16):
+        verb, api = (("print", "PRINT"), ("count", "COUNT"))[i % 2]
+        plural, singular, scope_api = _SCOPES[i % 3]
+        s = (";", ":", "-", "#", "!", "?", ".", ",")[i % 8]
+        rel, rel_api = (
+            ("ending with", "ENDSWITH"),
+            ("starting with", "STARTSWITH"),
+        )[(i // 2) % 2]
+        cond = f'{rel_api}("{s}"), ALL()'
+        f6.append((
+            f'{verb} all {plural} {rel} "{s}"',
+            f'{api}(' + _iter(scope_api, cond) + ')',
+        ))
+    add("print_count_boundary", f6, complexity=4)
+
+    # ------------------------------------------------------------------
+    # F7: ordinal target selection.  16 cases.
+    # ------------------------------------------------------------------
+    f7 = []
+    f7_verbs = (("select", "SELECT"), ("print", "PRINT"),
+                ("delete", "DELETE"), ("capitalize", "CAPITALIZE"))
+    for i in range(16):
+        verb, api = f7_verbs[i % 4]
+        ordinal, ord_api = (("first", "FIRSTTOKEN"), ("last", "LASTTOKEN"))[
+            (i // 4) % 2
+        ]
+        plural, singular, scope_api = _SCOPES[:3][i % 3]
+        prep = "in" if i % 2 == 0 else "of"
+        f7.append((
+            f'{verb} the {ordinal} word {prep} every {singular}',
+            f'{api}({ord_api}(WORDTOKEN()), '
+            f'{_iter(scope_api, "ALL()")})',
+        ))
+    add("ordinal_target", f7, complexity=5)
+
+    # ------------------------------------------------------------------
+    # F8: move/copy a target to a position.  12 cases.
+    # ------------------------------------------------------------------
+    f8 = []
+    for i in range(12):
+        verb, api = (("copy", "COPY"), ("move", "MOVE"))[i % 2]
+        ordinal, ord_api = (("first", "FIRSTTOKEN"), ("last", "LASTTOKEN"))[
+            (i // 2) % 2
+        ]
+        pos_word, pos_api = (("end", "END"), ("start", "START"))[i % 2]
+        plural, singular, scope_api = _SCOPES[i % 3]
+        f8.append((
+            f'{verb} the {ordinal} word to the {pos_word} of each {singular}'
+            + ("" if i < 6 else " please"),
+            f'{api}({ord_api}(WORDTOKEN()), {pos_api}(), '
+            f'{_iter(scope_api, "ALL()")})',
+        ))
+    add("move_copy_position", f8, complexity=5)
+
+    # ------------------------------------------------------------------
+    # F9: empty-unit conditions.  8 cases.
+    # ------------------------------------------------------------------
+    f9 = []
+    for i in range(8):
+        verb, api = (("delete", "DELETE"), ("count", "COUNT"),
+                     ("print", "PRINT"), ("select", "SELECT"))[i % 4]
+        adj = "empty" if i < 4 else "blank"
+        plural, singular, scope_api = _SCOPES[i % 2]
+        f9.append((
+            f'{verb} all {adj} {plural}',
+            f'{api}({_iter(scope_api, "EMPTY(), ALL()")})',
+        ))
+    add("empty_units", f9, complexity=3)
+
+    # ------------------------------------------------------------------
+    # F10: simple whole-scope commands.  14 cases.
+    # ------------------------------------------------------------------
+    f10 = []
+    f10_specs = (
+        ("print", "PRINT"), ("count", "COUNT"),
+        ("lowercase", "LOWERCASE"), ("capitalize", "CAPITALIZE"),
+        ("select", "SELECT"), ("delete", "DELETE"), ("copy", "COPY"),
+    )
+    token_of_scope = {
+        "line": "LINETOKEN", "word": "WORDTOKEN",
+        "sentence": "SENTENCETOKEN",
+    }
+    for i in range(14):
+        verb, api = f10_specs[i % 7]
+        det = "every" if i % 2 == 0 else "each"
+        if i < 7:
+            plural, singular, scope_api = _SCOPES[i % 4]
+            f10.append((
+                f'{verb} {det} {singular}',
+                f'{api}({_iter(scope_api, "ALL()")})',
+            ))
+        else:
+            # "print each word of the document": the noun is the token
+            # target, the document is the iteration scope.
+            plural, singular, scope_api = (_SCOPES[0], _SCOPES[1], _SCOPES[3])[i % 3]
+            f10.append((
+                f'{verb} {det} {singular} of the document',
+                f'{api}({token_of_scope[singular]}(), '
+                f'{_iter("DOCUMENTSCOPE", "ALL()")})',
+            ))
+    add("simple_scope", f10, complexity=2)
+
+    # ------------------------------------------------------------------
+    # F11: sort scope units within a larger scope.  6 cases.
+    # ------------------------------------------------------------------
+    f11 = []
+    f11_specs = (
+        ("lines", "LINESCOPE", "the document", "DOCUMENTSCOPE", ""),
+        ("words", "WORDSCOPE", "the document", "DOCUMENTSCOPE", ""),
+        ("sentences", "SENTENCESCOPE", "the document", "DOCUMENTSCOPE", ""),
+        ("lines", "LINESCOPE", "every paragraph", "PARAGRAPHSCOPE", "ALL()"),
+        ("words", "WORDSCOPE", "every sentence", "SENTENCESCOPE", "ALL()"),
+        ("words", "WORDSCOPE", "each line", "LINESCOPE", "ALL()"),
+    )
+    for inner, inner_api, outer, outer_api, cond in f11_specs:
+        f11.append((
+            f'sort the {inner} of {outer}',
+            f'SORT({inner_api}(), {_iter(outer_api, cond)})',
+        ))
+    add("sort_scope", f11, complexity=3)
+
+    # ------------------------------------------------------------------
+    # F12: ordinal character deletion/capitalization.  8 cases.
+    # ------------------------------------------------------------------
+    f12 = []
+    for i in range(8):
+        verb, api = (("remove", "DELETE"), ("delete", "DELETE"),
+                     ("capitalize", "CAPITALIZE"), ("select", "SELECT"))[i % 4]
+        ordinal, ord_api = (("first", "FIRSTTOKEN"), ("last", "LASTTOKEN"))[
+            (i // 4) % 2
+        ]
+        plural, singular, scope_api = (_SCOPES[3], _SCOPES[0])[i % 2]
+        f12.append((
+            f'{verb} the {ordinal} character of every {singular}',
+            f'{api}({ord_api}(CHARTOKEN()), '
+            f'{_iter(scope_api, "ALL()")})',
+        ))
+    add("ordinal_character", f12, complexity=5)
+
+    # ------------------------------------------------------------------
+    # F13: absolute position insertion.  10 cases.
+    # ------------------------------------------------------------------
+    f13 = []
+    for i in range(10):
+        s = (">", "*", "~", "|", "^")[i % 5]
+        count = (5, 1, 12, 40, 7)[i % 5]
+        plural, singular, scope_api = _SCOPES[i % 2]
+        f13.append((
+            f'insert "{s}" at position {count} in every {singular}',
+            f'INSERT(STRING("{s}"), POSITION("{count}"), '
+            f'{_iter(scope_api, "ALL()")})',
+        ))
+    add("absolute_position", f13, complexity=5)
+
+    # ------------------------------------------------------------------
+    # F14: exact-match conditions.  8 cases.
+    # ------------------------------------------------------------------
+    f14 = []
+    for i in range(8):
+        verb, api = (("select", "SELECT"), ("delete", "DELETE"),
+                     ("print", "PRINT"), ("count", "COUNT"))[i % 4]
+        s = ("TODO", "N/A", "---", "EOF", "null", "x", "End", "chapter")[i]
+        plural, singular, scope_api = _SCOPES[i % 3]
+        cond = f'MATCHES("{s}")'
+        f14.append((
+            f'{verb} {plural} that match "{s}"',
+            f'{api}(' + _iter(scope_api, cond) + ')',
+        ))
+    add("exact_match", f14, complexity=4)
+
+    # ------------------------------------------------------------------
+    # F15: anchored before/after insertion.  12 cases.
+    # ------------------------------------------------------------------
+    f15 = []
+    for i in range(12):
+        s = ("--", ";", " ", "#", "**", ">>")[i % 6]
+        rel, rel_api = (("before", "BEFORE"), ("after", "AFTER"))[i % 2]
+        if i < 6:
+            w = ("end", "begin", "chapter", "note", "stop", "item")[i]
+            f15.append((
+                f'insert "{s}" {rel} the word "{w}"',
+                f'INSERT(STRING("{s}"), {rel_api}(ANCHORSTR("{w}")), '
+                f'{_iter("WORDSCOPE")})',
+            ))
+        else:
+            tok_word, tok_api = _TOKENS[(i - 6) % 6]
+            f15.append((
+                f'insert "{s}" {rel} every {tok_word[:-1]}',
+                f'INSERT(STRING("{s}"), {rel_api}({tok_api}()), '
+                f'ITERATIONSCOPE(BCONDOCCURRENCE(ALL())))',
+            ))
+    add("anchored_insert", f15, complexity=4)
+
+    # ------------------------------------------------------------------
+    # F16: dual-token commands (target token + condition token).  10 cases.
+    # ------------------------------------------------------------------
+    f16 = []
+    for i in range(10):
+        verb, api = (("delete", "DELETE"), ("count", "COUNT"))[i % 2]
+        t1_word, t1_api = _TOKENS[3 + (i % 5)]
+        t2_word, t2_api = _TOKENS[i % 3]
+        plural, singular, scope_api = _SCOPES[i % 2]
+        f16.append((
+            f'{verb} the {t1_word} in {plural} containing {t2_word}',
+            f'{api}({t1_api}(), '
+            f'{_iter(scope_api, f"CONTAINS({t2_api}())")})',
+        ))
+    add("dual_token", f16, complexity=5)
+
+    validate_dataset(cases, 200)
+    return cases
+
+
+TEXTEDITING_QUERIES: List[QueryCase] = _build()

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the DGGT reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can install a single ``except ReproError`` guard around a synthesis
+call.  :class:`SynthesisTimeout` is special: the evaluation harness treats it
+as an *error case at the cut-off time*, exactly as the paper's Section VII-B
+does for its 20-second budget.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GrammarError(ReproError):
+    """A problem with a BNF grammar definition or grammar-graph construction."""
+
+
+class BNFSyntaxError(GrammarError):
+    """The BNF source text could not be parsed.
+
+    Carries the line number (1-based) of the offending production when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class TokenizationError(ReproError):
+    """The query tokenizer hit input it cannot segment (e.g. unclosed quote)."""
+
+
+class ParseError(ReproError):
+    """The dependency parser could not produce a tree for the query."""
+
+
+class SynthesisError(ReproError):
+    """Synthesis failed to produce any grammar-valid codelet for the query."""
+
+
+class SynthesisTimeout(SynthesisError):
+    """Cooperative timeout raised inside an engine's hot loop.
+
+    The elapsed time at the moment of the raise is recorded so the harness
+    can clamp it to the budget.
+    """
+
+    def __init__(self, budget_seconds: float, elapsed_seconds: float):
+        self.budget_seconds = budget_seconds
+        self.elapsed_seconds = elapsed_seconds
+        super().__init__(
+            f"synthesis exceeded its {budget_seconds:.3g}s budget "
+            f"(elapsed {elapsed_seconds:.3g}s)"
+        )
+
+
+class DomainError(ReproError):
+    """A problem with a domain registration (missing APIs, bad document)."""

@@ -1,0 +1,60 @@
+"""Evaluation harness: datasets, metrics, tables, and figure series."""
+
+from repro.eval.dataset import QueryCase, make_cases, validate_dataset
+from repro.eval.figures import fig7_series, fig8_series, render_fig7, render_fig8
+from repro.eval.harness import (
+    DEFAULT_TIMEOUT,
+    CaseResult,
+    run_case,
+    run_dataset,
+)
+from repro.eval.metrics import (
+    FIG7_BUCKETS,
+    SpeedupSummary,
+    accumulated_times,
+    accuracy,
+    per_case_speedups,
+    per_family_accuracy,
+    speedup_summary,
+    time_distribution,
+)
+from repro.eval.tables import (
+    Table2Row,
+    Table3Row,
+    render_table1,
+    render_table2,
+    render_table3,
+    table1_row,
+    table2_row,
+    table3_row,
+)
+
+__all__ = [
+    "QueryCase",
+    "make_cases",
+    "validate_dataset",
+    "CaseResult",
+    "run_case",
+    "run_dataset",
+    "DEFAULT_TIMEOUT",
+    "accuracy",
+    "SpeedupSummary",
+    "speedup_summary",
+    "per_case_speedups",
+    "per_family_accuracy",
+    "time_distribution",
+    "accumulated_times",
+    "FIG7_BUCKETS",
+    "table1_row",
+    "table2_row",
+    "table3_row",
+    "Table2Row",
+    "Table3Row",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "fig7_series",
+    "fig8_series",
+    "render_fig7",
+    "render_fig8",
+]

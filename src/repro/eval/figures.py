@@ -1,0 +1,60 @@
+"""Figure-series generators (paper Figs. 7 and 8).
+
+No plotting dependency is available offline, so "figures" are produced as
+the data series the paper plots plus an ASCII rendering — enough to compare
+shapes against the published charts (who is faster, where the buckets
+fall, how steeply the accumulated curves rise).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.eval.harness import CaseResult
+from repro.eval.metrics import accumulated_times, time_distribution
+
+
+def fig7_series(
+    results_by_engine: Dict[str, Sequence[CaseResult]],
+) -> Dict[str, Dict[str, float]]:
+    """Fig. 7: response-time distribution per engine."""
+    return {
+        engine: time_distribution(results)
+        for engine, results in results_by_engine.items()
+    }
+
+
+def render_fig7(series: Dict[str, Dict[str, float]], title: str = "") -> str:
+    lines = [f"Figure 7 — execution time distribution {title}".rstrip()]
+    for engine, dist in series.items():
+        lines.append(f"  {engine}:")
+        for bucket, frac in dist.items():
+            bar = "#" * int(round(frac * 40))
+            lines.append(f"    {bucket:>9}: {frac * 100:5.1f}%  {bar}")
+    return "\n".join(lines)
+
+
+def fig8_series(
+    results_by_engine: Dict[str, Sequence[CaseResult]],
+) -> Dict[str, List[float]]:
+    """Fig. 8: accumulated execution time per engine (dataset order)."""
+    return {
+        engine: accumulated_times(results)
+        for engine, results in results_by_engine.items()
+    }
+
+
+def render_fig8(
+    series: Dict[str, List[float]], samples: int = 10, title: str = ""
+) -> str:
+    lines = [f"Figure 8 — accumulated execution time {title}".rstrip()]
+    for engine, curve in series.items():
+        if not curve:
+            continue
+        step = max(1, len(curve) // samples)
+        points = [
+            f"{i}:{curve[i]:.1f}s"
+            for i in range(step - 1, len(curve), step)
+        ]
+        lines.append(f"  {engine}: " + "  ".join(points))
+    return "\n".join(lines)

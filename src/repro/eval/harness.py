@@ -1,0 +1,106 @@
+"""Evaluation harness (paper Sec. VII-A methodology).
+
+Runs a query set through one engine with the paper's per-query time budget:
+"we set 20 seconds as the timeout limit for processing one query.  If the
+synthesizer fails to finish in time, we stop synthesizing, regard it an
+error case and record 20 sec as the execution time."
+
+Accuracy follows the paper's criterion: "a synthesized DSL code is correct
+if it is identical to the ground truth code in terms of both the set of
+APIs, arguments, and their relative order" — implemented by comparing
+codelets after normalization through the codelet re-parser.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.expression import normalize_codelet
+from repro.errors import ReproError, SynthesisTimeout
+from repro.eval.dataset import QueryCase
+from repro.synthesis.domain import Domain
+from repro.synthesis.pipeline import Synthesizer
+from repro.synthesis.result import SynthesisStats
+
+#: The paper's per-query budget (seconds).
+DEFAULT_TIMEOUT = 20.0
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one (query, engine) run."""
+
+    case: QueryCase
+    engine: str
+    status: str  # "ok" | "timeout" | "error"
+    elapsed_seconds: float
+    codelet: Optional[str] = None
+    correct: bool = False
+    size: Optional[int] = None
+    stats: Optional[SynthesisStats] = None
+    error: str = ""
+
+    @property
+    def timed_out(self) -> bool:
+        return self.status == "timeout"
+
+
+def run_case(
+    synthesizer: Synthesizer,
+    case: QueryCase,
+    timeout_seconds: float = DEFAULT_TIMEOUT,
+) -> CaseResult:
+    """Run one case; timeouts are clamped to the budget per Sec. VII-B."""
+    truth = normalize_codelet(case.ground_truth)
+    started = time.monotonic()
+    try:
+        outcome = synthesizer.synthesize(case.query, timeout_seconds)
+    except SynthesisTimeout as exc:
+        return CaseResult(
+            case=case,
+            engine=synthesizer.engine.name,
+            status="timeout",
+            elapsed_seconds=timeout_seconds,
+            stats=getattr(exc, "partial_stats", None),
+            error="timeout",
+        )
+    except ReproError as exc:
+        return CaseResult(
+            case=case,
+            engine=synthesizer.engine.name,
+            status="error",
+            elapsed_seconds=time.monotonic() - started,
+            error=str(exc),
+        )
+    codelet = normalize_codelet(outcome.codelet)
+    return CaseResult(
+        case=case,
+        engine=synthesizer.engine.name,
+        status="ok",
+        elapsed_seconds=outcome.elapsed_seconds,
+        codelet=codelet,
+        correct=codelet == truth,
+        size=outcome.size,
+        stats=outcome.stats,
+    )
+
+
+def run_dataset(
+    domain: Domain,
+    cases: Sequence[QueryCase],
+    engine: str = "dggt",
+    timeout_seconds: float = DEFAULT_TIMEOUT,
+    config=None,
+    progress: Optional[Callable[[CaseResult], None]] = None,
+) -> List[CaseResult]:
+    """Run a full query set through one engine."""
+    synthesizer = Synthesizer(domain, engine=engine, config=config)
+    results: List[CaseResult] = []
+    for case in cases:
+        result = run_case(synthesizer, case, timeout_seconds)
+        results.append(result)
+        if progress is not None:
+            progress(result)
+    return results

@@ -1,0 +1,144 @@
+"""Evaluation metrics (paper Sec. VII-A).
+
+* **synthesis time** per query, with timeouts clamped to the budget;
+* **speedup** = t(HISyn) / t(DGGT) per query; Table II reports its max,
+  mean, and median;
+* **accuracy** = correctly synthesized / total (a timeout is an error);
+* the response-time **distribution** buckets of Fig. 7 and the
+  **accumulated time** curves of Fig. 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.eval.harness import CaseResult
+
+
+def accuracy(results: Sequence[CaseResult]) -> float:
+    """Fraction of correctly synthesized cases (timeouts/errors count as
+    wrong, per the paper's 20-second-budget accounting)."""
+    if not results:
+        return 0.0
+    return sum(1 for r in results if r.correct) / len(results)
+
+
+@dataclass(frozen=True)
+class SpeedupSummary:
+    """Table II's speedup columns."""
+
+    max: float
+    mean: float
+    median: float
+    n: int
+
+    def as_row(self) -> Tuple[float, float, float]:
+        return (self.max, self.mean, self.median)
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 0:
+        return 0.0
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def per_case_speedups(
+    baseline: Sequence[CaseResult],
+    optimized: Sequence[CaseResult],
+) -> List[float]:
+    """t(HISyn)/t(DGGT) per query, paired by case id.
+
+    Cases where both engines timed out are excluded (both clamp to the same
+    budget, so the ratio is meaningless); a baseline timeout against a
+    finished DGGT contributes budget/t(DGGT) — a lower bound, as in the
+    paper's ">2748x" case.
+    """
+    by_id = {r.case.case_id: r for r in optimized}
+    ratios: List[float] = []
+    for base in baseline:
+        opt = by_id.get(base.case.case_id)
+        if opt is None:
+            continue
+        if base.timed_out and opt.timed_out:
+            continue
+        if base.elapsed_seconds <= 0 or opt.elapsed_seconds <= 0:
+            continue
+        ratios.append(base.elapsed_seconds / opt.elapsed_seconds)
+    return ratios
+
+
+def speedup_summary(
+    baseline: Sequence[CaseResult],
+    optimized: Sequence[CaseResult],
+) -> SpeedupSummary:
+    ratios = per_case_speedups(baseline, optimized)
+    if not ratios:
+        return SpeedupSummary(0.0, 0.0, 0.0, 0)
+    return SpeedupSummary(
+        max=max(ratios),
+        mean=sum(ratios) / len(ratios),
+        median=_median(ratios),
+        n=len(ratios),
+    )
+
+
+#: Fig. 7 buckets: the paper reports <0.1 s, 0.1-1 s, >1 s, and timeouts.
+FIG7_BUCKETS = (0.1, 1.0)
+
+
+def time_distribution(
+    results: Sequence[CaseResult],
+    buckets: Tuple[float, ...] = FIG7_BUCKETS,
+) -> Dict[str, float]:
+    """Fraction of cases per response-time bucket (Fig. 7)."""
+    n = len(results)
+    if n == 0:
+        return {}
+    lo, hi = buckets
+    out = {
+        f"<{lo}s": 0,
+        f"{lo}-{hi}s": 0,
+        f">{hi}s": 0,
+        "timeout": 0,
+    }
+    for r in results:
+        if r.timed_out:
+            out["timeout"] += 1
+        elif r.elapsed_seconds < lo:
+            out[f"<{lo}s"] += 1
+        elif r.elapsed_seconds <= hi:
+            out[f"{lo}-{hi}s"] += 1
+        else:
+            out[f">{hi}s"] += 1
+    return {k: v / n for k, v in out.items()}
+
+
+def accumulated_times(results: Sequence[CaseResult]) -> List[float]:
+    """Fig. 8: ``time(x)`` = total time to synthesize cases 0..x, in
+    dataset order."""
+    out: List[float] = []
+    total = 0.0
+    for r in results:
+        total += r.elapsed_seconds
+        out.append(total)
+    return out
+
+
+def per_family_accuracy(
+    results: Sequence[CaseResult],
+) -> Dict[str, Tuple[int, int]]:
+    """(correct, total) per template family — error-analysis view
+    (Sec. VII-B.4)."""
+    out: Dict[str, List[int]] = {}
+    for r in results:
+        fam = out.setdefault(r.case.family, [0, 0])
+        fam[1] += 1
+        if r.correct:
+            fam[0] += 1
+    return {k: (v[0], v[1]) for k, v in sorted(out.items())}

@@ -1,0 +1,144 @@
+"""Experiment report generation (EXPERIMENTS.md machinery).
+
+Turns harness results into the markdown report recorded in EXPERIMENTS.md:
+one section per paper artifact, each with the paper's published numbers next
+to the measured ones and a short shape verdict.  Kept as library code so the
+report can be regenerated after any change::
+
+    python -m repro.eval.report          # full run (slow)
+    REPRO_BENCH_TIMEOUT=5 python -m repro.eval.report
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from typing import Dict, List, Sequence
+
+from repro.domains import load_domain
+from repro.domains.astmatcher.queries import ASTMATCHER_QUERIES
+from repro.domains.textediting.queries import TEXTEDITING_QUERIES
+from repro.eval.harness import CaseResult, run_dataset
+from repro.eval.metrics import (
+    accuracy,
+    per_family_accuracy,
+    time_distribution,
+)
+from repro.eval.tables import render_table2, table2_row
+
+PAPER = {
+    "table2": {
+        "astmatcher": dict(max=537.7, mean=25.02, median=3.463,
+                           acc_hisyn=0.744, acc_dggt=0.765),
+        "textediting": dict(max=1887.0, mean=133.2, median=12.86,
+                            acc_hisyn=0.675, acc_dggt=0.791),
+    },
+    "fig7": {
+        "astmatcher": dict(dggt_fast=0.738, hisyn_fast=0.588),
+        "textediting": dict(dggt_fast=0.885, hisyn_fast=0.451),
+    },
+}
+
+DATASETS = {
+    "textediting": TEXTEDITING_QUERIES,
+    "astmatcher": ASTMATCHER_QUERIES,
+}
+
+
+def collect(
+    timeout_seconds: float, limit: int = 0
+) -> Dict[str, Dict[str, List[CaseResult]]]:
+    """Run both engines over both domains."""
+    out: Dict[str, Dict[str, List[CaseResult]]] = {}
+    for domain_name, cases in DATASETS.items():
+        subset = cases[:limit] if limit else cases
+        domain = load_domain(domain_name)
+        out[domain_name] = {
+            engine: run_dataset(domain, subset, engine, timeout_seconds)
+            for engine in ("dggt", "hisyn")
+        }
+    return out
+
+
+def render_report(
+    results: Dict[str, Dict[str, List[CaseResult]]],
+    timeout_seconds: float,
+) -> str:
+    lines: List[str] = []
+    lines.append("# Experiment report (generated)")
+    lines.append("")
+    lines.append(
+        f"Per-query budget: {timeout_seconds:g}s "
+        f"(the paper uses 20s)."
+    )
+    lines.append("")
+
+    rows = [
+        table2_row(name, res["hisyn"], res["dggt"])
+        for name, res in results.items()
+    ]
+    lines.append("## Table II — speedup and accuracy")
+    lines.append("```")
+    lines.append(render_table2(rows))
+    lines.append("```")
+    for row in rows:
+        paper = PAPER["table2"][row.domain]
+        lines.append(
+            f"- paper ({row.domain}, laptop): max {paper['max']}x, "
+            f"mean {paper['mean']}x, median {paper['median']}x; "
+            f"accuracy HISyn {paper['acc_hisyn']}, DGGT {paper['acc_dggt']}"
+        )
+    lines.append("")
+
+    lines.append("## Fig. 7 — response-time distribution")
+    for name, res in results.items():
+        for engine in ("dggt", "hisyn"):
+            dist = time_distribution(res[engine])
+            rendered = ", ".join(f"{k}: {v * 100:.1f}%" for k, v in dist.items())
+            lines.append(f"- {name}/{engine}: {rendered}")
+        paper = PAPER["fig7"][name]
+        lines.append(
+            f"  - paper (<0.1s): DGGT {paper['dggt_fast'] * 100:.1f}%, "
+            f"HISyn {paper['hisyn_fast'] * 100:.1f}%"
+        )
+    lines.append("")
+
+    lines.append("## Per-family accuracy (DGGT, error analysis)")
+    for name, res in results.items():
+        lines.append(f"- {name}:")
+        for family, (ok, total) in per_family_accuracy(res["dggt"]).items():
+            lines.append(f"  - {family}: {ok}/{total}")
+    lines.append("")
+
+    lines.append("## Shape verdicts")
+    for row in rows:
+        verdict = (
+            "reproduced"
+            if row.speedup.mean > 1 and row.accuracy_dggt >= row.accuracy_hisyn
+            else "NOT reproduced"
+        )
+        lines.append(
+            f"- {row.domain}: DGGT dominates baseline "
+            f"(mean speedup {row.speedup.mean:.1f}x, max "
+            f"{row.speedup.max:.0f}x, accuracy {row.accuracy_dggt:.3f} vs "
+            f"{row.accuracy_hisyn:.3f}) -> {verdict}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> int:  # pragma: no cover - exercised manually
+    timeout = float(os.environ.get("REPRO_BENCH_TIMEOUT", "5"))
+    limit = int(os.environ.get("REPRO_BENCH_LIMIT", "0"))
+    started = time.monotonic()
+    results = collect(timeout, limit)
+    print(render_report(results, timeout))
+    print(
+        f"\n(report generated in {time.monotonic() - started:.0f}s)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,133 @@
+"""Synthetic workloads for the complexity study (paper Sec. VI).
+
+The paper's complexity claim — HISyn enumerates ``O(∏_l p_l^{e_l})`` path
+combinations while DGGT does ``O(Σ_l p_l^{e_l})`` work — is about the shape
+of the query dependency graph: ``l`` levels, ``e_l`` sibling edges per
+level, ``p_l`` candidate paths per edge.  This module manufactures problems
+with exactly that shape:
+
+* a layered grammar: level ``l`` has ``p`` APIs, each with ``e`` private
+  argument slots, each slot offering all level-``l+1`` APIs;
+* a complete ``e``-ary dependency tree of depth ``L`` whose level-``l``
+  words are ambiguous over all ``p`` level-``l`` APIs.
+
+Benchmarks sweep ``L``, ``e`` and ``p`` and read the engines' combination
+counters to verify the additive-vs-multiplicative growth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.grammar.paths import PathSearchLimits
+from repro.nlp.dependency import DepEdge, DepNode, DependencyGraph
+from repro.nlu.docs import ApiDoc
+from repro.synthesis.domain import Domain
+from repro.synthesis.problem import EndpointCandidate, SynthesisProblem
+
+
+def _api_name(level: int, index: int) -> str:
+    return f"A{level}x{index}"
+
+
+def make_synthetic_domain(levels: int, fanout: int, alternatives: int) -> Domain:
+    """A layered domain: ``levels`` levels, ``fanout`` argument slots per
+    API, ``alternatives`` APIs per level."""
+    if levels < 1 or fanout < 1 or alternatives < 1:
+        raise ValueError("levels, fanout and alternatives must be positive")
+    lines: List[str] = []
+    top = " | ".join(
+        f"n0x{i}" for i in range(alternatives)
+    )
+    lines.append(f"root ::= {top}")
+    docs: List[ApiDoc] = []
+    for level in range(levels):
+        for i in range(alternatives):
+            api = _api_name(level, i)
+            docs.append(
+                ApiDoc(api, f"Synthetic level {level} api {i}.", (api.lower(),))
+            )
+            if level + 1 < levels:
+                slots = " ".join(
+                    f"s{level}x{i}x{j}" for j in range(fanout)
+                )
+                lines.append(f"n{level}x{i} ::= {api} {slots}")
+                for j in range(fanout):
+                    alts = " | ".join(
+                        f"w{level + 1}x{k}x{level}x{i}x{j}"
+                        for k in range(alternatives)
+                    )
+                    lines.append(f"s{level}x{i}x{j} ::= {alts}")
+                    for k in range(alternatives):
+                        # private wrapper per (slot, alternative): keeps the
+                        # grammar tree-shaped for any slot assignment
+                        lines.append(
+                            f"w{level + 1}x{k}x{level}x{i}x{j} ::= "
+                            f"n{level + 1}x{k}"
+                        )
+            else:
+                lines.append(f"n{level}x{i} ::= {api}")
+    # leaf node rules referenced by wrappers need definitions even at the
+    # last level (already emitted above).
+    bnf = "\n".join(dict.fromkeys(lines)) + "\n"
+    return Domain.create(
+        name=f"synthetic_L{levels}_e{fanout}_p{alternatives}",
+        bnf_source=bnf,
+        api_docs=docs,
+        literal_targets={"quoted": (), "number": ()},
+        path_limits=PathSearchLimits(max_path_len=8),
+    )
+
+
+def make_synthetic_problem(
+    domain: Domain, levels: int, fanout: int, alternatives: int
+) -> SynthesisProblem:
+    """A complete ``fanout``-ary dependency tree of depth ``levels`` whose
+    words are ``alternatives``-way ambiguous."""
+    nodes: List[DepNode] = []
+    edges: List[DepEdge] = []
+    candidates: Dict[int, List[EndpointCandidate]] = {}
+    counter = 0
+
+    def new_node(level: int) -> int:
+        nonlocal counter
+        node_id = counter
+        counter += 1
+        nodes.append(
+            DepNode(node_id, f"w{level}_{node_id}", f"w{level}_{node_id}", "NN")
+        )
+        candidates[node_id] = [
+            EndpointCandidate(
+                node_id=f"api:{_api_name(level, i)}",
+                api_name=_api_name(level, i),
+                rank=i,
+            )
+            for i in range(alternatives)
+        ]
+        return node_id
+
+    def grow(parent: int, level: int) -> None:
+        if level >= levels:
+            return
+        for _ in range(fanout):
+            child = new_node(level)
+            edges.append(DepEdge(parent, child, "obj"))
+            grow(child, level + 1)
+
+    root = new_node(0)
+    grow(root, 1)
+    dep_graph = DependencyGraph(nodes, edges, root)
+    return SynthesisProblem(domain, dep_graph, candidates)
+
+
+def worst_case_products(
+    levels: int, fanout: int, paths_per_edge: int
+) -> Tuple[int, int]:
+    """The paper's analytic counts: (``∏_l p^(e_l)``, ``Σ_l p^(e_l)``) for a
+    complete tree — ``e_l`` = number of edges at level l = fanout^l."""
+    product, total = 1, 0
+    for level in range(1, levels):
+        e_l = fanout ** level
+        product *= paths_per_edge ** e_l
+        total += paths_per_edge ** e_l
+    return product, total

@@ -1,0 +1,159 @@
+"""Table generators for the paper's evaluation artifacts.
+
+Each function returns both the structured data (for tests) and a rendered
+text table (for the benchmark logs / EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.eval.harness import CaseResult
+from repro.eval.metrics import SpeedupSummary, accuracy, speedup_summary
+from repro.grammar.cfg import grammar_stats
+from repro.synthesis.domain import Domain
+
+
+# ----------------------------------------------------------------------
+# Table I: testing domains
+# ----------------------------------------------------------------------
+
+
+def table1_row(domain: Domain, n_queries: int, examples: Sequence[str]) -> Dict:
+    stats = grammar_stats(domain.grammar)
+    return {
+        "domain": domain.name,
+        "description": domain.description,
+        "apis": len(domain.document),
+        "queries": n_queries,
+        "nonterminals": stats.n_nonterminals,
+        "productions": stats.n_productions,
+        "recursive": stats.recursive,
+        "examples": list(examples),
+    }
+
+
+def render_table1(rows: Sequence[Dict]) -> str:
+    lines = ["Table I — testing domains and test cases", "-" * 64]
+    for row in rows:
+        lines.append(
+            f"{row['domain']:<12} #APIs={row['apis']:<4} "
+            f"#Queries={row['queries']:<4} "
+            f"#NT={row['nonterminals']:<4} recursive={row['recursive']}"
+        )
+        for ex in row["examples"]:
+            lines.append(f"    e.g. {ex}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Table II: performance comparison
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    domain: str
+    speedup: SpeedupSummary
+    accuracy_hisyn: float
+    accuracy_dggt: float
+    timeouts_hisyn: int
+    timeouts_dggt: int
+
+
+def table2_row(
+    domain_name: str,
+    hisyn_results: Sequence[CaseResult],
+    dggt_results: Sequence[CaseResult],
+) -> Table2Row:
+    return Table2Row(
+        domain=domain_name,
+        speedup=speedup_summary(hisyn_results, dggt_results),
+        accuracy_hisyn=accuracy(hisyn_results),
+        accuracy_dggt=accuracy(dggt_results),
+        timeouts_hisyn=sum(1 for r in hisyn_results if r.timed_out),
+        timeouts_dggt=sum(1 for r in dggt_results if r.timed_out),
+    )
+
+
+def render_table2(rows: Sequence[Table2Row]) -> str:
+    lines = [
+        "Table II — performance comparison (per-query timeout applies)",
+        f"{'Domain':<14}{'Max':>9}{'Mean':>9}{'Median':>9}"
+        f"{'Acc(HISyn)':>12}{'Acc(DGGT)':>11}{'TO(H)':>7}{'TO(D)':>7}",
+        "-" * 78,
+    ]
+    for row in rows:
+        s = row.speedup
+        lines.append(
+            f"{row.domain:<14}{s.max:>9.1f}{s.mean:>9.2f}{s.median:>9.2f}"
+            f"{row.accuracy_hisyn:>12.3f}{row.accuracy_dggt:>11.3f}"
+            f"{row.timeouts_hisyn:>7}{row.timeouts_dggt:>7}"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Table III: case-study details
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    case_id: str
+    n_dep_edges: int
+    hisyn_paths: int
+    hisyn_combinations: int
+    paths_after_reloc: int
+    combos_after_reloc: int
+    pruned_grammar: int
+    pruned_size: int
+    remaining: int
+    speedup: float
+
+
+def table3_row(
+    hisyn_result: CaseResult, dggt_result: CaseResult
+) -> Optional[Table3Row]:
+    dstats = dggt_result.stats
+    hstats = hisyn_result.stats
+    if dstats is None:
+        return None
+    hisyn_combos = hstats.n_combinations if hstats is not None else 0
+    speedup = (
+        hisyn_result.elapsed_seconds / dggt_result.elapsed_seconds
+        if dggt_result.elapsed_seconds > 0
+        else 0.0
+    )
+    return Table3Row(
+        case_id=dggt_result.case.case_id,
+        n_dep_edges=dstats.n_dep_edges,
+        hisyn_paths=hstats.n_orig_paths if hstats is not None else 0,
+        hisyn_combinations=hisyn_combos,
+        paths_after_reloc=dstats.n_paths_after_reloc,
+        combos_after_reloc=dstats.n_combinations,
+        pruned_grammar=dstats.pruned_by_grammar,
+        pruned_size=dstats.pruned_by_size,
+        remaining=dstats.n_merged,
+        speedup=speedup,
+    )
+
+
+def render_table3(rows: Sequence[Table3Row]) -> str:
+    lines = [
+        "Table III — detailed results of the DGGT algorithm",
+        f"{'case':<8}{'#edges':>7}{'H.paths':>9}{'H.combs':>11}"
+        f"{'paths*':>8}{'combs*':>9}{'gramPr':>8}{'sizePr':>8}"
+        f"{'remain':>8}{'speedup':>9}",
+        "-" * 85,
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.case_id:<8}{r.n_dep_edges:>7}{r.hisyn_paths:>9}"
+            f"{r.hisyn_combinations:>11}{r.paths_after_reloc:>8}"
+            f"{r.combos_after_reloc:>9}{r.pruned_grammar:>8}"
+            f"{r.pruned_size:>8}{r.remaining:>8}{r.speedup:>9.1f}"
+        )
+    lines.append("(* after orphan relocation)")
+    return "\n".join(lines)

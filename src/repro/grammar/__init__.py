@@ -1,0 +1,57 @@
+"""Grammar substrate: CFG model, BNF front-end, grammar graph, path search.
+
+These are the inputs and search structures every NLU-driven synthesizer in
+this package (HISyn baseline and DGGT) operates over.
+"""
+
+from repro.grammar.bnf import format_bnf, parse_bnf
+from repro.grammar.cfg import Grammar, GrammarStats, Production, grammar_stats
+from repro.grammar.graph import (
+    EdgeKind,
+    GEdge,
+    GNode,
+    GrammarGraph,
+    NodeKind,
+    api_id,
+    derivation_id,
+    literal_id,
+    nonterminal_id,
+)
+from repro.grammar.path_voted import PathVotedGraph
+from repro.grammar.paths import (
+    DEFAULT_MAX_PATH_LEN,
+    DEFAULT_MAX_PATHS,
+    GrammarPath,
+    PathCatalog,
+    PathSearchLimits,
+    find_paths,
+    find_paths_between_apis,
+    find_paths_from_start,
+)
+
+__all__ = [
+    "parse_bnf",
+    "format_bnf",
+    "Grammar",
+    "Production",
+    "GrammarStats",
+    "grammar_stats",
+    "GrammarGraph",
+    "GNode",
+    "GEdge",
+    "NodeKind",
+    "EdgeKind",
+    "api_id",
+    "literal_id",
+    "nonterminal_id",
+    "derivation_id",
+    "GrammarPath",
+    "PathCatalog",
+    "PathSearchLimits",
+    "find_paths",
+    "find_paths_between_apis",
+    "find_paths_from_start",
+    "DEFAULT_MAX_PATH_LEN",
+    "DEFAULT_MAX_PATHS",
+    "PathVotedGraph",
+]

@@ -1,0 +1,111 @@
+"""BNF front-end.
+
+The paper's synthesizer consumes "the context-free grammar of the target
+domain, written in Backus-Naur form (BNF)" (Sec. II).  This module parses a
+small, conventional BNF dialect into a :class:`repro.grammar.cfg.Grammar`:
+
+* one rule per logical line: ``lhs ::= sym sym | sym`` ;
+* a line starting with ``|`` continues the previous rule with another
+  alternative, so long rules can be split across lines;
+* ``#`` starts a comment (to end of line);
+* symbols are whitespace-separated identifiers; any symbol that never appears
+  on a left-hand side is a terminal;
+* the first rule's LHS is the start symbol unless overridden.
+
+Example
+-------
+>>> g = parse_bnf('''
+...     cmd ::= insert
+...     insert ::= INSERT insert_arg
+...     insert_arg ::= string pos
+...     string ::= STRING
+...     pos ::= POSITION | START
+... ''')
+>>> sorted(g.terminals)
+['INSERT', 'POSITION', 'START', 'STRING']
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import BNFSyntaxError
+from repro.grammar.cfg import Grammar, Production
+
+_RULE_RE = re.compile(r"^\s*([A-Za-z_][\w\-]*)\s*::=\s*(.*)$")
+_SYMBOL_RE = re.compile(r"^[A-Za-z_][\w\-]*$")
+
+
+def _strip_comment(line: str) -> str:
+    idx = line.find("#")
+    return line if idx < 0 else line[:idx]
+
+
+def _parse_alternatives(text: str, line_no: int) -> List[Tuple[str, ...]]:
+    alts: List[Tuple[str, ...]] = []
+    for chunk in text.split("|"):
+        symbols = tuple(chunk.split())
+        if not symbols:
+            raise BNFSyntaxError("empty alternative", line_no)
+        for sym in symbols:
+            if not _SYMBOL_RE.match(sym):
+                raise BNFSyntaxError(f"invalid symbol {sym!r}", line_no)
+        alts.append(symbols)
+    return alts
+
+
+def parse_bnf(source: str, start: Optional[str] = None) -> Grammar:
+    """Parse BNF ``source`` into a :class:`Grammar`.
+
+    Parameters
+    ----------
+    source:
+        The BNF text.
+    start:
+        Start symbol override; defaults to the LHS of the first rule.
+
+    Raises
+    ------
+    BNFSyntaxError
+        On malformed input (with the 1-based line number).
+    """
+    rules: Dict[str, List[Tuple[str, ...]]] = {}
+    order: List[str] = []
+    current: Optional[str] = None
+
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+        if line.startswith("|"):
+            if current is None:
+                raise BNFSyntaxError("continuation before any rule", line_no)
+            rules[current].extend(_parse_alternatives(line[1:], line_no))
+            continue
+        match = _RULE_RE.match(line)
+        if not match:
+            raise BNFSyntaxError(f"cannot parse rule: {line!r}", line_no)
+        lhs, rhs = match.group(1), match.group(2)
+        if not rhs.strip():
+            raise BNFSyntaxError(f"rule {lhs!r} has an empty right-hand side", line_no)
+        if lhs not in rules:
+            rules[lhs] = []
+            order.append(lhs)
+        rules[lhs].extend(_parse_alternatives(rhs, line_no))
+        current = lhs
+
+    if not order:
+        raise BNFSyntaxError("no rules found in BNF source")
+
+    productions = [Production(lhs, tuple(rules[lhs])) for lhs in order]
+    return Grammar(start or order[0], productions)
+
+
+def format_bnf(grammar: Grammar) -> str:
+    """Render a grammar back to canonical BNF text (round-trip helper)."""
+    lines: List[str] = []
+    for prod in grammar.productions:
+        rhs = " | ".join(" ".join(alt) for alt in prod.alternatives)
+        lines.append(f"{prod.lhs} ::= {rhs}")
+    return "\n".join(lines) + "\n"

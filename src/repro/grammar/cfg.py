@@ -1,0 +1,219 @@
+"""Context-free grammar model.
+
+A :class:`Grammar` is the third input to an NLU-driven synthesizer (Sec. II of
+the paper): the context-free grammar of the target domain, written in BNF and
+later converted to a *grammar graph* (:mod:`repro.grammar.graph`).
+
+The model is deliberately plain: a grammar is a start symbol plus an ordered
+mapping from non-terminal names to :class:`Production` objects, where each
+production holds one or more *alternatives* (the ``|``-separated right-hand
+sides) and each alternative is a tuple of symbol names.  Terminals are the
+symbols that never appear on a left-hand side; the subset of terminals that
+name DSL API functions is supplied by the domain (everything else is treated
+as a literal placeholder such as a number or quoted-string slot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from repro.errors import GrammarError
+
+Alternative = Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Production:
+    """One grammar rule: ``lhs ::= alt_1 | alt_2 | ...``."""
+
+    lhs: str
+    alternatives: Tuple[Alternative, ...]
+
+    def __post_init__(self) -> None:
+        if not self.alternatives:
+            raise GrammarError(f"production {self.lhs!r} has no alternatives")
+        for alt in self.alternatives:
+            if not alt:
+                raise GrammarError(
+                    f"production {self.lhs!r} has an empty alternative; "
+                    "epsilon rules are not supported by the grammar graph"
+                )
+
+    @property
+    def is_choice(self) -> bool:
+        """True when the rule has more than one alternative ("or" rule)."""
+        return len(self.alternatives) > 1
+
+    def symbols(self) -> Iterator[str]:
+        """Yield every symbol mentioned on the right-hand side (with repeats)."""
+        for alt in self.alternatives:
+            yield from alt
+
+
+class Grammar:
+    """A context-free grammar ``(T, NT, S, P)`` with convenience queries.
+
+    Parameters
+    ----------
+    start:
+        The start symbol ``S``.  Must have a production.
+    productions:
+        The rules, in declaration order.  Each non-terminal may appear as a
+        left-hand side exactly once (merge alternatives at construction time
+        instead of repeating the LHS).
+    """
+
+    def __init__(self, start: str, productions: Sequence[Production]):
+        self.start = start
+        self._productions: Dict[str, Production] = {}
+        for prod in productions:
+            if prod.lhs in self._productions:
+                raise GrammarError(f"duplicate production for {prod.lhs!r}")
+            self._productions[prod.lhs] = prod
+        if start not in self._productions:
+            raise GrammarError(f"start symbol {start!r} has no production")
+        self._terminals = self._compute_terminals()
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def nonterminals(self) -> Set[str]:
+        return set(self._productions)
+
+    @property
+    def terminals(self) -> Set[str]:
+        return set(self._terminals)
+
+    @property
+    def productions(self) -> List[Production]:
+        return list(self._productions.values())
+
+    def production(self, lhs: str) -> Production:
+        try:
+            return self._productions[lhs]
+        except KeyError:
+            raise GrammarError(f"no production for symbol {lhs!r}") from None
+
+    def is_terminal(self, symbol: str) -> bool:
+        return symbol in self._terminals
+
+    def is_nonterminal(self, symbol: str) -> bool:
+        return symbol in self._productions
+
+    def __contains__(self, symbol: str) -> bool:
+        return symbol in self._productions or symbol in self._terminals
+
+    def __len__(self) -> int:
+        return len(self._productions)
+
+    # ------------------------------------------------------------------
+    # Analyses
+    # ------------------------------------------------------------------
+
+    def _compute_terminals(self) -> Set[str]:
+        rhs_symbols: Set[str] = set()
+        for prod in self._productions.values():
+            rhs_symbols.update(prod.symbols())
+        return {s for s in rhs_symbols if s not in self._productions}
+
+    def _validate(self) -> None:
+        unreachable = self.unreachable_nonterminals()
+        if unreachable:
+            raise GrammarError(
+                "unreachable non-terminals (not derivable from "
+                f"{self.start!r}): {sorted(unreachable)}"
+            )
+
+    def unreachable_nonterminals(self) -> Set[str]:
+        """Non-terminals that cannot be derived from the start symbol."""
+        seen: Set[str] = set()
+        frontier = [self.start]
+        while frontier:
+            symbol = frontier.pop()
+            if symbol in seen or symbol not in self._productions:
+                continue
+            seen.add(symbol)
+            for child in self._productions[symbol].symbols():
+                if child in self._productions and child not in seen:
+                    frontier.append(child)
+        return self.nonterminals - seen
+
+    def reachable_terminals(self, from_symbol: str | None = None) -> Set[str]:
+        """Terminals derivable from ``from_symbol`` (default: the start)."""
+        root = from_symbol if from_symbol is not None else self.start
+        seen: Set[str] = set()
+        out: Set[str] = set()
+        frontier = [root]
+        while frontier:
+            symbol = frontier.pop()
+            if symbol in seen:
+                continue
+            seen.add(symbol)
+            if symbol in self._terminals:
+                out.add(symbol)
+            elif symbol in self._productions:
+                frontier.extend(self._productions[symbol].symbols())
+        return out
+
+    def recursive_nonterminals(self) -> Set[str]:
+        """Non-terminals that can (transitively) derive themselves."""
+        result: Set[str] = set()
+        for nt in self._productions:
+            frontier = list(self._productions[nt].symbols())
+            seen: Set[str] = set()
+            while frontier:
+                symbol = frontier.pop()
+                if symbol == nt:
+                    result.add(nt)
+                    break
+                if symbol in seen or symbol not in self._productions:
+                    continue
+                seen.add(symbol)
+                frontier.extend(self._productions[symbol].symbols())
+        return result
+
+    # ------------------------------------------------------------------
+    # Derivation checking (used by tests to re-parse emitted codelets)
+    # ------------------------------------------------------------------
+
+    def derives(self, symbol: str, apis: Iterable[str]) -> bool:
+        """Cheap necessary check: can every API in ``apis`` be reached from
+        ``symbol``?  (Full re-parse of codelets lives in
+        :mod:`repro.core.expression`.)
+        """
+        reachable = self.reachable_terminals(symbol)
+        return all(api in reachable for api in apis)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Grammar(start={self.start!r}, |NT|={len(self._productions)}, "
+            f"|T|={len(self._terminals)})"
+        )
+
+
+@dataclass
+class GrammarStats:
+    """Summary statistics used by Table I and the docs."""
+
+    n_nonterminals: int
+    n_terminals: int
+    n_productions: int
+    n_alternatives: int
+    n_choice_rules: int
+    recursive: bool = field(default=False)
+
+
+def grammar_stats(grammar: Grammar) -> GrammarStats:
+    prods = grammar.productions
+    return GrammarStats(
+        n_nonterminals=len(grammar.nonterminals),
+        n_terminals=len(grammar.terminals),
+        n_productions=len(prods),
+        n_alternatives=sum(len(p.alternatives) for p in prods),
+        n_choice_rules=sum(1 for p in prods if p.is_choice),
+        recursive=bool(grammar.recursive_nonterminals()),
+    )

@@ -1,0 +1,279 @@
+"""Grammar paths and the reversed all-path search (paper Step 4, Sec. II).
+
+A *grammar path* is a directed path in the grammar graph between two API
+nodes (or from the grammar start to an API, for roots and orphans).  The
+search corresponding to a dependency edge ``governor -> dependent`` starts
+from a candidate API of the *dependent* and walks the grammar graph
+**backward** until it reaches a candidate API of the *governor* — the
+"reversed all-path search" of the paper.  Walking backward is the efficient
+direction because grammar graphs fan out going down.
+
+Sizes: ``size(path)`` counts the API nodes on the path *excluding the sink*
+(the dependent-side endpoint).  The sink's own contribution lives in the
+dynamic-grammar-graph node it resolves to (``min_size``), so sizes compose
+additively along the dependency graph — see DESIGN.md "Path size accounting".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.grammar.graph import GrammarGraph, NodeKind
+
+#: Default cap on the number of nodes in one grammar path.  Recursive
+#: grammars (ASTMatcher's nested matchers) have unboundedly long simple
+#: paths; a dependency edge never needs more than a handful of rule
+#: expansions, so a generous fixed cap loses nothing in practice.
+DEFAULT_MAX_PATH_LEN = 24
+
+#: Default cap on the number of paths returned for one (src, dst) pair.
+DEFAULT_MAX_PATHS = 512
+
+#: Default cap on DFS steps per (src, dst) pair — bounds the cost of
+#: fruitless searches in highly recursive grammars.
+DEFAULT_MAX_VISITS = 200_000
+
+#: Default cap on the total candidate paths kept per dependency edge
+#: (shortest paths win).  Mirrors the per-edge path counts the paper's
+#: Table III reports.
+DEFAULT_MAX_PATHS_PER_EDGE = 192
+
+#: Default cap on how much longer than the per-pair shortest path a
+#: candidate may be.  Paths far longer than the shortest carry piles of
+#: unmentioned APIs and never win the smallest-CGT objective.
+DEFAULT_MAX_EXTRA_LEN = 8
+
+
+@dataclass(frozen=True)
+class GrammarPath:
+    """An immutable grammar path with a catalog-assigned identifier.
+
+    ``path_id`` follows the paper's ``<edge>.<k>`` convention (e.g. "2.1")
+    when produced by :class:`PathCatalog`; ad-hoc paths use "?".
+    """
+
+    path_id: str
+    nodes: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) < 1:
+            raise ValueError("a grammar path needs at least one node")
+
+    @property
+    def src(self) -> str:
+        return self.nodes[0]
+
+    @property
+    def dst(self) -> str:
+        return self.nodes[-1]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def edges(self) -> List[Tuple[str, str]]:
+        return list(zip(self.nodes, self.nodes[1:]))
+
+    def with_id(self, path_id: str) -> "GrammarPath":
+        return GrammarPath(path_id, self.nodes)
+
+    def api_nodes(self, graph: GrammarGraph) -> List[str]:
+        return [n for n in self.nodes if graph.node(n).kind is NodeKind.API]
+
+    def size(self, graph: GrammarGraph) -> int:
+        """Semantic weight of the path's API nodes, excluding the sink (see
+        module docstring).
+
+        The source — an endpoint a query word resolved to — always counts
+        1 when it is an API; *interior* nodes are the unmentioned APIs the
+        path drags in, and generic catch-alls among them weigh 0 ("minimum
+        unmentioned semantic", Sec. IV-B)."""
+        total = sum(graph.api_weight(n) for n in self.nodes[1:-1])
+        if graph.node(self.nodes[0]).kind is NodeKind.API:
+            total += 1
+        return total
+
+    def describe(self, graph: GrammarGraph) -> str:
+        labels = [graph.node(n).label for n in self.nodes]
+        return f"{self.path_id}: " + " -> ".join(labels)
+
+
+class PathSearchLimits:
+    """Knobs for the all-path search (shared by both engines so the
+    HISyn-vs-DGGT comparison is apples-to-apples)."""
+
+    def __init__(
+        self,
+        max_path_len: int = DEFAULT_MAX_PATH_LEN,
+        max_paths: int = DEFAULT_MAX_PATHS,
+        max_visits: int = DEFAULT_MAX_VISITS,
+        max_paths_per_edge: int = DEFAULT_MAX_PATHS_PER_EDGE,
+        max_extra_len: int = DEFAULT_MAX_EXTRA_LEN,
+    ):
+        if max_path_len < 2:
+            raise ValueError("max_path_len must be at least 2")
+        if max_paths < 1:
+            raise ValueError("max_paths must be at least 1")
+        if max_visits < 1:
+            raise ValueError("max_visits must be at least 1")
+        if max_paths_per_edge < 1:
+            raise ValueError("max_paths_per_edge must be at least 1")
+        if max_extra_len < 0:
+            raise ValueError("max_extra_len must be non-negative")
+        self.max_path_len = max_path_len
+        self.max_paths = max_paths
+        self.max_visits = max_visits
+        self.max_paths_per_edge = max_paths_per_edge
+        self.max_extra_len = max_extra_len
+
+
+def find_paths(
+    graph: GrammarGraph,
+    src_id: str,
+    dst_id: str,
+    limits: Optional[PathSearchLimits] = None,
+) -> List[GrammarPath]:
+    """All simple grammar paths ``src_id -> ... -> dst_id``.
+
+    Implemented as the paper's reversed search: a DFS over *predecessor*
+    edges from ``dst_id``, pruned by the memoized descendants relation (a
+    predecessor is only worth visiting if ``src_id`` can still reach it).
+    Results are deterministic (edge insertion order) and capped by
+    ``limits``.
+    """
+    limits = limits or PathSearchLimits()
+    if not graph.has_node(src_id) or not graph.has_node(dst_id):
+        return []
+    if src_id == dst_id:
+        return [GrammarPath("?", (src_id,))]
+    dist = graph.distances_from(src_id)
+    if dst_id not in dist:
+        return []
+
+    # Iterative-deepening reversed DFS: the stack path is dst -> ... ->
+    # current.  Every round collects the paths of one exact length, so all
+    # shorter paths are complete before any longer one is considered — when
+    # the cap bites, it keeps the shortest (and therefore most plausible)
+    # candidates, not whatever a depth-first order happened to flood first.
+    # A predecessor p is worth visiting only if a shortest completion
+    # through it still fits the round's length budget.
+    results: List[GrammarPath] = []
+    stack: List[str] = [dst_id]
+    on_stack: Set[str] = {dst_id}
+    visits = 0
+    pred_memo: dict = {}
+
+    def predecessors_by_distance(current: str):
+        cached = pred_memo.get(current)
+        if cached is None:
+            cached = sorted(
+                (dist[e.src], e.src)
+                for e in graph.predecessors(current)
+                if e.src in dist
+            )
+            pred_memo[current] = cached
+        return cached
+
+    def visit(current: str, target_len: int) -> None:
+        nonlocal visits
+        if visits >= limits.max_visits:
+            return
+        visits += 1
+        if current == src_id:
+            if len(stack) == target_len:
+                results.append(GrammarPath("?", tuple(reversed(stack))))
+            return
+        budget = target_len - len(stack) - 1
+        for prev_dist, prev in predecessors_by_distance(current):
+            if prev_dist > budget:
+                break  # sorted ascending: the rest are too far as well
+            if prev in on_stack:
+                continue
+            stack.append(prev)
+            on_stack.add(prev)
+            visit(prev, target_len)
+            on_stack.discard(prev)
+            stack.pop()
+
+    min_len = dist[dst_id] + 1
+    longest = min(limits.max_path_len, min_len + limits.max_extra_len)
+    for target_len in range(min_len, longest + 1):
+        visit(dst_id, target_len)
+        if len(results) >= limits.max_paths or visits >= limits.max_visits:
+            break
+
+    if len(results) > limits.max_paths:
+        indexed = sorted(
+            enumerate(results),
+            key=lambda pair: (pair[1].size(graph), len(pair[1]), pair[0]),
+        )
+        keep = sorted(i for i, _p in indexed[: limits.max_paths])
+        results = [results[i] for i in keep]
+    return results
+
+
+def find_paths_between_apis(
+    graph: GrammarGraph,
+    src_api: str,
+    dst_api: str,
+    limits: Optional[PathSearchLimits] = None,
+) -> List[GrammarPath]:
+    """Paths between two named APIs (convenience wrapper)."""
+    if not graph.has_api(src_api) or not graph.has_api(dst_api):
+        return []
+    return find_paths(
+        graph, graph.api_node(src_api).node_id, graph.api_node(dst_api).node_id, limits
+    )
+
+
+def find_paths_from_start(
+    graph: GrammarGraph,
+    dst_api: str,
+    limits: Optional[PathSearchLimits] = None,
+) -> List[GrammarPath]:
+    """Paths from the grammar start symbol down to ``dst_api``.
+
+    HISyn uses this for the dependency root and for orphan nodes attached to
+    the root — the expensive treatment that orphan relocation (Sec. V-B)
+    avoids.
+    """
+    if not graph.has_api(dst_api):
+        return []
+    return find_paths(graph, graph.start_id, graph.api_node(dst_api).node_id, limits)
+
+
+class PathCatalog:
+    """Assigns the paper's ``<edge>.<k>`` identifiers to grammar paths.
+
+    One catalog is created per query; dependency edges are registered in
+    traversal order and each edge's candidate paths get ids ``e.1, e.2, ...``
+    exactly as in the paper's figures.
+    """
+
+    def __init__(self) -> None:
+        self._by_id: Dict[str, GrammarPath] = {}
+        self._edge_count = 0
+
+    def register_edge(self, paths: Iterable[GrammarPath]) -> List[GrammarPath]:
+        """Register one dependency edge's candidate paths; returns them with
+        their final ids assigned."""
+        self._edge_count += 1
+        labeled: List[GrammarPath] = []
+        for k, path in enumerate(paths, start=1):
+            final = path.with_id(f"{self._edge_count}.{k}")
+            self._by_id[final.path_id] = final
+            labeled.append(final)
+        return labeled
+
+    def get(self, path_id: str) -> GrammarPath:
+        return self._by_id[path_id]
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    @property
+    def n_edges(self) -> int:
+        return self._edge_count
+
+    def all_paths(self) -> List[GrammarPath]:
+        return list(self._by_id.values())

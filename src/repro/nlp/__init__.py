@@ -1,0 +1,34 @@
+"""NLP substrate: tokenizer, POS tagger, lemmatizer, dependency parser,
+query-graph pruning.
+
+This layer replaces the Stanford CoreNLP dependency the paper's pipeline
+used; see DESIGN.md "Substitutions" for the rationale.
+"""
+
+from repro.nlp.dependency import DepEdge, DepNode, DependencyGraph
+from repro.nlp.lemmatizer import add_exception, lemmatize
+from repro.nlp.parser import QueryParser, parse_query
+from repro.nlp.pos_tagger import TaggedToken, tag, tag_tokens
+from repro.nlp.pruning import PruneConfig, merge_phrases, prune_query_graph
+from repro.nlp.tokenizer import Token, TokenKind, detokenize, tokenize, words
+
+__all__ = [
+    "tokenize",
+    "detokenize",
+    "words",
+    "Token",
+    "TokenKind",
+    "tag",
+    "tag_tokens",
+    "TaggedToken",
+    "lemmatize",
+    "add_exception",
+    "parse_query",
+    "QueryParser",
+    "DependencyGraph",
+    "DepNode",
+    "DepEdge",
+    "PruneConfig",
+    "prune_query_graph",
+    "merge_phrases",
+]

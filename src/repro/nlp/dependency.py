@@ -1,0 +1,260 @@
+"""Query dependency graph (paper Step-1 output).
+
+A dependency relation is (governor -> dependent, type); the graph over all
+of a query's words is the *query dependency graph*, and after Step-2 pruning
+the *pruned dependency graph*.  Both are instances of
+:class:`DependencyGraph` here.
+
+Level numbering follows the paper's Fig. 3 walk-through: the virtual edge
+from the synthesis root to the root word is level 1, edges whose governor is
+the root word are level 2, and so on (``level = depth(governor) + 2`` with
+``depth(root word) = 0``).  DGGT traverses levels bottom-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ParseError
+
+
+@dataclass(frozen=True)
+class DepNode:
+    """One word of the query inside a dependency graph.
+
+    ``literal`` carries the bound value for quoted-string and numeral tokens
+    (e.g. ``":"`` or ``14``); those become codelet arguments rather than API
+    lookups.
+    """
+
+    node_id: int
+    word: str
+    lemma: str
+    pos: str
+    literal: Optional[str] = None
+
+    @property
+    def is_literal(self) -> bool:
+        return self.literal is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DepNode({self.node_id}:{self.word!r}/{self.pos})"
+
+
+@dataclass(frozen=True)
+class DepEdge:
+    """governor -> dependent, labelled with the dependency type."""
+
+    gov: int
+    dep: int
+    rel: str
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DepEdge({self.gov}->{self.dep}:{self.rel})"
+
+
+class DependencyGraph:
+    """A rooted dependency tree with the traversals synthesis needs.
+
+    The structure is mutable on purpose: Step-2 pruning deletes nodes and
+    orphan node relocation (Sec. V-B) re-attaches subtrees.  Use
+    :meth:`copy` before destructive experiments.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[DepNode],
+        edges: Sequence[DepEdge],
+        root: int,
+    ):
+        self._nodes: Dict[int, DepNode] = {n.node_id: n for n in nodes}
+        if len(self._nodes) != len(nodes):
+            raise ParseError("duplicate node ids in dependency graph")
+        if root not in self._nodes:
+            raise ParseError(f"root {root} is not a node")
+        self.root = root
+        self._children: Dict[int, List[DepEdge]] = {n.node_id: [] for n in nodes}
+        self._parent: Dict[int, DepEdge] = {}
+        for edge in edges:
+            self.add_edge(edge)
+
+    # ------------------------------------------------------------------
+    # Construction / mutation
+    # ------------------------------------------------------------------
+
+    def add_edge(self, edge: DepEdge) -> None:
+        if edge.gov not in self._nodes or edge.dep not in self._nodes:
+            raise ParseError(f"edge {edge} references unknown node")
+        if edge.dep == self.root:
+            raise ParseError("the root cannot be a dependent")
+        if edge.dep in self._parent:
+            raise ParseError(f"node {edge.dep} already has a governor")
+        self._children[edge.gov].append(edge)
+        self._parent[edge.dep] = edge
+
+    def remove_edge(self, dep: int) -> DepEdge:
+        """Detach ``dep`` from its governor; returns the removed edge."""
+        edge = self._parent.pop(dep, None)
+        if edge is None:
+            raise ParseError(f"node {dep} has no governor to detach")
+        self._children[edge.gov].remove(edge)
+        return edge
+
+    def reattach(self, dep: int, new_gov: int, rel: str) -> None:
+        """Move ``dep`` (with its whole subtree) under ``new_gov``.
+
+        This is the primitive orphan node relocation uses.
+        """
+        if dep in self._parent:
+            self.remove_edge(dep)
+        if new_gov in self.descendants(dep):
+            raise ParseError(
+                f"cannot reattach {dep} under its own descendant {new_gov}"
+            )
+        self.add_edge(DepEdge(new_gov, dep, rel))
+
+    def remove_node(self, node_id: int) -> None:
+        """Delete a node, splicing its children onto its governor.
+
+        Step-2 pruning removes non-essential words this way so the content
+        words stay connected.
+        """
+        if node_id == self.root:
+            raise ParseError("cannot remove the root node")
+        parent_edge = self._parent.get(node_id)
+        children = list(self._children.get(node_id, ()))
+        for child in children:
+            self.remove_edge(child.dep)
+        if parent_edge is not None:
+            self.remove_edge(node_id)
+        for child in children:
+            gov = parent_edge.gov if parent_edge is not None else self.root
+            self.add_edge(DepEdge(gov, child.dep, child.rel))
+        del self._nodes[node_id]
+        del self._children[node_id]
+
+    def copy(self) -> "DependencyGraph":
+        return DependencyGraph(list(self.nodes()), list(self.edges()), self.root)
+
+    def replace_node(self, node: DepNode) -> None:
+        """Swap in an updated node record (same id)."""
+        if node.node_id not in self._nodes:
+            raise ParseError(f"no node {node.node_id} to replace")
+        self._nodes[node.node_id] = node
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    def node(self, node_id: int) -> DepNode:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise ParseError(f"no dependency node {node_id}") from None
+
+    def has_node(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    def nodes(self) -> List[DepNode]:
+        return [self._nodes[k] for k in sorted(self._nodes)]
+
+    def edges(self) -> List[DepEdge]:
+        out: List[DepEdge] = []
+        for gov in sorted(self._children):
+            out.extend(self._children[gov])
+        return out
+
+    def children(self, node_id: int) -> List[DepEdge]:
+        return list(self._children.get(node_id, ()))
+
+    def parent_edge(self, node_id: int) -> Optional[DepEdge]:
+        return self._parent.get(node_id)
+
+    def descendants(self, node_id: int) -> Set[int]:
+        seen: Set[int] = set()
+        frontier = [e.dep for e in self.children(node_id)]
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(e.dep for e in self.children(current))
+        return seen
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+
+    def is_tree(self) -> bool:
+        """True when every non-root node has exactly one governor and all
+        nodes are reachable from the root."""
+        non_root = set(self._nodes) - {self.root}
+        if set(self._parent) != non_root:
+            return False
+        return self.descendants(self.root) == non_root
+
+    def detached_nodes(self) -> List[int]:
+        """Nodes with no governor (other than the root) — parse fragments."""
+        return sorted(
+            n for n in self._nodes if n != self.root and n not in self._parent
+        )
+
+    def depth(self, node_id: int) -> int:
+        d = 0
+        current = node_id
+        seen = {current}
+        while current != self.root:
+            edge = self._parent.get(current)
+            if edge is None:
+                return d  # fragment: treat its head as depth 0
+            current = edge.gov
+            if current in seen:
+                raise ParseError("cycle in dependency graph")
+            seen.add(current)
+            d += 1
+        return d
+
+    def edge_level(self, edge: DepEdge) -> int:
+        """Paper-style level: virtual root edge is 1, so a real edge sits at
+        ``depth(governor) + 2``."""
+        return self.depth(edge.gov) + 2
+
+    def edges_by_level(self) -> List[Tuple[int, List[DepEdge]]]:
+        """Edges grouped by level, deepest first (DGGT's traversal order)."""
+        groups: Dict[int, List[DepEdge]] = {}
+        for edge in self.edges():
+            groups.setdefault(self.edge_level(edge), []).append(edge)
+        return [(lvl, groups[lvl]) for lvl in sorted(groups, reverse=True)]
+
+    def max_level(self) -> int:
+        levels = [self.edge_level(e) for e in self.edges()]
+        return max(levels) if levels else 1
+
+    def leaves(self) -> List[int]:
+        return sorted(
+            n for n in self._nodes if not self._children.get(n)
+        )
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def describe(self) -> str:
+        lines = [f"root: {self.node(self.root).word}"]
+        for edge in self.edges():
+            gov = self.node(edge.gov)
+            dep = self.node(edge.dep)
+            lines.append(
+                f"  {gov.word} -[{edge.rel}]-> {dep.word}"
+                + (f" (={dep.literal!r})" if dep.is_literal else "")
+            )
+        for frag in self.detached_nodes():
+            lines.append(f"  (detached) {self.node(frag).word}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DependencyGraph(n={len(self)}, root={self.root})"

@@ -1,0 +1,141 @@
+"""Rule-based English lemmatizer (NLP substrate).
+
+Maps inflected forms to lemmas: plural nouns to singular, conjugated verbs to
+base form.  The WordToAPI matcher (Step-3) compares lemmas against API-name
+tokens and description keywords, so lemmatization quality directly drives
+candidate-API recall.
+
+The implementation is a small exception table plus ordered suffix rules —
+the standard design for closed-domain lemmatizers (cf. the Porter family).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+_EXCEPTIONS: Dict[str, str] = {
+    # irregular verbs / auxiliaries
+    "is": "be", "are": "be", "was": "be", "were": "be", "been": "be",
+    "being": "be", "am": "be",
+    "has": "have", "had": "have", "having": "have",
+    "does": "do", "did": "do", "done": "do", "doing": "do",
+    "goes": "go", "went": "go", "gone": "go",
+    "took": "take", "taken": "take", "taking": "take",
+    "gave": "give", "given": "give", "giving": "give",
+    "found": "find", "got": "get", "gotten": "get", "getting": "get",
+    "put": "put", "putting": "put", "cut": "cut", "cutting": "cut",
+    "began": "begin", "begun": "begin", "beginning": "begin",
+    "made": "make", "making": "make",
+    "held": "hold", "holding": "hold",
+    "wrote": "write", "written": "write", "writing": "write",
+    "overridden": "override", "overrode": "override",
+    "threw": "throw", "thrown": "throw",
+    "said": "say", "saying": "say",
+    "came": "come", "coming": "come",
+    "left": "leave", "leaving": "leave",
+    "swapping": "swap", "swapped": "swap",
+    "dropped": "drop", "dropping": "drop",
+    "trimmed": "trim", "trimming": "trim",
+    "referred": "refer", "referring": "refer",
+    "occurred": "occur", "occurring": "occur",
+    "occurrence": "occurrence",
+    # irregular nouns
+    "children": "child", "men": "man", "women": "woman",
+    "indices": "index", "indexes": "index",
+    "matrices": "matrix", "vertices": "vertex",
+    "parentheses": "parenthesis", "analyses": "analysis",
+    "bodies": "body", "copies": "copy", "entries": "entry",
+    "properties": "property", "queries": "query", "entities": "entity",
+    "branches": "branch", "matches": "match", "classes": "class",
+    "accesses": "access", "processes": "process", "addresses": "address",
+    "statuses": "status", "aliases": "alias",
+    "dashes": "dash", "slashes": "slash",
+    "suffixes": "suffix", "prefixes": "prefix",
+    "this": "this", "his": "his", "its": "its", "whose": "whose",
+    "bases": "base", "cases": "case", "spaces": "space",
+    "clauses": "clause", "phrases": "phrase", "uses": "use",
+    "templates": "template", "types": "type", "names": "name",
+    "used": "use", "named": "name", "using": "use", "naming": "name",
+    "lines": "line", "times": "time", "sizes": "size", "values": "value",
+    "nodes": "node", "scopes": "scope", "modes": "mode",
+    "typed": "type", "sized": "size", "lined": "line", "valued": "value",
+    "declared": "declare", "declaring": "declare",
+    "defined": "define", "defining": "define",
+    "derived": "derive", "deriving": "derive",
+    "included": "include", "including": "include",
+    "replaced": "replace", "replacing": "replace",
+    "erased": "erase", "erasing": "erase",
+    "placed": "place", "placing": "place",
+    "located": "locate", "locating": "locate",
+    "duplicated": "duplicate", "duplicating": "duplicate",
+    "substituted": "substitute", "substituting": "substitute",
+    "capitalized": "capitalize", "capitalizing": "capitalize",
+    "implemented": "implement", "inherited": "inherit",
+}
+
+_VOWELS = set("aeiou")
+
+
+def _undouble(stem: str) -> str:
+    """Undo consonant doubling: ``stopp`` -> ``stop``."""
+    if (
+        len(stem) >= 3
+        and stem[-1] == stem[-2]
+        and stem[-1] not in _VOWELS
+        and stem[-1] not in "ls"  # keep "fill", "pass"-like stems intact
+    ):
+        return stem[:-1]
+    return stem
+
+
+def lemmatize(word: str, pos: Optional[str] = None) -> str:
+    """Lemma of ``word`` (lowercased).  ``pos`` (Penn-style tag) narrows the
+    rules when known; without it, noun and verb suffix rules both apply.
+    """
+    w = word.lower()
+    if w in _EXCEPTIONS:
+        return _EXCEPTIONS[w]
+    if len(w) <= 3:
+        return w
+
+    is_verb = pos is not None and pos.startswith("V")
+    is_noun = pos is not None and pos.startswith("N")
+
+    # -ing (gerunds): containing -> contain, ending -> end
+    if (not is_noun) and w.endswith("ing") and len(w) > 5:
+        stem = w[: -len("ing")]
+        if stem[-1] not in _VOWELS or stem.endswith("u"):
+            stem = _undouble(stem)
+            # restore silent e: replacing -> replace (heuristic: consonant+
+            # single vowel pattern handled by exceptions above; default none)
+            return stem
+        return _undouble(stem)
+
+    # -ied / -ies: copied -> copy, copies -> copy
+    if w.endswith("ies") and len(w) > 4:
+        return w[:-3] + "y"
+    if w.endswith("ied") and len(w) > 4:
+        return w[:-3] + "y"
+
+    # -ed (past): inserted -> insert, appended -> append
+    if (not is_noun) and w.endswith("ed") and len(w) > 4:
+        stem = w[:-2]
+        if stem.endswith(("at", "it", "ut", "iz", "as", "os", "us", "let")):
+            return stem + "e"  # created, deleted, computed, capitalized ...
+        return _undouble(stem)
+
+    # -es after sibilants: matches -> match (mostly in exceptions; generic
+    # rule for -ches/-shes/-xes/-sses/-zes)
+    if w.endswith(("ches", "shes", "xes", "sses", "zes")) and len(w) > 5:
+        return w[:-2]
+
+    # plain plural / 3rd-person -s: lines -> line, starts -> start
+    if w.endswith("s") and not w.endswith(("ss", "us", "is")) and len(w) > 3:
+        return w[:-1]
+
+    return w
+
+
+def add_exception(form: str, lemma: str) -> None:
+    """Extend the exception table (domains register jargon at import time)."""
+    _EXCEPTIONS[form.lower()] = lemma.lower()

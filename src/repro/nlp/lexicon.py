@@ -1,0 +1,214 @@
+"""POS lexicon for the query genre (NLP substrate).
+
+A hand-built lexicon covering the vocabulary of NL-programming queries in the
+paper's two domains (text editing; Clang ASTMatcher code search), plus the
+function words of English.  Words outside the lexicon fall back to the suffix
+and context rules in :mod:`repro.nlp.pos_tagger`.
+
+Tags are a pragmatic subset of the Penn Treebank set:
+
+====  =======================================
+VB    verb, base form (imperatives: "insert")
+VBZ   verb, 3rd person singular ("contains")
+VBD   verb, past tense ("added")
+VBG   verb, gerund ("containing")
+VBN   verb, past participle ("named")
+NN    noun, singular ("line")
+NNS   noun, plural ("lines")
+JJ    adjective ("empty")
+RB    adverb ("only")
+DT    determiner ("the", "each", "every")
+IN    preposition / subordinator ("at", "if")
+CD    cardinal number word ("fourteen")
+CC    coordinating conjunction ("and")
+TO    "to"
+MD    modal ("should")
+PRP   pronoun ("it")
+WDT   wh-determiner ("which", "that" as relativizer)
+WP    wh-pronoun ("what", "whose")
+====  =======================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional
+
+# Words that can be more than one POS get their *most likely tag in
+# imperative command context*; the tagger's context rules override where
+# needed (e.g. sentence-initial "start" is VB, "the start" is NN).
+LEXICON: Dict[str, str] = {
+    # ------------------------------------------------------------------
+    # Determiners, pronouns, function words
+    # ------------------------------------------------------------------
+    "the": "DT", "a": "DT", "an": "DT", "each": "DT", "every": "DT",
+    "all": "DT", "any": "DT", "some": "DT", "this": "DT", "that": "WDT",
+    "these": "DT", "those": "DT", "no": "DT", "both": "DT",
+    "it": "PRP", "its": "PRP", "them": "PRP", "they": "PRP", "i": "PRP",
+    "me": "PRP", "my": "PRP", "you": "PRP", "your": "PRP",
+    "which": "WDT", "whose": "WP", "what": "WP", "who": "WP", "where": "WP",
+    "and": "CC", "or": "CC", "but": "CC",
+    "to": "TO",
+    "not": "RB", "only": "RB", "also": "RB", "then": "RB", "there": "RB",
+    "please": "RB", "just": "RB",
+    "is": "VBZ", "are": "VBZ", "was": "VBD", "were": "VBD", "be": "VB",
+    "been": "VBN", "being": "VBG",
+    "do": "VB", "does": "VBZ", "did": "VBD",
+    "has": "VBZ", "have": "VB", "had": "VBD", "having": "VBG",
+    "can": "MD", "could": "MD", "should": "MD", "would": "MD", "will": "MD",
+    "may": "MD", "must": "MD",
+    # ------------------------------------------------------------------
+    # Prepositions / subordinators
+    # ------------------------------------------------------------------
+    "at": "IN", "in": "IN", "on": "IN", "of": "IN", "by": "IN",
+    "with": "IN", "within": "IN", "without": "IN", "from": "IN",
+    "into": "IN", "onto": "IN", "under": "IN", "over": "IN",
+    "after": "IN", "before": "IN", "between": "IN", "inside": "IN",
+    "if": "IN", "when": "IN", "while": "IN", "unless": "IN",
+    "as": "IN", "for": "IN", "through": "IN", "per": "IN",
+    "against": "IN", "except": "IN",
+    # ------------------------------------------------------------------
+    # Verbs: text-editing commands
+    # ------------------------------------------------------------------
+    "insert": "VB", "add": "VB", "append": "VB", "prepend": "VB",
+    "put": "VB", "place": "VB", "attach": "VB",
+    "delete": "VB", "remove": "VB", "erase": "VB", "drop": "VB",
+    "cut": "VB", "strip": "VB", "clear": "VB", "trim": "VB",
+    "replace": "VB", "substitute": "VB", "swap": "VB", "change": "VB",
+    "select": "VB", "highlight": "VB", "pick": "VB", "mark": "VB",
+    "copy": "VB", "duplicate": "VB", "move": "VB", "print": "VB",
+    "merge": "VB", "split": "VB", "join": "VB", "count": "VB",
+    "sort": "VB", "append_": "VB",
+    "capitalize": "VB", "uppercase": "VB", "lowercase": "VB",
+    # ------------------------------------------------------------------
+    # Verbs: code search / analysis commands
+    # ------------------------------------------------------------------
+    "find": "VB", "search": "VB", "list": "VB", "show": "VB", "get": "VB",
+    "locate": "VB", "look": "VB", "report": "VB", "collect": "VB",
+    "match": "VB", "detect": "VB", "identify": "VB", "extract": "VB",
+    "give": "VB", "return": "VB", "retrieve": "VB", "fetch": "VB",
+    # ------------------------------------------------------------------
+    # Verbs: relational (appear in relative clauses)
+    # ------------------------------------------------------------------
+    "contain": "VB", "contains": "VBZ", "containing": "VBG",
+    "contained": "VBN",
+    "start": "VB", "starts": "VBZ", "starting": "VBG", "started": "VBD",
+    "begin": "VB", "begins": "VBZ", "beginning": "VBG",
+    "end": "VB", "ends": "VBZ", "ending": "VBG", "ended": "VBD",
+    "include": "VB", "includes": "VBZ", "including": "VBG",
+    "declare": "VB", "declares": "VBZ", "declaring": "VBG",
+    "declared": "VBN",
+    "define": "VB", "defines": "VBZ", "defining": "VBG", "defined": "VBN",
+    "call": "VB", "calls": "VBZ", "calling": "VBG", "called": "VBN",
+    "name": "VB", "names": "VBZ", "naming": "VBG", "named": "VBN",
+    "take": "VB", "takes": "VBZ", "taking": "VBG",
+    "use": "VB", "uses": "VBZ", "using": "VBG", "used": "VBN",
+    "refer": "VB", "refers": "VBZ", "referring": "VBG",
+    "return_": "VB", "returns": "VBZ", "returning": "VBG",
+    "inherit": "VB", "inherits": "VBZ", "inheriting": "VBG",
+    "derive": "VB", "derives": "VBZ", "derived": "VBN",
+    "override": "VB", "overrides": "VBZ", "overridden": "VBN",
+    "implement": "VB", "implements": "VBZ", "implemented": "VBN",
+    "occur": "VB", "occurs": "VBZ", "appear": "VB", "appears": "VBZ",
+    # ------------------------------------------------------------------
+    # Nouns: text editing domain
+    # ------------------------------------------------------------------
+    "string": "NN", "strings": "NNS", "text": "NN", "texts": "NNS",
+    "line": "NN", "lines": "NNS", "row": "NN", "rows": "NNS",
+    "word": "NN", "words": "NNS", "token": "NN", "tokens": "NNS",
+    "character": "NN", "characters": "NNS", "char": "NN", "chars": "NNS",
+    "letter": "NN", "letters": "NNS",
+    "sentence": "NN", "sentences": "NNS",
+    "paragraph": "NN", "paragraphs": "NNS",
+    "document": "NN", "documents": "NNS", "file": "NN", "files": "NNS",
+    "number": "NN", "numbers": "NNS", "numeral": "NN", "numerals": "NNS",
+    "digit": "NN", "digits": "NNS",
+    "position": "NN", "positions": "NNS", "place_": "NN",
+    "occurrence": "NN", "occurrences": "NNS", "instance": "NN",
+    "instances": "NNS",
+    "space": "NN", "spaces": "NNS", "tab": "NN", "tabs": "NNS",
+    "comma": "NN", "commas": "NNS", "period": "NN", "periods": "NNS",
+    "colon": "NN", "colons": "NNS", "semicolon": "NN", "semicolons": "NNS",
+    "quote": "NN", "quotes": "NNS", "bracket": "NN", "brackets": "NNS",
+    "dash": "NN", "dashes": "NNS", "hyphen": "NN", "hyphens": "NNS",
+    "front": "NN", "back": "NN", "top": "NN", "bottom": "NN",
+    "middle": "NN", "head": "NN", "tail": "NN",
+    # ------------------------------------------------------------------
+    # Nouns: code analysis domain
+    # ------------------------------------------------------------------
+    "expression": "NN", "expressions": "NNS", "expr": "NN",
+    "statement": "NN", "statements": "NNS",
+    "declaration": "NN", "declarations": "NNS",
+    "definition": "NN", "definitions": "NNS",
+    "function": "NN", "functions": "NNS",
+    "method": "NN", "methods": "NNS",
+    "constructor": "NN", "constructors": "NNS",
+    "destructor": "NN", "destructors": "NNS",
+    "class": "NN", "classes": "NNS",
+    "struct": "NN", "structs": "NNS",
+    "field": "NN", "fields": "NNS", "member": "NN", "members": "NNS",
+    "variable": "NN", "variables": "NNS",
+    "parameter": "NN", "parameters": "NNS",
+    "argument": "NN", "arguments": "NNS",
+    "operator": "NN", "operators": "NNS",
+    "operand": "NN", "operands": "NNS",
+    "literal": "NN", "literals": "NNS",
+    "integer": "NN", "integers": "NNS", "float": "NN", "floats": "NNS",
+    "double": "NN", "doubles": "NNS", "boolean": "NN", "booleans": "NNS",
+    "pointer": "NN", "pointers": "NNS", "reference": "NN",
+    "references": "NNS",
+    "type": "NN", "types": "NNS", "template": "NN", "templates": "NNS",
+    "namespace": "NN", "namespaces": "NNS",
+    "loop": "NN", "loops": "NNS", "branch": "NN", "branches": "NNS",
+    "condition": "NN", "conditions": "NNS",
+    "cast": "NN", "casts": "NNS",
+    "lambda": "NN", "lambdas": "NNS",
+    "enum": "NN", "enums": "NNS",
+    "array": "NN", "arrays": "NNS",
+    "subscript": "NN", "subscripts": "NNS",
+    "initializer": "NN", "initializers": "NNS",
+    "assignment": "NN", "assignments": "NNS",
+    "increment": "NN", "decrement": "NN",
+    "exception": "NN", "exceptions": "NNS",
+    "catch": "NN", "throw": "NN", "try": "NN",
+    "label": "NN", "labels": "NNS",
+    "body": "NN", "bodies": "NNS",
+    "size": "NN", "sizes": "NNS",
+    "value": "NN", "values": "NNS",
+    "callee": "NN", "caller": "NN",
+    "base": "NN", "bases": "NNS",
+    "code": "NN", "pattern": "NN", "patterns": "NNS",
+    # ------------------------------------------------------------------
+    # Adjectives (domain-relevant)
+    # ------------------------------------------------------------------
+    "empty": "JJ", "blank": "JJ", "first": "JJ", "last": "JJ",
+    "second": "JJ", "third": "JJ", "next": "JJ", "previous": "JJ",
+    "new": "JJ", "old": "JJ", "whole": "JJ", "entire": "JJ",
+    "binary": "JJ", "unary": "JJ", "ternary": "JJ",
+    "virtual": "JJ", "static": "JJ", "const": "JJ", "constant": "JJ",
+    "public": "JJ", "private": "JJ", "protected": "JJ",
+    "default": "JJ", "explicit": "JJ", "implicit": "JJ", "pure": "JJ",
+    "global": "JJ", "local": "JJ",
+    "numeric": "JJ", "numerical": "JJ", "alphabetic": "JJ",
+    "uppercase_": "JJ", "lowercase_": "JJ", "capital": "JJ",
+    "cxx": "JJ", "cpp": "JJ",
+    "floating": "JJ", "integral": "JJ",
+    "template_": "JJ", "anonymous": "JJ",
+    "constexpr": "JJ", "inline": "JJ", "variadic": "JJ",
+    "noexcept": "JJ", "volatile": "JJ", "mutable": "JJ",
+    "unsigned": "JJ", "signed": "JJ", "scoped": "JJ",
+    "main": "JJ", "empty_": "JJ",
+}
+
+# Number words (tagged CD).
+NUMBER_WORDS: FrozenSet[str] = frozenset(
+    """one two three four five six seven eight nine ten eleven twelve
+       thirteen fourteen fifteen sixteen seventeen eighteen nineteen twenty
+       thirty forty fifty hundred""".split()
+)
+
+
+def lookup(word: str) -> Optional[str]:
+    """Lexicon lookup for a lowercased word; None when absent."""
+    if word in NUMBER_WORDS:
+        return "CD"
+    return LEXICON.get(word)

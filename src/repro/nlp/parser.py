@@ -1,0 +1,332 @@
+"""Rule-based dependency parser for NL-programming queries (Step-1).
+
+The paper runs Stanford CoreNLP; offline we provide a deterministic
+rule-based parser specialised for the query genre (imperative commands and
+nominal code-search queries).  Synthesis only consumes the resulting
+:class:`~repro.nlp.dependency.DependencyGraph`, so any parser producing
+head-governed trees for this genre exercises the same downstream code.
+
+Two properties are intentional:
+
+* **Determinism** — identical queries always produce identical trees, which
+  makes the evaluation reproducible.
+* **Realistic attachment heuristics** — prepositional phrases attach by a
+  simple verb/noun heuristic ("of" to the nearest noun, locatives to the
+  clause verb).  Like real parsers, this is sometimes "wrong" with respect to
+  the grammar of the target DSL; those mistakes surface downstream as
+  *orphan nodes*, which is precisely the complexity the paper's orphan node
+  relocation (Sec. V-B) exists to repair.
+
+Grammar of the genre (informally)::
+
+    query  := [IF-clause ,] command | nominal
+    command:= VB NP? PP* (relative-clauses nest inside NPs)
+    nominal:= NP (acl | relcl | PP)*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ParseError
+from repro.nlp.dependency import DepEdge, DepNode, DependencyGraph
+from repro.nlp.pos_tagger import TaggedToken, tag
+
+#: Prepositions that attach to the nearest noun (noun-modifying).
+_NOUN_PREPS = {"of"}
+
+#: Light position nouns: "the start of each line" locates *within* lines, so
+#: an "of"-phrase after one of these attaches to the clause verb (it names
+#: the iteration scope), not to the position noun itself.
+_LIGHT_NOUNS = {
+    "start", "end", "beginning", "front", "back", "middle", "top",
+    "bottom", "head", "tail", "rest",
+}
+
+#: Subordinators that open a leading conditional clause.
+_SUBORDINATORS = {"if", "when", "whenever", "while", "unless"}
+
+_VERB_TAGS = {"VB", "VBZ", "VBD", "VBG", "VBN"}
+_NOUN_TAGS = {"NN", "NNS", "PRP"}
+_PREMOD_RELS = {"DT": "det", "JJ": "amod", "CD": "nummod", "NN": "compound",
+                "NNS": "compound"}
+
+
+@dataclass
+class _VerbState:
+    node_id: int
+    has_obj: bool = False
+
+
+class QueryParser:
+    """Deterministic dependency parser for command-style queries."""
+
+    def parse(self, query: str) -> DependencyGraph:
+        tagged = tag(query)
+        if not tagged:
+            raise ParseError("empty query")
+        nodes = [
+            DepNode(
+                node_id=t.index,
+                word=t.token.text,
+                lemma=t.lemma,
+                pos=t.tag,
+                literal=t.token.value if t.is_literal else None,
+            )
+            for t in tagged
+        ]
+        main_span, sub_span = self._split_clauses(tagged)
+        builder = _SpanBuilder(nodes, tagged)
+        main_head = builder.build(main_span)
+        if main_head is None:
+            raise ParseError(f"could not find a head word in {query!r}")
+        if sub_span:
+            sub_head = builder.build(sub_span)
+            if sub_head is not None:
+                builder.attach(main_head, sub_head, "advcl")
+        builder.sweep_unattached(main_head)
+        return DependencyGraph(nodes, builder.edges, main_head)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _split_clauses(
+        tagged: Sequence[TaggedToken],
+    ) -> Tuple[List[int], List[int]]:
+        """Return (main-clause token indices, subordinate-clause indices).
+
+        Handles the leading conditional pattern of Table I's example 2:
+        ``if a sentence starts with "-", add ":" after 14 characters``.
+        The main clause is parsed first so its verb becomes the root.
+        """
+        indices = [t.index for t in tagged]
+        first = tagged[0]
+        if first.lemma not in _SUBORDINATORS:
+            return indices, []
+        comma_at = next(
+            (t.index for t in tagged if t.tag == "PUNCT" and t.word == ","),
+            None,
+        )
+        if comma_at is None:
+            return indices, []
+        sub = [i for i in indices if i < comma_at and i != first.index]
+        main = [i for i in indices if i > comma_at]
+        if not main:
+            return indices, []
+        return main, sub
+
+
+class _SpanBuilder:
+    """Left-to-right attachment over one clause span.
+
+    Shared across spans of one query so node ids and edges accumulate in a
+    single table.
+    """
+
+    def __init__(self, nodes: List[DepNode], tagged: Sequence[TaggedToken]):
+        self.nodes = nodes
+        self.tagged = {t.index: t for t in tagged}
+        self.edges: List[DepEdge] = []
+        self._has_parent: Dict[int, bool] = {}
+
+    # -- low-level ------------------------------------------------------
+
+    def attach(self, gov: int, dep: int, rel: str) -> None:
+        if self._has_parent.get(dep):
+            return
+        self.edges.append(DepEdge(gov, dep, rel))
+        self._has_parent[dep] = True
+
+    def sweep_unattached(self, head: int) -> None:
+        """Attach any leftover tokens to the root so the graph is a tree;
+        Step-2 pruning will discard the non-essential ones."""
+        for node in self.nodes:
+            if node.node_id != head and not self._has_parent.get(node.node_id):
+                self.attach(head, node.node_id, "dep")
+
+    # -- span parse -----------------------------------------------------
+
+    def build(self, span: List[int]) -> Optional[int]:
+        premods: List[Tuple[int, str]] = []  # (node_id, rel) before next noun
+        last_noun: Optional[int] = None
+        head_noun: Optional[int] = None
+        verb: Optional[_VerbState] = None
+        root_verb: Optional[int] = None
+        pending_prep: Optional[int] = None
+        pending_rel: Optional[int] = None  # that/which/who node
+        pending_poss: Optional[int] = None  # whose node
+        pending_conj: Optional[int] = None
+        copula_subject: Optional[int] = None
+        misc: List[int] = []  # adverbs, punctuation -> attach to span head
+
+        span_set = set(span)
+
+        def next_word_tag(i: int) -> str:
+            for j in sorted(k for k in span_set if k > i):
+                t = self.tagged[j]
+                if t.tag != "PUNCT":
+                    return t.tag
+                break
+            return "<E>"
+
+        def attach_noun_head(i: int) -> None:
+            nonlocal last_noun, head_noun, pending_prep, pending_rel
+            nonlocal pending_poss, pending_conj, copula_subject, verb
+            for mod_id, rel in premods:
+                self.attach(i, mod_id, rel)
+            premods.clear()
+
+            gov: Optional[int] = None
+            rel = "dep"
+            if pending_conj is not None and last_noun is not None:
+                self.attach(i, pending_conj, "cc")
+                gov, rel = last_noun, "conj"
+                pending_conj = None
+            elif copula_subject is not None:
+                gov, rel = copula_subject, "acl"
+                copula_subject = None
+            elif pending_prep is not None:
+                prep = self.nodes[pending_prep]
+                self.attach(i, pending_prep, "case")
+                if (
+                    prep.lemma == "for"
+                    and verb is not None
+                    and not verb.has_obj
+                ):
+                    gov, rel = verb.node_id, "obj"  # "search for X"
+                    verb.has_obj = True
+                elif prep.lemma in _NOUN_PREPS and last_noun is not None:
+                    light = self.nodes[last_noun].lemma in _LIGHT_NOUNS
+                    if light and verb is not None:
+                        gov, rel = verb.node_id, "obl"
+                    else:
+                        gov, rel = last_noun, "nmod"
+                elif verb is not None:
+                    gov, rel = verb.node_id, "obl"
+                elif last_noun is not None:
+                    gov, rel = last_noun, "nmod"
+                pending_prep = None
+            elif pending_poss is not None and last_noun is not None:
+                self.attach(i, pending_poss, "case")
+                gov, rel = last_noun, "acl"  # "expressions whose argument ..."
+                pending_poss = None
+            elif verb is not None and not verb.has_obj:
+                gov, rel = verb.node_id, "obj"
+                verb.has_obj = True
+            elif last_noun is not None:
+                gov, rel = last_noun, "nmod"
+
+            if gov is not None:
+                self.attach(gov, i, rel)
+            elif head_noun is None:
+                head_noun = i  # nominal query head
+            last_noun = i
+
+        def attach_verb(i: int, t: TaggedToken) -> None:
+            nonlocal verb, root_verb, pending_rel, copula_subject, last_noun
+            if t.lemma == "be":
+                # Copula: the predicate NP will attach to the subject noun;
+                # the copula itself hangs off the subject and gets pruned.
+                if last_noun is not None:
+                    self.attach(last_noun, i, "cop")
+                    copula_subject = last_noun
+                else:
+                    misc.append(i)
+                return
+            if root_verb is None and last_noun is None and head_noun is None:
+                root_verb = i
+                verb = _VerbState(i)
+                return
+            if pending_rel is not None and last_noun is not None:
+                self.attach(i, pending_rel, "mark")
+                self.attach(last_noun, i, "acl:relcl")
+                pending_rel = None
+                verb = _VerbState(i)
+                return
+            if last_noun is not None and t.tag in {"VBG", "VBN", "VBZ", "VB"}:
+                # Reduced relative: "line containing numerals",
+                # "operators named '*'", "sentence starts with '-'".
+                self.attach(last_noun, i, "acl")
+                verb = _VerbState(i)
+                return
+            if root_verb is None:
+                root_verb = i
+                verb = _VerbState(i)
+                return
+            # A second finite verb with no noun to modify: coordinate it
+            # with the root ("find and report ..." style).
+            self.attach(root_verb, i, "conj")
+            verb = _VerbState(i)
+
+        for i in span:
+            t = self.tagged[i]
+            tag_ = t.tag
+            if tag_ == "PUNCT":
+                misc.append(i)
+                continue
+            if tag_ in {"RB", "MD", "TO"}:
+                misc.append(i)
+                continue
+            if tag_ == "CC":
+                pending_conj = i
+                continue
+            if tag_ == "WDT":
+                pending_rel = i
+                continue
+            if tag_ == "WP":
+                if t.lemma == "whose":
+                    pending_poss = i
+                else:
+                    pending_rel = i
+                continue
+            if tag_ == "IN":
+                if t.lemma in _SUBORDINATORS:
+                    misc.append(i)  # stray subordinator: non-essential
+                else:
+                    pending_prep = i
+                continue
+            if tag_ in _PREMOD_RELS and tag_ in {"DT", "JJ"}:
+                premods.append((i, _PREMOD_RELS[tag_]))
+                continue
+            if tag_ == "CD":
+                if next_word_tag(i) in _NOUN_TAGS:
+                    premods.append((i, "nummod"))
+                else:
+                    attach_noun_head(i)
+                continue
+            if tag_ in {"NN", "NNS"}:
+                if next_word_tag(i) in {"NN", "NNS"}:
+                    premods.append((i, "compound"))
+                else:
+                    attach_noun_head(i)
+                continue
+            if tag_ == "PRP":
+                attach_noun_head(i)
+                continue
+            if tag_ == "QUOTE":
+                attach_noun_head(i)
+                continue
+            if tag_ in _VERB_TAGS:
+                attach_verb(i, t)
+                continue
+            misc.append(i)  # anything else: non-essential
+
+        head = root_verb if root_verb is not None else head_noun
+        if head is None and last_noun is not None:
+            head = last_noun
+        if head is not None:
+            for mod_id, _rel in premods:
+                self.attach(head, mod_id, "dep")
+            for m in misc:
+                rel = "punct" if self.tagged[m].tag == "PUNCT" else "advmod"
+                self.attach(head, m, rel)
+        return head
+
+
+_DEFAULT_PARSER = QueryParser()
+
+
+def parse_query(query: str) -> DependencyGraph:
+    """Parse ``query`` into its dependency graph (module-level convenience)."""
+    return _DEFAULT_PARSER.parse(query)

@@ -1,0 +1,208 @@
+"""POS tagger (NLP substrate): lexicon + suffix rules + context rules.
+
+Design follows the classic transformation-based (Brill-style) recipe, scoped
+to the NL-programming query genre: a lexicon lookup provides the initial tag,
+suffix heuristics cover out-of-vocabulary words, and a small ordered set of
+context rules fixes the systematic ambiguities that matter here — above all
+the verb/noun ambiguity of words like *start*, *end*, *name*, *match* that
+are both editing nouns and relational verbs ("at the **start** of each line"
+vs "lines that **start** with a dash").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.nlp import lexicon
+from repro.nlp.lemmatizer import lemmatize
+from repro.nlp.tokenizer import Token, TokenKind, tokenize
+
+#: Tags considered "verbal" by the context rules.
+_VERB_TAGS = {"VB", "VBZ", "VBD", "VBG", "VBN"}
+
+#: Tags that open a noun phrase; a verb-tagged word right after one of these
+#: is really a noun ("the start", "every end", "at first match").
+_NP_OPENERS = {"DT", "JJ", "CD", "PRP"}
+
+#: Programming-language keywords: attributive when directly before a code
+#: noun ("if statements", "for loops", "return statements").
+_CODE_KEYWORDS = {
+    "if", "for", "while", "do", "switch", "case", "try", "catch",
+    "return", "goto", "break", "continue", "else", "new", "delete",
+    "throw", "using", "sizeof", "auto",
+}
+
+#: Nouns that code keywords attach to attributively.
+_CODE_NOUNS = {
+    "statement", "statements", "loop", "loops", "block", "blocks",
+    "stmt", "stmts", "expression", "expressions", "handler", "handlers",
+    "clause", "clauses",
+}
+
+
+@dataclass(frozen=True)
+class TaggedToken:
+    """A token with its POS tag and lemma."""
+
+    token: Token
+    tag: str
+    lemma: str
+
+    @property
+    def index(self) -> int:
+        return self.token.index
+
+    @property
+    def word(self) -> str:
+        return self.token.value
+
+    @property
+    def is_literal(self) -> bool:
+        return self.token.is_literal
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TaggedToken({self.word!r}/{self.tag})"
+
+
+def _suffix_tag(word: str) -> str:
+    """Heuristic tag for out-of-vocabulary words."""
+    if word.endswith("ing") and len(word) > 4:
+        return "VBG"
+    if word.endswith("ed") and len(word) > 3:
+        return "VBN"
+    if word.endswith("ly") and len(word) > 3:
+        return "RB"
+    if word.endswith(("tion", "sion", "ment", "ness", "ity", "ance", "ence",
+                      "ship", "ism", "ure")):
+        return "NN"
+    if word.endswith("s") and not word.endswith(("ss", "us", "is")):
+        return "NNS"
+    if word.endswith(("able", "ible", "ful", "less", "ous", "ive", "al",
+                      "ic")):
+        return "JJ"
+    return "NN"
+
+
+def _initial_tag(token: Token) -> str:
+    if token.kind is TokenKind.QUOTED:
+        return "QUOTE"
+    if token.kind is TokenKind.NUMBER:
+        return "CD"
+    if token.kind is TokenKind.PUNCT:
+        return "PUNCT"
+    found = lexicon.lookup(token.value)
+    if found is not None:
+        return found
+    return _suffix_tag(token.value)
+
+
+def _next_tag_is_nounish(
+    tokens: Sequence[Token], tags: List[str], i: int
+) -> bool:
+    for j in range(i + 1, len(tags)):
+        if tags[j] == "PUNCT":
+            return False
+        return tags[j] in {"NN", "NNS"}
+    return False
+
+
+def _apply_context_rules(tokens: Sequence[Token], tags: List[str]) -> List[str]:
+    """Ordered context rules; each sees the partially-corrected sequence."""
+    n = len(tags)
+
+    def prev_word_tag(i: int) -> str:
+        for j in range(i - 1, -1, -1):
+            if tags[j] != "PUNCT":
+                return tags[j]
+        return "<S>"
+
+    def next_word(i: int) -> str:
+        for j in range(i + 1, n):
+            if tags[j] != "PUNCT":
+                return tokens[j].value
+        return ""
+
+    for i in range(n):
+        word, tag = tokens[i].value, tags[i]
+        prev = prev_word_tag(i)
+
+        # Rule 0 (code keywords): "if statements", "for loops" — the
+        # keyword is attributive, part of the construct's name.
+        if word in _CODE_KEYWORDS and next_word(i) in _CODE_NOUNS:
+            tags[i] = "JJ"
+            continue
+
+        # Rule 1 (imperative root): the query-initial word is a command verb
+        # when the lexicon knows a verbal reading for it.
+        if i == 0 and tag in {"NN", "VBZ"} and lexicon.lookup(word) in _VERB_TAGS:
+            tags[i] = "VB"
+            continue
+
+        # Rule 2 (noun after NP opener): "the start", "every match",
+        # "first occurrence" — verb-tagged word in NP position is a noun.
+        if tag in _VERB_TAGS and prev in _NP_OPENERS:
+            tags[i] = "NNS" if word.endswith("s") and tag == "VBZ" else "NN"
+            continue
+
+        # Rule 3 (noun after preposition, no determiner): "at start of",
+        # "before end of line".
+        if tag == "VB" and prev == "IN":
+            tags[i] = "NN"
+            continue
+
+        # Rule 4 (base verb after TO/MD): "to insert", "should match".
+        if prev in {"TO", "MD"} and tag in {"NN", "NNS", "VBZ"}:
+            if lexicon.lookup(word) in _VERB_TAGS or tag == "VBZ":
+                tags[i] = "VB"
+                continue
+
+        # Rule 4b (noun compound): a verb-form word wedged between/before
+        # nouns is a compound member, not a verb — "find *call* expressions",
+        # "an initializer *list* expression", "*delete* expressions".
+        if tag in {"VB", "VBZ"} and next_word(i) and _next_tag_is_nounish(
+            tokens, tags, i
+        ):
+            if prev in _VERB_TAGS or prev in {"NN", "NNS"}:
+                tags[i] = "NN"
+                continue
+
+        # Rule 4c (participial premodifier): a past participle right before
+        # a noun is attributive — "*deleted* functions", "*derived* classes".
+        if tag == "VBN" and _next_tag_is_nounish(tokens, tags, i):
+            tags[i] = "JJ"
+            continue
+
+        # Rule 5 (relativizer context): after "that/which/whose/who" a
+        # noun-tagged word with a verbal lexicon reading is the clause verb
+        # ("lines that start with ...").
+        if prev in {"WDT", "WP"} and tag in {"NN", "NNS"}:
+            lex = lexicon.lookup(word)
+            if lex in _VERB_TAGS:
+                tags[i] = lex
+                continue
+
+        # Rule 6 (plural noun before finite verb): "constructors declare" —
+        # keep NNS; but a VBZ directly after NNS stays VBZ (subject-verb).
+        # Nothing to change; rule documents the intended reading.
+
+        # Rule 7 ("that" as subordinator after verbs of requirement):
+        # "ensure that ..." — irrelevant to our DSLs; "that" stays WDT.
+
+    return tags
+
+
+def tag_tokens(tokens: Sequence[Token]) -> List[TaggedToken]:
+    """Tag a token sequence; deterministic."""
+    tags = [_initial_tag(t) for t in tokens]
+    tags = _apply_context_rules(tokens, tags)
+    out: List[TaggedToken] = []
+    for token, tag in zip(tokens, tags):
+        lemma = token.value if token.is_literal else lemmatize(token.value, tag)
+        out.append(TaggedToken(token, tag, lemma))
+    return out
+
+
+def tag(query: str) -> List[TaggedToken]:
+    """Tokenize and tag a query string."""
+    return tag_tokens(tokenize(query))

@@ -1,0 +1,189 @@
+"""Query-graph pruning (paper Step-2) and phrase merging.
+
+Step-2 "prunes the non-essential words from the query dependency graph based
+on the Part-Of-Speech (POS) of words and their relations, producing a pruned
+dependency graph".  Concretely:
+
+* function words go away (articles, prepositions — their information already
+  lives in the edge labels — copulas, relativizers, punctuation, adverbs);
+* quantifier determiners survive (*each*, *every*, *all*, *first* ...): they
+  carry DSL semantics (iteration scopes, occurrence quantifiers);
+* multi-word names are merged into their head node ("cxx constructor
+  expressions" becomes one node with lemma ``cxx constructor expression``),
+  so Step-3 can match them against camel-case API names.
+
+A second, candidate-aware prune (dropping nodes that match no API at all)
+runs later in the pipeline, after Step-3 — see
+:func:`repro.synthesis.pipeline.drop_candidateless`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Set
+
+from repro.nlp.dependency import DepEdge, DepNode, DependencyGraph
+
+#: POS tags whose nodes are always dropped by structural pruning.
+_DROP_TAGS = {"PUNCT", "TO", "MD", "RB", "CC", "WDT", "WP", "IN", "PRP"}
+
+#: Dependency relations that mark purely functional attachments.
+_DROP_RELS = {"case", "mark", "cc", "punct", "cop", "det", "advmod", "dep"}
+
+#: Ordinal adjectives that stay their own node (they become quantifier APIs).
+_ORDINALS = frozenset(
+    {"first", "last", "second", "third", "next", "previous"}
+)
+
+
+@dataclass(frozen=True)
+class PruneConfig:
+    """Domain-tunable pruning policy.
+
+    Attributes
+    ----------
+    quantifier_lemmas:
+        Determiners that carry DSL semantics and must survive pruning.
+    merge_amod_lemmas:
+        Adjectives that are really part of a multi-word name and merge into
+        their head noun ("binary operator", "cxx method", "float literal").
+    drop_root_lemmas:
+        Generic command verbs with no API meaning in this domain ("find",
+        "list" for code search); if the root matches, it is removed and its
+        object promoted to root.
+    keep_lemmas:
+        Function words that carry DSL semantics in this domain and must
+        survive pruning regardless of POS — e.g. the prepositions "after"
+        and "before" in text editing, which map to position APIs.
+    drop_lemmas:
+        Content words that are noise in this domain and are spliced out
+        regardless of POS — e.g. the light verb "have" in code search
+        ("loops that have a body": *body* carries the API, *have* does not).
+    """
+
+    quantifier_lemmas: FrozenSet[str] = frozenset(
+        {"each", "every", "all", "any"}
+    )
+    merge_amod_lemmas: FrozenSet[str] = frozenset()
+    drop_root_lemmas: FrozenSet[str] = frozenset()
+    keep_lemmas: FrozenSet[str] = frozenset()
+    drop_lemmas: FrozenSet[str] = frozenset()
+
+
+def _should_drop(node: DepNode, rel: Optional[str], config: PruneConfig) -> bool:
+    if node.is_literal:
+        return False
+    if node.lemma in config.quantifier_lemmas:
+        return False
+    if node.lemma in config.keep_lemmas:
+        return False
+    if node.lemma in config.drop_lemmas:
+        return True
+    if node.pos == "DT":
+        return True  # non-quantifier determiners: a, an, the, this ...
+    if node.pos in _DROP_TAGS:
+        return True
+    if rel is not None and rel in _DROP_RELS:
+        return True
+    return False
+
+
+def merge_phrases(graph: DependencyGraph, config: PruneConfig) -> None:
+    """Merge compound nouns and name-like adjectives into their heads.
+
+    All mergeable modifiers of one head fuse in a single pass, ordered by
+    their original token position, so "cxx constructor expressions" yields
+    the lemma ``cxx constructor expression`` regardless of attachment order.
+    Runs to a fixed point so modifier chains collapse fully.  Ordinals never
+    merge (they are target-selector APIs).
+    """
+
+    def mergeable_children(head_id: int) -> List[DepNode]:
+        out = []
+        for edge in graph.children(head_id):
+            child = graph.node(edge.dep)
+            if graph.children(edge.dep):
+                continue  # only merge leaf modifiers
+            # amod merging keys on the *surface* form: "delete expressions"
+            # names cxxDeleteExpr, but "deleted functions" (same lemma) is a
+            # predicate on functions and must stay separate.
+            fits = edge.rel == "compound" or (
+                edge.rel == "amod"
+                and child.word.lower() in config.merge_amod_lemmas
+            )
+            if fits and child.lemma not in _ORDINALS:
+                out.append(child)
+        return out
+
+    changed = True
+    while changed:
+        changed = False
+        for head in list(graph.nodes()):
+            children = mergeable_children(head.node_id)
+            if not children:
+                continue
+            parts = sorted(
+                [(c.node_id, c.lemma, c.word) for c in children]
+                + [(head.node_id, head.lemma, head.word)]
+            )
+            lemma = " ".join(p[1] for p in parts)
+            word = " ".join(p[2] for p in parts)
+            graph.replace_node(
+                DepNode(head.node_id, word, lemma, head.pos, head.literal)
+            )
+            for child in children:
+                graph.remove_node(child.node_id)
+            changed = True
+            break
+
+
+def _drop_generic_root(
+    graph: DependencyGraph, config: PruneConfig
+) -> DependencyGraph:
+    """Remove a semantically empty command root and promote its object."""
+    root = graph.node(graph.root)
+    if root.lemma not in config.drop_root_lemmas:
+        return graph
+    children = graph.children(graph.root)
+    if not children:
+        return graph
+    promoted = next((e.dep for e in children if e.rel == "obj"), children[0].dep)
+    new_edges: List[DepEdge] = []
+    for edge in graph.edges():
+        if edge.gov == graph.root and edge.dep == promoted:
+            continue
+        if edge.gov == graph.root:
+            new_edges.append(DepEdge(promoted, edge.dep, edge.rel))
+        else:
+            new_edges.append(edge)
+    nodes = [n for n in graph.nodes() if n.node_id != graph.root]
+    return DependencyGraph(nodes, new_edges, promoted)
+
+
+def prune_query_graph(
+    graph: DependencyGraph, config: Optional[PruneConfig] = None
+) -> DependencyGraph:
+    """Produce the pruned dependency graph (paper Step-2).
+
+    The input graph is not modified.
+    """
+    config = config or PruneConfig()
+    pruned = graph.copy()
+
+    # Iterate because splicing can expose new droppable leaves.
+    changed = True
+    while changed:
+        changed = False
+        for node in pruned.nodes():
+            if node.node_id == pruned.root:
+                continue
+            parent = pruned.parent_edge(node.node_id)
+            rel = parent.rel if parent is not None else None
+            if _should_drop(node, rel, config):
+                pruned.remove_node(node.node_id)
+                changed = True
+                break
+
+    merge_phrases(pruned, config)
+    pruned = _drop_generic_root(pruned, config)
+    return pruned

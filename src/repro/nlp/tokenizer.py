@@ -1,0 +1,129 @@
+"""Tokenizer for command-style English queries (NLP substrate, Step-0).
+
+The paper's pipeline runs Stanford CoreNLP; offline we provide an equivalent
+tokenizer specialised for NL-programming queries.  It must get three things
+right that generic splitters get wrong:
+
+* **quoted literals** — ``append ":" in every line`` carries the codelet
+  argument ``:`` inside quotes; the whole quoted span is one token of kind
+  ``QUOTED`` with the unquoted value preserved;
+* **numerals** — ``after 14 characters`` needs ``14`` as a ``NUMBER`` token;
+* **punctuation** — commas and sentence-final periods are tokens of their own
+  (the dependency parser uses commas for clause boundaries, then Step-2
+  pruning drops them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator, List
+
+from repro.errors import TokenizationError
+
+_QUOTE_PAIRS = {
+    '"': '"',
+    "'": "'",
+    "“": "”",  # curly double quotes
+    "‘": "’",  # curly single quotes
+    "`": "`",
+}
+
+_PUNCT = set(",.;:!?()[]{}")
+
+_WORD_CHARS = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_-")
+
+
+class TokenKind(Enum):
+    WORD = "word"
+    NUMBER = "number"
+    QUOTED = "quoted"
+    PUNCT = "punct"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One query token.
+
+    ``text`` is the surface form as typed; ``value`` is the semantic payload
+    (unquoted string for QUOTED, the digits for NUMBER, lowercased form for
+    WORD).
+    """
+
+    index: int
+    text: str
+    kind: TokenKind
+    value: str
+
+    @property
+    def is_literal(self) -> bool:
+        """Literal tokens become bound arguments, not API lookups."""
+        return self.kind in (TokenKind.QUOTED, TokenKind.NUMBER)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.index}, {self.text!r}, {self.kind.value})"
+
+
+def tokenize(query: str) -> List[Token]:
+    """Tokenize ``query``.  Deterministic; raises on unclosed quotes."""
+    tokens: List[Token] = []
+    i, n = 0, len(query)
+
+    def emit(text: str, kind: TokenKind, value: str) -> None:
+        tokens.append(Token(len(tokens), text, kind, value))
+
+    while i < n:
+        ch = query[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch in _QUOTE_PAIRS:
+            closing = _QUOTE_PAIRS[ch]
+            j = query.find(closing, i + 1)
+            if j < 0:
+                raise TokenizationError(
+                    f"unclosed quote starting at column {i}: {query!r}"
+                )
+            inner = query[i + 1 : j]
+            emit(query[i : j + 1], TokenKind.QUOTED, inner)
+            i = j + 1
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and (query[j].isdigit() or query[j] == "."):
+                j += 1
+            # Trailing period is sentence punctuation, not a decimal point.
+            if query[j - 1] == ".":
+                j -= 1
+            emit(query[i:j], TokenKind.NUMBER, query[i:j])
+            i = j
+            continue
+        if ch in _PUNCT:
+            emit(ch, TokenKind.PUNCT, ch)
+            i += 1
+            continue
+        if ch in _WORD_CHARS:
+            j = i
+            while j < n and (query[j] in _WORD_CHARS or query[j].isdigit()):
+                j += 1
+            word = query[i:j]
+            emit(word, TokenKind.WORD, word.lower())
+            i = j
+            continue
+        # Any other symbol (e.g. '*', '<', '=') stands alone; synthesis
+        # treats it like a quoted literal so queries such as
+        # <<list all binary operators named "*">> still work unquoted.
+        emit(ch, TokenKind.QUOTED, ch)
+        i += 1
+
+    return tokens
+
+
+def words(query: str) -> List[str]:
+    """Lowercased word values only (helper for keyword extraction)."""
+    return [t.value for t in tokenize(query) if t.kind is TokenKind.WORD]
+
+
+def detokenize(tokens: List[Token]) -> str:
+    """Best-effort inverse of :func:`tokenize` (used in error messages)."""
+    return " ".join(t.text for t in tokens)

@@ -1,0 +1,139 @@
+"""API document model (the second synthesizer input, paper Sec. II).
+
+An NLU-driven synthesizer reads "a document that contains all the APIs and
+their descriptions" — e.g. the Clang ASTMatcher reference.  This module
+models that document: each :class:`ApiDoc` holds the function name, its
+human-readable description, and the *name tokens* used for matching
+(camel-case names split automatically; all-caps DSL names supply explicit
+tokens, e.g. ``STARTFROM`` -> ``["start", "from"]``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import DomainError
+from repro.nlp.lemmatizer import lemmatize
+
+_WORD_RE = re.compile(r"[a-z]+")
+
+_CAMEL_RE = re.compile(
+    r"[A-Z]+(?=[A-Z][a-z])|[A-Z]?[a-z]+|[A-Z]+|[0-9]+"
+)
+
+#: Stop words excluded from description keyword sets.
+_STOPWORDS = frozenset(
+    """a an the of to in on for with and or that which this is are be by as
+       at it its from can will matches match given matching node nodes
+       specified""".split()
+)
+
+
+def split_name(name: str) -> List[str]:
+    """Split an API name into lowercase word tokens.
+
+    Works for camelCase (``cxxConstructExpr`` -> cxx/construct/expr) and
+    snake_case; all-caps single-word names come back whole (domains give
+    explicit tokens for fused names like ``STARTFROM``).
+    """
+    parts: List[str] = []
+    for chunk in re.split(r"[_\-\s]+", name):
+        if not chunk:
+            continue
+        parts.extend(m.group(0).lower() for m in _CAMEL_RE.finditer(chunk))
+    return parts or [name.lower()]
+
+
+@dataclass(frozen=True)
+class ApiDoc:
+    """One API entry of a domain document.
+
+    Attributes
+    ----------
+    name:
+        The API function name exactly as it appears in codelets.
+    description:
+        One or two sentences of reference documentation; its content words
+        become matching keywords.
+    name_tokens:
+        Explicit word split of the name; default: :func:`split_name`.
+    category:
+        Optional grouping used by Table I and the docs.
+    """
+
+    name: str
+    description: str
+    name_tokens: Tuple[str, ...] = ()
+    category: str = ""
+
+    def resolved_name_tokens(self) -> Tuple[str, ...]:
+        if self.name_tokens:
+            return tuple(t.lower() for t in self.name_tokens)
+        return tuple(split_name(self.name))
+
+    def keywords(self) -> Tuple[str, ...]:
+        """Lemmatized content words of the description (deduplicated,
+        document order).  Uses a plain word regex — description prose may
+        contain apostrophes and punctuation the query tokenizer treats
+        specially."""
+        seen = []
+        for word in _WORD_RE.findall(self.description.lower()):
+            if word in _STOPWORDS:
+                continue
+            lemma = lemmatize(word)
+            if lemma not in _STOPWORDS and lemma not in seen:
+                seen.append(lemma)
+        return tuple(seen)
+
+
+class ApiDocument:
+    """The full API document of one domain."""
+
+    def __init__(self, entries: Iterable[ApiDoc]):
+        self._entries: Dict[str, ApiDoc] = {}
+        for entry in entries:
+            if entry.name in self._entries:
+                raise DomainError(f"duplicate API entry {entry.name!r}")
+            self._entries[entry.name] = entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[ApiDoc]:
+        return iter(self._entries.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def get(self, name: str) -> ApiDoc:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise DomainError(f"no API named {name!r} in document") from None
+
+    def names(self) -> List[str]:
+        return list(self._entries)
+
+    def categories(self) -> Dict[str, List[str]]:
+        out: Dict[str, List[str]] = {}
+        for entry in self._entries.values():
+            out.setdefault(entry.category or "(uncategorized)", []).append(
+                entry.name
+            )
+        return out
+
+    def validate_against(self, api_names: Iterable[str]) -> None:
+        """Check the document covers exactly the grammar's API terminals."""
+        expected = set(api_names)
+        have = set(self._entries)
+        missing = expected - have
+        extra = have - expected
+        problems = []
+        if missing:
+            problems.append(f"APIs missing from document: {sorted(missing)[:8]}")
+        if extra:
+            problems.append(f"document entries not in grammar: {sorted(extra)[:8]}")
+        if problems:
+            raise DomainError("; ".join(problems))

@@ -1,0 +1,72 @@
+"""String similarity primitives for the WordToAPI matcher (Step-3 fallback).
+
+Exact lemma/synonym matching is the primary signal; edit-distance similarity
+is the last-resort tie between a query word and an API name token (catching
+spelling variants like "numeral"/"numerals" that survive lemmatization or
+user typos like "charcter").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Classic edit distance, iterative two-row DP."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) > len(b):
+        a, b = b, a
+    previous = list(range(len(a) + 1))
+    for j, cb in enumerate(b, start=1):
+        current = [j]
+        for i, ca in enumerate(a, start=1):
+            cost = 0 if ca == cb else 1
+            current.append(
+                min(
+                    previous[i] + 1,      # deletion
+                    current[i - 1] + 1,   # insertion
+                    previous[i - 1] + cost,  # substitution
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def similarity_ratio(a: str, b: str) -> float:
+    """Normalized similarity in [0, 1]: 1 - distance / max_len."""
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    return 1.0 - levenshtein(a, b) / longest
+
+
+def prefix_similarity(a: str, b: str) -> float:
+    """Common-prefix share — API name tokens are often truncations
+    ("expr" vs "expression")."""
+    if not a or not b:
+        return 0.0
+    n = 0
+    for ca, cb in zip(a, b):
+        if ca != cb:
+            break
+        n += 1
+    return n / max(len(a), len(b))
+
+
+def token_similarity(a: str, b: str) -> float:
+    """Similarity between two single tokens: the max of edit-ratio and
+    prefix share, so both typos and truncations score high."""
+    return max(similarity_ratio(a, b), prefix_similarity(a, b))
+
+
+def dice_overlap(set_a: Sequence[str], set_b: Sequence[str]) -> float:
+    """Dice coefficient over token multisets (order-insensitive)."""
+    if not set_a or not set_b:
+        return 0.0
+    sa, sb = set(set_a), set(set_b)
+    return 2.0 * len(sa & sb) / (len(sa) + len(sb))

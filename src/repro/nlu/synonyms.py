@@ -1,0 +1,198 @@
+"""Synonym and abbreviation knowledge for WordToAPI matching (Step-3).
+
+The NLU-driven approach leans on general lexical knowledge rather than
+labeled examples (paper Sec. I, Fig. 2).  HISyn consults WordNet; offline we
+embed the slice of lexical knowledge the query genre needs:
+
+* **synonym groups** — words users say interchangeably ("insert", "add",
+  "append" all intend insertion);
+* **abbreviation map** — API-name tokens are often truncations of English
+  words (``expr`` for *expression*, ``decl`` for *declaration*); both sides
+  normalize to a canonical token before comparison.
+
+Domains may extend both tables at registration time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+#: Words that mean the same thing in this genre.  Each inner tuple is one
+#: group; the first member is the canonical form.
+_SYNONYM_GROUPS: Tuple[Tuple[str, ...], ...] = (
+    # intent verbs
+    ("insert", "add", "append", "prepend", "put", "place", "attach"),
+    ("delete", "remove", "erase", "drop", "cut", "strip", "clear", "trim"),
+    ("replace", "substitute", "swap", "change"),
+    ("select", "highlight", "pick", "mark", "choose"),
+    ("copy", "duplicate"),
+    ("find", "search", "locate", "look", "detect", "identify", "match",
+     "list", "show", "get", "retrieve", "fetch", "collect", "report",
+     "give"),
+    ("print", "output", "display"),
+    ("move", "shift"),
+    # relational verbs
+    ("contain", "include", "hold", "carry", "descendant", "nest"),
+    ("start", "begin", "beginning", "front", "head"),
+    ("end", "finish", "tail", "ending"),
+    ("name", "call", "title"),
+    ("declaration", "declare", "define", "definition"),
+    ("derive", "inherit", "extend"),
+    ("use", "refer", "reference"),
+    ("occur", "appear"),
+    # text units
+    ("string", "text", "phrase"),
+    ("line", "row"),
+    ("word",),
+    ("character", "char", "letter", "symbol"),
+    ("number", "numeral", "digit", "integer"),
+    ("sentence",),
+    ("paragraph", "passage"),
+    ("document", "file", "buffer"),
+    ("position", "location", "place", "spot", "offset"),
+    ("occurrence", "instance", "appearance"),
+    ("space", "whitespace"),
+    # quantifiers
+    ("all", "every", "each", "any"),
+    ("empty", "blank"),
+    # code units
+    ("expression",),
+    ("statement",),
+    ("declaration",),
+    ("function", "routine"),
+    ("method",),
+    ("constructor",),
+    ("destructor",),
+    ("class", "struct", "record"),
+    ("field", "member", "attribute"),
+    ("variable", "var"),
+    ("parameter",),
+    ("argument",),
+    ("operator",),
+    ("literal", "constant"),
+    ("loop",),
+    ("type",),
+    ("float", "floating"),
+    ("pointer",),
+    ("template",),
+    ("namespace",),
+    ("base", "parent"),
+    ("body",),
+    ("condition", "conditional"),
+    ("cast", "conversion"),
+    ("value",),
+)
+
+#: API-name token -> canonical English word.  Applied to *both* sides of a
+#: comparison, so "expr" in an API name meets "expression" in a query.
+_ABBREVIATIONS: Dict[str, str] = {
+    "expr": "expression",
+    "exprs": "expression",
+    "decl": "declaration",
+    "decls": "declaration",
+    "stmt": "statement",
+    "stmts": "statement",
+    "arg": "argument",
+    "args": "argument",
+    "param": "parameter",
+    "params": "parameter",
+    "parm": "parameter",
+    "parms": "parameter",
+    "func": "function",
+    "fn": "function",
+    "var": "variable",
+    "vars": "variable",
+    "op": "operator",
+    "ops": "operator",
+    "ref": "reference",
+    "refs": "reference",
+    "init": "initializer",
+    "cond": "condition",
+    "num": "number",
+    "char": "character",
+    "chars": "character",
+    "str": "string",
+    "doc": "document",
+    "pos": "position",
+    "iter": "iteration",
+    "bool": "boolean",
+    "ctor": "constructor",
+    "dtor": "destructor",
+    "spec": "specifier",
+    "ns": "namespace",
+    "temp": "template",
+    "construct": "constructor",
+    "subscripting": "subscript",
+    "elem": "element",
+    "attr": "attribute",
+    "loc": "location",
+    "bcondition": "condition",
+    "bcond": "condition",
+}
+
+
+class SynonymTable:
+    """Canonicalization service: lemma -> set of canonical group labels.
+
+    A word may belong to *several* groups (English is like that: "place" is
+    both an insertion verb and a position noun), so canonicalization is
+    set-valued and two words *match* when their canonical sets intersect.
+    The table is cheap to copy and extend, so each domain owns its own
+    instance.
+    """
+
+    def __init__(
+        self,
+        groups: Optional[Iterable[Tuple[str, ...]]] = None,
+        abbreviations: Optional[Dict[str, str]] = None,
+    ):
+        self._membership: Dict[str, Set[str]] = {}
+        self._groups: Dict[str, Tuple[str, ...]] = {}
+        self._abbrev: Dict[str, str] = dict(_ABBREVIATIONS)
+        if abbreviations:
+            self._abbrev.update(abbreviations)
+        for group in groups if groups is not None else _SYNONYM_GROUPS:
+            self.add_group(group)
+
+    def add_group(self, group: Tuple[str, ...]) -> None:
+        """Register a synonym group; the first member labels the group."""
+        if not group:
+            return
+        label = group[0]
+        members = self._groups.get(label, ())
+        self._groups[label] = tuple(dict.fromkeys(members + tuple(group)))
+        for word in group:
+            self._membership.setdefault(word, set()).add(label)
+
+    def add_abbreviation(self, short: str, full: str) -> None:
+        self._abbrev[short.lower()] = full.lower()
+
+    def expand(self, token: str) -> str:
+        """Expand an abbreviation to its full word (identity if none)."""
+        return self._abbrev.get(token.lower(), token.lower())
+
+    def canonical_set(self, word: str) -> FrozenSet[str]:
+        """Group labels of ``word`` (after abbreviation expansion); the word
+        itself when it belongs to no group."""
+        expanded = self.expand(word)
+        labels = self._membership.get(expanded)
+        return frozenset(labels) if labels else frozenset((expanded,))
+
+    def canonical(self, word: str) -> str:
+        """A single representative label (smallest group label), for callers
+        that need a scalar key."""
+        return min(self.canonical_set(word))
+
+    def same(self, a: str, b: str) -> bool:
+        return bool(self.canonical_set(a) & self.canonical_set(b))
+
+    def group_of(self, word: str) -> Set[str]:
+        members: Set[str] = {self.expand(word)}
+        for label in self.canonical_set(word):
+            members.update(self._groups.get(label, ()))
+        return members
+
+
+def default_synonyms() -> SynonymTable:
+    """A fresh table with the built-in genre knowledge."""
+    return SynonymTable()

@@ -1,0 +1,192 @@
+"""WordToAPI matching (paper Step-3).
+
+For every content node of the pruned dependency graph, find the domain APIs
+that may semantically match it "by matching the query words with the
+descriptions of each API via NLU techniques".  The produced *WordToAPI map*
+feeds EdgeToPath (Step-4): each candidate API becomes a path-search endpoint,
+so the candidate count per word is exactly the paper's ``p_l`` factor in both
+engines' complexity.
+
+Scoring (deterministic, strongest first):
+
+1. **name match** — Dice overlap between the word/phrase's canonical tokens
+   and the API's canonical name tokens (synonym + abbreviation aware);
+2. **description match** — half-weight Dice overlap against the description
+   keyword set;
+3. **similarity fallback** — edit/prefix similarity against name tokens,
+   0.4-weight, for near-miss spellings.
+
+Candidates below ``min_score`` are dropped, the rest ranked by (score desc,
+name asc) and capped at ``max_candidates``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.nlp.lemmatizer import lemmatize
+from repro.nlu.docs import ApiDocument
+from repro.nlu.similarity import token_similarity
+from repro.nlu.synonyms import SynonymTable
+
+
+#: Auxiliary name tokens stripped from multi-token API names before
+#: comparison (they appear in nearly every predicate name).
+_GENERIC_TOKENS = frozenset({"has", "have", "is", "be"})
+
+
+@dataclass(frozen=True)
+class ApiCandidate:
+    """One candidate API for a query word, with its evidence."""
+
+    name: str
+    score: float
+    source: str  # "name" | "description" | "similarity"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ApiCandidate({self.name}, {self.score:.2f}, {self.source})"
+
+
+@dataclass(frozen=True)
+class MatchConfig:
+    """Tunables of the matcher; defaults mirror a ``p_l`` of a few
+    candidates per word, as in the paper's complexity discussion."""
+
+    max_candidates: int = 6
+    min_score: float = 0.45
+    description_weight: float = 0.5
+    # 0.55 so a near-perfect fallback (>= similarity_floor) clears
+    # min_score but still ranks below any real name/synonym match.
+    similarity_weight: float = 0.55
+    similarity_floor: float = 0.85  # token similarity needed for fallback
+
+
+class WordToApiMatcher:
+    """Matches pruned-dependency-graph words against a domain's APIs."""
+
+    def __init__(
+        self,
+        document: ApiDocument,
+        synonyms: SynonymTable,
+        config: Optional[MatchConfig] = None,
+    ):
+        self.document = document
+        self.synonyms = synonyms
+        self.config = config or MatchConfig()
+        # Precompute canonical-set token views of every API once per domain.
+        # Canonicalization is set-valued (a word may sit in several synonym
+        # groups); two tokens match when their sets intersect.
+        self._name_sets: Dict[str, Tuple[frozenset, ...]] = {}
+        self._name_raw: Dict[str, Tuple[str, ...]] = {}
+        self._keyword_sets: Dict[str, Tuple[frozenset, ...]] = {}
+        for entry in document:
+            # Name tokens are lemmatized and abbreviation-expanded so they
+            # compare symmetrically with query lemmas ("contains"/"contain",
+            # "exprs"/"expression").  Generic auxiliary tokens ("has", "is")
+            # carry no lexical information — ``hasType`` means *type* — so
+            # they are stripped from multi-token names before comparison.
+            raw = tuple(
+                dict.fromkeys(
+                    synonyms.expand(lemmatize(synonyms.expand(t)))
+                    for t in entry.resolved_name_tokens()
+                )
+            )
+            if len(raw) > 1:
+                stripped = tuple(t for t in raw if t not in _GENERIC_TOKENS)
+                raw = stripped or raw
+            self._name_raw[entry.name] = raw
+            self._name_sets[entry.name] = tuple(
+                synonyms.canonical_set(t) for t in raw
+            )
+            self._keyword_sets[entry.name] = tuple(
+                synonyms.canonical_set(k)
+                for k in dict.fromkeys(entry.keywords())
+            )
+        self._cache: Dict[str, List[ApiCandidate]] = {}
+
+    # ------------------------------------------------------------------
+
+    def _phrase_views(
+        self, phrase: str
+    ) -> Tuple[Tuple[str, ...], Tuple[frozenset, ...]]:
+        raw = tuple(
+            dict.fromkeys(
+                self.synonyms.expand(tok) for tok in phrase.lower().split()
+            )
+        )
+        return raw, tuple(self.synonyms.canonical_set(t) for t in raw)
+
+    @staticmethod
+    def _overlap_dice(
+        a_sets: Sequence[frozenset], b_sets: Sequence[frozenset]
+    ) -> float:
+        """Dice coefficient generalized to set-valued tokens: a token on one
+        side counts as matched when it intersects any token of the other."""
+        if not a_sets or not b_sets:
+            return 0.0
+        matched_a = sum(1 for s in a_sets if any(s & t for t in b_sets))
+        matched_b = sum(1 for t in b_sets if any(s & t for s in a_sets))
+        return (matched_a + matched_b) / (len(a_sets) + len(b_sets))
+
+    def _similarity_score(
+        self, phrase_tokens: Sequence[str], name_tokens: Sequence[str]
+    ) -> float:
+        """Best-pair token similarity, gated by the floor."""
+        best = 0.0
+        for p in phrase_tokens:
+            for n in name_tokens:
+                best = max(best, token_similarity(p, n))
+        return best if best >= self.config.similarity_floor else 0.0
+
+    def candidates(self, phrase: str) -> List[ApiCandidate]:
+        """Ranked candidate APIs for a word or merged phrase (lemmas,
+        space-separated)."""
+        cached = self._cache.get(phrase)
+        if cached is not None:
+            return list(cached)
+
+        phrase_raw, phrase_sets = self._phrase_views(phrase)
+        results: List[ApiCandidate] = []
+        for name in self.document.names():
+            name_score = self._overlap_dice(phrase_sets, self._name_sets[name])
+            desc_score = (
+                self._overlap_dice(phrase_sets, self._keyword_sets[name])
+                * self.config.description_weight
+            )
+            sim_score = (
+                self._similarity_score(phrase_raw, self._name_raw[name])
+                * self.config.similarity_weight
+            )
+            score, source = max(
+                (name_score, "name"),
+                (desc_score, "description"),
+                (sim_score, "similarity"),
+            )
+            if score >= self.config.min_score:
+                results.append(ApiCandidate(name, round(score, 4), source))
+
+        results.sort(key=lambda c: (-c.score, c.name))
+        trimmed = results[: self.config.max_candidates]
+        self._cache[phrase] = trimmed
+        return list(trimmed)
+
+    def candidate_names(self, phrase: str) -> List[str]:
+        return [c.name for c in self.candidates(phrase)]
+
+
+WordToApiMap = Dict[int, List[ApiCandidate]]
+
+
+def build_word_to_api_map(graph, matcher: WordToApiMatcher) -> WordToApiMap:
+    """The paper's *WordToAPI map*: pruned-graph node id -> candidates.
+
+    Literal nodes (quoted strings, numerals) are left out — the domain binds
+    them to literal-slot APIs separately (see ``Domain.literal_apis``).
+    """
+    mapping: WordToApiMap = {}
+    for node in graph.nodes():
+        if node.is_literal:
+            continue
+        mapping[node.node_id] = matcher.candidates(node.lemma)
+    return mapping

@@ -1,0 +1,27 @@
+"""Runtime executors for the synthesized codelets.
+
+The paper stops at emitting codelet text; a production release should also
+*run* it.  Two executors:
+
+* :mod:`repro.runtime.textedit` — applies TextEditing codelets to real text
+  (documents, lines, sentences, words, characters);
+* :mod:`repro.runtime.cppast` + :mod:`repro.runtime.matcher_eval` — a mini
+  C++ front end and an ASTMatcher evaluator, so matcher codelets can be run
+  against source code and return the nodes they match.
+
+Both enable end-to-end *semantic* testing: synthesize from English, execute,
+assert the effect.
+"""
+
+from repro.runtime.matcher_eval import MatchEvaluator, match_codelet
+from repro.runtime.cppast import AstNode, parse_cpp
+from repro.runtime.textedit import TextDocument, execute_codelet
+
+__all__ = [
+    "TextDocument",
+    "execute_codelet",
+    "parse_cpp",
+    "AstNode",
+    "MatchEvaluator",
+    "match_codelet",
+]

@@ -1,0 +1,703 @@
+"""A miniature C++ front end producing Clang-style AST nodes.
+
+Supports the language subset the ASTMatcher evaluation queries care about:
+classes/structs with bases and access sections, methods with qualifiers
+(virtual/static/const/override/final, ``= 0``, ``= delete``, ``= default``),
+constructors, fields, free functions, namespaces, enums, the core statements
+(compound/if/for/while/return/break/continue/declarations) and expressions
+(binary/unary operators, calls, member access, literals, new/delete/throw).
+
+Nodes carry Clang's matcher-facing vocabulary: ``kind`` uses the node-matcher
+names (``functionDecl``, ``binaryOperator``, ``integerLiteral``, ...), and
+attributes mirror the narrowing matchers (``name``, ``operator``, ``type``,
+``is_virtual``, ...).  :mod:`repro.runtime.matcher_eval` evaluates matcher
+codelets against these trees.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+
+class CppParseError(ReproError):
+    """The mini front end could not parse the source."""
+
+
+@dataclass
+class AstNode:
+    """One AST node, named after its Clang node-matcher."""
+
+    kind: str
+    name: str = ""
+    attrs: Dict[str, object] = field(default_factory=dict)
+    children: List["AstNode"] = field(default_factory=list)
+    parent: Optional["AstNode"] = None
+
+    def add(self, child: Optional["AstNode"]) -> None:
+        if child is not None:
+            child.parent = self
+            self.children.append(child)
+
+    def walk(self) -> Iterator["AstNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def descendants(self) -> Iterator["AstNode"]:
+        for child in self.children:
+            yield from child.walk()
+
+    def ancestors(self) -> Iterator["AstNode"]:
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def find(self, kind: str) -> List["AstNode"]:
+        return [n for n in self.walk() if n.kind == kind]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f"{self.kind}"
+        if self.name:
+            label += f" {self.name!r}"
+        return f"AstNode({label}, {len(self.children)} children)"
+
+
+# ----------------------------------------------------------------------
+# Lexer
+# ----------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>\s+|//[^\n]*|/\*.*?\*/)
+    | (?P<float>\d+\.\d+[fF]?)
+    | (?P<int>\d+)
+    | (?P<string>"(?:[^"\\]|\\.)*")
+    | (?P<char>'(?:[^'\\]|\\.)')
+    | (?P<id>[A-Za-z_][A-Za-z0-9_]*)
+    | (?P<op><<=|>>=|->\*|<=|>=|==|!=|&&|\|\||\+\+|--|\+=|-=|\*=|/=|%=|->|::|<<|>>|[-+*/%=<>!&|^~.,;:(){}\[\]?])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+_KEYWORDS = {
+    "class", "struct", "namespace", "enum", "public", "private", "protected",
+    "virtual", "static", "const", "constexpr", "inline", "override", "final",
+    "if", "else", "for", "while", "do", "return", "break", "continue",
+    "new", "delete", "throw", "true", "false", "nullptr", "void", "int",
+    "float", "double", "char", "bool", "long", "short", "unsigned", "signed",
+    "auto", "using", "typedef", "default", "this", "friend", "explicit",
+}
+
+_TYPE_KEYWORDS = {
+    "void", "int", "float", "double", "char", "bool", "long", "short",
+    "unsigned", "signed", "auto", "const",
+}
+
+
+def _lex(source: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise CppParseError(
+                f"unexpected character {source[pos]!r} at offset {pos}"
+            )
+        pos = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        text = match.group(0)
+        if kind == "id" and text in _KEYWORDS:
+            tokens.append(("kw", text))
+        else:
+            tokens.append((kind, text))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.tokens = _lex(source)
+        self.pos = 0
+
+    # -- token helpers ---------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Tuple[str, str]:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def at(self, text: str) -> bool:
+        return self.peek()[1] == text
+
+    def at_kind(self, kind: str) -> bool:
+        return self.peek()[0] == kind
+
+    def advance(self) -> Tuple[str, str]:
+        token = self.tokens[self.pos]
+        if token[0] != "eof":
+            self.pos += 1
+        return token
+
+    def expect(self, text: str) -> None:
+        if not self.at(text):
+            raise CppParseError(
+                f"expected {text!r}, found {self.peek()[1]!r} "
+                f"(token {self.pos})"
+            )
+        self.advance()
+
+    def skip_until(self, text: str) -> None:
+        depth = 0
+        while not self.at_kind("eof"):
+            tok = self.peek()[1]
+            if depth == 0 and tok == text:
+                return
+            if tok in "({[":
+                depth += 1
+            elif tok in ")}]":
+                depth -= 1
+            self.advance()
+
+    # -- types -----------------------------------------------------------
+
+    def looks_like_type(self) -> bool:
+        kind, text = self.peek()
+        if kind == "kw" and text in _TYPE_KEYWORDS:
+            return True
+        if kind == "id":
+            nk, nt = self.peek(1)
+            return nk == "id" or nt in ("*", "&", "<", "::")
+        return False
+
+    def parse_type(self) -> str:
+        parts: List[str] = []
+        while True:
+            kind, text = self.peek()
+            if kind == "kw" and text in _TYPE_KEYWORDS:
+                parts.append(self.advance()[1])
+            elif kind == "id" and (not parts or parts[-1] == "::"):
+                parts.append(self.advance()[1])
+            elif text == "::":
+                parts.append(self.advance()[1])
+            elif text == "<":  # template args: swallow balanced
+                depth = 0
+                buf = []
+                while True:
+                    tok = self.advance()[1]
+                    buf.append(tok)
+                    if tok == "<":
+                        depth += 1
+                    elif tok == ">":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                parts.append("".join(buf))
+            elif text in ("*", "&"):
+                parts.append(self.advance()[1])
+            else:
+                break
+        if not parts:
+            raise CppParseError(f"expected a type at token {self.pos}")
+        return " ".join(parts).replace(" *", "*").replace(" &", "&")
+
+    # -- top level ---------------------------------------------------------
+
+    def parse_translation_unit(self) -> AstNode:
+        root = AstNode("translationUnitDecl")
+        while not self.at_kind("eof"):
+            root.add(self.parse_top_decl())
+        return root
+
+    def parse_top_decl(self) -> Optional[AstNode]:
+        kind, text = self.peek()
+        if text == ";":
+            self.advance()
+            return None
+        if text == "namespace":
+            return self.parse_namespace()
+        if text in ("class", "struct"):
+            return self.parse_record()
+        if text == "enum":
+            return self.parse_enum()
+        if text in ("using", "typedef"):
+            self.skip_until(";")
+            self.expect(";")
+            return AstNode("typedefDecl")
+        return self.parse_function_or_var()
+
+    def parse_namespace(self) -> AstNode:
+        self.expect("namespace")
+        name = self.advance()[1] if self.at_kind("id") else ""
+        node = AstNode("namespaceDecl", name)
+        self.expect("{")
+        while not self.at("}"):
+            node.add(self.parse_top_decl())
+        self.expect("}")
+        return node
+
+    def parse_enum(self) -> AstNode:
+        self.expect("enum")
+        if self.at("class") or self.at("struct"):
+            self.advance()
+        name = self.advance()[1] if self.at_kind("id") else ""
+        node = AstNode("enumDecl", name)
+        if self.at("{"):
+            self.advance()
+            while not self.at("}"):
+                if self.at_kind("id"):
+                    node.add(AstNode("enumConstantDecl", self.advance()[1]))
+                    if self.at("="):
+                        self.skip_until(",") if "," in [
+                            t[1] for t in self.tokens[self.pos:]
+                        ] else self.skip_until("}")
+                if self.at(","):
+                    self.advance()
+                elif not self.at("}"):
+                    self.skip_until("}")
+            self.expect("}")
+        if self.at(";"):
+            self.advance()
+        return node
+
+    def parse_record(self) -> AstNode:
+        keyword = self.advance()[1]  # class | struct
+        name = self.advance()[1] if self.at_kind("id") else ""
+        node = AstNode("cxxRecordDecl", name)
+        node.attrs["tag"] = keyword
+        node.attrs["bases"] = []
+        if self.at(":"):
+            self.advance()
+            while True:
+                if self.peek()[1] in ("public", "private", "protected", "virtual"):
+                    self.advance()
+                    continue
+                if self.at_kind("id"):
+                    node.attrs["bases"].append(self.advance()[1])
+                if self.at(","):
+                    self.advance()
+                    continue
+                break
+        if self.at("{"):
+            self.advance()
+            access = "private" if keyword == "class" else "public"
+            while not self.at("}"):
+                if self.peek()[1] in ("public", "private", "protected"):
+                    access = self.advance()[1]
+                    self.expect(":")
+                    continue
+                member = self.parse_member(node, access)
+                node.add(member)
+            self.expect("}")
+        if self.at(";"):
+            self.advance()
+        return node
+
+    def parse_member(self, record: AstNode, access: str) -> Optional[AstNode]:
+        quals = self._parse_qualifiers()
+        if self.at(";"):
+            self.advance()
+            return None
+        # Constructor: identifier equal to the record name followed by "("
+        if (
+            self.at_kind("id")
+            and self.peek()[1] == record.name
+            and self.peek(1)[1] == "("
+        ):
+            self.advance()  # the constructor's name
+            ctor = self._parse_function_tail(
+                "cxxConstructorDecl", record.name, "", quals
+            )
+            ctor.attrs["access"] = access
+            return ctor
+        if self.at("~"):
+            self.advance()
+            name = self.advance()[1]
+            dtor = self._parse_function_tail(
+                "cxxDestructorDecl", "~" + name, "void", quals
+            )
+            dtor.attrs["access"] = access
+            return dtor
+        ty = self.parse_type()
+        name = self.advance()[1] if self.at_kind("id") else ""
+        if self.at("("):
+            method = self._parse_function_tail("cxxMethodDecl", name, ty, quals)
+            method.attrs["access"] = access
+            return method
+        node = AstNode("fieldDecl", name)
+        node.attrs["type"] = ty
+        node.attrs["access"] = access
+        node.attrs.update(quals)
+        if self.at("="):
+            self.advance()
+            node.add(self.parse_expression())
+        self.expect(";")
+        return node
+
+    def _parse_qualifiers(self) -> Dict[str, bool]:
+        quals: Dict[str, bool] = {}
+        mapping = {
+            "virtual": "is_virtual",
+            "static": "is_static",
+            "constexpr": "is_constexpr",
+            "inline": "is_inline",
+            "explicit": "is_explicit",
+            "friend": "is_friend",
+        }
+        while self.peek()[1] in mapping:
+            quals[mapping[self.advance()[1]]] = True
+        return quals
+
+    def parse_function_or_var(self) -> Optional[AstNode]:
+        quals = self._parse_qualifiers()
+        ty = self.parse_type()
+        name = self.advance()[1] if self.at_kind("id") else ""
+        if self.at("("):
+            return self._parse_function_tail("functionDecl", name, ty, quals)
+        node = AstNode("varDecl", name)
+        node.attrs["type"] = ty
+        node.attrs.update(quals)
+        if self.at("="):
+            self.advance()
+            node.add(self.parse_expression())
+        self.expect(";")
+        return node
+
+    def _parse_function_tail(
+        self, kind: str, name: str, return_type: str, quals: Dict[str, bool]
+    ) -> AstNode:
+        node = AstNode(kind, name)
+        node.attrs["type"] = return_type
+        node.attrs.update(quals)
+        self.expect("(")
+        params = []
+        while not self.at(")"):
+            if self.at("..."):
+                node.attrs["is_variadic"] = True
+                self.advance()
+            else:
+                pty = self.parse_type()
+                pname = self.advance()[1] if self.at_kind("id") else ""
+                param = AstNode("parmVarDecl", pname)
+                param.attrs["type"] = pty
+                if self.at("="):
+                    self.advance()
+                    param.add(self.parse_expression())
+                params.append(param)
+            if self.at(","):
+                self.advance()
+        self.expect(")")
+        for param in params:
+            node.add(param)
+        node.attrs["param_count"] = len(params)
+        while self.peek()[1] in ("const", "override", "final", "noexcept"):
+            tok = self.advance()[1]
+            node.attrs[
+                {"const": "is_const", "override": "is_override",
+                 "final": "is_final", "noexcept": "is_noexcept"}[tok]
+            ] = True
+        if self.at(":") and kind == "cxxConstructorDecl":
+            # member initializer list: name(expr), ...
+            self.advance()
+            while self.at_kind("id"):
+                init_name = self.advance()[1]
+                init = AstNode("cxxCtorInitializer", init_name)
+                self.expect("(")
+                if not self.at(")"):
+                    init.add(self.parse_expression())
+                self.expect(")")
+                node.add(init)
+                if self.at(","):
+                    self.advance()
+        if self.at("="):
+            self.advance()
+            what = self.advance()[1]
+            if what == "0":
+                node.attrs["is_pure"] = True
+                node.attrs["is_virtual"] = True
+            elif what == "delete":
+                node.attrs["is_deleted"] = True
+            elif what == "default":
+                node.attrs["is_defaulted"] = True
+            self.expect(";")
+            return node
+        if self.at("{"):
+            node.add(self.parse_compound())
+            node.attrs["is_definition"] = True
+        elif self.at(";"):
+            self.advance()
+        return node
+
+    # -- statements --------------------------------------------------------
+
+    def parse_compound(self) -> AstNode:
+        node = AstNode("compoundStmt")
+        self.expect("{")
+        while not self.at("}"):
+            node.add(self.parse_statement())
+        self.expect("}")
+        return node
+
+    def parse_statement(self) -> Optional[AstNode]:
+        kind, text = self.peek()
+        if text == "{":
+            return self.parse_compound()
+        if text == ";":
+            self.advance()
+            return AstNode("nullStmt")
+        if text == "if":
+            return self.parse_if()
+        if text == "for":
+            return self.parse_for()
+        if text == "while":
+            return self.parse_while()
+        if text == "return":
+            self.advance()
+            node = AstNode("returnStmt")
+            if not self.at(";"):
+                node.add(self.parse_expression())
+            self.expect(";")
+            return node
+        if text == "break":
+            self.advance()
+            self.expect(";")
+            return AstNode("breakStmt")
+        if text == "continue":
+            self.advance()
+            self.expect(";")
+            return AstNode("continueStmt")
+        if text == "throw":
+            self.advance()
+            node = AstNode("cxxThrowExpr")
+            if not self.at(";"):
+                node.add(self.parse_expression())
+            self.expect(";")
+            return node
+        if self.looks_like_type() and self.peek(1)[0] == "id":
+            decl_stmt = AstNode("declStmt")
+            ty = self.parse_type()
+            name = self.advance()[1]
+            var = AstNode("varDecl", name)
+            var.attrs["type"] = ty
+            if self.at("="):
+                self.advance()
+                var.add(self.parse_expression())
+            elif self.at("("):
+                self.advance()
+                construct = AstNode("cxxConstructExpr", ty)
+                while not self.at(")"):
+                    construct.add(self.parse_expression())
+                    if self.at(","):
+                        self.advance()
+                self.expect(")")
+                var.add(construct)
+            decl_stmt.add(var)
+            self.expect(";")
+            return decl_stmt
+        expr = self.parse_expression()
+        self.expect(";")
+        return expr
+
+    def parse_if(self) -> AstNode:
+        self.expect("if")
+        node = AstNode("ifStmt")
+        self.expect("(")
+        node.attrs["condition"] = len(node.children)
+        node.add(self.parse_expression())
+        self.expect(")")
+        node.attrs["then"] = len(node.children)
+        node.add(self.parse_statement())
+        if self.at("else"):
+            self.advance()
+            node.attrs["else"] = len(node.children)
+            node.add(self.parse_statement())
+        return node
+
+    def parse_for(self) -> AstNode:
+        self.expect("for")
+        node = AstNode("forStmt")
+        self.expect("(")
+        if not self.at(";"):
+            node.attrs["init"] = len(node.children)
+            node.add(self.parse_statement())  # consumes ';'
+        else:
+            self.advance()
+        if not self.at(";"):
+            node.attrs["condition"] = len(node.children)
+            node.add(self.parse_expression())
+        self.expect(";")
+        if not self.at(")"):
+            node.attrs["increment"] = len(node.children)
+            node.add(self.parse_expression())
+        self.expect(")")
+        node.attrs["body"] = len(node.children)
+        node.add(self.parse_statement())
+        return node
+
+    def parse_while(self) -> AstNode:
+        self.expect("while")
+        node = AstNode("whileStmt")
+        self.expect("(")
+        node.attrs["condition"] = len(node.children)
+        node.add(self.parse_expression())
+        self.expect(")")
+        node.attrs["body"] = len(node.children)
+        node.add(self.parse_statement())
+        return node
+
+    # -- expressions --------------------------------------------------------
+
+    _BINARY_LEVELS = [
+        ("=", "+=", "-=", "*=", "/=", "%="),
+        ("||",),
+        ("&&",),
+        ("==", "!="),
+        ("<", ">", "<=", ">="),
+        ("+", "-"),
+        ("*", "/", "%"),
+    ]
+
+    def parse_expression(self, level: int = 0) -> AstNode:
+        if level >= len(self._BINARY_LEVELS):
+            return self.parse_unary()
+        left = self.parse_expression(level + 1)
+        while self.peek()[1] in self._BINARY_LEVELS[level]:
+            op = self.advance()[1]
+            right = self.parse_expression(level + 1)
+            node = AstNode("binaryOperator")
+            node.attrs["operator"] = op
+            node.attrs["lhs"] = 0
+            node.attrs["rhs"] = 1
+            node.add(left)
+            node.add(right)
+            left = node
+        return left
+
+    def parse_unary(self) -> AstNode:
+        text = self.peek()[1]
+        if text in ("!", "-", "+", "~", "*", "&", "++", "--"):
+            self.advance()
+            node = AstNode("unaryOperator")
+            node.attrs["operator"] = text
+            node.add(self.parse_unary())
+            return node
+        if text == "new":
+            self.advance()
+            node = AstNode("cxxNewExpr")
+            node.attrs["type"] = self.parse_type()
+            if self.at("("):
+                self.advance()
+                while not self.at(")"):
+                    node.add(self.parse_expression())
+                    if self.at(","):
+                        self.advance()
+                self.expect(")")
+            return node
+        if text == "delete":
+            self.advance()
+            node = AstNode("cxxDeleteExpr")
+            node.add(self.parse_unary())
+            return node
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> AstNode:
+        node = self.parse_primary()
+        while True:
+            text = self.peek()[1]
+            if text == "(":
+                self.advance()
+                kind = (
+                    "cxxMemberCallExpr"
+                    if node.kind == "memberExpr"
+                    else "callExpr"
+                )
+                call = AstNode(kind, node.name)
+                call.attrs["callee_name"] = node.name
+                call.add(node)
+                n_args = 0
+                while not self.at(")"):
+                    call.add(self.parse_expression())
+                    n_args += 1
+                    if self.at(","):
+                        self.advance()
+                self.expect(")")
+                call.attrs["arg_count"] = n_args
+                node = call
+            elif text in (".", "->"):
+                arrow = self.advance()[1] == "->"
+                member = self.advance()[1]
+                access = AstNode("memberExpr", member)
+                access.attrs["is_arrow"] = arrow
+                access.add(node)
+                node = access
+            elif text == "[":
+                self.advance()
+                subscript = AstNode("arraySubscriptExpr")
+                subscript.attrs["base"] = 0
+                subscript.add(node)
+                subscript.attrs["index"] = 1
+                subscript.add(self.parse_expression())
+                self.expect("]")
+                node = subscript
+            elif text in ("++", "--"):
+                self.advance()
+                post = AstNode("unaryOperator")
+                post.attrs["operator"] = text
+                post.add(node)
+                node = post
+            else:
+                return node
+
+    def parse_primary(self) -> AstNode:
+        kind, text = self.peek()
+        if text == "(":
+            self.advance()
+            inner = self.parse_expression()
+            self.expect(")")
+            paren = AstNode("parenExpr")
+            paren.add(inner)
+            return paren
+        if kind == "int":
+            self.advance()
+            node = AstNode("integerLiteral", text)
+            node.attrs["value"] = int(text)
+            return node
+        if kind == "float":
+            self.advance()
+            node = AstNode("floatLiteral", text)
+            node.attrs["value"] = float(text.rstrip("fF"))
+            return node
+        if kind == "string":
+            self.advance()
+            return AstNode("stringLiteral", text[1:-1])
+        if kind == "char":
+            self.advance()
+            return AstNode("characterLiteral", text[1:-1])
+        if text in ("true", "false"):
+            self.advance()
+            return AstNode("cxxBoolLiteral", text)
+        if text == "nullptr":
+            self.advance()
+            return AstNode("cxxNullPtrLiteralExpr")
+        if text == "this":
+            self.advance()
+            return AstNode("cxxThisExpr")
+        if kind == "id" or (kind == "kw" and text in _TYPE_KEYWORDS):
+            self.advance()
+            return AstNode("declRefExpr", text)
+        raise CppParseError(f"unexpected token {text!r} in expression")
+
+
+def parse_cpp(source: str) -> AstNode:
+    """Parse C++ source (mini subset) into a Clang-style AST."""
+    return _Parser(source).parse_translation_unit()

@@ -1,0 +1,424 @@
+"""Interpreter for TextEditing codelets.
+
+Executes the DSL the synthesizer targets — so the pipeline runs end to end:
+English query -> codelet -> *edited text*.  Semantics follow the command
+language's intent (Desai et al. [9]): a command applies to the units of an
+iteration scope that satisfy the occurrence condition, selected by the
+quantifier.
+
+    >>> from repro.runtime.textedit import execute_codelet
+    >>> result = execute_codelet(
+    ...     'INSERT(STRING(":"), ITERATIONSCOPE(LINESCOPE(), '
+    ...     'BCONDOCCURRENCE(CONTAINS(NUMBERTOKEN()), ALL())))',
+    ...     "alpha\\nbeta 42\\ngamma",
+    ... )
+    >>> result.text
+    'alpha\\nbeta 42:\\ngamma'
+
+Splitting is structure-preserving (separators are kept), so edits reassemble
+the exact document around the touched units.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.core.expression import Expr, parse_expression
+from repro.errors import ReproError
+
+
+class ExecutionError(ReproError):
+    """A codelet could not be executed (unknown API, bad arguments)."""
+
+
+#: Regexes for the token classes.
+TOKEN_PATTERNS: Dict[str, str] = {
+    "NUMBERTOKEN": r"\d+",
+    "WORDTOKEN": r"[A-Za-z]+",
+    "CHARTOKEN": r".",
+    "LINETOKEN": r"[^\n]+",
+    "SENTENCETOKEN": r"[^.!?]+[.!?]?",
+    "COMMATOKEN": r",",
+    "COLONTOKEN": r":",
+    "SEMICOLONTOKEN": r";",
+    "SPACETOKEN": r" ",
+    "TABTOKEN": r"\t",
+    "DASHTOKEN": r"-",
+    "QUOTETOKEN": r"[\"']",
+    "CAPSTOKEN": r"[A-Z]",
+}
+
+_SCOPE_SPLITTERS: Dict[str, str] = {
+    "LINESCOPE": r"(\n)",
+    "PARAGRAPHSCOPE": r"(\n{2,})",
+    "SENTENCESCOPE": r"([.!?]\s*)",
+    "WORDSCOPE": r"(\s+)",
+    "CHARSCOPE": r"()",
+}
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of running one codelet."""
+
+    text: str
+    output: List[str] = field(default_factory=list)
+    count: Optional[int] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ExecutionResult(text={self.text!r}, count={self.count})"
+
+
+class TextDocument:
+    """A document with structure-preserving scope splitting."""
+
+    def __init__(self, text: str):
+        self.text = text
+
+    def split(self, scope: str) -> Tuple[List[str], Callable[[List[str]], str]]:
+        """(units, rejoin) for a scope; ``rejoin(units)`` rebuilds the text
+        with the original separators."""
+        if scope == "DOCUMENTSCOPE":
+            return [self.text], lambda units: units[0]
+        if scope == "CHARSCOPE":
+            chars = list(self.text)
+            return chars, lambda units: "".join(units)
+        pattern = _SCOPE_SPLITTERS.get(scope)
+        if pattern is None:
+            raise ExecutionError(f"unknown scope {scope!r}")
+        parts = re.split(pattern, self.text)
+        units = parts[0::2]
+        separators = parts[1::2]
+
+        def rejoin(new_units: List[str]) -> str:
+            out: List[str] = []
+            for index, unit in enumerate(new_units):
+                out.append(unit)
+                if index < len(separators):
+                    out.append(separators[index])
+            return "".join(out)
+
+        return units, rejoin
+
+
+# ----------------------------------------------------------------------
+# Argument extraction helpers
+# ----------------------------------------------------------------------
+
+
+def _find_arg(expr: Expr, names: Tuple[str, ...]) -> Optional[Expr]:
+    for arg in expr.args:
+        if not arg.is_literal and arg.name in names:
+            return arg
+    return None
+
+
+def _literal_of(expr: Optional[Expr]) -> Optional[str]:
+    if expr is None:
+        return None
+    for arg in expr.args:
+        if arg.is_literal:
+            return arg.name
+    return None
+
+
+_TOKEN_NAMES = tuple(TOKEN_PATTERNS)
+_ORDINALS = ("FIRSTTOKEN", "LASTTOKEN", "NTHTOKEN")
+_POSITIONS = ("START", "END", "POSITION", "AFTER", "BEFORE", "STARTFROM", "ENDAT")
+
+
+def _token_pattern(expr: Expr) -> str:
+    return TOKEN_PATTERNS[expr.name]
+
+
+# ----------------------------------------------------------------------
+# Iteration: select the scope units a command applies to
+# ----------------------------------------------------------------------
+
+
+def _occurrence_test(occ: Optional[Expr]) -> Callable[[str], bool]:
+    if occ is None:
+        return lambda unit: True
+    name = occ.name
+    if name == "EMPTY":
+        return lambda unit: unit.strip() == ""
+    token = _find_arg(occ, _TOKEN_NAMES)
+    literal = next((a.name for a in occ.args if a.is_literal), None)
+    if token is not None:
+        pattern = _token_pattern(token)
+    elif literal is not None:
+        pattern = re.escape(literal)
+    else:
+        pattern = r"(?!)"  # matches nothing
+    regex = re.compile(pattern)
+    if name == "CONTAINS":
+        return lambda unit: regex.search(unit) is not None
+    if name == "STARTSWITH":
+        return lambda unit: regex.match(unit) is not None
+    if name == "ENDSWITH":
+        return lambda unit: re.search(pattern + r"\Z", unit) is not None
+    if name == "MATCHES":
+        return lambda unit: re.fullmatch(pattern, unit) is not None
+    raise ExecutionError(f"unknown occurrence condition {name!r}")
+
+
+def _apply_quantifier(indices: List[int], quant: Optional[Expr]) -> List[int]:
+    if quant is None or quant.name == "ALL" or not indices:
+        return indices
+    if quant.name == "FIRSTOCC":
+        return indices[:1]
+    if quant.name == "LASTOCC":
+        return indices[-1:]
+    if quant.name == "NTHOCC":
+        n = _literal_of(quant)
+        if n is None:
+            return indices[:1]
+        k = int(float(n))
+        return indices[k - 1 : k] if 1 <= k <= len(indices) else []
+    raise ExecutionError(f"unknown quantifier {quant.name!r}")
+
+
+def _selected_units(
+    doc: TextDocument, iteration: Optional[Expr]
+) -> Tuple[List[str], List[int], Callable[[List[str]], str]]:
+    """(units, selected indices, rejoin) for a command's iteration scope."""
+    scope_name = "DOCUMENTSCOPE"
+    occ = quant = None
+    if iteration is not None:
+        scope = _find_arg(
+            iteration,
+            ("LINESCOPE", "WORDSCOPE", "SENTENCESCOPE", "PARAGRAPHSCOPE",
+             "DOCUMENTSCOPE", "CHARSCOPE"),
+        )
+        if scope is not None:
+            scope_name = scope.name
+        cond = _find_arg(iteration, ("BCONDOCCURRENCE", "ALWAYS"))
+        if cond is not None and cond.name == "BCONDOCCURRENCE":
+            occ = _find_arg(
+                cond, ("CONTAINS", "STARTSWITH", "ENDSWITH", "MATCHES", "EMPTY")
+            )
+            quant = _find_arg(cond, ("ALL", "FIRSTOCC", "LASTOCC", "NTHOCC"))
+    units, rejoin = doc.split(scope_name)
+    test = _occurrence_test(occ)
+    matching = [i for i, unit in enumerate(units) if test(unit)]
+    return units, _apply_quantifier(matching, quant), rejoin
+
+
+# ----------------------------------------------------------------------
+# Targets: what inside a unit the command touches
+# ----------------------------------------------------------------------
+
+
+def _target_spans(unit: str, target: Optional[Expr]) -> List[Tuple[int, int]]:
+    """Character spans of the target inside a unit; [(0, len)] if the whole
+    unit is the target."""
+    if target is None:
+        return [(0, len(unit))]
+    if target.name in _ORDINALS:
+        inner = _find_arg(target, _TOKEN_NAMES)
+        pattern = _token_pattern(inner) if inner is not None else r"\S+"
+        spans = [m.span() for m in re.finditer(pattern, unit)]
+        if not spans:
+            return []
+        if target.name == "FIRSTTOKEN":
+            return spans[:1]
+        if target.name == "LASTTOKEN":
+            return spans[-1:]
+        n = _literal_of(target)
+        k = int(float(n)) if n else 1
+        return spans[k - 1 : k] if 1 <= k <= len(spans) else []
+    if target.name in _TOKEN_NAMES:
+        return [m.span() for m in re.finditer(_token_pattern(target), unit)]
+    if target.name == "STRING":
+        value = _literal_of(target) or ""
+        if not value:
+            return []
+        return [m.span() for m in re.finditer(re.escape(value), unit)]
+    raise ExecutionError(f"unknown target {target.name!r}")
+
+
+def _position_index(unit: str, pos: Optional[Expr]) -> int:
+    """Insertion index for a position expression (default: END)."""
+    if pos is None or pos.name == "END":
+        return len(unit)
+    if pos.name == "START":
+        return 0
+    if pos.name in ("POSITION", "STARTFROM"):
+        n = _literal_of(pos)
+        return min(int(float(n)) if n else 0, len(unit))
+    if pos.name == "ENDAT":
+        n = _literal_of(pos)
+        return min(int(float(n)) if n else len(unit), len(unit))
+    if pos.name in ("AFTER", "BEFORE"):
+        anchor = _find_arg(pos, _TOKEN_NAMES + ("ANCHORSTR", "CHARTOKEN"))
+        if anchor is not None and anchor.name == "ANCHORSTR":
+            value = _literal_of(anchor) or ""
+            at = unit.find(value)
+            if at < 0:
+                return len(unit)
+            return at + len(value) if pos.name == "AFTER" else at
+        if anchor is not None and anchor.name == "CHARTOKEN":
+            n = _literal_of(anchor)
+            if n is not None:
+                k = min(int(float(n)), len(unit))
+                return k
+        if anchor is not None:
+            match = re.search(_token_pattern(anchor), unit)
+            if match is None:
+                return len(unit)
+            return match.end() if pos.name == "AFTER" else match.start()
+        return len(unit)
+    raise ExecutionError(f"unknown position {pos.name!r}")
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+
+
+def _target_of(expr: Expr) -> Optional[Expr]:
+    return _find_arg(expr, _TOKEN_NAMES + _ORDINALS + ("STRING",))
+
+
+def _edit_units(
+    doc: TextDocument,
+    expr: Expr,
+    edit: Callable[[str], str],
+) -> ExecutionResult:
+    iteration = _find_arg(expr, ("ITERATIONSCOPE",))
+    units, selected, rejoin = _selected_units(doc, iteration)
+    chosen = set(selected)
+    new_units = [
+        edit(unit) if i in chosen else unit for i, unit in enumerate(units)
+    ]
+    return ExecutionResult(text=rejoin(new_units))
+
+
+def _exec_insert(doc: TextDocument, expr: Expr) -> ExecutionResult:
+    string = _find_arg(expr, ("STRING",))
+    value = _literal_of(string) or ""
+    pos = _find_arg(expr, _POSITIONS)
+
+    def edit(unit: str) -> str:
+        at = _position_index(unit, pos)
+        return unit[:at] + value + unit[at:]
+
+    return _edit_units(doc, expr, edit)
+
+
+def _exec_delete(doc: TextDocument, expr: Expr) -> ExecutionResult:
+    target = _target_of(expr)
+
+    def edit(unit: str) -> str:
+        if target is None:
+            return ""
+        spans = _target_spans(unit, target)
+        out = unit
+        for start, end in reversed(spans):
+            out = out[:start] + out[end:]
+        return out
+
+    return _edit_units(doc, expr, edit)
+
+
+def _exec_replace(doc: TextDocument, expr: Expr) -> ExecutionResult:
+    src = _literal_of(_find_arg(expr, ("SRCSTRING",))) or ""
+    dst = _literal_of(_find_arg(expr, ("DSTSTRING",))) or ""
+
+    def edit(unit: str) -> str:
+        return unit.replace(src, dst) if src else unit
+
+    return _edit_units(doc, expr, edit)
+
+
+def _exec_case(doc: TextDocument, expr: Expr, upper: bool) -> ExecutionResult:
+    target = _target_of(expr)
+
+    def transform(piece: str) -> str:
+        return piece.upper() if upper else piece.lower()
+
+    def edit(unit: str) -> str:
+        spans = _target_spans(unit, target)
+        out = unit
+        for start, end in reversed(spans):
+            out = out[:start] + transform(out[start:end]) + out[end:]
+        return out
+
+    return _edit_units(doc, expr, edit)
+
+
+def _exec_collect(doc: TextDocument, expr: Expr) -> ExecutionResult:
+    """SELECT / PRINT / COUNT share the collection semantics."""
+    target = _target_of(expr)
+    iteration = _find_arg(expr, ("ITERATIONSCOPE",))
+    units, selected, _rejoin = _selected_units(doc, iteration)
+    collected: List[str] = []
+    for index in selected:
+        unit = units[index]
+        for start, end in _target_spans(unit, target):
+            collected.append(unit[start:end])
+    result = ExecutionResult(text=doc.text, output=collected)
+    result.count = len(collected)
+    return result
+
+
+def _exec_copy_move(doc: TextDocument, expr: Expr, move: bool) -> ExecutionResult:
+    target = _target_of(expr)
+    pos = _find_arg(expr, _POSITIONS)
+
+    def edit(unit: str) -> str:
+        spans = _target_spans(unit, target)
+        if not spans:
+            return unit
+        start, end = spans[0]
+        piece = unit[start:end]
+        if move:
+            unit = unit[:start] + unit[end:]
+        at = _position_index(unit, pos)
+        return unit[:at] + piece + unit[at:]
+
+    return _edit_units(doc, expr, edit)
+
+
+def _exec_sort(doc: TextDocument, expr: Expr) -> ExecutionResult:
+    inner = _find_arg(
+        expr, ("LINESCOPE", "WORDSCOPE", "SENTENCESCOPE", "CHARSCOPE")
+    )
+    inner_scope = inner.name if inner is not None else "LINESCOPE"
+
+    def edit(unit: str) -> str:
+        sub_doc = TextDocument(unit)
+        sub_units, rejoin = sub_doc.split(inner_scope)
+        return rejoin(sorted(sub_units))
+
+    return _edit_units(doc, expr, edit)
+
+
+_COMMANDS: Dict[str, Callable[[TextDocument, Expr], ExecutionResult]] = {
+    "INSERT": _exec_insert,
+    "DELETE": _exec_delete,
+    "REPLACE": _exec_replace,
+    "SELECT": _exec_collect,
+    "PRINT": _exec_collect,
+    "COUNT": _exec_collect,
+    "CAPITALIZE": lambda doc, e: _exec_case(doc, e, upper=True),
+    "LOWERCASE": lambda doc, e: _exec_case(doc, e, upper=False),
+    "COPY": lambda doc, e: _exec_copy_move(doc, e, move=False),
+    "MOVE": lambda doc, e: _exec_copy_move(doc, e, move=True),
+    "SORT": _exec_sort,
+}
+
+
+def execute(expr: Expr, text: str) -> ExecutionResult:
+    """Run a TextEditing codelet AST against ``text``."""
+    handler = _COMMANDS.get(expr.name)
+    if handler is None:
+        raise ExecutionError(f"unknown TextEditing command {expr.name!r}")
+    return handler(TextDocument(text), expr)
+
+
+def execute_codelet(codelet: str, text: str) -> ExecutionResult:
+    """Parse and run codelet text against ``text``."""
+    return execute(parse_expression(codelet), text)

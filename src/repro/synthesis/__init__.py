@@ -1,0 +1,37 @@
+"""End-to-end synthesis: domain registration, problem building, engines."""
+
+from repro.synthesis.deadline import Deadline
+from repro.synthesis.domain import Domain
+from repro.synthesis.pipeline import Synthesizer, make_engine
+from repro.synthesis.problem import (
+    CandidatePath,
+    EndpointCandidate,
+    SynthesisProblem,
+    build_candidates,
+    build_problem,
+    drop_candidateless,
+    start_candidate,
+)
+from repro.synthesis.explain import explain_problem, explain_query
+from repro.synthesis.ranking import RankedCandidate, ranked_candidates
+from repro.synthesis.result import SynthesisOutcome, SynthesisStats
+
+__all__ = [
+    "Domain",
+    "Synthesizer",
+    "make_engine",
+    "Deadline",
+    "SynthesisProblem",
+    "build_problem",
+    "build_candidates",
+    "drop_candidateless",
+    "start_candidate",
+    "EndpointCandidate",
+    "CandidatePath",
+    "SynthesisOutcome",
+    "SynthesisStats",
+    "explain_query",
+    "explain_problem",
+    "ranked_candidates",
+    "RankedCandidate",
+]

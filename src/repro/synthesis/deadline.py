@@ -1,0 +1,49 @@
+"""Cooperative timeout support.
+
+The paper's evaluation sets a 20-second budget per query and counts a
+timeout as an error case (Sec. VII-B).  Both engines poll a
+:class:`Deadline` inside their hot loops — enumeration in HISyn, combination
+processing in DGGT — and raise :class:`~repro.errors.SynthesisTimeout` when
+the budget is exhausted.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.errors import SynthesisTimeout
+
+
+class Deadline:
+    """A wall-clock budget; ``check()`` is cheap enough for inner loops."""
+
+    def __init__(self, budget_seconds: Optional[float] = None):
+        if budget_seconds is not None and budget_seconds <= 0:
+            raise ValueError("budget_seconds must be positive (or None)")
+        self.budget_seconds = budget_seconds
+        self._start = time.monotonic()
+
+    @classmethod
+    def unlimited(cls) -> "Deadline":
+        return cls(None)
+
+    @property
+    def elapsed(self) -> float:
+        return time.monotonic() - self._start
+
+    @property
+    def expired(self) -> bool:
+        return (
+            self.budget_seconds is not None
+            and self.elapsed >= self.budget_seconds
+        )
+
+    def check(self) -> None:
+        """Raise :class:`SynthesisTimeout` when the budget is exhausted."""
+        if self.expired:
+            raise SynthesisTimeout(self.budget_seconds, self.elapsed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        budget = "unlimited" if self.budget_seconds is None else f"{self.budget_seconds}s"
+        return f"Deadline({budget}, elapsed={self.elapsed:.3f}s)"

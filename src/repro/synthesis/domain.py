@@ -1,0 +1,162 @@
+"""Domain registration: everything an NLU-driven synthesizer needs to know
+about one target DSL.
+
+Per the paper (Sec. II) a domain supplies (ii) the API document and (iii) the
+BNF grammar; this class bundles them with the derived grammar graph, the
+lexical knowledge table, and the pruning/matching policies.  The NLU-driven
+selling point — "when the APIs in the target domain change, it needs only
+the incorporation of the updated document" — is exactly this object: build a
+new :class:`Domain` from the updated BNF + document and nothing retrains
+(see ``examples/build_your_own_domain.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import DomainError
+from repro.grammar.bnf import parse_bnf
+from repro.grammar.cfg import Grammar
+from repro.grammar.graph import GrammarGraph, literal_id
+from repro.grammar.paths import PathSearchLimits
+from repro.nlp.pruning import PruneConfig
+from repro.nlu.docs import ApiDoc, ApiDocument
+from repro.nlu.synonyms import SynonymTable, default_synonyms
+from repro.nlu.word2api import MatchConfig, WordToApiMatcher
+
+
+@dataclass
+class Domain:
+    """One registered target DSL.
+
+    Attributes
+    ----------
+    literal_targets:
+        Token kind ("quoted" / "number") -> names of the grammar's literal
+        terminals a literal of that kind may bind to.  Literal terminals are
+        the grammar terminals that are *not* APIs (slots such as ``str_val``).
+    """
+
+    name: str
+    grammar: Grammar
+    graph: GrammarGraph
+    document: ApiDocument
+    synonyms: SynonymTable
+    prune_config: PruneConfig
+    literal_targets: Mapping[str, Tuple[str, ...]]
+    match_config: MatchConfig = field(default_factory=MatchConfig)
+    description: str = ""
+    path_limits: PathSearchLimits = field(default_factory=PathSearchLimits)
+    #: Optional syntax-aware candidate reranker: called per pruned-graph
+    #: node as ``reranker(node, dep_graph, candidates) -> candidates``.
+    #: Lets a domain fold linguistic context into Step-3 rankings (e.g. a
+    #: noun governed by an ordinal is a token, a noun in a locative PP is a
+    #: scope).  Must reorder, never add or drop.
+    candidate_reranker: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        self._matcher: Optional[WordToApiMatcher] = None
+        literal_terminals = self.literal_terminals()
+        for kind, targets in self.literal_targets.items():
+            unknown = set(targets) - literal_terminals
+            if unknown:
+                raise DomainError(
+                    f"literal_targets[{kind}] not literal terminals: "
+                    f"{sorted(unknown)}"
+                )
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        name: str,
+        bnf_source: str,
+        api_docs: Iterable[ApiDoc],
+        *,
+        synonyms: Optional[SynonymTable] = None,
+        prune_config: Optional[PruneConfig] = None,
+        literal_targets: Optional[Mapping[str, Sequence[str]]] = None,
+        match_config: Optional[MatchConfig] = None,
+        description: str = "",
+        path_limits: Optional[PathSearchLimits] = None,
+        generic_apis: Optional[Iterable[str]] = None,
+        candidate_reranker=None,
+    ) -> "Domain":
+        """Build a domain from BNF text and an API document.
+
+        APIs are the grammar terminals present in the document; every
+        remaining terminal is a literal slot.  The document must cover
+        exactly the API terminals (validated here).
+        """
+        grammar = parse_bnf(bnf_source)
+        document = ApiDocument(api_docs)
+        api_names = set(document.names())
+        missing = api_names - grammar.terminals
+        if missing:
+            raise DomainError(
+                f"document describes APIs absent from the grammar: "
+                f"{sorted(missing)[:8]}"
+            )
+        graph = GrammarGraph(grammar, api_names=api_names, generic_apis=generic_apis)
+        resolved_targets: Dict[str, Tuple[str, ...]] = {}
+        if literal_targets:
+            resolved_targets = {
+                kind: tuple(vals) for kind, vals in literal_targets.items()
+            }
+        else:
+            # Default: any literal slot accepts any literal token.
+            slots = tuple(sorted(grammar.terminals - api_names))
+            resolved_targets = {"quoted": slots, "number": slots}
+        return cls(
+            name=name,
+            grammar=grammar,
+            graph=graph,
+            document=document,
+            synonyms=synonyms or default_synonyms(),
+            prune_config=prune_config or PruneConfig(),
+            literal_targets=resolved_targets,
+            match_config=match_config or MatchConfig(),
+            description=description,
+            path_limits=path_limits or PathSearchLimits(),
+            candidate_reranker=candidate_reranker,
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def api_names(self) -> List[str]:
+        return self.document.names()
+
+    def literal_terminals(self) -> FrozenSet[str]:
+        return frozenset(self.grammar.terminals - set(self.document.names()))
+
+    @property
+    def matcher(self) -> WordToApiMatcher:
+        if self._matcher is None:
+            self._matcher = WordToApiMatcher(
+                self.document, self.synonyms, self.match_config
+            )
+        return self._matcher
+
+    def literal_target_ids(self, kind: str) -> List[str]:
+        """Grammar-graph node ids a literal token of ``kind`` may bind to."""
+        return [
+            literal_id(t)
+            for t in self.literal_targets.get(kind, ())
+            if self.graph.has_node(literal_id(t))
+        ]
+
+    def stats(self) -> Dict[str, int]:
+        """Summary used by Table I."""
+        return {
+            "apis": len(self.document),
+            "nonterminals": len(self.grammar.nonterminals),
+            "terminals": len(self.grammar.terminals),
+            "graph_nodes": self.graph.n_nodes,
+            "graph_edges": self.graph.n_edges,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Domain({self.name!r}, apis={len(self.document)})"

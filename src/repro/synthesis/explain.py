@@ -1,0 +1,112 @@
+"""Pipeline explanation: render every Fig. 3 artifact for one query.
+
+NL programming lives or dies on trust — when a codelet looks wrong, the
+user needs to see *why* the system read the query that way.  This module
+renders the full intermediate state: the dependency graph (Step 1), the
+pruned graph (Step 2), the WordToAPI map (Step 3), the EdgeToPath sizes and
+a sample of candidate paths (Step 4), orphan detection and the relocation
+variants (Sec. V-B), and the synthesized codelet with its statistics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.orphan import relocation_variants
+from repro.errors import ReproError
+from repro.nlp.parser import parse_query
+from repro.nlp.pruning import prune_query_graph
+from repro.synthesis.domain import Domain
+from repro.synthesis.pipeline import Synthesizer
+from repro.synthesis.problem import SynthesisProblem, build_problem
+
+
+def _indent(text: str, prefix: str = "  ") -> str:
+    return "\n".join(prefix + line for line in text.splitlines())
+
+
+def explain_problem(problem: SynthesisProblem, max_paths_shown: int = 3) -> str:
+    """Steps 3-4 + orphan analysis of an already-built problem."""
+    lines: List[str] = []
+    graph = problem.domain.graph
+
+    lines.append("Step 3 — WordToAPI map:")
+    for node in problem.dep_graph.nodes():
+        cands = problem.candidates.get(node.node_id, [])
+        shown = ", ".join(
+            (c.api_name or c.node_id.split(":", 1)[1]) for c in cands
+        )
+        lines.append(f"  {node.word!r} -> [{shown}]")
+
+    lines.append("Step 4 — EdgeToPath map:")
+    lines.append(
+        f"  (virtual root edge): {len(problem.root_paths)} candidate paths"
+    )
+    for edge in problem.dep_graph.edges():
+        gov = problem.dep_graph.node(edge.gov).word
+        dep = problem.dep_graph.node(edge.dep).word
+        paths = problem.paths_of(edge)
+        lines.append(f"  {gov!r} -> {dep!r}: {len(paths)} candidate paths")
+        for cp in paths[:max_paths_shown]:
+            lines.append(f"      {cp.path.describe(graph)}")
+        if len(paths) > max_paths_shown:
+            lines.append(f"      ... {len(paths) - max_paths_shown} more")
+
+    orphans = problem.orphan_nodes()
+    if orphans:
+        names = [problem.dep_graph.node(o).word for o in orphans]
+        variants, _ = relocation_variants(problem)
+        lines.append(
+            f"Orphans (Sec. V-B): {names} -> "
+            f"{len(variants)} relocation variant(s)"
+        )
+        for variant in variants[:2]:
+            for orphan in orphans:
+                edge = variant.dep_graph.parent_edge(orphan)
+                if edge is not None and edge.rel == "reloc":
+                    gov = variant.dep_graph.node(edge.gov).word
+                    dep = variant.dep_graph.node(orphan).word
+                    lines.append(f"  relocate {dep!r} under {gov!r}")
+    else:
+        lines.append("Orphans (Sec. V-B): none")
+    return "\n".join(lines)
+
+
+def explain_query(
+    domain: Domain,
+    query: str,
+    engine: str = "dggt",
+    timeout_seconds: Optional[float] = 20.0,
+) -> str:
+    """The full six-step walk-through for one query, as rendered text."""
+    lines: List[str] = [f"query: {query}", ""]
+
+    dep = parse_query(query)
+    lines.append("Step 1 — dependency parsing:")
+    lines.append(_indent(dep.describe()))
+
+    pruned = prune_query_graph(dep, domain.prune_config)
+    lines.append("Step 2 — query graph pruning:")
+    lines.append(_indent(pruned.describe()))
+
+    problem = build_problem(domain, query)
+    lines.append(explain_problem(problem))
+
+    lines.append(f"Steps 5+6 — synthesis ({engine}):")
+    try:
+        out = Synthesizer(domain, engine=engine).synthesize(
+            query, timeout_seconds
+        )
+    except ReproError as exc:
+        lines.append(f"  FAILED: {exc}")
+        return "\n".join(lines)
+    lines.append(f"  codelet: {out.codelet}")
+    lines.append(
+        f"  size={out.size} APIs, {out.elapsed_seconds * 1000:.1f} ms"
+    )
+    stats = out.stats.as_dict()
+    lines.append(
+        "  combinations={combinations} pruned_grammar={pruned_grammar} "
+        "pruned_size={pruned_size} merged={merged}".format(**stats)
+    )
+    return "\n".join(lines)

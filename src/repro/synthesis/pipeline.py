@@ -1,0 +1,90 @@
+"""End-to-end synthesis pipeline (the six steps of the paper's Fig. 3).
+
+One front end (Steps 1-4: parse, prune, WordToAPI, EdgeToPath), two back
+ends (Steps 5-6): the exhaustive HISyn baseline and DGGT.  The
+:class:`Synthesizer` is the package's main entry point::
+
+    from repro import Synthesizer, load_domain
+    synth = Synthesizer(load_domain("textediting"), engine="dggt")
+    outcome = synth.synthesize("insert ':' at the start of each line")
+    print(outcome.codelet)
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Union
+
+from repro.errors import ReproError
+from repro.grammar.paths import PathSearchLimits
+from repro.synthesis.deadline import Deadline
+from repro.synthesis.domain import Domain
+from repro.synthesis.problem import SynthesisProblem, build_problem
+from repro.synthesis.result import SynthesisOutcome
+
+# Engines are imported lazily inside make_engine: the engine modules depend
+# on repro.synthesis.problem, so importing them at module scope would make
+# this package circular.
+EngineLike = Union[str, object]
+
+
+def make_engine(engine: EngineLike, config=None):
+    """Resolve an engine name ("hisyn" / "dggt") or pass through an
+    instance.  ``config`` (a :class:`~repro.core.dggt.DggtConfig`) only
+    applies when building a DGGT engine."""
+    from repro.baseline.hisyn import HISynEngine
+    from repro.core.dggt import DggtEngine
+
+    if isinstance(engine, (HISynEngine, DggtEngine)):
+        return engine
+    if engine == "hisyn":
+        return HISynEngine()
+    if engine == "dggt":
+        return DggtEngine(config)
+    raise ReproError(f"unknown engine {engine!r}; use 'hisyn' or 'dggt'")
+
+
+class Synthesizer:
+    """Domain-bound synthesizer with a selectable back end."""
+
+    def __init__(
+        self,
+        domain: Domain,
+        engine: EngineLike = "dggt",
+        *,
+        config=None,
+        limits: Optional[PathSearchLimits] = None,
+    ):
+        self.domain = domain
+        self.engine = make_engine(engine, config)
+        self.limits = limits
+
+    def build_problem(
+        self, query: str, deadline: Optional[Deadline] = None
+    ) -> SynthesisProblem:
+        """Run the shared front end only (useful for inspection/debugging)."""
+        return build_problem(self.domain, query, self.limits, deadline)
+
+    def synthesize(
+        self,
+        query: str,
+        timeout_seconds: Optional[float] = None,
+    ) -> SynthesisOutcome:
+        """Synthesize a codelet for ``query``.
+
+        Raises :class:`~repro.errors.SynthesisTimeout` when the budget runs
+        out (the harness records such cases as errors at the cut-off, per
+        the paper's Sec. VII-B), and :class:`~repro.errors.SynthesisError`
+        when no grammar-valid codelet exists for the query.
+        """
+        deadline = Deadline(timeout_seconds) if timeout_seconds else Deadline.unlimited()
+        started = time.monotonic()
+        problem = self.build_problem(query, deadline)
+        deadline.check()
+        outcome = self.engine.synthesize(problem, deadline)
+        outcome.query = query
+        outcome.elapsed_seconds = time.monotonic() - started
+        return outcome
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Synthesizer({self.domain.name!r}, engine={self.engine.name!r})"

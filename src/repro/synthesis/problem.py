@@ -1,0 +1,361 @@
+"""Synthesis problem construction: the shared front end (Steps 1-4).
+
+Both engines consume the same :class:`SynthesisProblem`:
+
+* the **pruned dependency graph** (Steps 1-2),
+* per-node **endpoint candidates** — grammar-graph node ids each query word
+  may resolve to (Step-3 WordToAPI for words; the domain's literal slots for
+  quoted strings and numerals),
+* the **EdgeToPath map** — candidate grammar paths per dependency edge, found
+  by the reversed all-path search (Step-4), with the paper's ``<edge>.<k>``
+  ids assigned,
+* **root paths** from the grammar start symbol down to the root word's
+  candidates (the virtual level-1 edge of the paper's Fig. 3), and
+* the detected **orphan nodes** — dependents of edges with zero candidate
+  paths, whose treatment is where the engines differ (Sec. V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import SynthesisError
+from repro.grammar.graph import GrammarGraph, api_id
+from repro.grammar.paths import (
+    GrammarPath,
+    PathCatalog,
+    PathSearchLimits,
+    find_paths,
+)
+from repro.nlp.dependency import DepEdge, DependencyGraph
+from repro.nlp.parser import parse_query
+from repro.nlp.pruning import prune_query_graph
+from repro.nlu.word2api import build_word_to_api_map
+from repro.synthesis.domain import Domain
+
+EdgeKey = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class EndpointCandidate:
+    """One grammar-graph endpoint a dependency node may resolve to.
+
+    ``rank`` is the candidate's position in the Step-3 ranking (0 = best
+    match).  Both engines use the summed rank of the chosen endpoints as a
+    secondary objective after CGT size, so that among equally small trees
+    the better-matching APIs win.
+    """
+
+    node_id: str  # "api:NAME" or "lit:slot"
+    api_name: Optional[str] = None  # None for literal slots
+    value: Optional[str] = None  # bound literal value (literal nodes only)
+    rank: int = 0
+
+    @property
+    def is_literal(self) -> bool:
+        return self.api_name is None
+
+
+@dataclass(frozen=True)
+class CandidatePath:
+    """A grammar path serving one dependency edge, with its endpoints'
+    dependency-side interpretation."""
+
+    path: GrammarPath
+    src_candidate: EndpointCandidate  # governor side (or grammar start)
+    dst_candidate: EndpointCandidate  # dependent side
+
+    @property
+    def path_id(self) -> str:
+        return self.path.path_id
+
+    @property
+    def src(self) -> str:
+        return self.path.src
+
+    @property
+    def dst(self) -> str:
+        return self.path.dst
+
+    def binding(self) -> Optional[Tuple[str, str]]:
+        """(grammar literal node id, value) when the sink is a bound literal."""
+        c = self.dst_candidate
+        if c.is_literal and c.value is not None:
+            return (c.node_id, c.value)
+        return None
+
+
+#: Sentinel endpoint for the grammar start symbol (virtual governor of the
+#: dependency root).
+def start_candidate(graph: GrammarGraph) -> EndpointCandidate:
+    return EndpointCandidate(node_id=graph.start_id, api_name=None, value=None)
+
+
+class SynthesisProblem:
+    """All per-query inputs either engine needs."""
+
+    def __init__(
+        self,
+        domain: Domain,
+        dep_graph: DependencyGraph,
+        candidates: Mapping[int, List[EndpointCandidate]],
+        limits: Optional[PathSearchLimits] = None,
+        deadline=None,
+        path_cache: Optional[Dict[Tuple[str, str], List[GrammarPath]]] = None,
+    ):
+        self.domain = domain
+        self.dep_graph = dep_graph
+        self.candidates: Dict[int, List[EndpointCandidate]] = {
+            k: list(v) for k, v in candidates.items()
+        }
+        self.limits = limits or domain.path_limits
+        self.deadline = deadline
+        # (src, dst) -> raw paths, shared with relocation variants (the
+        # grammar graph is immutable, so pair results never change).
+        self._path_cache: Dict[Tuple[str, str], List[GrammarPath]] = (
+            path_cache if path_cache is not None else {}
+        )
+        self.catalog = PathCatalog()
+        self.edge_paths: Dict[EdgeKey, List[CandidatePath]] = {}
+        self.root_paths: List[CandidatePath] = []
+        self._compute_all_paths()
+
+    # ------------------------------------------------------------------
+    # Path computation (Step-4)
+    # ------------------------------------------------------------------
+
+    def _paths_for_pair(
+        self,
+        src: EndpointCandidate,
+        dst: EndpointCandidate,
+    ) -> List[CandidatePath]:
+        if src.node_id == dst.node_id:
+            # Two query words may not collapse onto one API occurrence: a
+            # dependency edge must correspond to a non-trivial grammar
+            # relation.
+            return []
+        key = (src.node_id, dst.node_id)
+        raw = self._path_cache.get(key)
+        if raw is None:
+            if self.deadline is not None:
+                self.deadline.check()
+            raw = find_paths(
+                self.domain.graph, src.node_id, dst.node_id, self.limits
+            )
+            self._path_cache[key] = raw
+        return [CandidatePath(p, src, dst) for p in raw]
+
+    def _cap_edge_paths(
+        self, found: List[CandidatePath]
+    ) -> List[CandidatePath]:
+        """Keep at most ``max_paths_per_edge`` candidates, lightest first
+        (weighted size, then length; stable on discovery order)."""
+        cap = self.limits.max_paths_per_edge
+        if len(found) <= cap:
+            return found
+        graph = self.domain.graph
+        indexed = sorted(
+            enumerate(found),
+            key=lambda pair: (
+                pair[1].path.size(graph),
+                len(pair[1].path),
+                pair[0],
+            ),
+        )
+        kept_ids = sorted(i for i, _cp in indexed[:cap])
+        return [found[i] for i in kept_ids]
+
+    def compute_edge_paths(self, edge: DepEdge) -> List[CandidatePath]:
+        """Candidate paths for one dependency edge (every governor candidate
+        x every dependent candidate), ids assigned by the catalog."""
+        found: List[CandidatePath] = []
+        for src in self.candidates.get(edge.gov, ()):
+            if src.is_literal:
+                continue  # a literal can never govern
+            for dst in self.candidates.get(edge.dep, ()):
+                found.extend(self._paths_for_pair(src, dst))
+        found = self._cap_edge_paths(found)
+        labeled = self.catalog.register_edge([cp.path for cp in found])
+        return [
+            CandidatePath(lp, cp.src_candidate, cp.dst_candidate)
+            for lp, cp in zip(labeled, found)
+        ]
+
+    def _compute_all_paths(self) -> None:
+        # Virtual root edge first (the paper's edge "1").
+        start = start_candidate(self.domain.graph)
+        root_found: List[CandidatePath] = []
+        for dst in self.candidates.get(self.dep_graph.root, ()):
+            root_found.extend(self._paths_for_pair(start, dst))
+        root_found = self._cap_edge_paths(root_found)
+        labeled = self.catalog.register_edge([cp.path for cp in root_found])
+        self.root_paths = [
+            CandidatePath(lp, cp.src_candidate, cp.dst_candidate)
+            for lp, cp in zip(labeled, root_found)
+        ]
+        for edge in self.dep_graph.edges():
+            self.edge_paths[(edge.gov, edge.dep)] = self.compute_edge_paths(edge)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def paths_of(self, edge: DepEdge) -> List[CandidatePath]:
+        return list(self.edge_paths.get((edge.gov, edge.dep), ()))
+
+    def start_attach_paths(self, node_id: int) -> List[CandidatePath]:
+        """All grammar paths from the start symbol down to a node's
+        candidates — the expensive treatment HISyn gives orphans, also the
+        fallback for orphans relocation cannot place (Sec. V-B)."""
+        start = start_candidate(self.domain.graph)
+        found: List[CandidatePath] = []
+        for dst in self.candidates.get(node_id, ()):
+            found.extend(self._paths_for_pair(start, dst))
+        found = self._cap_edge_paths(found)
+        labeled = self.catalog.register_edge([cp.path for cp in found])
+        return [
+            CandidatePath(lp, cp.src_candidate, cp.dst_candidate)
+            for lp, cp in zip(labeled, found)
+        ]
+
+    def orphan_nodes(self) -> List[int]:
+        """Dependents of edges with no candidate grammar path (Sec. V-B):
+        the governor is "not the real governor" of these nodes."""
+        return sorted(
+            dep
+            for (gov, dep), paths in self.edge_paths.items()
+            if not paths
+        )
+
+    def total_paths(self) -> int:
+        return len(self.root_paths) + sum(
+            len(v) for v in self.edge_paths.values()
+        )
+
+    def with_dep_graph(self, new_graph: DependencyGraph) -> "SynthesisProblem":
+        """Rebuild the problem over a modified dependency graph (used by
+        orphan node relocation); candidates carry over by node id."""
+        kept = {
+            n.node_id: self.candidates.get(n.node_id, [])
+            for n in new_graph.nodes()
+        }
+        return SynthesisProblem(
+            self.domain,
+            new_graph,
+            kept,
+            self.limits,
+            self.deadline,
+            path_cache=self._path_cache,
+        )
+
+
+# ----------------------------------------------------------------------
+# Front-end builder
+# ----------------------------------------------------------------------
+
+
+def _token_kind(pos: str) -> Optional[str]:
+    if pos == "QUOTE":
+        return "quoted"
+    if pos == "CD":
+        return "number"
+    return None
+
+
+def build_candidates(
+    domain: Domain, dep_graph: DependencyGraph
+) -> Dict[int, List[EndpointCandidate]]:
+    """Step-3: endpoint candidates per pruned-graph node."""
+    word_map = build_word_to_api_map(dep_graph, domain.matcher)
+    out: Dict[int, List[EndpointCandidate]] = {}
+    for node in dep_graph.nodes():
+        if node.is_literal or node.pos == "CD":
+            kind = _token_kind(node.pos) or "quoted"
+            value = node.literal if node.literal is not None else node.word
+            out[node.node_id] = [
+                EndpointCandidate(
+                    node_id=t, api_name=None, value=value, rank=rank
+                )
+                for rank, t in enumerate(domain.literal_target_ids(kind))
+            ]
+            continue
+        entries = word_map.get(node.node_id, [])
+        if domain.candidate_reranker is not None:
+            entries = domain.candidate_reranker(node, dep_graph, entries)
+        out[node.node_id] = [
+            EndpointCandidate(
+                node_id=api_id(c.name), api_name=c.name, value=None, rank=rank
+            )
+            for rank, c in enumerate(entries)
+            if domain.graph.has_api(c.name)
+        ]
+    return out
+
+
+def drop_candidateless(
+    dep_graph: DependencyGraph,
+    candidates: Mapping[int, List[EndpointCandidate]],
+) -> DependencyGraph:
+    """Candidate-aware prune: words matching no API are non-essential.
+
+    Nodes with an empty candidate list are spliced out (children move to the
+    governor).  If the *root* has no candidates it is replaced by its first
+    child that does — mirroring how generic command verbs disappear in code
+    search queries ("find ..." contributes no API).
+    """
+    pruned = dep_graph.copy()
+    changed = True
+    while changed:
+        changed = False
+        for node in pruned.nodes():
+            if node.node_id == pruned.root:
+                continue
+            if not candidates.get(node.node_id):
+                pruned.remove_node(node.node_id)
+                changed = True
+                break
+    if not candidates.get(pruned.root):
+        children = pruned.children(pruned.root)
+        promotable = [e.dep for e in children if candidates.get(e.dep)]
+        if promotable:
+            promoted = promotable[0]
+            edges = []
+            for edge in pruned.edges():
+                if edge.gov == pruned.root and edge.dep == promoted:
+                    continue
+                if edge.gov == pruned.root:
+                    edges.append(DepEdge(promoted, edge.dep, edge.rel))
+                else:
+                    edges.append(edge)
+            nodes = [n for n in pruned.nodes() if n.node_id != pruned.root]
+            pruned = DependencyGraph(nodes, edges, promoted)
+    return pruned
+
+
+def build_problem(
+    domain: Domain,
+    query: str,
+    limits: Optional[PathSearchLimits] = None,
+    deadline=None,
+) -> SynthesisProblem:
+    """Run Steps 1-4 and return the engine-ready problem.
+
+    ``deadline`` (a :class:`~repro.synthesis.deadline.Deadline`) bounds the
+    path search — Step-4 can be expensive in recursive grammars.
+    """
+    dep = parse_query(query)
+    pruned = prune_query_graph(dep, domain.prune_config)
+    candidates = build_candidates(domain, pruned)
+    pruned = drop_candidateless(pruned, candidates)
+    if not candidates.get(pruned.root):
+        raise SynthesisError(
+            f"no API candidates for any word of {query!r}; "
+            "cannot start synthesis"
+        )
+    remaining = {
+        n.node_id: candidates[n.node_id]
+        for n in pruned.nodes()
+        if n.node_id in candidates
+    }
+    return SynthesisProblem(domain, pruned, remaining, limits, deadline)

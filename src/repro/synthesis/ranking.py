@@ -1,0 +1,120 @@
+"""Ranked candidate expressions (paper Sec. VII-B.4).
+
+"The technique ... can be integrated into an IDE, offering a list of ranked
+candidate expressions for the programmer to choose when she types in her
+intent in natural language."  This module produces that list.
+
+Strategy: the top-1 comes from the engine as usual.  Lower ranks come from
+*root-alternative exclusion*: re-synthesize with the root word's
+already-used candidate APIs excluded, so each successive result interprets
+the query's head differently — the semantically most salient variation, and
+cheap (k small syntheses instead of a k-best dynamic program).  Results are
+deduplicated by codelet and ordered by (root-candidate rank, size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ReproError, SynthesisTimeout
+from repro.synthesis.deadline import Deadline
+from repro.synthesis.domain import Domain
+from repro.synthesis.pipeline import EngineLike, make_engine
+from repro.synthesis.problem import SynthesisProblem, build_problem
+
+
+@dataclass(frozen=True)
+class RankedCandidate:
+    """One entry of the IDE-style suggestion list."""
+
+    rank: int
+    codelet: str
+    size: int
+    elapsed_seconds: float
+
+
+def _without_root_candidates(
+    problem: SynthesisProblem, used: set
+) -> Optional[SynthesisProblem]:
+    """A copy of the problem whose root word may no longer resolve to any
+    endpoint in ``used``; None when no candidates remain."""
+    root = problem.dep_graph.root
+    remaining = [
+        c for c in problem.candidates.get(root, []) if c.node_id not in used
+    ]
+    if not remaining:
+        return None
+    clone = SynthesisProblem(
+        problem.domain,
+        problem.dep_graph.copy(),
+        {**problem.candidates, root: remaining},
+        problem.limits,
+        problem.deadline,
+        path_cache=problem._path_cache,
+    )
+    return clone
+
+
+def ranked_candidates(
+    domain: Domain,
+    query: str,
+    k: int = 3,
+    engine: EngineLike = "dggt",
+    timeout_seconds: Optional[float] = 20.0,
+) -> List[RankedCandidate]:
+    """Up to ``k`` ranked candidate codelets for ``query``.
+
+    Raises the usual synthesis errors only if *no* candidate can be
+    produced; partial lists are returned otherwise.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    resolved = make_engine(engine)
+    deadline = (
+        Deadline(timeout_seconds) if timeout_seconds else Deadline.unlimited()
+    )
+    problem = build_problem(domain, query, deadline=deadline)
+
+    results: List[RankedCandidate] = []
+    seen_codelets = set()
+    used_roots: set = set()
+    current: Optional[SynthesisProblem] = problem
+    first_error: Optional[ReproError] = None
+
+    while current is not None and len(results) < k:
+        try:
+            outcome = resolved.synthesize(current, deadline)
+        except SynthesisTimeout:
+            break
+        except ReproError as exc:
+            if first_error is None:
+                first_error = exc
+            outcome = None
+        if outcome is not None and outcome.codelet not in seen_codelets:
+            seen_codelets.add(outcome.codelet)
+            results.append(
+                RankedCandidate(
+                    rank=len(results) + 1,
+                    codelet=outcome.codelet,
+                    size=outcome.size,
+                    elapsed_seconds=outcome.elapsed_seconds,
+                )
+            )
+        if outcome is not None:
+            # Exclude the root interpretation the winning CGT used.
+            root = current.dep_graph.root
+            for cand in current.candidates.get(root, []):
+                node_id = cand.node_id
+                if node_id in {n for n in outcome.cgt.nodes()}:
+                    used_roots.add(node_id)
+                    break
+            else:
+                break  # cannot attribute a root candidate: stop varying
+        else:
+            break
+        current = _without_root_candidates(problem, used_roots)
+
+    if not results and first_error is not None:
+        raise first_error
+    return results

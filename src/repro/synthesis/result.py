@@ -1,0 +1,76 @@
+"""Synthesis outcome and instrumentation records.
+
+:class:`SynthesisStats` mirrors the columns of the paper's Table III (paths
+before/after orphan relocation, combination counts, how many combinations
+each pruning stage removed, how many were actually merged), so the case-study
+bench regenerates that table directly from these counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.cgt import CGT
+from repro.core.expression import Expr
+
+
+@dataclass
+class SynthesisStats:
+    """Counters filled in by the engines while synthesizing one query."""
+
+    n_dep_edges: int = 0
+    n_orig_paths: int = 0          # total candidate paths before relocation
+    n_paths_after_reloc: int = 0   # total candidate paths after relocation
+    n_orphans: int = 0
+    n_reloc_variants: int = 0      # dependency-graph variants synthesized
+    n_combinations: int = 0        # combinations considered (pre-pruning)
+    pruned_by_grammar: int = 0     # removed by grammar-based pruning
+    pruned_by_size: int = 0        # removed by size-based pruning
+    n_merged: int = 0              # combinations actually merged into trees
+    n_valid_cgts: int = 0          # merge results that were valid CGTs
+
+    def merge_from(self, other: "SynthesisStats") -> None:
+        """Accumulate a per-variant stats record into this one."""
+        self.n_combinations += other.n_combinations
+        self.pruned_by_grammar += other.pruned_by_grammar
+        self.pruned_by_size += other.pruned_by_size
+        self.n_merged += other.n_merged
+        self.n_valid_cgts += other.n_valid_cgts
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "dep_edges": self.n_dep_edges,
+            "orig_paths": self.n_orig_paths,
+            "paths_after_reloc": self.n_paths_after_reloc,
+            "orphans": self.n_orphans,
+            "reloc_variants": self.n_reloc_variants,
+            "combinations": self.n_combinations,
+            "pruned_grammar": self.pruned_by_grammar,
+            "pruned_size": self.pruned_by_size,
+            "merged": self.n_merged,
+            "valid_cgts": self.n_valid_cgts,
+        }
+
+
+@dataclass
+class SynthesisOutcome:
+    """The result of synthesizing one query with one engine."""
+
+    query: str
+    engine: str
+    expression: Expr
+    cgt: CGT
+    size: int  # number of APIs in the codelet
+    stats: SynthesisStats = field(default_factory=SynthesisStats)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def codelet(self) -> str:
+        return self.expression.render()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SynthesisOutcome({self.engine}, size={self.size}, "
+            f"{self.codelet!r})"
+        )

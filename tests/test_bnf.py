@@ -1,0 +1,103 @@
+"""Unit tests for the BNF front-end."""
+
+import pytest
+
+from repro.errors import BNFSyntaxError
+from repro.grammar.bnf import format_bnf, parse_bnf
+
+
+class TestParseBnf:
+    def test_single_rule(self):
+        g = parse_bnf("s ::= A B")
+        assert g.start == "s"
+        assert g.terminals == {"A", "B"}
+
+    def test_alternatives(self):
+        g = parse_bnf("s ::= A | B | C D")
+        prod = g.production("s")
+        assert prod.alternatives == (("A",), ("B",), ("C", "D"))
+        assert prod.is_choice
+
+    def test_multiline_continuation(self):
+        g = parse_bnf(
+            """
+            s ::= A
+                | B
+                | C
+            """
+        )
+        assert len(g.production("s").alternatives) == 3
+
+    def test_comments_stripped(self):
+        g = parse_bnf(
+            """
+            # a grammar
+            s ::= A  # trailing comment
+            """
+        )
+        assert g.terminals == {"A"}
+
+    def test_first_lhs_is_start(self):
+        g = parse_bnf("top ::= mid\nmid ::= A")
+        assert g.start == "top"
+
+    def test_start_override_rejects_unreachable_rest(self):
+        # Overriding the start makes "other" unreachable; the grammar
+        # validates reachability at construction.
+        from repro.errors import GrammarError
+
+        with pytest.raises(GrammarError):
+            parse_bnf("other ::= sub\nsub ::= A", start="sub")
+
+    def test_duplicate_lhs_merges_alternatives(self):
+        g = parse_bnf("s ::= A\ns ::= B")
+        assert len(g.production("s").alternatives) == 2
+
+    def test_nonterminal_vs_terminal_classification(self):
+        g = parse_bnf("s ::= item\nitem ::= LEAF")
+        assert g.is_nonterminal("item")
+        assert g.is_terminal("LEAF")
+        assert not g.is_terminal("item")
+
+    def test_empty_source_rejected(self):
+        with pytest.raises(BNFSyntaxError):
+            parse_bnf("   \n  # only comments\n")
+
+    def test_empty_rhs_rejected(self):
+        with pytest.raises(BNFSyntaxError):
+            parse_bnf("s ::= ")
+
+    def test_empty_alternative_rejected(self):
+        with pytest.raises(BNFSyntaxError):
+            parse_bnf("s ::= A | | B")
+
+    def test_bad_symbol_rejected(self):
+        with pytest.raises(BNFSyntaxError) as err:
+            parse_bnf("s ::= A$B")
+        assert err.value.line == 1
+
+    def test_continuation_before_rule_rejected(self):
+        with pytest.raises(BNFSyntaxError):
+            parse_bnf("| A")
+
+    def test_line_number_in_error(self):
+        with pytest.raises(BNFSyntaxError) as err:
+            parse_bnf("s ::= A\n???")
+        assert err.value.line == 2
+
+
+class TestFormatBnf:
+    def test_round_trip(self):
+        source = "s ::= a | B\na ::= C D\n"
+        g = parse_bnf(source)
+        again = parse_bnf(format_bnf(g))
+        assert again.start == g.start
+        assert again.terminals == g.terminals
+        assert {p.lhs: p.alternatives for p in again.productions} == {
+            p.lhs: p.alternatives for p in g.productions
+        }
+
+    def test_toy_grammar_round_trips(self, toy_grammar):
+        again = parse_bnf(format_bnf(toy_grammar))
+        assert again.terminals == toy_grammar.terminals
+        assert again.nonterminals == toy_grammar.nonterminals

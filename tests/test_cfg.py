@@ -1,0 +1,85 @@
+"""Unit tests for the CFG model."""
+
+import pytest
+
+from repro.errors import GrammarError
+from repro.grammar.bnf import parse_bnf
+from repro.grammar.cfg import Grammar, Production, grammar_stats
+
+
+class TestProduction:
+    def test_choice_detection(self):
+        assert Production("a", (("B",), ("C",))).is_choice
+        assert not Production("a", (("B", "C"),)).is_choice
+
+    def test_empty_alternatives_rejected(self):
+        with pytest.raises(GrammarError):
+            Production("a", ())
+
+    def test_epsilon_rejected(self):
+        with pytest.raises(GrammarError):
+            Production("a", ((),))
+
+    def test_symbols_iterates_with_repeats(self):
+        p = Production("a", (("B", "C"), ("B",)))
+        assert list(p.symbols()) == ["B", "C", "B"]
+
+
+class TestGrammar:
+    def test_duplicate_production_rejected(self):
+        with pytest.raises(GrammarError):
+            Grammar("a", [Production("a", (("B",),)), Production("a", (("C",),))])
+
+    def test_missing_start_rejected(self):
+        with pytest.raises(GrammarError):
+            Grammar("zzz", [Production("a", (("B",),))])
+
+    def test_contains_and_len(self, toy_grammar):
+        assert "cmd" in toy_grammar
+        assert "INSERT" in toy_grammar
+        assert "nonexistent" not in toy_grammar
+        assert len(toy_grammar) == len(toy_grammar.nonterminals)
+
+    def test_production_lookup_error(self, toy_grammar):
+        with pytest.raises(GrammarError):
+            toy_grammar.production("INSERT")  # terminal, not a rule
+
+    def test_reachable_terminals_from_start(self, toy_grammar):
+        reach = toy_grammar.reachable_terminals()
+        assert "INSERT" in reach
+        assert "NUMBERTOKEN" in reach
+
+    def test_reachable_terminals_from_symbol(self, toy_grammar):
+        reach = toy_grammar.reachable_terminals("iter_expr")
+        assert "LINESCOPE" in reach
+        assert "INSERT" not in reach
+
+    def test_derives(self, toy_grammar):
+        assert toy_grammar.derives("cmd", ["INSERT", "STRING"])
+        assert not toy_grammar.derives("iter_expr", ["INSERT"])
+
+    def test_non_recursive_toy(self, toy_grammar):
+        assert toy_grammar.recursive_nonterminals() == set()
+
+    def test_recursive_detection(self):
+        g = parse_bnf("m ::= A | wrap\nwrap ::= HAS m")
+        assert "m" in g.recursive_nonterminals()
+
+    def test_unreachable_rejected(self):
+        with pytest.raises(GrammarError):
+            Grammar(
+                "a",
+                [Production("a", (("B",),)), Production("orphan", (("C",),))],
+            )
+
+
+class TestGrammarStats:
+    def test_toy_stats(self, toy_grammar):
+        stats = grammar_stats(toy_grammar)
+        assert stats.n_nonterminals == len(toy_grammar.nonterminals)
+        assert stats.n_terminals == len(toy_grammar.terminals)
+        assert stats.n_choice_rules >= 4
+        assert not stats.recursive
+
+    def test_astmatcher_recursive(self, astmatcher):
+        assert grammar_stats(astmatcher.grammar).recursive

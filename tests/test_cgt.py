@@ -1,0 +1,96 @@
+"""Unit tests for code generation trees."""
+
+import pytest
+
+from repro.core.cgt import CGT, merge_bindings
+from repro.grammar.graph import api_id, literal_id, nonterminal_id
+from repro.grammar.paths import find_paths, find_paths_between_apis, find_paths_from_start
+
+
+def _cgt_for_insert_string(toy_graph):
+    root_path = find_paths_from_start(toy_graph, "INSERT")[0]
+    arg_path = find_paths_between_apis(toy_graph, "INSERT", "STRING")[0]
+    lit_path = find_paths(toy_graph, api_id("STRING"), literal_id("str_val"))[0]
+    return CGT.from_paths([root_path, arg_path, lit_path], {literal_id("str_val"): ":"})
+
+
+class TestMergeBindings:
+    def test_disjoint(self):
+        assert merge_bindings({"a": "1"}, {"b": "2"}) == {"a": "1", "b": "2"}
+
+    def test_agreeing(self):
+        assert merge_bindings({"a": "1"}, {"a": "1"}) == {"a": "1"}
+
+    def test_conflict_is_none(self):
+        assert merge_bindings({"a": "1"}, {"a": "2"}) is None
+
+
+class TestTopology:
+    def test_merge_forms_tree(self, toy_graph):
+        cgt = _cgt_for_insert_string(toy_graph)
+        assert cgt.is_tree()
+        assert cgt.root() == toy_graph.start_id
+
+    def test_api_count(self, toy_graph):
+        cgt = _cgt_for_insert_string(toy_graph)
+        assert cgt.api_count(toy_graph) == 2  # INSERT, STRING
+
+    def test_nodes_and_children(self, toy_graph):
+        cgt = _cgt_for_insert_string(toy_graph)
+        assert api_id("INSERT") in cgt.nodes()
+        assert nonterminal_id("ins_str") in cgt.children(api_id("INSERT"))
+
+    def test_empty_cgt_is_not_tree(self):
+        assert not CGT(frozenset()).is_tree()
+
+    def test_two_roots_not_tree(self, toy_graph):
+        a = find_paths_from_start(toy_graph, "INSERT")[0]
+        b = find_paths_between_apis(toy_graph, "DELETE", "NUMBERTOKEN")[0]
+        assert not CGT.from_paths([a, b]).is_tree()
+        assert CGT.from_paths([a, b]).root() is None
+
+    def test_merged_with(self, toy_graph):
+        a = CGT.from_paths([find_paths_from_start(toy_graph, "INSERT")[0]])
+        b = CGT.from_paths(
+            [find_paths_between_apis(toy_graph, "INSERT", "STRING")[0]],
+            {"x": "1"},
+        )
+        merged = a.merged_with(b)
+        assert merged.is_tree()
+        assert merged.bindings["x"] == "1"
+
+
+class TestGrammarValidity:
+    def test_or_conflict_detected(self, toy_graph):
+        p1 = find_paths_between_apis(toy_graph, "INSERT", "START")[0]
+        p2 = find_paths_between_apis(toy_graph, "INSERT", "POSITION")[0]
+        cgt = CGT.from_paths([p1, p2])
+        conflicts = cgt.or_conflicts(toy_graph)
+        assert conflicts
+        nt, taken = conflicts[0]
+        assert nt == nonterminal_id("pos_expr")
+        assert not cgt.is_grammar_valid(toy_graph)
+
+    def test_clean_cgt_valid(self, toy_graph):
+        cgt = _cgt_for_insert_string(toy_graph)
+        assert cgt.is_grammar_valid(toy_graph)
+
+    def test_sort_key_ordering(self, toy_graph):
+        small = _cgt_for_insert_string(toy_graph)
+        bigger = small.merged_with(
+            CGT.from_paths(
+                [find_paths_between_apis(toy_graph, "INSERT", "LINESCOPE")[0]]
+            )
+        )
+        assert small.sort_key(toy_graph) < bigger.sort_key(toy_graph)
+
+
+class TestWeightedSize:
+    def test_generic_apis_weigh_zero(self, toy_grammar):
+        from repro.grammar.graph import GrammarGraph
+
+        graph = GrammarGraph(toy_grammar, generic_apis=["ITERATIONSCOPE"])
+        p = find_paths_between_apis(graph, "INSERT", "LINESCOPE")[0]
+        cgt = CGT.from_paths([p])
+        assert cgt.api_count(graph) == 3  # INSERT, ITERATIONSCOPE, LINESCOPE
+        assert cgt.weighted_size(graph) == 2

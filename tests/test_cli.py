@@ -1,0 +1,84 @@
+"""Unit tests for the CLI and the explain module."""
+
+import pytest
+
+from repro.cli import build_arg_parser, main
+from repro.synthesis.explain import explain_problem, explain_query
+from repro.synthesis.problem import build_problem
+
+
+class TestArgParser:
+    def test_defaults(self):
+        args = build_arg_parser().parse_args(["hello"])
+        assert args.query == "hello"
+        assert args.domain == "textediting"
+        assert args.engine == "dggt"
+        assert args.timeout == 20.0
+
+    def test_ablation_flags(self):
+        args = build_arg_parser().parse_args(
+            ["q", "--no-grammar-pruning", "--no-size-pruning"]
+        )
+        assert args.no_grammar_pruning and args.no_size_pruning
+
+
+class TestMain:
+    def test_synthesis_success(self, capsys):
+        code = main(["delete every word that contains numbers"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out.strip().startswith("DELETE(")
+        assert "engine=dggt" in captured.err
+
+    def test_engine_flag(self, capsys):
+        code = main(["--engine", "hisyn", "print every line"])
+        assert code == 0
+        assert "engine=hisyn" in capsys.readouterr().err
+
+    def test_stats_flag(self, capsys):
+        code = main(["--stats", "print every line"])
+        assert code == 0
+        assert "combinations" in capsys.readouterr().err
+
+    def test_list_domains(self, capsys):
+        code = main(["--list-domains"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "textediting" in out and "astmatcher" in out
+
+    def test_missing_query(self, capsys):
+        assert main([]) == 2
+
+    def test_unknown_domain(self, capsys):
+        assert main(["--domain", "nope", "q"]) == 2
+
+    def test_unsynthesizable_query(self, capsys):
+        assert main(["zebra giraffe pumpkin"]) == 1
+
+    def test_explain_flag(self, capsys):
+        code = main(["--explain", "print every line"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Step 1" in out and "Step 4" in out
+
+
+class TestExplain:
+    def test_explain_query_sections(self, textediting):
+        text = explain_query(
+            textediting, "insert ':' at the start of each line"
+        )
+        for section in (
+            "Step 1", "Step 2", "Step 3", "Step 4", "Orphans", "Steps 5+6",
+            "codelet:",
+        ):
+            assert section in text
+
+    def test_explain_problem_paths_sample(self, toy_domain):
+        problem = build_problem(toy_domain, 'insert ":" into lines')
+        text = explain_problem(problem, max_paths_shown=1)
+        assert "candidate paths" in text
+        assert "->" in text
+
+    def test_explain_failure_path(self, toy_domain):
+        text = explain_query(toy_domain, "insert wordscope linescope start position")
+        assert "Steps 5+6" in text

@@ -1,0 +1,62 @@
+"""Integration: one representative per dataset family runs end to end.
+
+Accuracy over the *full* sets is measured by the Table II benchmark; here
+every template family must at least synthesize a grammar-valid codelet with
+DGGT (no errors, no timeouts at a generous budget) — except the
+``insert_position`` family, whose PP-collapse behaviour is a documented
+accuracy limitation (DESIGN.md Sec. 6) and is asserted as such.
+"""
+
+import pytest
+
+from repro.core.expression import parse_expression, validate_expression
+from repro.domains.astmatcher.queries import ASTMATCHER_QUERIES
+from repro.domains.textediting.queries import TEXTEDITING_QUERIES
+from repro.synthesis.pipeline import Synthesizer
+
+
+def _one_per_family(cases):
+    seen = {}
+    for case in cases:
+        seen.setdefault(case.family, case)
+    return sorted(seen.values(), key=lambda c: c.case_id)
+
+
+TE_REPRESENTATIVES = _one_per_family(TEXTEDITING_QUERIES)
+AST_REPRESENTATIVES = _one_per_family(ASTMATCHER_QUERIES)
+
+
+class TestTextEditingFamilies:
+    @pytest.mark.parametrize(
+        "case", TE_REPRESENTATIVES, ids=lambda c: c.family
+    )
+    def test_family_representative_synthesizes(self, textediting, case):
+        out = Synthesizer(textediting).synthesize(case.query, timeout_seconds=30)
+        problems = validate_expression(
+            parse_expression(out.codelet), textediting.graph
+        )
+        assert problems == [], (case.query, out.codelet)
+
+    def test_known_miss_family_is_consistent(self, textediting):
+        # The PP-collapse family synthesizes *something* valid — both
+        # engines agree — it just differs from the authored ground truth.
+        case = next(
+            c for c in TEXTEDITING_QUERIES if c.family == "insert_position"
+        )
+        dggt = Synthesizer(textediting, "dggt").synthesize(case.query, 30)
+        hisyn = Synthesizer(textediting, "hisyn").synthesize(case.query, 30)
+        assert dggt.codelet == hisyn.codelet
+        assert dggt.codelet != case.ground_truth
+
+
+class TestAstMatcherFamilies:
+    @pytest.mark.parametrize(
+        "case", AST_REPRESENTATIVES, ids=lambda c: c.family
+    )
+    def test_family_representative_synthesizes(self, astmatcher, case):
+        out = Synthesizer(astmatcher).synthesize(case.query, timeout_seconds=30)
+        problems = validate_expression(
+            parse_expression(out.codelet), astmatcher.graph
+        )
+        assert problems == [], (case.query, out.codelet)
+        assert out.codelet == case.ground_truth, case.query

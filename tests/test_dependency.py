@@ -1,0 +1,128 @@
+"""Unit tests for the dependency graph structure."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.nlp.dependency import DepEdge, DepNode, DependencyGraph
+
+
+def node(i, word, pos="NN", literal=None):
+    return DepNode(i, word, word, pos, literal)
+
+
+@pytest.fixture
+def chain():
+    """insert -> string -> ';' (paper Fig. 3 flavour)."""
+    nodes = [node(0, "insert", "VB"), node(1, "string"), node(2, ";", "QUOTE", ";")]
+    edges = [DepEdge(0, 1, "obj"), DepEdge(1, 2, "obj")]
+    return DependencyGraph(nodes, edges, root=0)
+
+
+@pytest.fixture
+def fan():
+    """insert -> {string, start, line}; line -> each."""
+    nodes = [
+        node(0, "insert", "VB"), node(1, "string"), node(2, "start"),
+        node(3, "line"), node(4, "each", "DT"),
+    ]
+    edges = [
+        DepEdge(0, 1, "obj"), DepEdge(0, 2, "obl"),
+        DepEdge(0, 3, "obl"), DepEdge(3, 4, "det"),
+    ]
+    return DependencyGraph(nodes, edges, root=0)
+
+
+class TestConstruction:
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ParseError):
+            DependencyGraph([node(0, "a"), node(0, "b")], [], root=0)
+
+    def test_unknown_root_rejected(self):
+        with pytest.raises(ParseError):
+            DependencyGraph([node(0, "a")], [], root=9)
+
+    def test_root_cannot_be_dependent(self):
+        with pytest.raises(ParseError):
+            DependencyGraph(
+                [node(0, "a"), node(1, "b")], [DepEdge(1, 0, "obj")], root=0
+            )
+
+    def test_double_governor_rejected(self, chain):
+        with pytest.raises(ParseError):
+            chain.add_edge(DepEdge(0, 2, "obj"))
+
+    def test_edge_to_unknown_node_rejected(self, chain):
+        with pytest.raises(ParseError):
+            chain.add_edge(DepEdge(0, 99, "obj"))
+
+
+class TestQueries:
+    def test_is_tree(self, chain, fan):
+        assert chain.is_tree()
+        assert fan.is_tree()
+
+    def test_children_and_parent(self, fan):
+        assert {e.dep for e in fan.children(0)} == {1, 2, 3}
+        assert fan.parent_edge(4).gov == 3
+        assert fan.parent_edge(0) is None
+
+    def test_depth_and_levels(self, fan):
+        assert fan.depth(0) == 0
+        assert fan.depth(4) == 2
+        levels = fan.edges_by_level()
+        assert levels[0][0] == 3  # deepest level first
+        assert {e.dep for e in levels[1][1]} == {1, 2, 3}
+
+    def test_max_level(self, chain):
+        assert chain.max_level() == 3
+
+    def test_leaves(self, fan):
+        assert fan.leaves() == [1, 2, 4]
+
+    def test_descendants(self, fan):
+        assert fan.descendants(0) == {1, 2, 3, 4}
+        assert fan.descendants(3) == {4}
+
+    def test_literal_flag(self, chain):
+        assert chain.node(2).is_literal
+        assert not chain.node(1).is_literal
+
+
+class TestMutation:
+    def test_reattach_moves_subtree(self, fan):
+        fan.reattach(4, 0, "reloc")
+        assert fan.parent_edge(4).gov == 0
+        assert fan.is_tree()
+
+    def test_reattach_under_own_descendant_rejected(self, fan):
+        with pytest.raises(ParseError):
+            fan.reattach(3, 4, "reloc")
+
+    def test_remove_node_splices_children(self, chain):
+        chain.remove_node(1)
+        assert chain.parent_edge(2).gov == 0
+        assert chain.is_tree()
+        assert not chain.has_node(1)
+
+    def test_remove_root_rejected(self, chain):
+        with pytest.raises(ParseError):
+            chain.remove_node(0)
+
+    def test_copy_is_independent(self, fan):
+        clone = fan.copy()
+        clone.remove_node(4)
+        assert fan.has_node(4)
+        assert not clone.has_node(4)
+
+    def test_replace_node(self, chain):
+        chain.replace_node(DepNode(1, "text", "text", "NN"))
+        assert chain.node(1).word == "text"
+
+    def test_detached_nodes(self):
+        g = DependencyGraph([node(0, "a"), node(1, "b")], [], root=0)
+        assert g.detached_nodes() == [1]
+        assert not g.is_tree()
+
+    def test_describe_renders(self, fan):
+        text = fan.describe()
+        assert "insert" in text and "[obl]" in text

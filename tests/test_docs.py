@@ -1,0 +1,68 @@
+"""Unit tests for the API document model."""
+
+import pytest
+
+from repro.errors import DomainError
+from repro.nlu.docs import ApiDoc, ApiDocument, split_name
+
+
+class TestSplitName:
+    @pytest.mark.parametrize(
+        "name,tokens",
+        [
+            ("cxxConstructExpr", ["cxx", "construct", "expr"]),
+            ("hasName", ["has", "name"]),
+            ("binaryOperator", ["binary", "operator"]),
+            ("forStmt", ["for", "stmt"]),
+            ("snake_case_name", ["snake", "case", "name"]),
+            ("INSERT", ["insert"]),
+            ("isExpansionInMainFile", ["is", "expansion", "in", "main", "file"]),
+        ],
+    )
+    def test_splits(self, name, tokens):
+        assert split_name(name) == tokens
+
+
+class TestApiDoc:
+    def test_explicit_name_tokens_win(self):
+        doc = ApiDoc("STARTFROM", "Start from an offset.", ("start", "from"))
+        assert doc.resolved_name_tokens() == ("start", "from")
+
+    def test_default_split(self):
+        doc = ApiDoc("hasArgument", "Matches arguments.")
+        assert doc.resolved_name_tokens() == ("has", "argument")
+
+    def test_keywords_lemmatized_and_stopword_free(self):
+        doc = ApiDoc("X", "Matches the lines containing numerals.")
+        kw = doc.keywords()
+        assert "line" in kw
+        assert "contain" in kw
+        assert "the" not in kw
+
+
+class TestApiDocument:
+    def test_duplicate_rejected(self):
+        with pytest.raises(DomainError):
+            ApiDocument([ApiDoc("A", "x"), ApiDoc("A", "y")])
+
+    def test_lookup(self):
+        docs = ApiDocument([ApiDoc("A", "first"), ApiDoc("B", "second")])
+        assert docs.get("A").description == "first"
+        assert "B" in docs
+        assert len(docs) == 2
+        with pytest.raises(DomainError):
+            docs.get("C")
+
+    def test_categories(self):
+        docs = ApiDocument(
+            [ApiDoc("A", "x", category="cmd"), ApiDoc("B", "y", category="cmd")]
+        )
+        assert docs.categories() == {"cmd": ["A", "B"]}
+
+    def test_validate_against(self):
+        docs = ApiDocument([ApiDoc("A", "x")])
+        docs.validate_against(["A"])
+        with pytest.raises(DomainError):
+            docs.validate_against(["A", "B"])  # missing B
+        with pytest.raises(DomainError):
+            docs.validate_against([])  # extra A

@@ -1,0 +1,74 @@
+"""Unit tests for Domain registration edge cases."""
+
+import pytest
+
+from repro.errors import DomainError
+from repro.grammar.paths import PathSearchLimits
+from repro.nlu.docs import ApiDoc
+from repro.synthesis.domain import Domain
+
+BNF = """
+cmd ::= DO target
+target ::= THING | val
+"""
+
+
+class TestCreate:
+    def test_minimal_domain(self):
+        d = Domain.create(
+            "mini", BNF, [ApiDoc("DO", "Do."), ApiDoc("THING", "A thing.")]
+        )
+        assert d.api_names == ["DO", "THING"]
+        assert d.literal_terminals() == {"val"}
+
+    def test_document_api_not_in_grammar_rejected(self):
+        with pytest.raises(DomainError):
+            Domain.create(
+                "bad", BNF,
+                [ApiDoc("DO", "x"), ApiDoc("THING", "y"), ApiDoc("GHOST", "z")],
+            )
+
+    def test_default_literal_targets_cover_all_slots(self):
+        d = Domain.create(
+            "mini", BNF, [ApiDoc("DO", "x"), ApiDoc("THING", "y")]
+        )
+        assert d.literal_targets["quoted"] == ("val",)
+        assert d.literal_targets["number"] == ("val",)
+
+    def test_bad_literal_targets_rejected(self):
+        with pytest.raises(DomainError):
+            Domain.create(
+                "bad", BNF,
+                [ApiDoc("DO", "x"), ApiDoc("THING", "y")],
+                literal_targets={"quoted": ("nonexistent",)},
+            )
+
+    def test_literal_target_ids_skip_unknown_kind(self):
+        d = Domain.create("mini", BNF, [ApiDoc("DO", "x"), ApiDoc("THING", "y")])
+        assert d.literal_target_ids("nope") == []
+        assert d.literal_target_ids("quoted") == ["lit:val"]
+
+    def test_path_limits_carried(self):
+        limits = PathSearchLimits(max_paths=7)
+        d = Domain.create(
+            "mini", BNF, [ApiDoc("DO", "x"), ApiDoc("THING", "y")],
+            path_limits=limits,
+        )
+        assert d.path_limits.max_paths == 7
+
+    def test_generic_apis_restricted_to_known(self):
+        d = Domain.create(
+            "mini", BNF, [ApiDoc("DO", "x"), ApiDoc("THING", "y")],
+            generic_apis=("THING", "NOT_AN_API"),
+        )
+        assert d.graph.generic_apis == frozenset({"THING"})
+
+    def test_matcher_cached(self):
+        d = Domain.create("mini", BNF, [ApiDoc("DO", "x"), ApiDoc("THING", "y")])
+        assert d.matcher is d.matcher
+
+    def test_stats_keys(self):
+        d = Domain.create("mini", BNF, [ApiDoc("DO", "x"), ApiDoc("THING", "y")])
+        assert set(d.stats()) == {
+            "apis", "nonterminals", "terminals", "graph_nodes", "graph_edges"
+        }

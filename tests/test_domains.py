@@ -1,0 +1,131 @@
+"""Unit tests for the two evaluation domains and the registry (Table I)."""
+
+import pytest
+
+from repro.domains import available_domains, load_domain
+from repro.domains.astmatcher.catalog import (
+    TARGET_TOTAL,
+    catalog_by_kind,
+    full_catalog,
+)
+from repro.domains.astmatcher.grammar import generate_bnf, literal_slots
+from repro.domains.astmatcher.queries import ASTMATCHER_QUERIES
+from repro.domains.textediting.queries import TEXTEDITING_QUERIES
+from repro.errors import DomainError
+from repro.eval.dataset import validate_dataset
+
+
+class TestRegistry:
+    def test_available(self):
+        assert available_domains() == ["astmatcher", "textediting"]
+
+    def test_load_is_cached(self):
+        assert load_domain("textediting") is load_domain("textediting")
+
+    def test_case_insensitive(self):
+        assert load_domain("TextEditing") is load_domain("textediting")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(DomainError):
+            load_domain("nope")
+
+
+class TestTextEditing:
+    def test_api_count(self, textediting):
+        # 52 in the paper; our re-creation adds ordinal selectors + the
+        # anchor string (documented in DESIGN.md).
+        assert len(textediting.document) == 56
+
+    def test_document_covers_grammar(self, textediting):
+        api_terminals = {
+            t for t in textediting.grammar.terminals
+            if t not in textediting.literal_terminals()
+        }
+        textediting.document.validate_against(api_terminals)
+
+    def test_literal_slots_are_literal_terminals(self, textediting):
+        slots = set(textediting.literal_targets["quoted"]) | set(
+            textediting.literal_targets["number"]
+        )
+        assert slots <= textediting.literal_terminals()
+
+    def test_dataset_size(self):
+        validate_dataset(TEXTEDITING_QUERIES, 200)
+
+    def test_dataset_families_cover_complexity_range(self):
+        complexities = {c.complexity for c in TEXTEDITING_QUERIES}
+        assert min(complexities) <= 2
+        assert max(complexities) >= 6
+
+    def test_keep_lemmas_for_position_preps(self, textediting):
+        assert "after" in textediting.prune_config.keep_lemmas
+        assert "before" in textediting.prune_config.keep_lemmas
+
+    def test_stats(self, textediting):
+        stats = textediting.stats()
+        assert stats["apis"] == 56
+        assert stats["graph_nodes"] > 0
+
+
+class TestAstMatcherCatalog:
+    def test_exactly_505(self):
+        assert len(full_catalog()) == TARGET_TOTAL == 505
+
+    def test_unique_names(self):
+        names = [s.name for s in full_catalog()]
+        assert len(set(names)) == len(names)
+
+    def test_three_kinds(self):
+        kinds = catalog_by_kind()
+        assert set(kinds) == {"node", "narrowing", "traversal"}
+        assert all(kinds.values())
+
+    def test_paper_example_matchers_present(self):
+        names = {s.name for s in full_catalog()}
+        assert {
+            "cxxConstructExpr", "hasDeclaration", "cxxMethodDecl", "hasName",
+            "callExpr", "hasArgument", "floatLiteral", "binaryOperator",
+            "hasOperatorName",
+        } <= names
+
+    def test_arg_kinds_valid(self):
+        valid = {"expr", "stmt", "decl", "type", "any", "string", "number"}
+        for spec in full_catalog():
+            assert set(spec.args) <= valid, spec.name
+
+    def test_categories_valid(self):
+        for spec in full_catalog():
+            assert spec.categories, spec.name
+            assert set(spec.categories) <= {"expr", "stmt", "decl", "type"}
+
+
+class TestAstMatcherGrammar:
+    def test_bnf_parses(self, astmatcher):
+        assert astmatcher.grammar.start == "matcher"
+
+    def test_private_trait_slots_per_node_matcher(self, astmatcher):
+        # n_forStmt owns forStmt_t1 / forStmt_t2 (tree-shape requirement).
+        assert "forStmt_t1" in astmatcher.grammar.nonterminals
+        assert "forStmt_t2" in astmatcher.grammar.nonterminals
+
+    def test_private_arg_groups_per_trait(self, astmatcher):
+        assert "hasArgument_arg" in astmatcher.grammar.nonterminals
+        assert "hasBody_arg" in astmatcher.grammar.nonterminals
+
+    def test_literal_slots(self):
+        quoted, number = literal_slots()
+        assert quoted[0] == "hasName_lit"
+        assert "argumentCountIs_num" in number
+        assert not (set(quoted) & set(number))
+
+    def test_generic_apis_weightless(self, astmatcher):
+        from repro.grammar.graph import api_id
+
+        assert astmatcher.graph.api_weight(api_id("stmt")) == 0
+        assert astmatcher.graph.api_weight(api_id("forStmt")) == 1
+
+    def test_dataset_size(self):
+        validate_dataset(ASTMATCHER_QUERIES, 100)
+
+    def test_generic_roots_dropped(self, astmatcher):
+        assert "find" in astmatcher.prune_config.drop_root_lemmas

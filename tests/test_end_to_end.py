@@ -1,0 +1,120 @@
+"""Integration tests: the paper's Table I example queries, end to end.
+
+These are the strongest reproduction checks: the published query/codelet
+pairs must come out of the full pipeline (modulo the DSL re-creation
+documented in DESIGN.md).
+"""
+
+import pytest
+
+from repro.core.expression import parse_expression, validate_expression
+from repro.synthesis.pipeline import Synthesizer
+
+
+class TestAstMatcherPaperExamples:
+    """Table I rows 5-7: these codelets match the paper verbatim."""
+
+    @pytest.mark.parametrize(
+        "query,codelet",
+        [
+            (
+                'find cxx constructor expressions which declare a cxx method named "PI"',
+                'cxxConstructExpr(hasDeclaration(cxxMethodDecl(hasName("PI"))))',
+            ),
+            (
+                "search for call expressions whose argument is a float literal",
+                "callExpr(hasArgument(floatLiteral()))",
+            ),
+            (
+                'list all binary operators named "*"',
+                'binaryOperator(hasOperatorName("*"))',
+            ),
+        ],
+    )
+    def test_paper_example(self, astmatcher, query, codelet):
+        out = Synthesizer(astmatcher).synthesize(query, timeout_seconds=30)
+        assert out.codelet == codelet
+
+
+class TestTextEditingPaperShapes:
+    """Table I rows 1-2 re-created over our DSL variant."""
+
+    def test_append_in_every_line_containing_numerals(self, textediting):
+        out = Synthesizer(textediting).synthesize(
+            'append ":" in every line containing numerals', timeout_seconds=30
+        )
+        assert out.codelet == (
+            'INSERT(STRING(":"), ITERATIONSCOPE(LINESCOPE(), '
+            "BCONDOCCURRENCE(CONTAINS(NUMBERTOKEN()), ALL())))"
+        )
+
+    def test_conditional_insert_after_characters(self, textediting):
+        out = Synthesizer(textediting).synthesize(
+            'if a sentence starts with "-", add ":" after 14 characters',
+            timeout_seconds=30,
+        )
+        assert out.codelet == (
+            'INSERT(STRING(":"), AFTER(CHARTOKEN("14")), '
+            'ITERATIONSCOPE(SENTENCESCOPE(), BCONDOCCURRENCE(STARTSWITH("-"))))'
+        )
+
+    def test_replace(self, textediting):
+        out = Synthesizer(textediting).synthesize(
+            'replace "foo" with "bar" in all lines', timeout_seconds=30
+        )
+        assert out.codelet == (
+            'REPLACE(SRCSTRING("foo"), DSTSTRING("bar"), '
+            "ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(ALL())))"
+        )
+
+
+class TestOutputsAlwaysGrammarValid:
+    @pytest.mark.parametrize(
+        "domain_fixture,query",
+        [
+            ("textediting", "delete every word that contains numbers"),
+            ("textediting", "select the first word in every sentence"),
+            ("textediting", "copy the last word to the end of each line"),
+            ("astmatcher", "find virtual methods"),
+            ("astmatcher", "find while loops containing a return statement"),
+        ],
+    )
+    def test_emitted_codelets_re_parse(self, request, domain_fixture, query):
+        domain = request.getfixturevalue(domain_fixture)
+        out = Synthesizer(domain).synthesize(query, timeout_seconds=30)
+        expr = parse_expression(out.codelet)
+        assert validate_expression(expr, domain.graph) == []
+
+
+class TestEngineEquivalence:
+    """Sec. VII-B.2: DGGT accelerates HISyn without changing its results
+    (both optimize the same objective with the same tie-breaks)."""
+
+    TEXTEDITING_QUERIES = (
+        "insert ':' at the start of each line",
+        "delete every word that contains numbers",
+        'replace "foo" with "bar" in all lines',
+        "print all lines ending with ';'",
+        "select the first word in every sentence",
+        "delete all empty lines",
+        "sort the lines of the document",
+        'count words that match "TODO"',
+    )
+
+    @pytest.mark.parametrize("query", TEXTEDITING_QUERIES)
+    def test_textediting_equivalence(self, textediting, query):
+        dggt = Synthesizer(textediting, engine="dggt").synthesize(query, 30)
+        hisyn = Synthesizer(textediting, engine="hisyn").synthesize(query, 30)
+        assert dggt.codelet == hisyn.codelet
+
+    ASTMATCHER_QUERIES = (
+        "find virtual methods",
+        'search for functions named "main"',
+        "list if statements whose condition is a binary operator",
+    )
+
+    @pytest.mark.parametrize("query", ASTMATCHER_QUERIES)
+    def test_astmatcher_equivalence(self, astmatcher, query):
+        dggt = Synthesizer(astmatcher, engine="dggt").synthesize(query, 30)
+        hisyn = Synthesizer(astmatcher, engine="hisyn").synthesize(query, 30)
+        assert dggt.codelet == hisyn.codelet

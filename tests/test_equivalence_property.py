@@ -1,0 +1,68 @@
+"""Property test: DGGT and HISyn agree on randomized toy queries.
+
+This is the reproduction of the paper's central correctness claim
+(Sec. VII-B.2): "as DGGT only accelerates the synthesis process in HISyn, it
+should produce identical synthesis results in all the cases" (timeouts
+aside).  Queries are assembled from the toy domain's vocabulary so the
+exhaustive baseline stays fast enough to enumerate.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baseline.hisyn import HISynEngine
+from repro.core.dggt import DggtConfig, DggtEngine
+from repro.errors import SynthesisError
+from repro.synthesis.problem import build_problem
+
+_VERBS = st.sampled_from(["insert", "delete"])
+_OBJECTS = st.sampled_from(['a string', 'numbers', '":"', 'the string "#"'])
+_TAILS = st.lists(
+    st.sampled_from(
+        [
+            "into lines",
+            "into words",
+            "at the start",
+            "at position 5",
+            "containing numbers",
+        ]
+    ),
+    unique=True,
+    max_size=2,
+)
+
+
+def _outcome(domain, query, engine):
+    try:
+        out = engine.synthesize(build_problem(domain, query))
+        return ("ok", out.codelet, out.size)
+    except SynthesisError as exc:
+        return ("fail", type(exc).__name__, None)
+
+
+class TestEngineEquivalence:
+    @given(_VERBS, _OBJECTS, _TAILS)
+    @settings(max_examples=40, deadline=None)
+    def test_same_codelet_or_same_failure(self, toy_domain, verb, obj, tails):
+        query = " ".join([verb, obj] + tails)
+        d = _outcome(toy_domain, query, DggtEngine())
+        h = _outcome(toy_domain, query, HISynEngine())
+        assert d[0] == h[0], query
+        if d[0] == "ok":
+            assert d[1] == h[1], query
+
+    @given(_VERBS, _OBJECTS, _TAILS)
+    @settings(max_examples=20, deadline=None)
+    def test_ablated_dggt_still_optimal(self, toy_domain, verb, obj, tails):
+        """Pruning is lossless: disabling it never changes the result size."""
+        query = " ".join([verb, obj] + tails)
+        full = _outcome(toy_domain, query, DggtEngine())
+        bare = _outcome(
+            toy_domain,
+            query,
+            DggtEngine(DggtConfig(grammar_pruning=False, size_pruning=False)),
+        )
+        assert full[0] == bare[0], query
+        if full[0] == "ok":
+            assert full[2] == bare[2], query

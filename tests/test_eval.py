@@ -1,0 +1,173 @@
+"""Unit tests for the evaluation harness, metrics, tables, and figures."""
+
+import pytest
+
+from repro.eval.dataset import QueryCase, make_cases, validate_dataset
+from repro.eval.figures import fig7_series, fig8_series, render_fig7, render_fig8
+from repro.eval.harness import CaseResult, run_case, run_dataset
+from repro.eval.metrics import (
+    accumulated_times,
+    accuracy,
+    per_case_speedups,
+    per_family_accuracy,
+    speedup_summary,
+    time_distribution,
+)
+from repro.eval.tables import render_table1, render_table2, render_table3, table1_row, table2_row, table3_row
+from repro.synthesis.pipeline import Synthesizer
+
+
+def case(cid, query, truth, family="f", complexity=2):
+    return QueryCase(cid, query, truth, family, complexity)
+
+
+def result(cid, elapsed, status="ok", correct=True, family="f"):
+    return CaseResult(
+        case=case(cid, "q", "T()", family),
+        engine="dggt",
+        status=status,
+        elapsed_seconds=elapsed,
+        codelet="T()" if status == "ok" else None,
+        correct=correct,
+    )
+
+
+class TestDataset:
+    def test_make_cases_numbering(self):
+        cases = make_cases("fam", [("q1", "G()"), ("q2", "G()")], 5, "x", 3)
+        assert [c.case_id for c in cases] == ["x005", "x006"]
+        assert all(c.family == "fam" for c in cases)
+
+    def test_validate_rejects_wrong_size(self):
+        with pytest.raises(ValueError):
+            validate_dataset([case("a", "q", "T()")], 2)
+
+    def test_validate_rejects_duplicate_queries(self):
+        with pytest.raises(ValueError):
+            validate_dataset(
+                [case("a", "q", "T()"), case("b", "q", "T()")], 2
+            )
+
+
+class TestRunCase:
+    def test_correct_case(self, toy_domain):
+        synth = Synthesizer(toy_domain)
+        r = run_case(synth, case("c1", "insert", "INSERT()"))
+        assert r.status == "ok"
+        assert r.correct
+        assert r.size == 1
+
+    def test_normalization_applied(self, toy_domain):
+        synth = Synthesizer(toy_domain)
+        r = run_case(synth, case("c1", "insert", "INSERT(  )"))
+        assert r.correct
+
+    def test_wrong_case(self, toy_domain):
+        synth = Synthesizer(toy_domain)
+        r = run_case(synth, case("c1", "insert", "DELETE()"))
+        assert r.status == "ok" and not r.correct
+
+    def test_timeout_clamped(self, toy_domain):
+        synth = Synthesizer(toy_domain)
+        r = run_case(synth, case("c1", 'insert ":" into lines', "INSERT()"),
+                     timeout_seconds=1e-9)
+        assert r.status == "timeout"
+        assert r.elapsed_seconds == 1e-9
+        assert not r.correct
+
+    def test_error_case(self, toy_domain):
+        synth = Synthesizer(toy_domain)
+        r = run_case(synth, case("c1", "zebra", "INSERT()"))
+        assert r.status == "error"
+        assert r.error
+
+    def test_run_dataset(self, toy_domain):
+        cases = [case("c1", "insert", "INSERT()"),
+                 case("c2", "delete numbers", "DELETE(NUMBERTOKEN())")]
+        seen = []
+        results = run_dataset(
+            toy_domain, cases, progress=lambda r: seen.append(r.case.case_id)
+        )
+        assert [r.case.case_id for r in results] == ["c1", "c2"]
+        assert seen == ["c1", "c2"]
+        assert accuracy(results) == 1.0
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        rs = [result("a", 0.1), result("b", 0.1, correct=False)]
+        assert accuracy(rs) == 0.5
+        assert accuracy([]) == 0.0
+
+    def test_speedups_paired_by_case(self):
+        base = [result("a", 1.0), result("b", 4.0)]
+        opt = [result("a", 0.1), result("b", 0.5)]
+        ratios = per_case_speedups(base, opt)
+        assert ratios == [10.0, 8.0]
+        summary = speedup_summary(base, opt)
+        assert summary.max == 10.0
+        assert summary.mean == 9.0
+        assert summary.median == 9.0
+        assert summary.n == 2
+
+    def test_double_timeout_excluded(self):
+        base = [result("a", 20.0, status="timeout")]
+        opt = [result("a", 20.0, status="timeout")]
+        assert per_case_speedups(base, opt) == []
+
+    def test_baseline_timeout_lower_bound(self):
+        base = [result("a", 20.0, status="timeout")]
+        opt = [result("a", 0.01)]
+        assert per_case_speedups(base, opt) == [2000.0]
+
+    def test_time_distribution(self):
+        rs = [
+            result("a", 0.05), result("b", 0.5),
+            result("c", 3.0), result("d", 20.0, status="timeout"),
+        ]
+        dist = time_distribution(rs)
+        assert dist["<0.1s"] == 0.25
+        assert dist["0.1-1.0s"] == 0.25
+        assert dist[">1.0s"] == 0.25
+        assert dist["timeout"] == 0.25
+
+    def test_accumulated_times(self):
+        rs = [result("a", 1.0), result("b", 2.0)]
+        assert accumulated_times(rs) == [1.0, 3.0]
+
+    def test_per_family(self):
+        rs = [result("a", 0.1, family="x"),
+              result("b", 0.1, family="x", correct=False)]
+        assert per_family_accuracy(rs) == {"x": (1, 2)}
+
+
+class TestRendering:
+    def test_table1(self, toy_domain):
+        row = table1_row(toy_domain, 10, ["insert a string"])
+        text = render_table1([row])
+        assert "toy" in text and "#APIs=12" in text
+
+    def test_table2(self):
+        base = [result("a", 1.0)]
+        opt = [result("a", 0.1)]
+        row = table2_row("toy", base, opt)
+        text = render_table2([row])
+        assert "toy" in text
+        assert row.speedup.max == pytest.approx(10.0)
+
+    def test_table3_requires_stats(self):
+        assert table3_row(result("a", 1.0), result("a", 0.5)) is None
+
+    def test_table3_rendering(self, toy_domain):
+        synth_d = Synthesizer(toy_domain, engine="dggt")
+        synth_h = Synthesizer(toy_domain, engine="hisyn")
+        c = case("c1", 'insert ":" into lines', "X()")
+        row = table3_row(run_case(synth_h, c), run_case(synth_d, c))
+        assert row is not None
+        assert "c1" in render_table3([row])
+
+    def test_figures(self):
+        series7 = fig7_series({"dggt": [result("a", 0.05)]})
+        assert "dggt" in render_fig7(series7)
+        series8 = fig8_series({"dggt": [result("a", 1.0), result("b", 1.0)]})
+        assert "dggt" in render_fig8(series8)

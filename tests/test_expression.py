@@ -1,0 +1,148 @@
+"""Unit tests for TreeToExpression and codelet utilities (Step-6)."""
+
+import pytest
+
+from repro.core.cgt import CGT
+from repro.core.expression import (
+    Expr,
+    cgt_to_expression,
+    direct_api_children,
+    normalize_codelet,
+    parse_expression,
+    validate_expression,
+)
+from repro.errors import SynthesisError
+from repro.grammar.graph import api_id, literal_id
+from repro.grammar.paths import find_paths, find_paths_between_apis, find_paths_from_start
+
+
+class TestExpr:
+    def test_render_nested(self):
+        e = Expr("INSERT", (Expr("STRING", (Expr(":", (), True),)), Expr("START")))
+        assert e.render() == 'INSERT(STRING(":"), START())'
+
+    def test_apis_preorder(self):
+        e = parse_expression("A(B(), C(D()))")
+        assert e.apis() == ["A", "B", "C", "D"]
+
+    def test_literals_collected(self):
+        e = parse_expression('A("x", B("y"))')
+        assert e.literals() == ["x", "y"]
+
+    def test_size(self):
+        assert parse_expression("A(B(), C())").size() == 3
+
+
+class TestParseExpression:
+    def test_round_trip(self):
+        text = 'INSERT(STRING(":"), ITERATIONSCOPE(LINESCOPE(), CONTAINS("x")))'
+        assert parse_expression(text).render() == text
+
+    def test_whitespace_normalized(self):
+        assert normalize_codelet("A( B( ) ,C( ) )") == "A(B(), C())"
+
+    def test_bare_symbol_literal(self):
+        e = parse_expression("hasName(*)")
+        assert e.args[0].is_literal
+        assert e.args[0].name == "*"
+
+    def test_unquoted_number_literal(self):
+        e = parse_expression("POSITION(14)")
+        assert e.args[0].is_literal
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SynthesisError):
+            parse_expression("A() B()")
+
+    def test_unclosed_paren_rejected(self):
+        with pytest.raises(SynthesisError):
+            parse_expression("A(B()")
+
+    def test_unclosed_string_rejected(self):
+        with pytest.raises(SynthesisError):
+            parse_expression('A("x)')
+
+
+class TestCgtToExpression:
+    def _build(self, toy_graph, apis, bindings=None):
+        paths = [find_paths_from_start(toy_graph, apis[0])[0]]
+        for parent, child in zip(apis, apis[1:]):
+            paths.append(find_paths_between_apis(toy_graph, parent, child)[0])
+        return CGT.from_paths(paths, bindings or {})
+
+    def test_single_api(self, toy_graph):
+        cgt = self._build(toy_graph, ["INSERT"])
+        assert cgt_to_expression(cgt, toy_graph).render() == "INSERT()"
+
+    def test_literal_binding_rendered(self, toy_graph):
+        lit = find_paths(toy_graph, api_id("STRING"), literal_id("str_val"))[0]
+        cgt = self._build(toy_graph, ["INSERT", "STRING"]).merged_with(
+            CGT.from_paths([lit], {literal_id("str_val"): ":"})
+        )
+        assert cgt_to_expression(cgt, toy_graph).render() == 'INSERT(STRING(":"))'
+
+    def test_unbound_literal_slot_omitted(self, toy_graph):
+        lit = find_paths(toy_graph, api_id("STRING"), literal_id("str_val"))[0]
+        cgt = self._build(toy_graph, ["INSERT", "STRING"]).merged_with(
+            CGT.from_paths([lit])
+        )
+        assert cgt_to_expression(cgt, toy_graph).render() == "INSERT(STRING())"
+
+    def test_argument_order_follows_grammar(self, toy_graph):
+        # iter (3rd arg) merged before str (1st arg): order must still be
+        # STRING first.
+        paths = [
+            find_paths_from_start(toy_graph, "INSERT")[0],
+            find_paths_between_apis(toy_graph, "INSERT", "LINESCOPE")[0],
+            find_paths_between_apis(toy_graph, "INSERT", "STRING")[0],
+        ]
+        expr = cgt_to_expression(CGT.from_paths(paths), toy_graph)
+        assert expr.render() == "INSERT(STRING(), ITERATIONSCOPE(LINESCOPE()))"
+
+    def test_rootless_cgt_rejected(self, toy_graph):
+        a = find_paths_from_start(toy_graph, "INSERT")[0]
+        b = find_paths_between_apis(toy_graph, "DELETE", "NUMBERTOKEN")[0]
+        with pytest.raises(SynthesisError):
+            cgt_to_expression(CGT.from_paths([a, b]), toy_graph)
+
+
+class TestValidation:
+    def test_direct_api_children(self, toy_graph):
+        kids = direct_api_children(toy_graph, api_id("INSERT"))
+        assert "STRING" in kids
+        assert "ITERATIONSCOPE" in kids
+        assert "LINESCOPE" not in kids  # behind ITERATIONSCOPE
+
+    def test_valid_expression(self, toy_graph):
+        e = parse_expression('INSERT(STRING(":"), START(), ITERATIONSCOPE(LINESCOPE()))')
+        assert validate_expression(e, toy_graph) == []
+
+    def test_unknown_api(self, toy_graph):
+        e = parse_expression("NOPE()")
+        assert validate_expression(e, toy_graph)
+
+    def test_illegal_argument(self, toy_graph):
+        e = parse_expression("INSERT(LINESCOPE())")
+        problems = validate_expression(e, toy_graph)
+        assert any("not a legal argument" in p for p in problems)
+
+    def test_illegal_literal(self, toy_graph):
+        e = parse_expression('LINESCOPE("x")')
+        problems = validate_expression(e, toy_graph)
+        assert any("no literal argument" in p for p in problems)
+
+    def test_top_literal_rejected(self, toy_graph):
+        assert validate_expression(Expr("x", (), True), toy_graph)
+
+    def test_dataset_ground_truths_are_grammar_valid(self, textediting, astmatcher):
+        from repro.domains.astmatcher.queries import ASTMATCHER_QUERIES
+        from repro.domains.textediting.queries import TEXTEDITING_QUERIES
+
+        for domain, cases in (
+            (textediting, TEXTEDITING_QUERIES),
+            (astmatcher, ASTMATCHER_QUERIES),
+        ):
+            for case in cases:
+                expr = parse_expression(case.ground_truth)
+                problems = validate_expression(expr, domain.graph)
+                assert not problems, (case.case_id, case.ground_truth, problems)

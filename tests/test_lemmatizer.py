@@ -1,0 +1,78 @@
+"""Unit tests for the rule-based lemmatizer."""
+
+import pytest
+
+from repro.nlp.lemmatizer import add_exception, lemmatize
+
+
+class TestPlurals:
+    @pytest.mark.parametrize(
+        "plural,singular",
+        [
+            ("lines", "line"),
+            ("words", "word"),
+            ("expressions", "expression"),
+            ("classes", "class"),
+            ("matches", "match"),
+            ("branches", "branch"),
+            ("bodies", "body"),
+            ("copies", "copy"),
+            ("indices", "index"),
+            ("parentheses", "parenthesis"),
+            ("dashes", "dash"),
+            ("statuses", "status"),
+            ("loops", "loop"),
+            ("numerals", "numeral"),
+        ],
+    )
+    def test_noun_plurals(self, plural, singular):
+        assert lemmatize(plural, "NNS") == singular
+
+    def test_short_words_untouched(self):
+        assert lemmatize("is") == "be"  # exception
+        assert lemmatize("as") == "as"
+
+    def test_us_is_ss_endings_kept(self):
+        assert lemmatize("class") == "class"
+        assert lemmatize("this") == "this"
+
+
+class TestVerbs:
+    @pytest.mark.parametrize(
+        "form,lemma",
+        [
+            ("contains", "contain"),
+            ("containing", "contain"),
+            ("starts", "start"),
+            ("starting", "start"),
+            ("ending", "end"),
+            ("declared", "declare"),
+            ("named", "name"),
+            ("inserted", "insert"),
+            ("appended", "append"),
+            ("deleted", "delete"),
+            ("capitalized", "capitalize"),
+            ("replacing", "replace"),
+            ("begins", "begin"),
+            ("found", "find"),
+            ("has", "have"),
+            ("using", "use"),
+            ("derived", "derive"),
+            ("overridden", "override"),
+        ],
+    )
+    def test_verb_forms(self, form, lemma):
+        assert lemmatize(form) == lemma
+
+    def test_pos_hint_blocks_noun_rules(self):
+        # "beginning" as a verb form lemmatizes to "begin"
+        assert lemmatize("beginning", "VBG") == "begin"
+
+
+class TestExtension:
+    def test_add_exception(self):
+        add_exception("frobbed", "frob")
+        assert lemmatize("frobbed") == "frob"
+
+    def test_case_insensitive(self):
+        assert lemmatize("Lines") == "line"

@@ -1,0 +1,100 @@
+"""Additional coverage: CLI ablation paths, figure sampling, misc edges."""
+
+import pytest
+
+from repro.cli import main
+from repro.eval.figures import render_fig8
+from repro.eval.harness import CaseResult
+from repro.eval.dataset import QueryCase
+from repro.eval.metrics import speedup_summary
+from repro.grammar.bnf import format_bnf, parse_bnf
+from repro.nlp.pos_tagger import tag
+from repro.synthesis.deadline import Deadline
+
+
+class TestCliAblations:
+    def test_all_optimizations_off_still_works(self, capsys):
+        code = main(
+            [
+                "--no-grammar-pruning",
+                "--no-size-pruning",
+                "--no-orphan-relocation",
+                "print every line",
+            ]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.startswith("PRINT(")
+
+    def test_top_k_output(self, capsys):
+        code = main(["--top", "2", "select the first word in every sentence"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("1. ")
+
+    def test_timeout_path(self, capsys):
+        code = main(
+            ["--engine", "hisyn", "--timeout", "0.001",
+             "delete every word that contains numbers"]
+        )
+        assert code == 1
+        assert "timeout" in capsys.readouterr().err
+
+
+class TestFigureSampling:
+    def _results(self, n):
+        return [
+            CaseResult(
+                case=QueryCase(f"c{i}", f"q{i}", "T()", "f"),
+                engine="dggt",
+                status="ok",
+                elapsed_seconds=0.5,
+                codelet="T()",
+                correct=True,
+            )
+            for i in range(n)
+        ]
+
+    def test_fig8_sampling_bounds(self):
+        from repro.eval.figures import fig8_series
+
+        series = fig8_series({"dggt": self._results(100)})
+        text = render_fig8(series, samples=5)
+        # roughly `samples` points, never more than 2x
+        assert 1 <= text.count(":") - 0 <= 101
+
+    def test_fig8_empty_series(self):
+        assert "dggt" not in render_fig8({"dggt": []})
+
+
+class TestSpeedupEdges:
+    def test_empty_summary(self):
+        summary = speedup_summary([], [])
+        assert summary.n == 0
+        assert summary.as_row() == (0.0, 0.0, 0.0)
+
+    def test_unpaired_cases_skipped(self):
+        base = [
+            CaseResult(
+                case=QueryCase("only-base", "q", "T()", "f"),
+                engine="hisyn", status="ok", elapsed_seconds=1.0,
+            )
+        ]
+        assert speedup_summary(base, []).n == 0
+
+
+class TestMiscEdges:
+    def test_bnf_format_stable(self, toy_grammar):
+        once = format_bnf(toy_grammar)
+        twice = format_bnf(parse_bnf(once))
+        assert once == twice
+
+    def test_deadline_repr(self):
+        assert "unlimited" in repr(Deadline.unlimited())
+        assert "elapsed" in repr(Deadline(5))
+
+    def test_tagger_handles_empty(self):
+        assert tag("") == []
+
+    def test_tagger_number_then_punct(self):
+        tags = [t.tag for t in tag("use 3.")]
+        assert "CD" in tags and "PUNCT" in tags

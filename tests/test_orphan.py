@@ -1,0 +1,83 @@
+"""Unit tests for orphan node relocation (paper Sec. V-B)."""
+
+import pytest
+
+from repro.core.orphan import candidate_governors, relocation_variants
+from repro.synthesis.problem import build_problem
+
+
+@pytest.fixture
+def orphan_problem(toy_domain):
+    # "a string containing numbers": "containing" dangles under STRING,
+    # which has no grammar path to CONTAINS.
+    return build_problem(toy_domain, "insert a string containing numbers")
+
+
+class TestCandidateGovernors:
+    def test_root_is_a_governor(self, orphan_problem):
+        orphan = orphan_problem.orphan_nodes()[0]
+        governors = candidate_governors(orphan_problem, orphan)
+        root = orphan_problem.dep_graph.root
+        assert root in governors
+
+    def test_own_subtree_excluded(self, orphan_problem):
+        orphan = orphan_problem.orphan_nodes()[0]
+        governors = candidate_governors(orphan_problem, orphan)
+        subtree = orphan_problem.dep_graph.descendants(orphan) | {orphan}
+        assert not (set(governors) & subtree)
+
+    def test_root_ward_ordering(self, orphan_problem):
+        orphan = orphan_problem.orphan_nodes()[0]
+        governors = candidate_governors(orphan_problem, orphan)
+        depths = [orphan_problem.dep_graph.depth(g) for g in governors]
+        assert depths == sorted(depths)
+
+
+class TestVariants:
+    def test_no_orphans_identity(self, toy_domain):
+        prob = build_problem(toy_domain, "insert a string")
+        variants, n = relocation_variants(prob)
+        assert n == 0
+        assert variants == [prob]
+
+    def test_variant_resolves_orphan(self, orphan_problem):
+        variants, n = relocation_variants(orphan_problem)
+        assert n == 1
+        assert variants
+        assert variants[0].orphan_nodes() == []
+
+    def test_relocated_edge_labelled(self, orphan_problem):
+        orphan = orphan_problem.orphan_nodes()[0]
+        variants, _ = relocation_variants(orphan_problem)
+        edge = variants[0].dep_graph.parent_edge(orphan)
+        assert edge.rel == "reloc"
+
+    def test_variant_cap(self, orphan_problem):
+        variants, _ = relocation_variants(orphan_problem, max_variants=1)
+        assert len(variants) == 1
+
+    def test_paper_fig6_shape(self, textediting):
+        # Fig. 6: "insert ':' at the start of each line" — "each" has no
+        # grammar path under "line" and relocates under "insert".
+        prob = build_problem(textediting, "insert ':' at the start of each line")
+        orphans = prob.orphan_nodes()
+        assert orphans, "expected at least one orphan"
+        variants, _ = relocation_variants(prob)
+        v = variants[0]
+        for orphan in orphans:
+            edge = v.dep_graph.parent_edge(orphan)
+            assert edge is not None and edge.rel == "reloc"
+
+    def test_unplaceable_orphan_kept(self, toy_domain):
+        # Craft a problem whose orphan has no plausible governor by
+        # stripping every other node's candidates.
+        prob = build_problem(toy_domain, "insert a string containing numbers")
+        orphan = prob.orphan_nodes()[0]
+        for node_id in list(prob.candidates):
+            if node_id != orphan:
+                prob.candidates[node_id] = [
+                    c for c in prob.candidates[node_id] if c.is_literal
+                ]
+        variants, n = relocation_variants(prob)
+        assert n == 1
+        assert variants  # falls back to the unmodified problem

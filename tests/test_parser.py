@@ -1,0 +1,122 @@
+"""Unit tests for the rule-based dependency parser (Step-1)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.nlp.parser import parse_query
+
+
+def edges_of(graph):
+    return {
+        (graph.node(e.gov).word, e.rel, graph.node(e.dep).word)
+        for e in graph.edges()
+    }
+
+
+class TestImperatives:
+    def test_simple_object(self):
+        g = parse_query("insert a string")
+        assert g.node(g.root).word == "insert"
+        assert ("insert", "obj", "string") in edges_of(g)
+
+    def test_quoted_object(self):
+        g = parse_query('insert ":"')
+        assert ("insert", "obj", '":"') in edges_of(g)
+
+    def test_locative_pp_attaches_to_verb(self):
+        g = parse_query("insert ':' at the start")
+        assert ("insert", "obl", "start") in edges_of(g)
+
+    def test_of_pp_attaches_to_noun(self):
+        g = parse_query("sort the lines of the document")
+        assert ("lines", "nmod", "document") in edges_of(g)
+
+    def test_light_noun_of_pp_attaches_to_verb(self):
+        # "at the start of each line": the line phrase names the scope.
+        g = parse_query("insert ':' at the start of each line")
+        assert ("insert", "obl", "line") in edges_of(g)
+
+    def test_search_for_object(self):
+        g = parse_query("search for call expressions")
+        assert ("search", "obj", "expressions") in edges_of(g)
+
+    def test_every_tree(self):
+        g = parse_query("delete every word that contains numbers")
+        assert g.is_tree()
+
+
+class TestRelativeClauses:
+    def test_that_relcl(self):
+        g = parse_query("delete every word that contains numbers")
+        e = edges_of(g)
+        assert ("word", "acl:relcl", "contains") in e
+        assert ("contains", "obj", "numbers") in e
+
+    def test_gerund_acl(self):
+        g = parse_query("lines containing numerals")
+        assert ("lines", "acl", "containing") in edges_of(g)
+
+    def test_participle_acl(self):
+        g = parse_query('operators named "*"')
+        e = edges_of(g)
+        assert ("operators", "acl", "named") in e
+        assert ("named", "obj", '"*"') in e
+
+    def test_whose_plus_copula(self):
+        g = parse_query("expressions whose argument is a float literal")
+        e = edges_of(g)
+        assert ("expressions", "acl", "argument") in e
+        assert ("argument", "acl", "literal") in e
+
+
+class TestNominalQueries:
+    def test_nominal_root(self):
+        g = parse_query("all binary operators")
+        assert g.node(g.root).word == "operators"
+
+    def test_premodifiers_attach(self):
+        g = parse_query("all binary operators")
+        e = edges_of(g)
+        assert ("operators", "det", "all") in e
+        assert ("operators", "amod", "binary") in e
+
+
+class TestConditionalClauses:
+    def test_leading_if_clause(self):
+        g = parse_query('if a sentence starts with "-", add ":" here')
+        assert g.node(g.root).word == "add"
+        e = edges_of(g)
+        assert ("add", "advcl", "sentence") in e
+        assert ("sentence", "acl", "starts") in e
+
+    def test_if_without_comma_falls_back(self):
+        g = parse_query("if possible insert a string")
+        assert g.is_tree()
+
+
+class TestRobustness:
+    def test_empty_query_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("")
+
+    def test_every_token_attached(self):
+        for q in (
+            "insert ':' at the start of each line",
+            'replace "a" with "b" in all lines',
+            "find for loops that have a body containing a call expression",
+            "copy the last word to the end of each line please",
+        ):
+            g = parse_query(q)
+            assert g.is_tree(), q
+
+    def test_conjunction(self):
+        g = parse_query("delete commas and colons")
+        assert ("commas", "conj", "colons") in edges_of(g)
+
+    def test_numbers_as_modifiers(self):
+        g = parse_query('add ":" after 14 characters')
+        assert ("characters", "nummod", "14") in edges_of(g)
+
+    def test_deterministic(self):
+        q = "select the first word in every sentence"
+        assert parse_query(q).describe() == parse_query(q).describe()

@@ -1,0 +1,79 @@
+"""Unit tests for the Synthesizer pipeline and engine registry."""
+
+import pytest
+
+from repro.baseline.hisyn import HISynEngine
+from repro.core.dggt import DggtConfig, DggtEngine
+from repro.errors import ReproError, SynthesisError, SynthesisTimeout
+from repro.synthesis.deadline import Deadline
+from repro.synthesis.pipeline import Synthesizer, make_engine
+
+
+class TestMakeEngine:
+    def test_by_name(self):
+        assert isinstance(make_engine("dggt"), DggtEngine)
+        assert isinstance(make_engine("hisyn"), HISynEngine)
+
+    def test_passthrough(self):
+        engine = DggtEngine()
+        assert make_engine(engine) is engine
+
+    def test_config_applies_to_dggt(self):
+        config = DggtConfig(grammar_pruning=False)
+        engine = make_engine("dggt", config)
+        assert engine.config is config
+
+    def test_unknown_engine(self):
+        with pytest.raises(ReproError):
+            make_engine("magic")
+
+
+class TestSynthesizer:
+    def test_end_to_end(self, toy_domain):
+        synth = Synthesizer(toy_domain)
+        out = synth.synthesize('insert ":" into lines')
+        assert out.query == 'insert ":" into lines'
+        assert out.engine == "dggt"
+        assert out.elapsed_seconds > 0
+        assert out.codelet.startswith("INSERT(")
+
+    def test_engine_choice(self, toy_domain):
+        out = Synthesizer(toy_domain, engine="hisyn").synthesize("insert")
+        assert out.engine == "hisyn"
+
+    def test_timeout_raises(self, toy_domain):
+        synth = Synthesizer(toy_domain)
+        with pytest.raises(SynthesisTimeout):
+            synth.synthesize('insert ":" into lines', timeout_seconds=1e-9)
+
+    def test_unsynthesizable_raises(self, toy_domain):
+        with pytest.raises(SynthesisError):
+            Synthesizer(toy_domain).synthesize("zebra")
+
+    def test_build_problem_exposed(self, toy_domain):
+        prob = Synthesizer(toy_domain).build_problem("insert a string")
+        assert prob.dep_graph.is_tree()
+
+
+class TestDeadline:
+    def test_unlimited_never_expires(self):
+        d = Deadline.unlimited()
+        d.check()
+        assert not d.expired
+
+    def test_positive_budget_required(self):
+        with pytest.raises(ValueError):
+            Deadline(0)
+
+    def test_expiry(self):
+        d = Deadline(1e-9)
+        with pytest.raises(SynthesisTimeout) as err:
+            d.check()
+        assert err.value.budget_seconds == 1e-9
+        assert err.value.elapsed_seconds >= 0
+
+    def test_elapsed_monotonic(self):
+        d = Deadline(100)
+        a = d.elapsed
+        b = d.elapsed
+        assert b >= a

@@ -1,0 +1,93 @@
+"""Unit tests for the POS tagger's lexicon + context rules."""
+
+import pytest
+
+from repro.nlp.pos_tagger import tag
+
+
+def tags_of(query):
+    return [(t.word, t.tag) for t in tag(query)]
+
+
+class TestBasics:
+    def test_imperative_root(self):
+        assert tags_of("insert a string")[0] == ("insert", "VB")
+
+    def test_quoted_and_number_tags(self):
+        result = tags_of('add ":" after 14 characters')
+        assert (":", "QUOTE") in result
+        assert ("14", "CD") in result
+
+    def test_number_words(self):
+        assert tags_of("fourteen characters")[0][1] == "CD"
+
+    def test_oov_suffix_rules(self):
+        assert tags_of("the frobnication")[1][1] == "NN"
+        assert tags_of("frobbing x")[0][1] == "VBG"
+        assert tags_of("we quickly go")[1][1] == "RB"
+
+
+class TestContextRules:
+    def test_noun_after_determiner(self):
+        # "start" is a verb in the lexicon; after "the" it is a noun.
+        result = dict(tags_of("at the start of each line"))
+        assert result["start"] == "NN"
+
+    def test_noun_after_preposition(self):
+        result = dict(tags_of("insert x at start"))
+        assert result["start"] == "NN"
+
+    def test_verb_after_relativizer(self):
+        result = dict(tags_of("lines that start with a dash"))
+        assert result["start"] == "VB"
+
+    def test_finite_verb_after_noun(self):
+        result = dict(tags_of("a sentence starts with x"))
+        assert result["starts"] == "VBZ"
+
+    def test_code_keyword_before_statement_noun(self):
+        result = dict(tags_of("find if statements"))
+        assert result["if"] == "JJ"
+
+    def test_for_loops_keyword(self):
+        result = dict(tags_of("find for loops"))
+        assert result["for"] == "JJ"
+
+    def test_if_clause_stays_subordinator(self):
+        result = dict(tags_of("if a sentence starts with x, add y"))
+        assert result["if"] == "IN"
+
+    def test_compound_verb_form_between_nouns(self):
+        # "list" is a verb; inside "initializer list expression" it is a
+        # compound noun member.
+        result = dict(tags_of("an initializer list expression"))
+        assert result["list"] == "NN"
+
+    def test_call_expressions_compound(self):
+        result = dict(tags_of("find call expressions"))
+        assert result["call"] == "NN"
+
+    def test_participial_premodifier(self):
+        result = dict(tags_of("show deleted functions"))
+        assert result["deleted"] == "JJ"
+
+    def test_named_before_quote_stays_participle(self):
+        result = dict(tags_of('operators named "*"'))
+        assert result["named"] == "VBN"
+
+    def test_first_word_verb_reading(self):
+        # "count" could be a noun; query-initial it is the command.
+        assert tags_of("count lines")[0] == ("count", "VB")
+
+
+class TestLemmas:
+    def test_lemma_attached(self):
+        tagged = tag("lines containing numerals")
+        lemmas = {t.word: t.lemma for t in tagged}
+        assert lemmas["lines"] == "line"
+        assert lemmas["containing"] == "contain"
+        assert lemmas["numerals"] == "numeral"
+
+    def test_literal_lemma_is_value(self):
+        tagged = tag('insert ":"')
+        assert tagged[1].lemma == ":"

@@ -1,0 +1,134 @@
+"""Unit tests for synthesis-problem construction (the shared front end)."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.grammar.graph import api_id, literal_id
+from repro.grammar.paths import PathSearchLimits
+from repro.synthesis.problem import build_problem
+from repro.synthesis.pipeline import Synthesizer
+
+
+class TestCandidates:
+    def test_words_resolve_to_api_endpoints(self, toy_domain):
+        prob = build_problem(toy_domain, "insert a string")
+        root_cands = prob.candidates[prob.dep_graph.root]
+        assert root_cands[0].api_name == "INSERT"
+        assert root_cands[0].rank == 0
+
+    def test_literals_resolve_to_slots_in_order(self, toy_domain):
+        prob = build_problem(toy_domain, 'insert ":"')
+        lit_node = next(n for n in prob.dep_graph.nodes() if n.is_literal)
+        cands = prob.candidates[lit_node.node_id]
+        assert [c.node_id for c in cands] == [
+            literal_id("str_val"),
+            literal_id("occ_val"),
+        ]
+        assert all(c.value == ":" for c in cands)
+        assert [c.rank for c in cands] == [0, 1]
+
+    def test_numbers_resolve_to_number_slots(self, toy_domain):
+        prob = build_problem(toy_domain, "insert a string at position 5")
+        num = next(n for n in prob.dep_graph.nodes() if n.pos == "CD")
+        assert [c.node_id for c in prob.candidates[num.node_id]] == [
+            literal_id("num_val"),
+            literal_id("from_val"),
+        ]
+
+    def test_candidateless_words_dropped(self, toy_domain):
+        prob = build_problem(toy_domain, "kindly insert a string")
+        words = {n.lemma for n in prob.dep_graph.nodes()}
+        assert "kindly" not in words
+
+    def test_unmatchable_query_rejected(self, toy_domain):
+        with pytest.raises(SynthesisError):
+            build_problem(toy_domain, "zebra giraffe")
+
+
+class TestEdgePaths:
+    def test_root_paths_present(self, toy_domain):
+        prob = build_problem(toy_domain, "insert a string")
+        assert prob.root_paths
+        assert all(cp.src == toy_domain.graph.start_id for cp in prob.root_paths)
+
+    def test_edge_paths_per_candidate_pair(self, toy_domain):
+        prob = build_problem(toy_domain, "insert a string")
+        edge = prob.dep_graph.edges()[0]
+        paths = prob.paths_of(edge)
+        assert paths
+        assert all(cp.src == api_id("INSERT") for cp in paths)
+
+    def test_no_trivial_self_paths(self, toy_domain):
+        prob = build_problem(toy_domain, "insert a string into lines")
+        for edge in prob.dep_graph.edges():
+            for cp in prob.paths_of(edge):
+                assert cp.src != cp.dst
+
+    def test_per_edge_cap(self, toy_domain):
+        limits = PathSearchLimits(max_paths_per_edge=1)
+        prob = build_problem(toy_domain, "delete numbers", limits=limits)
+        for edge in prob.dep_graph.edges():
+            assert len(prob.paths_of(edge)) <= 1
+
+    def test_catalog_ids_follow_paper_convention(self, toy_domain):
+        prob = build_problem(toy_domain, "insert a string")
+        assert prob.root_paths[0].path_id.startswith("1.")
+        edge = prob.dep_graph.edges()[0]
+        assert prob.paths_of(edge)[0].path_id.startswith("2.")
+
+    def test_total_paths(self, toy_domain):
+        prob = build_problem(toy_domain, "insert a string")
+        assert prob.total_paths() == len(prob.root_paths) + sum(
+            len(prob.paths_of(e)) for e in prob.dep_graph.edges()
+        )
+
+
+class TestOrphans:
+    def test_orphan_detected(self, toy_domain):
+        # "string containing numbers": STRING has no path to CONTAINS.
+        prob = build_problem(toy_domain, "insert a string containing numbers")
+        orphans = prob.orphan_nodes()
+        assert len(orphans) == 1
+        assert prob.dep_graph.node(orphans[0]).lemma == "contain"
+
+    def test_start_attach_paths(self, toy_domain):
+        prob = build_problem(toy_domain, "insert a string containing numbers")
+        orphan = prob.orphan_nodes()[0]
+        paths = prob.start_attach_paths(orphan)
+        assert paths
+        assert all(cp.src == toy_domain.graph.start_id for cp in paths)
+
+    def test_no_orphans_on_clean_query(self, toy_domain):
+        prob = build_problem(toy_domain, "insert a string")
+        assert prob.orphan_nodes() == []
+
+
+class TestWithDepGraph:
+    def test_rebuild_shares_path_cache(self, toy_domain):
+        prob = build_problem(toy_domain, "insert a string containing numbers")
+        clone = prob.with_dep_graph(prob.dep_graph.copy())
+        assert clone._path_cache is prob._path_cache
+        assert clone.total_paths() == prob.total_paths()
+
+    def test_rebuild_after_reattach(self, toy_domain):
+        prob = build_problem(toy_domain, "insert a string containing numbers")
+        orphan = prob.orphan_nodes()[0]
+        graph = prob.dep_graph.copy()
+        graph.reattach(orphan, graph.root, "reloc")
+        rebuilt = prob.with_dep_graph(graph)
+        assert rebuilt.orphan_nodes() == []
+
+
+class TestReranker:
+    def test_reranker_hook_applied(self, toy_domain):
+        from dataclasses import replace
+
+        calls = []
+
+        def reranker(node, dep_graph, entries):
+            calls.append(node.lemma)
+            return list(reversed(entries))
+
+        domain = replace(toy_domain, candidate_reranker=reranker)
+        build_problem(domain, "insert a string")
+        assert "insert" in calls

@@ -1,0 +1,112 @@
+"""Unit tests for query-graph pruning (Step-2) and phrase merging."""
+
+import pytest
+
+from repro.nlp.parser import parse_query
+from repro.nlp.pruning import PruneConfig, prune_query_graph
+
+
+def words_of(graph):
+    return {graph.node(n.node_id).word for n in graph.nodes()}
+
+
+class TestStructuralPruning:
+    def test_articles_dropped(self):
+        g = prune_query_graph(parse_query("insert a string at the start"))
+        assert "a" not in words_of(g)
+        assert "the" not in words_of(g)
+
+    def test_prepositions_dropped(self):
+        g = prune_query_graph(parse_query("insert ':' at the start"))
+        assert "at" not in words_of(g)
+
+    def test_quantifiers_kept(self):
+        g = prune_query_graph(parse_query("delete every word"))
+        assert "every" in words_of(g)
+
+    def test_quantifier_drop_when_configured(self):
+        config = PruneConfig(quantifier_lemmas=frozenset(),
+                             drop_lemmas=frozenset({"every"}))
+        g = prune_query_graph(parse_query("delete every word"), config)
+        assert "every" not in words_of(g)
+
+    def test_keep_lemmas_override_pos(self):
+        config = PruneConfig(keep_lemmas=frozenset({"after"}))
+        g = prune_query_graph(
+            parse_query('add ":" after 14 characters'), config
+        )
+        assert "after" in words_of(g)
+
+    def test_drop_lemmas_override_content(self):
+        config = PruneConfig(drop_lemmas=frozenset({"have"}))
+        g = prune_query_graph(
+            parse_query("loops that have a body"), config
+        )
+        assert "have" not in words_of(g)
+        # body spliced up to loops
+        assert ("loops", "body") in {
+            (g.node(e.gov).word, g.node(e.dep).word) for e in g.edges()
+        }
+
+    def test_literals_always_kept(self):
+        g = prune_query_graph(parse_query('insert ":" at 3'))
+        assert '":"' in words_of(g)
+
+    def test_punctuation_dropped(self):
+        g = prune_query_graph(parse_query("insert a string, please."))
+        assert "," not in words_of(g)
+
+    def test_result_is_tree(self):
+        g = prune_query_graph(
+            parse_query("if a sentence starts with '-', add ':' after 14 characters")
+        )
+        assert g.is_tree()
+
+    def test_input_not_mutated(self):
+        raw = parse_query("insert a string")
+        n = len(raw)
+        prune_query_graph(raw)
+        assert len(raw) == n
+
+
+class TestPhraseMerging:
+    def test_compound_merge(self):
+        g = prune_query_graph(parse_query("find call expressions"))
+        assert any("call expression" == n.lemma for n in g.nodes())
+
+    def test_three_way_merge_order(self):
+        config = PruneConfig(merge_amod_lemmas=frozenset({"cxx"}))
+        g = prune_query_graph(
+            parse_query("find cxx constructor expressions"), config
+        )
+        lemmas = {n.lemma for n in g.nodes()}
+        assert "cxx constructor expression" in lemmas
+
+    def test_amod_merge_requires_listing(self):
+        g = prune_query_graph(parse_query("find binary operators"))
+        # default config: "binary" not listed -> separate node
+        assert {"binary", "operator"} <= {n.lemma for n in g.nodes()}
+
+    def test_amod_merge_by_surface_form(self):
+        config = PruneConfig(merge_amod_lemmas=frozenset({"delete"}))
+        merged = prune_query_graph(parse_query("find delete expressions"), config)
+        assert any("delete expression" == n.lemma for n in merged.nodes())
+        kept = prune_query_graph(parse_query("find deleted functions"), config)
+        # inflected form does not merge
+        assert {"delete", "function"} <= {n.lemma for n in kept.nodes()}
+
+    def test_ordinals_never_merge(self):
+        g = prune_query_graph(parse_query("select the first word"))
+        assert "first" in {n.lemma for n in g.nodes()}
+
+
+class TestRootDropping:
+    def test_generic_root_dropped_and_object_promoted(self):
+        config = PruneConfig(drop_root_lemmas=frozenset({"find"}))
+        g = prune_query_graph(parse_query("find lambda expressions"), config)
+        assert g.node(g.root).lemma.endswith("expression")
+
+    def test_meaningful_root_kept(self):
+        config = PruneConfig(drop_root_lemmas=frozenset({"find"}))
+        g = prune_query_graph(parse_query("insert a string"), config)
+        assert g.node(g.root).lemma == "insert"

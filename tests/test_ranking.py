@@ -1,0 +1,49 @@
+"""Unit tests for ranked candidate expressions (IDE suggestion lists)."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.synthesis.ranking import RankedCandidate, ranked_candidates
+
+
+class TestRankedCandidates:
+    def test_top1_matches_synthesizer(self, toy_domain):
+        from repro.synthesis.pipeline import Synthesizer
+
+        query = 'insert ":" into lines'
+        ranked = ranked_candidates(toy_domain, query, k=1)
+        direct = Synthesizer(toy_domain).synthesize(query)
+        assert ranked[0].codelet == direct.codelet
+        assert ranked[0].rank == 1
+
+    def test_alternatives_vary_root_interpretation(self, textediting):
+        # "start" heads several APIs; alternatives reinterpret the root.
+        ranked = ranked_candidates(
+            textediting, "select the first word in every sentence", k=3
+        )
+        assert 1 <= len(ranked) <= 3
+        codelets = [r.codelet for r in ranked]
+        assert len(set(codelets)) == len(codelets)  # deduplicated
+        assert [r.rank for r in ranked] == list(range(1, len(ranked) + 1))
+
+    def test_k_validation(self, toy_domain):
+        with pytest.raises(ValueError):
+            ranked_candidates(toy_domain, "insert", k=0)
+
+    def test_unsynthesizable_raises(self, toy_domain):
+        with pytest.raises(SynthesisError):
+            ranked_candidates(toy_domain, "zebra")
+
+    def test_partial_list_when_alternatives_dry_up(self, toy_domain):
+        # "insert" has a single root candidate: exactly one suggestion.
+        ranked = ranked_candidates(toy_domain, "insert", k=5)
+        assert len(ranked) == 1
+
+    def test_astmatcher_suggestions(self, astmatcher):
+        ranked = ranked_candidates(
+            astmatcher, "find virtual methods", k=2, timeout_seconds=30
+        )
+        assert ranked[0].codelet == "cxxMethodDecl(isVirtual())"
+        for r in ranked:
+            assert isinstance(r, RankedCandidate)
+            assert r.size >= 1

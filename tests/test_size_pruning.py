@@ -1,0 +1,88 @@
+"""Unit tests for size-based pruning (paper Sec. V-C)."""
+
+import pytest
+
+from repro.core.size_pruning import (
+    SizedCombination,
+    bound_combination,
+    exact_tree_cost,
+    prune_by_size,
+)
+from repro.grammar.graph import api_id
+from repro.grammar.paths import find_paths_between_apis
+from repro.synthesis.problem import CandidatePath, EndpointCandidate
+
+
+def cand(name):
+    return EndpointCandidate(node_id=api_id(name), api_name=name)
+
+
+def cp(graph, src, dst, path_id):
+    path = find_paths_between_apis(graph, src, dst)[0]
+    return CandidatePath(path.with_id(path_id), cand(src), cand(dst))
+
+
+class TestBounds:
+    def test_bounds_bracket_exact_cost(self, toy_graph):
+        combo = [
+            cp(toy_graph, "INSERT", "STRING", "2.1"),
+            cp(toy_graph, "INSERT", "LINESCOPE", "3.1"),
+            cp(toy_graph, "INSERT", "START", "4.1"),
+        ]
+        sizes = {c.path_id: c.path.size(toy_graph) for c in combo}
+        sized = bound_combination(toy_graph, combo, [0, 1, 1], sizes)
+        exact = exact_tree_cost(toy_graph, combo) + 0 + 1 + 1
+        assert sized.lower <= exact <= sized.upper
+
+    def test_single_path_bounds_tight(self, toy_graph):
+        combo = [cp(toy_graph, "INSERT", "STRING", "2.1")]
+        sizes = {c.path_id: c.path.size(toy_graph) for c in combo}
+        sized = bound_combination(toy_graph, combo, [0], sizes)
+        assert sized.lower == sized.upper
+
+    def test_pred_sizes_added(self, toy_graph):
+        combo = [cp(toy_graph, "INSERT", "STRING", "2.1")]
+        sizes = {c.path_id: c.path.size(toy_graph) for c in combo}
+        base = bound_combination(toy_graph, combo, [0], sizes)
+        heavier = bound_combination(toy_graph, combo, [5], sizes)
+        assert heavier.lower == base.lower + 5
+        assert heavier.upper == base.upper + 5
+
+
+class TestExactCost:
+    def test_shared_prefix_deduplicated(self, toy_graph):
+        # INSERT->LINESCOPE and INSERT->NUMBERTOKEN share INSERT and
+        # ITERATIONSCOPE; sinks excluded.
+        combo = [
+            cp(toy_graph, "INSERT", "LINESCOPE", "2.1"),
+            cp(toy_graph, "INSERT", "NUMBERTOKEN", "3.1"),
+        ]
+        # APIs excluding sinks: INSERT, ITERATIONSCOPE, CONTAINS
+        assert exact_tree_cost(toy_graph, combo) == 3
+
+    def test_single_path_cost(self, toy_graph):
+        combo = [cp(toy_graph, "INSERT", "STRING", "2.1")]
+        assert exact_tree_cost(toy_graph, combo) == 1  # INSERT only
+
+
+class TestPrune:
+    def _sized(self, lower, upper):
+        return SizedCombination((), lower, upper)
+
+    def test_dominated_combination_pruned(self):
+        kept, n = prune_by_size([self._sized(2, 3), self._sized(4, 9)])
+        assert n == 1
+        assert kept == [self._sized(2, 3)]
+
+    def test_overlapping_ranges_kept(self):
+        kept, n = prune_by_size([self._sized(2, 5), self._sized(4, 9)])
+        assert n == 0
+        assert len(kept) == 2
+
+    def test_equal_bound_kept(self):
+        # lower == min upper: may still be optimal, keep it (lossless).
+        kept, n = prune_by_size([self._sized(2, 3), self._sized(3, 9)])
+        assert n == 0
+
+    def test_empty(self):
+        assert prune_by_size([]) == ([], 0)

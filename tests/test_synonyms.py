@@ -1,0 +1,73 @@
+"""Unit tests for the synonym / abbreviation table."""
+
+from repro.nlu.synonyms import SynonymTable, default_synonyms
+
+
+class TestCanonicalization:
+    def test_group_members_match(self):
+        table = default_synonyms()
+        assert table.same("insert", "append")
+        assert table.same("delete", "remove")
+        assert table.same("line", "row")
+
+    def test_non_members_do_not_match(self):
+        table = default_synonyms()
+        assert not table.same("insert", "delete")
+        assert not table.same("line", "word")
+
+    def test_ungrouped_word_is_its_own_canonical(self):
+        table = default_synonyms()
+        assert table.canonical_set("zebra") == frozenset({"zebra"})
+        assert table.same("zebra", "zebra")
+
+    def test_overlapping_groups_stay_separate(self):
+        # "place" sits in both the insert group and the position group; the
+        # two groups must NOT merge through it.
+        table = default_synonyms()
+        assert table.same("place", "insert")
+        assert table.same("place", "position")
+        assert not table.same("insert", "position")
+
+    def test_canonical_scalar_is_deterministic(self):
+        table = default_synonyms()
+        assert table.canonical("append") == table.canonical("append")
+
+
+class TestAbbreviations:
+    def test_expansion(self):
+        table = default_synonyms()
+        assert table.expand("expr") == "expression"
+        assert table.expand("decl") == "declaration"
+        assert table.expand("unknown") == "unknown"
+
+    def test_abbreviation_matches_full_word(self):
+        table = default_synonyms()
+        assert table.same("expr", "expression")
+        assert table.same("arg", "argument")
+
+    def test_add_abbreviation(self):
+        table = SynonymTable(groups=[])
+        table.add_abbreviation("cfg", "grammar")
+        assert table.same("cfg", "grammar")
+
+
+class TestExtension:
+    def test_add_group(self):
+        table = SynonymTable(groups=[])
+        table.add_group(("frob", "tweak"))
+        assert table.same("frob", "tweak")
+        assert not table.same("frob", "fix")
+
+    def test_group_of(self):
+        table = SynonymTable(groups=[("a", "b", "c")])
+        assert table.group_of("b") == {"a", "b", "c"}
+
+    def test_empty_group_ignored(self):
+        table = SynonymTable(groups=[])
+        table.add_group(())
+        assert table.canonical_set("x") == frozenset({"x"})
+
+    def test_domain_specific_group(self):
+        table = default_synonyms()
+        table.add_group(("contain", "have"))
+        assert table.same("have", "contain")

@@ -1,0 +1,90 @@
+"""Unit tests for the query tokenizer."""
+
+import pytest
+
+from repro.errors import TokenizationError
+from repro.nlp.tokenizer import Token, TokenKind, detokenize, tokenize, words
+
+
+class TestWords:
+    def test_plain_words(self):
+        toks = tokenize("insert a string")
+        assert [t.value for t in toks] == ["insert", "a", "string"]
+        assert all(t.kind is TokenKind.WORD for t in toks)
+
+    def test_lowercasing_value_keeps_text(self):
+        (tok,) = tokenize("INSERT")
+        assert tok.value == "insert"
+        assert tok.text == "INSERT"
+
+    def test_hyphenated_word_stays_whole(self):
+        (tok,) = tokenize("mid-sentence")
+        assert tok.value == "mid-sentence"
+
+    def test_indices_sequential(self):
+        toks = tokenize("a b c")
+        assert [t.index for t in toks] == [0, 1, 2]
+
+
+class TestQuotes:
+    def test_double_quoted(self):
+        toks = tokenize('insert ":" here')
+        assert toks[1].kind is TokenKind.QUOTED
+        assert toks[1].value == ":"
+        assert toks[1].is_literal
+
+    def test_single_quoted(self):
+        toks = tokenize("insert ':' here")
+        assert toks[1].value == ":"
+
+    def test_curly_quotes(self):
+        toks = tokenize("add “foo” now")
+        assert toks[1].kind is TokenKind.QUOTED
+        assert toks[1].value == "foo"
+
+    def test_quoted_with_spaces(self):
+        toks = tokenize('find "hello world"')
+        assert toks[1].value == "hello world"
+
+    def test_unclosed_quote_raises(self):
+        with pytest.raises(TokenizationError):
+            tokenize('insert ": here')
+
+
+class TestNumbers:
+    def test_integer(self):
+        toks = tokenize("after 14 characters")
+        assert toks[1].kind is TokenKind.NUMBER
+        assert toks[1].value == "14"
+        assert toks[1].is_literal
+
+    def test_trailing_period_is_punct(self):
+        toks = tokenize("delete 3.")
+        assert toks[1].value == "3"
+        assert toks[2].kind is TokenKind.PUNCT
+
+    def test_decimal(self):
+        toks = tokenize("use 3.5 here")
+        assert toks[1].value == "3.5"
+
+
+class TestPunctAndSymbols:
+    def test_comma_is_token(self):
+        toks = tokenize("if x, then y")
+        kinds = [t.kind for t in toks]
+        assert TokenKind.PUNCT in kinds
+
+    def test_bare_symbol_becomes_quoted(self):
+        toks = tokenize("operators named *")
+        assert toks[-1].kind is TokenKind.QUOTED
+        assert toks[-1].value == "*"
+
+    def test_words_helper(self):
+        assert words('insert ":" at 3, ok?') == ["insert", "at", "ok"]
+
+    def test_detokenize(self):
+        toks = tokenize("a b c")
+        assert detokenize(toks) == "a b c"
+
+    def test_empty_query(self):
+        assert tokenize("   ") == []

@@ -1,0 +1,53 @@
+"""Unit tests for the DOT exporters."""
+
+from repro.grammar.visualize import (
+    cgt_to_dot,
+    dependency_graph_to_dot,
+    grammar_graph_to_dot,
+)
+from repro.grammar.graph import api_id
+from repro.nlp.parser import parse_query
+from repro.synthesis.pipeline import Synthesizer
+
+
+class TestGrammarDot:
+    def test_full_graph(self, toy_graph):
+        dot = grammar_graph_to_dot(toy_graph)
+        assert dot.startswith("digraph grammar {")
+        assert dot.endswith("}")
+        assert '"api:INSERT"' in dot
+        assert "color=red" in dot
+        assert "arrowhead=empty" in dot  # "or" edges
+
+    def test_restricted_to_root(self, toy_graph):
+        dot = grammar_graph_to_dot(toy_graph, roots=[api_id("ITERATIONSCOPE")])
+        assert "LINESCOPE" in dot
+        assert '"api:DELETE"' not in dot
+
+    def test_max_nodes_cap(self, toy_graph):
+        dot = grammar_graph_to_dot(toy_graph, max_nodes=3)
+        node_lines = [l for l in dot.splitlines() if "label=" in l]
+        assert len(node_lines) <= 3
+
+
+class TestDependencyDot:
+    def test_structure(self):
+        g = parse_query("insert ':' at the start")
+        dot = dependency_graph_to_dot(g)
+        assert "digraph dependency" in dot
+        assert 'label="obl"' in dot
+        assert "style=bold" in dot  # root highlighted
+
+    def test_quoting(self):
+        g = parse_query('insert ":"')
+        dot = dependency_graph_to_dot(g)
+        assert '\\":\\"' in dot or ":" in dot  # quoted literal survives
+
+
+class TestCgtDot:
+    def test_codelet_cgt(self, toy_domain):
+        out = Synthesizer(toy_domain).synthesize('insert ":" into lines')
+        dot = cgt_to_dot(out.cgt, toy_domain.graph)
+        assert "digraph cgt" in dot
+        assert "INSERT" in dot
+        assert '\\":\\"' in dot  # bound literal value rendered

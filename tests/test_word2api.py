@@ -1,0 +1,100 @@
+"""Unit tests for WordToAPI matching (Step-3)."""
+
+import pytest
+
+from repro.nlu.docs import ApiDoc, ApiDocument
+from repro.nlu.synonyms import default_synonyms
+from repro.nlu.word2api import MatchConfig, WordToApiMatcher
+
+
+@pytest.fixture(scope="module")
+def matcher():
+    docs = ApiDocument(
+        [
+            ApiDoc("INSERT", "Insert a string at a position.", ("insert",)),
+            ApiDoc("STRING", "A literal string value.", ("string",)),
+            ApiDoc("SRCSTRING", "The source string of a replace.", ("src", "string")),
+            ApiDoc("LINESCOPE", "Iterate over lines.", ("line", "scope")),
+            ApiDoc("LINETOKEN", "A line token.", ("line", "token")),
+            ApiDoc("CONTAINS", "Unit contains the given token.", ("contains",)),
+            ApiDoc("hasName", "Matches declarations by name."),
+            ApiDoc("hasType", "Matches nodes whose type matches."),
+            ApiDoc("cxxMethodDecl", "Matches cxx method declarations."),
+        ]
+    )
+    return WordToApiMatcher(docs, default_synonyms())
+
+
+class TestScoring:
+    def test_exact_name_match_is_top(self, matcher):
+        names = matcher.candidate_names("insert")
+        assert names[0] == "INSERT"
+
+    def test_synonym_match(self, matcher):
+        assert matcher.candidate_names("append")[0] == "INSERT"
+        assert matcher.candidate_names("add")[0] == "INSERT"
+
+    def test_partial_name_match_ranked_lower(self, matcher):
+        names = matcher.candidate_names("string")
+        assert names[0] == "STRING"
+        assert "SRCSTRING" in names
+
+    def test_ambiguous_word_multiple_candidates(self, matcher):
+        names = matcher.candidate_names("line")
+        assert {"LINESCOPE", "LINETOKEN"} <= set(names)
+
+    def test_inflected_form_matches(self, matcher):
+        # name tokens are lemmatized symmetrically: "contains"/"contain"
+        assert matcher.candidate_names("contain")[0] == "CONTAINS"
+
+    def test_generic_token_stripped(self, matcher):
+        # "hasType" means *type*: bare "type" must hit it at full score.
+        names = matcher.candidate_names("type")
+        assert names[0] == "hasType"
+
+    def test_named_matches_has_name(self, matcher):
+        assert matcher.candidate_names("name")[0] == "hasName"
+
+    def test_multiword_phrase(self, matcher):
+        names = matcher.candidate_names("cxx method declaration")
+        assert names[0] == "cxxMethodDecl"
+
+    def test_no_match_empty(self, matcher):
+        assert matcher.candidate_names("zebra") == []
+
+    def test_deterministic_and_cached(self, matcher):
+        a = matcher.candidates("line")
+        b = matcher.candidates("line")
+        assert a == b
+        assert a is not b  # cache returns copies
+
+
+class TestConfig:
+    def test_max_candidates_cap(self):
+        docs = ApiDocument(
+            [ApiDoc(f"API{i}", "x", ("same", f"tok{i}")) for i in range(10)]
+        )
+        m = WordToApiMatcher(docs, default_synonyms(), MatchConfig(max_candidates=3))
+        assert len(m.candidates("same")) == 3
+
+    def test_min_score_filters(self):
+        docs = ApiDocument([ApiDoc("ABC", "x", ("alpha", "beta", "gamma", "delta"))])
+        m = WordToApiMatcher(docs, default_synonyms(), MatchConfig(min_score=0.9))
+        assert m.candidates("alpha") == []
+
+    def test_similarity_fallback(self):
+        docs = ApiDocument([ApiDoc("CHARACTER", "x", ("character",))])
+        m = WordToApiMatcher(docs, default_synonyms())
+        cands = m.candidates("charcter")  # typo
+        assert cands and cands[0].name == "CHARACTER"
+        assert cands[0].source == "similarity"
+
+    def test_description_fallback(self):
+        docs = ApiDocument(
+            [ApiDoc("XYZ", "Iterate over paragraphs and passages.", ("xyz",))]
+        )
+        m = WordToApiMatcher(
+            docs, default_synonyms(), MatchConfig(min_score=0.3)
+        )
+        cands = m.candidates("paragraph")
+        assert cands and cands[0].source == "description"
