@@ -24,8 +24,9 @@ from repro.errors import (
     SynthesisError,
     SynthesisTimeout,
 )
+from repro.grammar.path_cache import PathCache
 from repro.synthesis.domain import Domain
-from repro.synthesis.pipeline import Synthesizer, make_engine
+from repro.synthesis.pipeline import BatchItem, Synthesizer, make_engine
 from repro.synthesis.result import SynthesisOutcome, SynthesisStats
 
 __version__ = "1.0.0"
@@ -41,6 +42,8 @@ __all__ = [
     "HISynEngine",
     "SynthesisOutcome",
     "SynthesisStats",
+    "BatchItem",
+    "PathCache",
     "ReproError",
     "GrammarError",
     "ParseError",

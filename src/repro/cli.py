@@ -10,12 +10,21 @@ Examples::
     python -m repro --engine hisyn --timeout 20 "insert ':' at the start"
     python -m repro --explain "append ':' in every line containing numerals"
     python -m repro --list-domains
+
+Batch mode reads one query per line from a file (or stdin with ``-``) and
+runs them through :meth:`Synthesizer.synthesize_many` over one shared warm
+cache::
+
+    python -m repro batch queries.txt --workers 4 --stats
+    cat queries.txt | python -m repro batch --json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from typing import List, Optional
 
 from repro import __version__, available_domains, load_domain
@@ -87,7 +96,142 @@ def build_arg_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_batch_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro batch",
+        description="synthesize a batch of queries over one shared warm cache",
+    )
+    parser.add_argument(
+        "file",
+        nargs="?",
+        default="-",
+        help="file with one query per line ('-' or omitted: stdin); "
+        "blank lines and lines starting with '#' are skipped",
+    )
+    parser.add_argument(
+        "--domain",
+        default="textediting",
+        help="target domain (default: textediting)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("dggt", "hisyn"),
+        default="dggt",
+        help="synthesis engine (default: dggt)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=20.0,
+        help="per-query budget in seconds (default: 20, as in the paper)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="thread-pool size for the batch (default: 1, sequential)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print aggregate cache counters for the batch",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a JSON array of per-query results instead of plain text",
+    )
+    return parser
+
+
+def _read_queries(path: str) -> List[str]:
+    if path == "-":
+        lines = sys.stdin.readlines()
+    else:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    queries = []
+    for line in lines:
+        line = line.strip()
+        if line and not line.startswith("#"):
+            queries.append(line)
+    return queries
+
+
+def batch_main(argv: Optional[List[str]] = None) -> int:
+    args = build_batch_arg_parser().parse_args(argv)
+    if args.timeout < 0:
+        print("error: --timeout must be non-negative", file=sys.stderr)
+        return 2
+    try:
+        domain = load_domain(args.domain)
+        queries = _read_queries(args.file)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: cannot read {args.file}: {exc}", file=sys.stderr)
+        return 2
+    if not queries:
+        print("error: no queries to synthesize", file=sys.stderr)
+        return 2
+
+    synth = Synthesizer(domain, engine=args.engine)
+    started = time.monotonic()
+    items = synth.synthesize_many(
+        queries,
+        timeout_seconds_each=args.timeout,
+        max_workers=args.workers,
+    )
+    elapsed = time.monotonic() - started
+
+    if args.json:
+        payload = [
+            {
+                "index": item.index,
+                "query": item.query,
+                "status": item.status,
+                "codelet": item.outcome.codelet if item.ok else None,
+                "size": item.outcome.size if item.ok else None,
+                "elapsed_seconds": item.elapsed_seconds,
+                "error": None if item.ok else str(item.error),
+            }
+            for item in items
+        ]
+        print(json.dumps(payload, indent=2))
+    else:
+        for item in items:
+            if item.ok:
+                print(f"{item.index + 1}. {item.outcome.codelet}")
+            else:
+                print(f"{item.index + 1}. [{item.status}] {item.error}")
+
+    n_ok = sum(1 for item in items if item.ok)
+    rate = len(items) / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"# {n_ok}/{len(items)} ok in {elapsed:.2f}s "
+        f"({rate:.2f} queries/s, workers={args.workers})",
+        file=sys.stderr,
+    )
+    if args.stats:
+        from repro.synthesis.result import SynthesisStats
+
+        totals = {name: 0 for name in SynthesisStats.CACHE_FIELDS}
+        for item in items:
+            if item.outcome is not None:
+                for name in totals:
+                    totals[name] += getattr(item.outcome.stats, name)
+        for name, value in totals.items():
+            print(f"# {name} = {value}", file=sys.stderr)
+    return 0 if n_ok == len(items) else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "batch":
+        return batch_main(argv[1:])
     args = build_arg_parser().parse_args(argv)
 
     if args.list_domains:
@@ -98,6 +242,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if not args.query:
         print("error: a query is required (or use --list-domains)", file=sys.stderr)
+        return 2
+
+    if args.timeout < 0:
+        print("error: --timeout must be non-negative", file=sys.stderr)
         return 2
 
     try:

@@ -37,8 +37,13 @@ from repro.core.grammar_pruning import (
     conflict_pairs_for,
 )
 from repro.core.orphan import relocation_variants
-from repro.core.size_pruning import bound_combination, exact_tree_cost
+from repro.core.size_pruning import (
+    _path_api_sizes,
+    bound_combination,
+    exact_tree_cost,
+)
 from repro.errors import SynthesisError, SynthesisTimeout
+from repro.grammar.path_cache import PathCache
 from repro.synthesis.deadline import Deadline
 from repro.synthesis.problem import (
     CandidatePath,
@@ -161,6 +166,7 @@ class DggtEngine:
         dep = problem.dep_graph
         dyng = DynamicGrammarGraph(graph)
         orphans = set(problem.orphan_nodes())
+        cache = problem.domain.path_cache
 
         # Bottom-up traversal: deepest governors first (Algorithm 1 line 4).
         order = sorted(
@@ -190,7 +196,8 @@ class DggtEngine:
                     e.dep: problem.paths_of(e) for e in effective
                 }
                 self._case_two(
-                    dyng, node_id, gov_cands, entries, stats, deadline, graph
+                    dyng, node_id, gov_cands, entries, stats, deadline, graph,
+                    cache,
                 )
             if not any(
                 dyng.has((node_id, c.node_id))
@@ -223,6 +230,7 @@ class DggtEngine:
                 stats,
                 deadline,
                 graph,
+                cache,
             )
 
         final_key: DynKey = (VIRTUAL, graph.start_id)
@@ -273,6 +281,7 @@ class DggtEngine:
         stats: SynthesisStats,
         deadline: Deadline,
         graph,
+        cache: Optional[PathCache] = None,
     ) -> None:
         child_ids = sorted(entries)
         for gov_cand in gov_candidates:
@@ -293,7 +302,7 @@ class DggtEngine:
                 continue
             self._process_sibling_group(
                 dyng, gov_dep_id, gov_cand, sibling_lists, stats,
-                deadline, graph,
+                deadline, graph, cache,
             )
 
     def _process_sibling_group(
@@ -305,16 +314,17 @@ class DggtEngine:
         stats: SynthesisStats,
         deadline: Deadline,
         graph,
+        cache: Optional[PathCache] = None,
     ) -> None:
         src_node_id = gov_cand.node_id
         child_ids = [child for child, _paths in sibling_lists]
         all_paths = [cp for _child, paths in sibling_lists for cp in paths]
         pairs = (
-            conflict_pairs_for(graph, all_paths)
+            conflict_pairs_for(graph, all_paths, cache=cache)
             if self.config.grammar_pruning
             else set()
         )
-        path_sizes = {cp.path_id: cp.path.size(graph) for cp in all_paths}
+        path_sizes = _path_api_sizes(graph, all_paths, cache=cache)
 
         # Enumerate this level's combinations (the per-level p^e the paper
         # accepts), filtering conflicts before any merging happens.
@@ -365,13 +375,12 @@ class DggtEngine:
                 break
             combo = sc.combo
             stats.n_merged += 1
-            tree = CGT.from_paths(cp.path for cp in combo)
-            if not tree.is_tree() or tree.or_conflicts(graph):
+            valid, tree_cost = self._merge_info(graph, combo, cache)
+            if not valid:
                 continue  # reconvergent or grammar-conflicting merge
             leaf_keys = [
                 (child, cp.dst) for child, cp in zip(child_ids, combo)
             ]
-            tree_cost = exact_tree_cost(graph, combo)
             created = dyng.add_pcgt(
                 gov_dep_id, src_node_id, combo, leaf_keys, tree_cost,
                 gov_rank=gov_cand.rank,
@@ -385,3 +394,33 @@ class DggtEngine:
             )
             if best_total is None or total < best_total:
                 best_total = total
+
+    # ------------------------------------------------------------------
+    # Merge validity/cost (memoized per combination across queries)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _merge_info(
+        graph,
+        combo: Sequence[CandidatePath],
+        cache: Optional[PathCache] = None,
+    ) -> Tuple[bool, int]:
+        """(is the merged level-tree a valid CGT, its exact cost).
+
+        Both facts are pure functions of the combination's path node
+        sequences and the grammar graph — the per-level dynamic-program
+        substructure — so with a domain :class:`PathCache` they are
+        computed once per distinct combination across all queries.  The
+        cost is 0 (unused) for invalid merges.
+        """
+
+        def compute() -> Tuple[bool, int]:
+            tree = CGT.from_paths(cp.path for cp in combo)
+            if not tree.is_tree() or tree.or_conflicts(graph):
+                return (False, 0)
+            return (True, exact_tree_cost(graph, combo))
+
+        if cache is None:
+            return compute()
+        key = tuple(cp.path.nodes for cp in combo)
+        return cache.merge_info(key, compute)

@@ -15,9 +15,10 @@ the combinations.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.grammar.graph import GrammarGraph
+from repro.grammar.path_cache import PathCache
 from repro.grammar.path_voted import PathVotedGraph
 from repro.synthesis.problem import CandidatePath
 
@@ -25,8 +26,16 @@ from repro.synthesis.problem import CandidatePath
 def conflict_pairs_for(
     graph: GrammarGraph,
     candidate_paths: Iterable[CandidatePath],
+    cache: Optional[PathCache] = None,
 ) -> Set[FrozenSet[str]]:
-    """All conflict path pairs among the given candidate paths."""
+    """All conflict path pairs among the given candidate paths.
+
+    With a domain :class:`PathCache`, the vote analysis is memoized across
+    queries (keyed by the paths' node sequences, since path ids are
+    query-local labels).
+    """
+    if cache is not None:
+        return cache.conflict_pairs([cp.path for cp in candidate_paths])
     voted = PathVotedGraph(graph, (cp.path for cp in candidate_paths))
     return voted.conflict_path_pairs()
 

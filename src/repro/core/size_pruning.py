@@ -18,9 +18,10 @@ combination's pessimistic total.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.grammar.graph import GrammarGraph, NodeKind
+from repro.grammar.path_cache import PathCache
 from repro.synthesis.problem import CandidatePath
 
 
@@ -34,9 +35,16 @@ class SizedCombination:
 
 
 def _path_api_sizes(
-    graph: GrammarGraph, paths: Sequence[CandidatePath]
+    graph: GrammarGraph,
+    paths: Sequence[CandidatePath],
+    cache: Optional[PathCache] = None,
 ) -> Dict[str, int]:
-    """size(p) per path id — APIs excluding the sink (DESIGN.md accounting)."""
+    """size(p) per path id — APIs excluding the sink (DESIGN.md accounting).
+
+    With a domain :class:`PathCache`, sizes are memoized across queries per
+    path node sequence."""
+    if cache is not None:
+        return {cp.path_id: cache.path_size(cp.path) for cp in paths}
     return {cp.path_id: cp.path.size(graph) for cp in paths}
 
 

@@ -13,15 +13,13 @@ codelets after normalization through the codelet re-parser.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.expression import normalize_codelet
-from repro.errors import ReproError, SynthesisTimeout
 from repro.eval.dataset import QueryCase
 from repro.synthesis.domain import Domain
-from repro.synthesis.pipeline import Synthesizer
+from repro.synthesis.pipeline import BatchItem, Synthesizer
 from repro.synthesis.result import SynthesisStats
 
 #: The paper's per-query budget (seconds).
@@ -47,44 +45,51 @@ class CaseResult:
         return self.status == "timeout"
 
 
+def _case_result_from_item(
+    engine_name: str, case: QueryCase, item: BatchItem
+) -> CaseResult:
+    """Translate one batch item into the harness's CaseResult record."""
+    if item.ok:
+        truth = normalize_codelet(case.ground_truth)
+        codelet = normalize_codelet(item.outcome.codelet)
+        return CaseResult(
+            case=case,
+            engine=engine_name,
+            status="ok",
+            elapsed_seconds=item.elapsed_seconds,
+            codelet=codelet,
+            correct=codelet == truth,
+            size=item.outcome.size,
+            stats=item.outcome.stats,
+        )
+    if item.status == "timeout":
+        return CaseResult(
+            case=case,
+            engine=engine_name,
+            status="timeout",
+            elapsed_seconds=item.elapsed_seconds,
+            stats=getattr(item.error, "partial_stats", None),
+            error="timeout",
+        )
+    return CaseResult(
+        case=case,
+        engine=engine_name,
+        status="error",
+        elapsed_seconds=item.elapsed_seconds,
+        error=str(item.error),
+    )
+
+
 def run_case(
     synthesizer: Synthesizer,
     case: QueryCase,
     timeout_seconds: float = DEFAULT_TIMEOUT,
 ) -> CaseResult:
     """Run one case; timeouts are clamped to the budget per Sec. VII-B."""
-    truth = normalize_codelet(case.ground_truth)
-    started = time.monotonic()
-    try:
-        outcome = synthesizer.synthesize(case.query, timeout_seconds)
-    except SynthesisTimeout as exc:
-        return CaseResult(
-            case=case,
-            engine=synthesizer.engine.name,
-            status="timeout",
-            elapsed_seconds=timeout_seconds,
-            stats=getattr(exc, "partial_stats", None),
-            error="timeout",
-        )
-    except ReproError as exc:
-        return CaseResult(
-            case=case,
-            engine=synthesizer.engine.name,
-            status="error",
-            elapsed_seconds=time.monotonic() - started,
-            error=str(exc),
-        )
-    codelet = normalize_codelet(outcome.codelet)
-    return CaseResult(
-        case=case,
-        engine=synthesizer.engine.name,
-        status="ok",
-        elapsed_seconds=outcome.elapsed_seconds,
-        codelet=codelet,
-        correct=codelet == truth,
-        size=outcome.size,
-        stats=outcome.stats,
+    [item] = synthesizer.synthesize_many(
+        [case.query], timeout_seconds_each=timeout_seconds
     )
+    return _case_result_from_item(synthesizer.engine.name, case, item)
 
 
 def run_dataset(
@@ -94,13 +99,37 @@ def run_dataset(
     timeout_seconds: float = DEFAULT_TIMEOUT,
     config=None,
     progress: Optional[Callable[[CaseResult], None]] = None,
+    max_workers: int = 1,
 ) -> List[CaseResult]:
-    """Run a full query set through one engine."""
+    """Run a full query set through one engine.
+
+    The whole set goes through :meth:`Synthesizer.synthesize_many`, so the
+    cases share one warm domain cache; ``max_workers > 1`` fans them out
+    over a thread pool (``progress`` then fires in completion order rather
+    than dataset order).
+    """
     synthesizer = Synthesizer(domain, engine=engine, config=config)
-    results: List[CaseResult] = []
-    for case in cases:
-        result = run_case(synthesizer, case, timeout_seconds)
-        results.append(result)
-        if progress is not None:
-            progress(result)
-    return results
+    engine_name = synthesizer.engine.name
+    case_list = list(cases)
+    converted: Dict[int, CaseResult] = {}
+
+    def convert(item: BatchItem) -> CaseResult:
+        result = converted.get(item.index)
+        if result is None:
+            result = _case_result_from_item(
+                engine_name, case_list[item.index], item
+            )
+            converted[item.index] = result
+        return result
+
+    on_result = None
+    if progress is not None:
+        on_result = lambda item: progress(convert(item))  # noqa: E731
+
+    items = synthesizer.synthesize_many(
+        [case.query for case in case_list],
+        timeout_seconds_each=timeout_seconds,
+        max_workers=max_workers,
+        on_result=on_result,
+    )
+    return [convert(item) for item in items]

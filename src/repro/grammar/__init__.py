@@ -17,6 +17,7 @@ from repro.grammar.graph import (
     literal_id,
     nonterminal_id,
 )
+from repro.grammar.path_cache import LruCache, PathCache
 from repro.grammar.path_voted import PathVotedGraph
 from repro.grammar.paths import (
     DEFAULT_MAX_PATH_LEN,
@@ -54,4 +55,6 @@ __all__ = [
     "DEFAULT_MAX_PATH_LEN",
     "DEFAULT_MAX_PATHS",
     "PathVotedGraph",
+    "PathCache",
+    "LruCache",
 ]

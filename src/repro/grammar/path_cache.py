@@ -1,0 +1,299 @@
+"""Domain-scoped caching for the synthesis hot path.
+
+Step-4's reversed all-path search is a pure function of the (immutable)
+grammar graph, the endpoint pair, and the :class:`PathSearchLimits` — yet
+the seed implementation re-ran the DFS for every ``(src, dst)`` pair of
+every query.  Within one domain, different queries overwhelmingly share API
+pairs ("insert ... line", "append ... line", ... all need the same
+INSERT-to-LINESCOPE paths), so memoizing per pair across queries removes
+the dominant per-query cost of a serving workload.  The same argument
+applies one level up the stack: conflict-pair analysis, path sizes, and the
+validity/cost of a sibling-level path merge are all pure functions of path
+*node sequences* and the grammar graph, and whole synthesis outcomes are
+pure functions of (query, engine, config).
+
+:class:`PathCache` bundles those layers behind one object attached to a
+:class:`~repro.synthesis.domain.Domain`:
+
+``paths``
+    ``(src_id, dst_id, limits.cache_key())`` -> tuple of raw
+    :class:`GrammarPath` (ids unassigned; per-query catalogs relabel).
+``conflicts``
+    frozenset of path node-tuples -> conflict pairs expressed over node
+    tuples (path *ids* are per-query labels, so they cannot key a
+    cross-query cache; node tuples are the stable identity).
+``sizes``
+    path node-tuple -> ``GrammarPath.size(graph)``.
+``merge``
+    an opaque memo keyed by a combination's node tuples; the DGGT engine
+    stores (validity, exact tree cost) of a sibling-combination merge here.
+``outcomes``
+    an opaque memo for whole synthesis outcomes, used by
+    :class:`~repro.synthesis.pipeline.Synthesizer` for repeated queries.
+
+Every layer is a bounded LRU with hit/miss/eviction counters (surfaced via
+:meth:`snapshot` and, per query, in
+:class:`~repro.synthesis.result.SynthesisStats`), guarded by a lock so
+:meth:`Synthesizer.synthesize_many` can fan out across threads.
+Invalidation: the cache is valid only for the exact graph object it was
+built from; ``Domain.path_cache`` discards it when the domain's graph is
+replaced, and :meth:`clear` empties it explicitly.
+
+See ``docs/performance.md`` for the full key/invalidation story.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.grammar.graph import GrammarGraph
+from repro.grammar.paths import GrammarPath, PathSearchLimits, find_paths
+from repro.grammar.path_voted import PathVotedGraph
+
+#: Distinguishes "key absent" from a cached falsy value (empty path lists
+#: are common and perfectly cacheable).
+_MISSING = object()
+
+#: Immutable sequence of grammar-graph node ids — a path's stable identity.
+NodeTuple = Tuple[str, ...]
+
+DEFAULT_MAX_PATH_ENTRIES = 8192
+DEFAULT_MAX_CONFLICT_ENTRIES = 4096
+DEFAULT_MAX_SIZE_ENTRIES = 65536
+DEFAULT_MAX_MERGE_ENTRIES = 65536
+DEFAULT_MAX_OUTCOME_ENTRIES = 2048
+
+
+class LruCache:
+    """A small thread-safe bounded LRU map with hit/miss/eviction counters.
+
+    ``functools.lru_cache`` cannot serve here: keys are computed by the
+    caller (not the argument tuple), values must be inspectable for the
+    observability counters, and the cache must be clearable per layer.
+    """
+
+    def __init__(self, maxsize: int):
+        if maxsize < 1:
+            raise ValueError("maxsize must be at least 1")
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Any, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Any) -> Any:
+        """The cached value, or the module's ``_MISSING`` sentinel."""
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+            else:
+                self.hits += 1
+                self._data.move_to_end(key)
+            return value
+
+    def put(self, key: Any, value: Any) -> None:
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def get_or_compute(self, key: Any, compute: Callable[[], Any]) -> Any:
+        """Cached value for ``key``, computing (outside the lock) on a miss.
+
+        Concurrent misses may compute redundantly; the result is
+        deterministic, so last-write-wins is correct.
+        """
+        value = self.get(key)
+        if value is _MISSING:
+            value = compute()
+            self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: Any) -> bool:
+        with self._lock:
+            return key in self._data
+
+
+class PathCache:
+    """All cross-query caches of one domain (see module docstring)."""
+
+    def __init__(
+        self,
+        graph: GrammarGraph,
+        *,
+        max_path_entries: int = DEFAULT_MAX_PATH_ENTRIES,
+        max_conflict_entries: int = DEFAULT_MAX_CONFLICT_ENTRIES,
+        max_size_entries: int = DEFAULT_MAX_SIZE_ENTRIES,
+        max_merge_entries: int = DEFAULT_MAX_MERGE_ENTRIES,
+        max_outcome_entries: int = DEFAULT_MAX_OUTCOME_ENTRIES,
+    ):
+        self.graph = graph
+        self.paths = LruCache(max_path_entries)
+        self.conflicts = LruCache(max_conflict_entries)
+        self.sizes = LruCache(max_size_entries)
+        self.merge = LruCache(max_merge_entries)
+        self.outcomes = LruCache(max_outcome_entries)
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    # Path-search layer
+    # ------------------------------------------------------------------
+
+    def find_paths(
+        self,
+        src_id: str,
+        dst_id: str,
+        limits: Optional[PathSearchLimits] = None,
+        on_miss: Optional[Callable[[], None]] = None,
+    ) -> Tuple[GrammarPath, ...]:
+        """Memoized reversed all-path search for one endpoint pair.
+
+        ``on_miss`` runs before a cache-missing DFS (the problem layer
+        passes its deadline check, so cache hits never pay the clock read
+        and misses still honour the budget).  Results are tuples: cached
+        lists must never be mutated by callers.
+        """
+        limits = limits or PathSearchLimits()
+        key = (src_id, dst_id, limits.cache_key())
+        cached = self.paths.get(key)
+        if cached is not _MISSING:
+            return cached
+        if on_miss is not None:
+            on_miss()
+        raw = tuple(find_paths(self.graph, src_id, dst_id, limits))
+        self.paths.put(key, raw)
+        return raw
+
+    # ------------------------------------------------------------------
+    # Conflict-pair layer
+    # ------------------------------------------------------------------
+
+    def conflict_pairs(
+        self, paths: Sequence[GrammarPath]
+    ) -> Set[FrozenSet[str]]:
+        """Conflict path pairs (grammar-based pruning, Sec. V-A) with the
+        analysis memoized across queries.
+
+        Path ids are query-local catalog labels ("2.1", ...), so the cache
+        works over node tuples: ids are grouped by node sequence, conflicts
+        are computed once per distinct set of node sequences, and the
+        canonical pairs are expanded back to the caller's ids.  Two paths
+        with identical node sequences vote for identical "or" alternatives
+        and therefore never conflict with each other, so the expansion is
+        exact.
+        """
+        by_nodes: Dict[NodeTuple, List[str]] = {}
+        for path in paths:
+            by_nodes.setdefault(path.nodes, []).append(path.path_id)
+        key = frozenset(by_nodes)
+
+        def compute() -> FrozenSet[FrozenSet[NodeTuple]]:
+            canonical = [
+                GrammarPath(str(i), nodes)
+                for i, nodes in enumerate(sorted(by_nodes))
+            ]
+            id_to_nodes = {p.path_id: p.nodes for p in canonical}
+            voted = PathVotedGraph(self.graph, canonical)
+            return frozenset(
+                frozenset(id_to_nodes[i] for i in pair)
+                for pair in voted.conflict_path_pairs()
+            )
+
+        node_pairs = self.conflicts.get_or_compute(key, compute)
+        out: Set[FrozenSet[str]] = set()
+        for pair in node_pairs:
+            nodes_a, nodes_b = tuple(pair)
+            for p in by_nodes[nodes_a]:
+                for q in by_nodes[nodes_b]:
+                    out.add(frozenset((p, q)))
+        return out
+
+    # ------------------------------------------------------------------
+    # Path-size layer
+    # ------------------------------------------------------------------
+
+    def path_size(self, path: GrammarPath) -> int:
+        """Memoized ``GrammarPath.size(graph)`` keyed by node tuple."""
+        return self.sizes.get_or_compute(
+            path.nodes, lambda: path.size(self.graph)
+        )
+
+    # ------------------------------------------------------------------
+    # Opaque memo layers (merge results, whole outcomes)
+    # ------------------------------------------------------------------
+
+    def merge_info(self, key: Any, compute: Callable[[], Any]) -> Any:
+        """Memo for sibling-combination merge results (DGGT Case II)."""
+        return self.merge.get_or_compute(key, compute)
+
+    def get_outcome(self, key: Any) -> Any:
+        """A cached synthesis outcome, or ``None``."""
+        value = self.outcomes.get(key)
+        return None if value is _MISSING else value
+
+    def put_outcome(self, key: Any, value: Any) -> None:
+        self.outcomes.put(key, value)
+
+    # ------------------------------------------------------------------
+    # Observability & invalidation
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, int]:
+        """Cumulative counters, keyed exactly like the SynthesisStats
+        fields so per-query deltas are a dict subtraction."""
+        return {
+            "path_cache_hits": self.paths.hits,
+            "path_cache_misses": self.paths.misses,
+            "path_cache_evictions": self.paths.evictions,
+            "conflict_cache_hits": self.conflicts.hits,
+            "conflict_cache_misses": self.conflicts.misses,
+            "size_cache_hits": self.sizes.hits,
+            "size_cache_misses": self.sizes.misses,
+            "merge_cache_hits": self.merge.hits,
+            "merge_cache_misses": self.merge.misses,
+            "outcome_cache_hits": self.outcomes.hits,
+            "outcome_cache_misses": self.outcomes.misses,
+            "cache_invalidations": self.invalidations,
+        }
+
+    def clear(self) -> None:
+        """Explicit invalidation: drop every entry (counters survive, so
+        long-lived deltas remain meaningful)."""
+        for layer in (
+            self.paths, self.conflicts, self.sizes, self.merge, self.outcomes
+        ):
+            layer.clear()
+        self.invalidations += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PathCache(paths={len(self.paths)}, conflicts={len(self.conflicts)}, "
+            f"sizes={len(self.sizes)}, merge={len(self.merge)}, "
+            f"outcomes={len(self.outcomes)})"
+        )

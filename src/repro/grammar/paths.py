@@ -126,6 +126,17 @@ class PathSearchLimits:
         self.max_paths_per_edge = max_paths_per_edge
         self.max_extra_len = max_extra_len
 
+    def cache_key(self) -> Tuple[int, int, int, int, int]:
+        """Stable identity for cross-query caching: ``find_paths`` results
+        are a pure function of (graph, endpoints, these five knobs)."""
+        return (
+            self.max_path_len,
+            self.max_paths,
+            self.max_visits,
+            self.max_paths_per_edge,
+            self.max_extra_len,
+        )
+
 
 def find_paths(
     graph: GrammarGraph,

@@ -19,8 +19,11 @@ class Deadline:
     """A wall-clock budget; ``check()`` is cheap enough for inner loops."""
 
     def __init__(self, budget_seconds: Optional[float] = None):
-        if budget_seconds is not None and budget_seconds <= 0:
-            raise ValueError("budget_seconds must be positive (or None)")
+        if budget_seconds is not None and budget_seconds < 0:
+            raise ValueError("budget_seconds must be non-negative (or None)")
+        # A zero budget is legal and expires immediately: callers that
+        # forward a user-supplied timeout (Synthesizer, the batch API) must
+        # treat 0 as "no time at all", never as "unlimited".
         self.budget_seconds = budget_seconds
         self._start = time.monotonic()
 

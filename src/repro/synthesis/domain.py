@@ -19,6 +19,7 @@ from repro.errors import DomainError
 from repro.grammar.bnf import parse_bnf
 from repro.grammar.cfg import Grammar
 from repro.grammar.graph import GrammarGraph, literal_id
+from repro.grammar.path_cache import PathCache
 from repro.grammar.paths import PathSearchLimits
 from repro.nlp.pruning import PruneConfig
 from repro.nlu.docs import ApiDoc, ApiDocument
@@ -57,6 +58,7 @@ class Domain:
 
     def __post_init__(self) -> None:
         self._matcher: Optional[WordToApiMatcher] = None
+        self._path_cache: Optional[PathCache] = None
         literal_terminals = self.literal_terminals()
         for kind, targets in self.literal_targets.items():
             unknown = set(targets) - literal_terminals
@@ -131,6 +133,27 @@ class Domain:
 
     def literal_terminals(self) -> FrozenSet[str]:
         return frozenset(self.grammar.terminals - set(self.document.names()))
+
+    @property
+    def path_cache(self) -> PathCache:
+        """The domain's cross-query cache (paths, conflicts, sizes, merge
+        results, outcomes — see :mod:`repro.grammar.path_cache`).
+
+        Lazily built and automatically discarded when ``self.graph`` is
+        replaced: cached results are pure functions of the graph object
+        they were computed against, so a new graph means a new cache.
+        """
+        cache = self._path_cache
+        if cache is None or cache.graph is not self.graph:
+            cache = PathCache(self.graph)
+            self._path_cache = cache
+        return cache
+
+    def invalidate_caches(self) -> None:
+        """Explicitly drop every cached path/conflict/size/merge/outcome
+        entry (e.g. after mutating the grammar in place)."""
+        if self._path_cache is not None:
+            self._path_cache.clear()
 
     @property
     def matcher(self) -> WordToApiMatcher:

@@ -8,14 +8,22 @@ ends (Steps 5-6): the exhaustive HISyn baseline and DGGT.  The
     synth = Synthesizer(load_domain("textediting"), engine="dggt")
     outcome = synth.synthesize("insert ':' at the start of each line")
     print(outcome.codelet)
+
+For serving workloads, :meth:`Synthesizer.synthesize_many` processes a
+batch of queries over one shared warm domain cache (optionally across a
+thread pool) and returns per-query outcomes — including per-query errors —
+in input order.  See ``docs/performance.md`` for the caching architecture.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import time
-from typing import Dict, Optional, Union
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Union
 
-from repro.errors import ReproError
+from repro.errors import ReproError, SynthesisTimeout
 from repro.grammar.paths import PathSearchLimits
 from repro.synthesis.deadline import Deadline
 from repro.synthesis.domain import Domain
@@ -44,8 +52,46 @@ def make_engine(engine: EngineLike, config=None):
     raise ReproError(f"unknown engine {engine!r}; use 'hisyn' or 'dggt'")
 
 
+@dataclass
+class BatchItem:
+    """Per-query result of :meth:`Synthesizer.synthesize_many`.
+
+    Exactly one of ``outcome`` / ``error`` is set; ``index`` is the query's
+    position in the input batch (results are returned in input order
+    regardless of worker count).
+    """
+
+    query: str
+    index: int
+    outcome: Optional[SynthesisOutcome] = None
+    error: Optional[ReproError] = None
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome is not None
+
+    @property
+    def status(self) -> str:
+        """"ok" | "timeout" | "error" — the eval harness's categories."""
+        if self.outcome is not None:
+            return "ok"
+        if isinstance(self.error, SynthesisTimeout):
+            return "timeout"
+        return "error"
+
+
 class Synthesizer:
-    """Domain-bound synthesizer with a selectable back end."""
+    """Domain-bound synthesizer with a selectable back end.
+
+    All Synthesizers over one :class:`Domain` share the domain's
+    :class:`~repro.grammar.path_cache.PathCache`; additionally, when
+    ``cache_outcomes`` is on (the default), whole results of successful
+    syntheses are memoized per (query, engine, config, limits), so a
+    repeated query is answered without re-running the pipeline at all.
+    Set ``cache_outcomes=False`` to always exercise the full pipeline
+    (the sub-query caches still apply).
+    """
 
     def __init__(
         self,
@@ -54,16 +100,45 @@ class Synthesizer:
         *,
         config=None,
         limits: Optional[PathSearchLimits] = None,
+        cache_outcomes: bool = True,
     ):
         self.domain = domain
         self.engine = make_engine(engine, config)
         self.limits = limits
+        self.cache_outcomes = cache_outcomes
 
     def build_problem(
         self, query: str, deadline: Optional[Deadline] = None
     ) -> SynthesisProblem:
         """Run the shared front end only (useful for inspection/debugging)."""
         return build_problem(self.domain, query, self.limits, deadline)
+
+    # ------------------------------------------------------------------
+    # Single-query entry point
+    # ------------------------------------------------------------------
+
+    def _outcome_key(self, query: str):
+        """Identity of a synthesis result: everything it is a pure
+        function of, besides the domain (which scopes the cache)."""
+        limits = self.limits or self.domain.path_limits
+        config = getattr(self.engine, "config", None)
+        return (query, self.engine.name, config, limits.cache_key())
+
+    @staticmethod
+    def _replay(cached: SynthesisOutcome) -> SynthesisOutcome:
+        """A fresh outcome shell around a cached result.  Expression and
+        CGT are immutable and shared; the stats record is copied so the
+        per-query cache counters can be rewritten without touching the
+        cached original."""
+        return SynthesisOutcome(
+            query=cached.query,
+            engine=cached.engine,
+            expression=cached.expression,
+            cgt=cached.cgt,
+            size=cached.size,
+            stats=dataclasses.replace(cached.stats),
+            elapsed_seconds=0.0,
+        )
 
     def synthesize(
         self,
@@ -72,19 +147,112 @@ class Synthesizer:
     ) -> SynthesisOutcome:
         """Synthesize a codelet for ``query``.
 
-        Raises :class:`~repro.errors.SynthesisTimeout` when the budget runs
-        out (the harness records such cases as errors at the cut-off, per
-        the paper's Sec. VII-B), and :class:`~repro.errors.SynthesisError`
+        ``timeout_seconds=None`` means unlimited; any other value —
+        including 0 — is a hard budget.  Raises
+        :class:`~repro.errors.SynthesisTimeout` when the budget runs out
+        (the harness records such cases as errors at the cut-off, per the
+        paper's Sec. VII-B), and :class:`~repro.errors.SynthesisError`
         when no grammar-valid codelet exists for the query.
         """
-        deadline = Deadline(timeout_seconds) if timeout_seconds else Deadline.unlimited()
+        deadline = (
+            Deadline(timeout_seconds)
+            if timeout_seconds is not None
+            else Deadline.unlimited()
+        )
+        deadline.check()
+        cache = self.domain.path_cache
+        before = cache.snapshot()
         started = time.monotonic()
+
+        key = self._outcome_key(query) if self.cache_outcomes else None
+        if key is not None:
+            cached = cache.get_outcome(key)
+            if cached is not None:
+                outcome = self._replay(cached)
+                outcome.stats.record_cache_delta(before, cache.snapshot())
+                outcome.elapsed_seconds = time.monotonic() - started
+                return outcome
+
         problem = self.build_problem(query, deadline)
         deadline.check()
         outcome = self.engine.synthesize(problem, deadline)
         outcome.query = query
+        outcome.stats.record_cache_delta(before, cache.snapshot())
         outcome.elapsed_seconds = time.monotonic() - started
+        if key is not None:
+            cache.put_outcome(key, outcome)
         return outcome
+
+    # ------------------------------------------------------------------
+    # Batch entry point (serving workloads)
+    # ------------------------------------------------------------------
+
+    def synthesize_many(
+        self,
+        queries: Iterable[str],
+        *,
+        timeout_seconds_each: Optional[float] = None,
+        max_workers: int = 1,
+        on_result=None,
+    ) -> List[BatchItem]:
+        """Synthesize a batch of queries over one shared warm cache.
+
+        Per-query failures (timeouts included) are captured in the
+        returned :class:`BatchItem` list — one item per query, in input
+        order — rather than aborting the batch.  ``timeout_seconds_each``
+        is an independent budget per query.
+
+        ``max_workers > 1`` fans the batch out across a
+        ``ThreadPoolExecutor``.  The pipeline is pure Python, so threads
+        contend for the GIL and the measured scaling is modest (the
+        throughput benchmark reports it; see docs/performance.md);
+        the win is shared-cache warm-up and I/O overlap, not CPU
+        parallelism.  Process pools are a documented follow-up.
+
+        ``on_result`` (optional) is invoked with each finished
+        :class:`BatchItem` as it completes — in input order for a single
+        worker, in completion order (from worker threads) otherwise.
+        """
+        queries = list(queries)
+
+        def run_one(index: int, query: str) -> BatchItem:
+            started = time.monotonic()
+            try:
+                outcome = self.synthesize(query, timeout_seconds_each)
+                item = BatchItem(
+                    query,
+                    index,
+                    outcome=outcome,
+                    elapsed_seconds=outcome.elapsed_seconds,
+                )
+            except SynthesisTimeout as exc:
+                # Clamp to the budget, as the paper's harness does.
+                elapsed = (
+                    timeout_seconds_each
+                    if timeout_seconds_each is not None
+                    else exc.elapsed_seconds
+                )
+                item = BatchItem(
+                    query, index, error=exc, elapsed_seconds=elapsed
+                )
+            except ReproError as exc:
+                item = BatchItem(
+                    query,
+                    index,
+                    error=exc,
+                    elapsed_seconds=time.monotonic() - started,
+                )
+            if on_result is not None:
+                on_result(item)
+            return item
+
+        if max_workers <= 1:
+            return [run_one(i, q) for i, q in enumerate(queries)]
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            futures = [
+                pool.submit(run_one, i, q) for i, q in enumerate(queries)
+            ]
+            return [f.result() for f in futures]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Synthesizer({self.domain.name!r}, engine={self.engine.name!r})"

@@ -26,7 +26,6 @@ from repro.grammar.paths import (
     GrammarPath,
     PathCatalog,
     PathSearchLimits,
-    find_paths,
 )
 from repro.nlp.dependency import DepEdge, DependencyGraph
 from repro.nlp.parser import parse_query
@@ -111,9 +110,11 @@ class SynthesisProblem:
         }
         self.limits = limits or domain.path_limits
         self.deadline = deadline
-        # (src, dst) -> raw paths, shared with relocation variants (the
-        # grammar graph is immutable, so pair results never change).
-        self._path_cache: Dict[Tuple[str, str], List[GrammarPath]] = (
+        # (src, dst) -> raw paths.  A per-problem overlay (shared with
+        # relocation variants) over the domain-wide LRU in
+        # ``domain.path_cache``: the overlay needs no locking and no limits
+        # in its key; the domain cache persists pair results across queries.
+        self._path_cache: Dict[Tuple[str, str], Sequence[GrammarPath]] = (
             path_cache if path_cache is not None else {}
         )
         self.catalog = PathCatalog()
@@ -138,10 +139,9 @@ class SynthesisProblem:
         key = (src.node_id, dst.node_id)
         raw = self._path_cache.get(key)
         if raw is None:
-            if self.deadline is not None:
-                self.deadline.check()
-            raw = find_paths(
-                self.domain.graph, src.node_id, dst.node_id, self.limits
+            on_miss = self.deadline.check if self.deadline is not None else None
+            raw = self.domain.path_cache.find_paths(
+                src.node_id, dst.node_id, self.limits, on_miss=on_miss
             )
             self._path_cache[key] = raw
         return [CandidatePath(p, src, dst) for p in raw]
@@ -154,11 +154,11 @@ class SynthesisProblem:
         cap = self.limits.max_paths_per_edge
         if len(found) <= cap:
             return found
-        graph = self.domain.graph
+        size_of = self.domain.path_cache.path_size
         indexed = sorted(
             enumerate(found),
             key=lambda pair: (
-                pair[1].path.size(graph),
+                size_of(pair[1].path),
                 len(pair[1].path),
                 pair[0],
             ),

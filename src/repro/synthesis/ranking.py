@@ -72,7 +72,9 @@ def ranked_candidates(
         raise ValueError("k must be at least 1")
     resolved = make_engine(engine)
     deadline = (
-        Deadline(timeout_seconds) if timeout_seconds else Deadline.unlimited()
+        Deadline(timeout_seconds)
+        if timeout_seconds is not None
+        else Deadline.unlimited()
     )
     problem = build_problem(domain, query, deadline=deadline)
 

@@ -30,6 +30,47 @@ class SynthesisStats:
     n_merged: int = 0              # combinations actually merged into trees
     n_valid_cgts: int = 0          # merge results that were valid CGTs
 
+    # Per-query deltas of the domain's cross-query PathCache counters
+    # (see repro.grammar.path_cache), recorded by the Synthesizer so the
+    # throughput benchmark can assert warm-vs-cold behaviour instead of
+    # guessing.  Under synthesize_many with several workers the deltas of
+    # concurrent queries may bleed into each other; sums over a batch are
+    # exact either way.
+    path_cache_hits: int = 0
+    path_cache_misses: int = 0
+    path_cache_evictions: int = 0
+    conflict_cache_hits: int = 0
+    conflict_cache_misses: int = 0
+    size_cache_hits: int = 0
+    size_cache_misses: int = 0
+    merge_cache_hits: int = 0
+    merge_cache_misses: int = 0
+    outcome_cache_hits: int = 0
+    outcome_cache_misses: int = 0
+
+    #: The cache-counter fields, in as_dict order.
+    CACHE_FIELDS = (
+        "path_cache_hits",
+        "path_cache_misses",
+        "path_cache_evictions",
+        "conflict_cache_hits",
+        "conflict_cache_misses",
+        "size_cache_hits",
+        "size_cache_misses",
+        "merge_cache_hits",
+        "merge_cache_misses",
+        "outcome_cache_hits",
+        "outcome_cache_misses",
+    )
+
+    def record_cache_delta(
+        self, before: Dict[str, int], after: Dict[str, int]
+    ) -> None:
+        """Set the cache counters from two PathCache snapshots taken
+        around this query's synthesis."""
+        for name in self.CACHE_FIELDS:
+            setattr(self, name, after.get(name, 0) - before.get(name, 0))
+
     def merge_from(self, other: "SynthesisStats") -> None:
         """Accumulate a per-variant stats record into this one."""
         self.n_combinations += other.n_combinations
@@ -39,7 +80,7 @@ class SynthesisStats:
         self.n_valid_cgts += other.n_valid_cgts
 
     def as_dict(self) -> Dict[str, int]:
-        return {
+        out = {
             "dep_edges": self.n_dep_edges,
             "orig_paths": self.n_orig_paths,
             "paths_after_reloc": self.n_paths_after_reloc,
@@ -51,6 +92,9 @@ class SynthesisStats:
             "merged": self.n_merged,
             "valid_cgts": self.n_valid_cgts,
         }
+        for name in self.CACHE_FIELDS:
+            out[name] = getattr(self, name)
+        return out
 
 
 @dataclass

@@ -1,0 +1,105 @@
+"""CLI batch mode: ``python -m repro batch [FILE]``."""
+
+import io
+import json
+
+from repro.cli import main
+
+
+def _write_queries(tmp_path, lines):
+    path = tmp_path / "queries.txt"
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return str(path)
+
+
+class TestBatchCommand:
+    def test_file_input(self, tmp_path, capsys):
+        path = _write_queries(
+            tmp_path,
+            [
+                "# a comment line",
+                "print every line",
+                "",
+                "delete every word that contains numbers",
+            ],
+        )
+        code = main(["batch", path])
+        captured = capsys.readouterr()
+        assert code == 0
+        lines = captured.out.strip().splitlines()
+        assert len(lines) == 2  # comment + blank skipped
+        assert lines[0].startswith("1. PRINT(")
+        assert lines[1].startswith("2. ")
+        assert "2/2 ok" in captured.err
+        assert "queries/s" in captured.err
+
+    def test_stdin_input(self, capsys, monkeypatch):
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("print every line\n")
+        )
+        code = main(["batch"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out.startswith("1. PRINT(")
+
+    def test_json_output(self, tmp_path, capsys):
+        path = _write_queries(tmp_path, ["print every line"])
+        code = main(["batch", path, "--json"])
+        captured = capsys.readouterr()
+        assert code == 0
+        payload = json.loads(captured.out)
+        assert len(payload) == 1
+        item = payload[0]
+        assert item["status"] == "ok"
+        assert item["query"] == "print every line"
+        assert item["codelet"].startswith("PRINT(")
+        assert item["error"] is None
+
+    def test_failing_query_sets_exit_code(self, tmp_path, capsys):
+        path = _write_queries(
+            tmp_path, ["print every line", "zzz qqq xxx"]
+        )
+        code = main(["batch", path, "--json"])
+        captured = capsys.readouterr()
+        assert code == 1
+        payload = json.loads(captured.out)
+        assert [i["status"] for i in payload] == ["ok", "error"]
+        assert payload[1]["codelet"] is None
+        assert payload[1]["error"]
+
+    def test_stats_flag_prints_cache_counters(self, tmp_path, capsys):
+        path = _write_queries(
+            tmp_path, ["print every line", "print every line"]
+        )
+        code = main(["batch", path, "--stats"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "# path_cache_hits = " in captured.err
+        assert "# outcome_cache_hits = " in captured.err
+
+    def test_workers_flag(self, tmp_path, capsys):
+        path = _write_queries(
+            tmp_path,
+            ["print every line", "delete every word that contains numbers"],
+        )
+        code = main(["batch", path, "--workers", "2"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "workers=2" in captured.err
+
+    def test_missing_file(self, tmp_path, capsys):
+        code = main(["batch", str(tmp_path / "nope.txt")])
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_empty_input(self, tmp_path, capsys):
+        path = _write_queries(tmp_path, ["# only a comment"])
+        code = main(["batch", path])
+        assert code == 2
+        assert "no queries" in capsys.readouterr().err
+
+    def test_unknown_domain(self, tmp_path, capsys):
+        path = _write_queries(tmp_path, ["print every line"])
+        code = main(["batch", path, "--domain", "nope"])
+        assert code == 2
+        assert "unknown domain" in capsys.readouterr().err

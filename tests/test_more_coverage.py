@@ -32,6 +32,12 @@ class TestCliAblations:
         assert out.startswith("1. ")
 
     def test_timeout_path(self, capsys):
+        # The built-in domains are process-wide singletons, so drop any
+        # cached results first: a warm outcome cache would answer the
+        # query instantly and the budget would never be consulted.
+        from repro import load_domain
+
+        load_domain("textediting").invalidate_caches()
         code = main(
             ["--engine", "hisyn", "--timeout", "0.001",
              "delete every word that contains numbers"]

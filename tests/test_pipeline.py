@@ -61,9 +61,13 @@ class TestDeadline:
         d.check()
         assert not d.expired
 
-    def test_positive_budget_required(self):
+    def test_negative_budget_rejected(self):
         with pytest.raises(ValueError):
-            Deadline(0)
+            Deadline(-1)
+
+    def test_zero_budget_expires_immediately(self):
+        with pytest.raises(SynthesisTimeout):
+            Deadline(0).check()
 
     def test_expiry(self):
         d = Deadline(1e-9)
