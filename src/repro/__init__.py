@@ -17,6 +17,7 @@ from repro.core.dggt import DggtConfig, DggtEngine
 from repro.baseline.hisyn import HISynEngine
 from repro.domains import available_domains, load_domain
 from repro.errors import (
+    CacheSnapshotError,
     DomainError,
     GrammarError,
     ParseError,
@@ -50,5 +51,6 @@ __all__ = [
     "SynthesisError",
     "SynthesisTimeout",
     "DomainError",
+    "CacheSnapshotError",
     "__version__",
 ]

@@ -12,11 +12,18 @@ Examples::
     python -m repro --list-domains
 
 Batch mode reads one query per line from a file (or stdin with ``-``) and
-runs them through :meth:`Synthesizer.synthesize_many` over one shared warm
-cache::
+runs them through :meth:`Synthesizer.synthesize_many`::
 
     python -m repro batch queries.txt --workers 4 --stats
+    python -m repro batch queries.txt --backend process --workers 4
     cat queries.txt | python -m repro batch --json
+
+Cache mode manages the persistent on-disk PathCache snapshots that let a
+cold process start warm (see docs/performance.md)::
+
+    python -m repro cache warm --domain textediting --cache-dir /var/cache
+    python -m repro cache info
+    python -m repro cache clear --domain textediting
 """
 
 from __future__ import annotations
@@ -29,7 +36,12 @@ from typing import List, Optional
 
 from repro import __version__, available_domains, load_domain
 from repro.core.dggt import DggtConfig
-from repro.errors import ReproError, SynthesisTimeout
+from repro.errors import CacheSnapshotError, ReproError, SynthesisTimeout
+from repro.grammar.path_cache import (
+    SNAPSHOT_SUFFIX,
+    default_cache_dir,
+    snapshot_info,
+)
 from repro.synthesis.explain import explain_query
 from repro.synthesis.pipeline import Synthesizer
 from repro.synthesis.ranking import ranked_candidates
@@ -130,7 +142,21 @@ def build_batch_arg_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         metavar="N",
-        help="thread-pool size for the batch (default: 1, sequential)",
+        help="worker-pool size for the batch (default: 1, sequential)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="execution backend: 'thread' shares one warm cache (GIL-bound);"
+        " 'process' scales with cores via a process pool (default: thread)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="preload persistent cache snapshots from DIR (process backend: "
+        "every worker preloads; see 'repro cache warm')",
     )
     parser.add_argument(
         "--stats",
@@ -178,12 +204,19 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     synth = Synthesizer(domain, engine=args.engine)
+    stats_before = domain.path_cache.snapshot() if args.stats else None
     started = time.monotonic()
-    items = synth.synthesize_many(
-        queries,
-        timeout_seconds_each=args.timeout,
-        max_workers=args.workers,
-    )
+    try:
+        items = synth.synthesize_many(
+            queries,
+            timeout_seconds_each=args.timeout,
+            max_workers=args.workers,
+            backend=args.backend,
+            cache_dir=args.cache_dir,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     elapsed = time.monotonic() - started
 
     if args.json:
@@ -211,20 +244,199 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
     rate = len(items) / elapsed if elapsed > 0 else float("inf")
     print(
         f"# {n_ok}/{len(items)} ok in {elapsed:.2f}s "
-        f"({rate:.2f} queries/s, workers={args.workers})",
+        f"({rate:.2f} queries/s, workers={args.workers}, "
+        f"backend={args.backend})",
         file=sys.stderr,
     )
     if args.stats:
         from repro.synthesis.result import SynthesisStats
 
-        totals = {name: 0 for name in SynthesisStats.CACHE_FIELDS}
-        for item in items:
-            if item.outcome is not None:
-                for name in totals:
-                    totals[name] += getattr(item.outcome.stats, name)
+        if args.backend == "process":
+            # Per-item deltas are exact in pool workers (each runs its
+            # queries sequentially); the parent cache never sees them.
+            totals = {name: 0 for name in SynthesisStats.CACHE_FIELDS}
+            for item in items:
+                if item.outcome is not None:
+                    for name in totals:
+                        totals[name] += getattr(item.outcome.stats, name)
+        else:
+            # Exact regardless of worker count: one delta around the batch
+            # against this process's shared cache.
+            after = domain.path_cache.snapshot()
+            totals = {
+                name: after.get(name, 0) - stats_before.get(name, 0)
+                for name in SynthesisStats.CACHE_FIELDS
+            }
         for name, value in totals.items():
             print(f"# {name} = {value}", file=sys.stderr)
     return 0 if n_ok == len(items) else 1
+
+
+def build_cache_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro cache",
+        description="manage persistent on-disk PathCache snapshots "
+        "(warm servers from process start; see docs/performance.md)",
+    )
+    parser.add_argument(
+        "action",
+        choices=("warm", "clear", "info"),
+        help="warm: run a query set and save a snapshot; "
+        "clear: delete snapshots; info: describe snapshots",
+    )
+    parser.add_argument(
+        "--domain",
+        default=None,
+        help="target domain (warm defaults to 'textediting'; "
+        "clear/info default to every domain)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="snapshot directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-dggt)",
+    )
+    parser.add_argument(
+        "--queries",
+        default=None,
+        metavar="FILE",
+        help="warm: queries to replay, one per line ('-' for stdin; "
+        "default: the domain's bundled evaluation suite)",
+    )
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=0,
+        metavar="N",
+        help="warm: cap the number of warm-up queries (default: all)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("dggt", "hisyn"),
+        default="dggt",
+        help="warm: synthesis engine to warm with (default: dggt)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        help="warm: per-query budget in seconds (default: 5)",
+    )
+    return parser
+
+
+def _bundled_queries(domain_name: str) -> Optional[List[str]]:
+    """The built-in evaluation suite for a domain, if it has one."""
+    if domain_name == "textediting":
+        from repro.domains.textediting.queries import TEXTEDITING_QUERIES
+
+        return [case.query for case in TEXTEDITING_QUERIES]
+    if domain_name == "astmatcher":
+        from repro.domains.astmatcher.queries import ASTMATCHER_QUERIES
+
+        return [case.query for case in ASTMATCHER_QUERIES]
+    return None
+
+
+def _snapshot_files(cache_dir, domain: Optional[str]) -> List:
+    from pathlib import Path
+
+    base = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    pattern = f"{domain}-*{SNAPSHOT_SUFFIX}" if domain else f"*{SNAPSHOT_SUFFIX}"
+    return sorted(base.glob(pattern)) if base.is_dir() else []
+
+
+def cache_main(argv: Optional[List[str]] = None) -> int:
+    args = build_cache_arg_parser().parse_args(argv)
+
+    if args.action == "warm":
+        domain_name = args.domain or "textediting"
+        try:
+            domain = load_domain(domain_name)
+            if args.queries is not None:
+                queries = _read_queries(args.queries)
+            else:
+                queries = _bundled_queries(domain.name)
+                if queries is None:
+                    print(
+                        f"error: domain {domain.name!r} has no bundled "
+                        "query suite; pass --queries FILE",
+                        file=sys.stderr,
+                    )
+                    return 2
+            if args.limit > 0:
+                queries = queries[: args.limit]
+            synth = Synthesizer(domain, engine=args.engine)
+            started = time.monotonic()
+            items = synth.synthesize_many(
+                queries, timeout_seconds_each=args.timeout
+            )
+            target = domain.save_cache(args.cache_dir)
+        except (ReproError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        elapsed = time.monotonic() - started
+        n_ok = sum(1 for item in items if item.ok)
+        entries = {
+            layer: len(domain.path_cache.layer(layer))
+            for layer in domain.path_cache.PERSISTED_LAYERS
+        }
+        print(f"warmed {domain.name} with {n_ok}/{len(items)} queries "
+              f"in {elapsed:.2f}s")
+        print(f"snapshot: {target} "
+              f"({', '.join(f'{k}={v}' for k, v in entries.items())})")
+        return 0
+
+    if args.action == "clear":
+        removed = 0
+        for path in _snapshot_files(args.cache_dir, args.domain):
+            try:
+                path.unlink()
+                removed += 1
+                print(f"removed {path}")
+            except OSError as exc:
+                print(f"error: cannot remove {path}: {exc}", file=sys.stderr)
+                return 2
+        if not removed:
+            print("no snapshots to remove")
+        return 0
+
+    # info
+    files = _snapshot_files(args.cache_dir, args.domain)
+    if not files:
+        print("no snapshots found")
+        return 0
+    current_hashes = {}
+    for name in available_domains():
+        if args.domain and name != args.domain:
+            continue
+        try:
+            current_hashes[name] = load_domain(name).grammar_hash()
+        except ReproError:
+            continue
+    for path in files:
+        try:
+            info = snapshot_info(path)
+        except CacheSnapshotError as exc:
+            print(f"{path}: unreadable ({exc})")
+            continue
+        current = current_hashes.get(info["domain"])
+        if current is None:
+            freshness = "unknown domain"
+        elif current == info["grammar_hash"]:
+            freshness = "fresh"
+        else:
+            freshness = "STALE (grammar changed; re-run 'cache warm')"
+        entries = ", ".join(
+            f"{k}={v}" for k, v in sorted(info["entries"].items())
+        )
+        print(
+            f"{info['file']}: domain={info['domain']} "
+            f"hash={info['grammar_hash'][:16]} [{freshness}] "
+            f"{info['bytes']} bytes, {entries}"
+        )
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -232,6 +444,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "batch":
         return batch_main(argv[1:])
+    if argv and argv[0] == "cache":
+        return cache_main(argv[1:])
     args = build_arg_parser().parse_args(argv)
 
     if args.list_domains:

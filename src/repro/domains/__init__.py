@@ -1,4 +1,17 @@
-"""Evaluation domains (paper Table I) and the domain registry."""
+"""Evaluation domains (paper Table I) and the named domain registry.
+
+The registry maps a *name* to a factory, which is what lets execution
+backends rebuild a domain anywhere: the process-pool backend of
+:meth:`Synthesizer.synthesize_many` ships only ``domain.name`` (plus the
+engine config) over the worker pipe and calls :func:`get` on the other
+side, so the unpicklable Domain object never crosses a process boundary.
+
+``get(name)`` returns a per-process shared instance (one warm
+:class:`~repro.grammar.path_cache.PathCache` per domain per process);
+``get(name, fresh=True)`` builds a private instance — benchmarks and cache
+tests use it to guarantee a cold start.  Custom domains join the registry
+via :func:`register`.
+"""
 
 from typing import Callable, Dict, List
 
@@ -6,34 +19,108 @@ from repro.errors import DomainError
 from repro.synthesis.domain import Domain
 
 
-def _textediting() -> Domain:
+def _textediting(fresh: bool = False) -> Domain:
     from repro.domains.textediting import build_domain
 
-    return build_domain()
+    return build_domain(fresh=fresh)
 
 
-def _astmatcher() -> Domain:
+def _astmatcher(fresh: bool = False) -> Domain:
     from repro.domains.astmatcher import build_domain
 
-    return build_domain()
+    return build_domain(fresh=fresh)
 
 
-_REGISTRY: Dict[str, Callable[[], Domain]] = {
+#: name -> factory(fresh=False).  Factories own their per-process caching
+#: (the built-in ones memoize inside their modules), so the registry holds
+#: no domain objects of its own.
+_REGISTRY: Dict[str, Callable[..., Domain]] = {
     "textediting": _textediting,
     "astmatcher": _astmatcher,
 }
 
 
-def load_domain(name: str) -> Domain:
-    """Load a built-in domain by name ("textediting" or "astmatcher")."""
+def get(name: str, *, fresh: bool = False) -> Domain:
+    """A registered domain by name.
+
+    ``fresh=False`` (default) returns the process-shared instance;
+    ``fresh=True`` builds a new private one (cold caches, safe to mutate).
+    """
     try:
         factory = _REGISTRY[name.lower()]
     except KeyError:
         raise DomainError(
             f"unknown domain {name!r}; available: {sorted(_REGISTRY)}"
         ) from None
-    return factory()
+    try:
+        return factory(fresh=fresh)
+    except TypeError:
+        # A custom factory without a ``fresh`` parameter: every call is a
+        # fresh build, so the flag is moot.
+        return factory()
+
+
+def load_domain(name: str, *, fresh: bool = False) -> Domain:
+    """Load a built-in or registered domain by name (alias of :func:`get`,
+    kept as the README-facing spelling)."""
+    return get(name, fresh=fresh)
+
+
+def register(name: str, factory: Callable[..., Domain]) -> None:
+    """Register a custom domain factory under ``name``.
+
+    ``factory`` should accept a ``fresh`` keyword (build a new instance
+    when true, may return a shared one otherwise); a zero-argument
+    callable also works and is treated as always-fresh.  Registration is
+    per process — with the process execution backend, register at import
+    time (module scope) so pool workers re-run it.
+    """
+    key = name.lower()
+    if key in _REGISTRY:
+        raise DomainError(f"domain {name!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def unregister(name: str) -> None:
+    """Remove a custom domain factory (built-ins cannot be removed)."""
+    key = name.lower()
+    if key in ("textediting", "astmatcher"):
+        raise DomainError(f"cannot unregister built-in domain {name!r}")
+    if key not in _REGISTRY:
+        raise DomainError(f"unknown domain {name!r}")
+    del _REGISTRY[key]
+
+
+def is_registered(name: str) -> bool:
+    return name.lower() in _REGISTRY
 
 
 def available_domains() -> List[str]:
     return sorted(_REGISTRY)
+
+
+def clear_cached_domains() -> None:
+    """Drop every factory's per-process shared instance (best effort:
+    factories expose ``cache_clear``).  Benchmarks call this so a
+    subsequent pass — including forked pool workers — really starts cold.
+    """
+    for factory in _REGISTRY.values():
+        clear = getattr(factory, "cache_clear", None)
+        if clear is not None:
+            clear()
+
+
+def _builtin_cache_clear(factory_name: str):
+    def clear() -> None:
+        import repro.domains.astmatcher as astmatcher
+        import repro.domains.textediting as textediting
+
+        {"textediting": textediting, "astmatcher": astmatcher}[
+            factory_name
+        ].build_domain.cache_clear()
+
+    return clear
+
+
+_textediting.cache_clear = _builtin_cache_clear("textediting")
+_astmatcher.cache_clear = _builtin_cache_clear("astmatcher")

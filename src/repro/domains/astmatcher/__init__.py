@@ -50,9 +50,7 @@ _NAME_TOKEN_OVERRIDES = {
 }
 
 
-@lru_cache(maxsize=1)
-def build_domain() -> Domain:
-    """Build (and cache) the ASTMatcher domain from the catalog."""
+def _build() -> Domain:
     quoted, number = literal_slots()
     docs = [
         ApiDoc(
@@ -103,3 +101,18 @@ def build_domain() -> Domain:
         # concrete statement matcher.
         generic_apis=("expr", "stmt", "decl", "type", "qualType"),
     )
+
+
+@lru_cache(maxsize=1)
+def _shared() -> Domain:
+    return _build()
+
+
+def build_domain(fresh: bool = False) -> Domain:
+    """The ASTMatcher domain from the catalog: the process-shared instance
+    by default, a private cold-cache instance with ``fresh=True``."""
+    return _build() if fresh else _shared()
+
+
+#: Lets repro.domains.clear_cached_domains drop the shared instance.
+build_domain.cache_clear = _shared.cache_clear

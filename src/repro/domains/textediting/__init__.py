@@ -52,9 +52,7 @@ def _rerank_by_syntax(node, dep_graph, entries: List) -> List:
     return preferred + rest
 
 
-@lru_cache(maxsize=1)
-def build_domain() -> Domain:
-    """Build (and cache) the TextEditing domain."""
+def _build() -> Domain:
     prune = PruneConfig(
         quantifier_lemmas=frozenset({"each", "every", "all", "any"}),
         merge_amod_lemmas=frozenset(),
@@ -78,3 +76,19 @@ def build_domain() -> Domain:
         ),
         candidate_reranker=_rerank_by_syntax,
     )
+
+
+@lru_cache(maxsize=1)
+def _shared() -> Domain:
+    return _build()
+
+
+def build_domain(fresh: bool = False) -> Domain:
+    """The TextEditing domain: the process-shared instance by default, a
+    private cold-cache instance with ``fresh=True`` (benchmarks, cache
+    tests)."""
+    return _build() if fresh else _shared()
+
+
+#: Lets repro.domains.clear_cached_domains drop the shared instance.
+build_domain.cache_clear = _shared.cache_clear

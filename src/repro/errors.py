@@ -26,9 +26,16 @@ class BNFSyntaxError(GrammarError):
 
     def __init__(self, message: str, line: int | None = None):
         self.line = line
+        self.bare_message = message
         if line is not None:
             message = f"line {line}: {message}"
         super().__init__(message)
+
+    def __reduce__(self):
+        # Default exception pickling replays __init__ with ``self.args``,
+        # which here is the already-prefixed message; reconstruct from the
+        # original arguments instead so ``line`` survives a worker pipe.
+        return (type(self), (self.bare_message, self.line))
 
 
 class TokenizationError(ReproError):
@@ -58,6 +65,24 @@ class SynthesisTimeout(SynthesisError):
             f"(elapsed {elapsed_seconds:.3g}s)"
         )
 
+    def __reduce__(self):
+        # Default exception pickling replays __init__ with ``self.args``
+        # (the formatted message) — a TypeError for this two-argument
+        # signature.  Process-pool workers ship timeouts over a pipe, so
+        # reconstruct from the numeric fields; the third element restores
+        # any extra attributes (e.g. ``partial_stats``).
+        return (
+            type(self),
+            (self.budget_seconds, self.elapsed_seconds),
+            self.__dict__,
+        )
+
 
 class DomainError(ReproError):
     """A problem with a domain registration (missing APIs, bad document)."""
+
+
+class CacheSnapshotError(ReproError):
+    """A persistent PathCache snapshot could not be used: unreadable or
+    corrupt file, unknown format version, or a grammar hash that does not
+    match the domain it is being loaded into (stale snapshot)."""

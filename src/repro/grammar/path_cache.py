@@ -39,13 +39,28 @@ Invalidation: the cache is valid only for the exact graph object it was
 built from; ``Domain.path_cache`` discards it when the domain's graph is
 replaced, and :meth:`clear` empties it explicitly.
 
+Persistence: the path/conflict/size/merge layers are pure functions of the
+grammar graph, so they can be computed once and shipped to other processes
+or later runs.  :func:`write_snapshot` / :func:`load_snapshot` serialize
+them to a versioned file keyed by :func:`grammar_fingerprint`; a snapshot
+whose stored hash does not match the graph it is loaded into is rejected
+(:class:`~repro.errors.CacheSnapshotError`).  The query-keyed ``outcomes``
+layer is deliberately *not* persisted: snapshots stay a pure function of
+the grammar.
+
 See ``docs/performance.md`` for the full key/invalidation story.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
+import tempfile
 import threading
+import time
 from collections import OrderedDict
+from pathlib import Path
 from typing import (
     Any,
     Callable,
@@ -57,8 +72,10 @@ from typing import (
     Sequence,
     Set,
     Tuple,
+    Union,
 )
 
+from repro.errors import CacheSnapshotError
 from repro.grammar.graph import GrammarGraph
 from repro.grammar.paths import GrammarPath, PathSearchLimits, find_paths
 from repro.grammar.path_voted import PathVotedGraph
@@ -75,6 +92,54 @@ DEFAULT_MAX_CONFLICT_ENTRIES = 4096
 DEFAULT_MAX_SIZE_ENTRIES = 65536
 DEFAULT_MAX_MERGE_ENTRIES = 65536
 DEFAULT_MAX_OUTCOME_ENTRIES = 2048
+
+#: Layer name -> (env var, library default).  ``REPRO_CACHE_MAX_*`` lets a
+#: deployment resize every domain's caches without touching code, which is
+#: why the env value wins over per-domain constructor arguments.
+CAPACITY_SPEC: Dict[str, Tuple[str, int]] = {
+    "paths": ("REPRO_CACHE_MAX_PATH_ENTRIES", DEFAULT_MAX_PATH_ENTRIES),
+    "conflicts": (
+        "REPRO_CACHE_MAX_CONFLICT_ENTRIES", DEFAULT_MAX_CONFLICT_ENTRIES
+    ),
+    "sizes": ("REPRO_CACHE_MAX_SIZE_ENTRIES", DEFAULT_MAX_SIZE_ENTRIES),
+    "merge": ("REPRO_CACHE_MAX_MERGE_ENTRIES", DEFAULT_MAX_MERGE_ENTRIES),
+    "outcomes": (
+        "REPRO_CACHE_MAX_OUTCOME_ENTRIES", DEFAULT_MAX_OUTCOME_ENTRIES
+    ),
+}
+
+
+def resolve_capacities(
+    overrides: Optional[Dict[str, Optional[int]]] = None,
+) -> Dict[str, int]:
+    """Effective per-layer LRU capacities.
+
+    Precedence per layer: ``REPRO_CACHE_MAX_*`` environment variable (a
+    deployment-wide override) > explicit per-domain value > library
+    default.  Unknown override keys are rejected loudly — a typo here
+    would otherwise silently fall back to the default.
+    """
+    overrides = dict(overrides or {})
+    unknown = set(overrides) - set(CAPACITY_SPEC)
+    if unknown:
+        raise ValueError(
+            f"unknown cache layers {sorted(unknown)}; "
+            f"valid: {sorted(CAPACITY_SPEC)}"
+        )
+    out: Dict[str, int] = {}
+    for layer, (env_var, default) in CAPACITY_SPEC.items():
+        env_value = os.environ.get(env_var)
+        if env_value is not None:
+            try:
+                out[layer] = int(env_value)
+            except ValueError:
+                raise ValueError(
+                    f"{env_var}={env_value!r} is not an integer"
+                ) from None
+        else:
+            explicit = overrides.get(layer)
+            out[layer] = default if explicit is None else int(explicit)
+    return out
 
 
 class LruCache:
@@ -131,6 +196,13 @@ class LruCache:
         with self._lock:
             self._data.clear()
 
+    def items(self) -> List[Tuple[Any, Any]]:
+        """A consistent (key, value) list in LRU order, oldest first —
+        the order :func:`write_snapshot` persists, so re-inserting on load
+        reproduces the recency ranking."""
+        with self._lock:
+            return list(self._data.items())
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._data)
@@ -141,25 +213,48 @@ class LruCache:
 
 
 class PathCache:
-    """All cross-query caches of one domain (see module docstring)."""
+    """All cross-query caches of one domain (see module docstring).
+
+    Capacities default to the module constants; pass explicit values (or
+    ``None`` for "use the default") per layer, and set ``REPRO_CACHE_MAX_*``
+    to override every domain in a deployment — see
+    :func:`resolve_capacities` for the precedence.
+    """
+
+    #: Layers persisted by :func:`write_snapshot` — the grammar-pure ones.
+    PERSISTED_LAYERS = ("paths", "conflicts", "sizes", "merge")
 
     def __init__(
         self,
         graph: GrammarGraph,
         *,
-        max_path_entries: int = DEFAULT_MAX_PATH_ENTRIES,
-        max_conflict_entries: int = DEFAULT_MAX_CONFLICT_ENTRIES,
-        max_size_entries: int = DEFAULT_MAX_SIZE_ENTRIES,
-        max_merge_entries: int = DEFAULT_MAX_MERGE_ENTRIES,
-        max_outcome_entries: int = DEFAULT_MAX_OUTCOME_ENTRIES,
+        max_path_entries: Optional[int] = None,
+        max_conflict_entries: Optional[int] = None,
+        max_size_entries: Optional[int] = None,
+        max_merge_entries: Optional[int] = None,
+        max_outcome_entries: Optional[int] = None,
     ):
         self.graph = graph
-        self.paths = LruCache(max_path_entries)
-        self.conflicts = LruCache(max_conflict_entries)
-        self.sizes = LruCache(max_size_entries)
-        self.merge = LruCache(max_merge_entries)
-        self.outcomes = LruCache(max_outcome_entries)
+        self.capacities = resolve_capacities(
+            {
+                "paths": max_path_entries,
+                "conflicts": max_conflict_entries,
+                "sizes": max_size_entries,
+                "merge": max_merge_entries,
+                "outcomes": max_outcome_entries,
+            }
+        )
+        self.paths = LruCache(self.capacities["paths"])
+        self.conflicts = LruCache(self.capacities["conflicts"])
+        self.sizes = LruCache(self.capacities["sizes"])
+        self.merge = LruCache(self.capacities["merge"])
+        self.outcomes = LruCache(self.capacities["outcomes"])
         self.invalidations = 0
+
+    def layer(self, name: str) -> LruCache:
+        if name not in CAPACITY_SPEC:
+            raise ValueError(f"unknown cache layer {name!r}")
+        return getattr(self, name)
 
     # ------------------------------------------------------------------
     # Path-search layer
@@ -291,9 +386,220 @@ class PathCache:
             layer.clear()
         self.invalidations += 1
 
+    # ------------------------------------------------------------------
+    # Persistence (snapshot export/import — see module docstring)
+    # ------------------------------------------------------------------
+
+    def export_entries(self) -> Dict[str, List[Tuple[Any, Any]]]:
+        """The persistable layers' entries, oldest-first per layer."""
+        return {
+            name: self.layer(name).items() for name in self.PERSISTED_LAYERS
+        }
+
+    def import_entries(
+        self, layers: Dict[str, List[Tuple[Any, Any]]]
+    ) -> int:
+        """Insert previously exported entries; returns how many were kept.
+
+        Entries are inserted oldest-first, so when a layer's capacity here
+        is smaller than the snapshot's, the LRU keeps the most recently
+        used tail — the same entries a live cache would have kept.
+        """
+        kept = 0
+        for name in self.PERSISTED_LAYERS:
+            lru = self.layer(name)
+            for key, value in layers.get(name, ()):
+                lru.put(key, value)
+            kept += len(lru)
+        return kept
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"PathCache(paths={len(self.paths)}, conflicts={len(self.conflicts)}, "
             f"sizes={len(self.sizes)}, merge={len(self.merge)}, "
             f"outcomes={len(self.outcomes)})"
         )
+
+
+# ---------------------------------------------------------------------------
+# Grammar fingerprint & on-disk snapshots
+# ---------------------------------------------------------------------------
+
+#: Bump when the snapshot payload layout changes; readers reject other
+#: versions rather than guessing.
+SNAPSHOT_FORMAT_VERSION = 1
+
+#: Snapshot file suffix (one file per (domain, grammar hash)).
+SNAPSHOT_SUFFIX = ".dggtcache"
+
+
+def grammar_fingerprint(graph: GrammarGraph) -> str:
+    """Stable content hash of a grammar graph.
+
+    Covers everything cached results depend on: the node set (id, kind,
+    label), the edge set (src, dst, kind), the "or" groups, head-API
+    argument order, the generic-API weights, and the start node.  Two
+    graphs built from the same BNF + API split hash identically across
+    processes and runs (no ``id()``/ordering leakage); any grammar change
+    produces a new hash, which is what keys snapshots and rejects stale
+    ones.
+    """
+    api_nodes = sorted(n.node_id for n in graph.api_nodes())
+    payload = (
+        "v1",
+        sorted((n.node_id, n.kind.value, n.label) for n in graph.nodes()),
+        sorted((e.src, e.dst, e.kind.value) for e in graph.edges()),
+        sorted((k, tuple(v)) for k, v in graph.or_groups().items()),
+        [(nid, tuple(graph.head_arguments(nid))) for nid in api_nodes],
+        sorted(graph.generic_apis),
+        graph.start_id,
+    )
+    return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
+
+
+def default_cache_dir() -> Path:
+    """Where snapshots live unless a caller says otherwise:
+    ``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro-dggt``, else
+    ``~/.cache/repro-dggt``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-dggt"
+
+
+def snapshot_path(
+    cache_dir: Union[str, Path], domain_name: str, grammar_hash: str
+) -> Path:
+    """Canonical snapshot file for one (domain, grammar hash): the hash
+    participates in the name, so a grammar change naturally misses the old
+    file instead of reading a stale one."""
+    return (
+        Path(cache_dir)
+        / f"{domain_name}-{grammar_hash[:16]}{SNAPSHOT_SUFFIX}"
+    )
+
+
+def write_snapshot(
+    cache: PathCache, file_path: Union[str, Path], domain_name: str
+) -> Path:
+    """Persist the grammar-pure layers of ``cache`` to ``file_path``.
+
+    The write is atomic: the payload goes to a temporary file in the same
+    directory, is fsynced, and replaces the target with ``os.replace`` —
+    a concurrent reader sees either the old snapshot or the new one,
+    never a torn file.
+    """
+    file_path = Path(file_path)
+    file_path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format_version": SNAPSHOT_FORMAT_VERSION,
+        "domain": domain_name,
+        "grammar_hash": grammar_fingerprint(cache.graph),
+        "created_unix": time.time(),
+        "capacities": dict(cache.capacities),
+        "layers": cache.export_entries(),
+    }
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=file_path.name + ".", suffix=".tmp", dir=file_path.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, file_path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return file_path
+
+
+def read_snapshot(file_path: Union[str, Path]) -> Dict[str, Any]:
+    """Read and structurally validate a snapshot payload.
+
+    Raises :class:`~repro.errors.CacheSnapshotError` for unreadable or
+    corrupt files and unknown format versions.  Hash freshness is the
+    *loader's* check (:func:`load_snapshot`) — reading alone cannot know
+    which graph the caller intends.
+    """
+    file_path = Path(file_path)
+    try:
+        with open(file_path, "rb") as handle:
+            payload = pickle.load(handle)
+    except OSError as exc:
+        raise CacheSnapshotError(
+            f"cannot read cache snapshot {file_path}: {exc}"
+        ) from exc
+    except Exception as exc:  # unpickling failures of any flavour
+        raise CacheSnapshotError(
+            f"corrupt cache snapshot {file_path}: {exc}"
+        ) from exc
+    if not isinstance(payload, dict) or "format_version" not in payload:
+        raise CacheSnapshotError(
+            f"corrupt cache snapshot {file_path}: not a snapshot payload"
+        )
+    version = payload["format_version"]
+    if version != SNAPSHOT_FORMAT_VERSION:
+        raise CacheSnapshotError(
+            f"cache snapshot {file_path} has format version {version!r}; "
+            f"this build reads version {SNAPSHOT_FORMAT_VERSION}"
+        )
+    for key in ("domain", "grammar_hash", "layers"):
+        if key not in payload:
+            raise CacheSnapshotError(
+                f"corrupt cache snapshot {file_path}: missing {key!r}"
+            )
+    return payload
+
+
+def load_snapshot(
+    cache: PathCache,
+    file_path: Union[str, Path],
+    *,
+    domain_name: Optional[str] = None,
+) -> int:
+    """Load a snapshot into ``cache``; returns the number of entries kept.
+
+    Rejects (raises :class:`~repro.errors.CacheSnapshotError`) snapshots
+    whose grammar hash differs from ``cache.graph``'s — a stale file from
+    before a grammar change must never seed the cache with wrong paths —
+    and, when ``domain_name`` is given, snapshots written for another
+    domain.
+    """
+    payload = read_snapshot(file_path)
+    expected = grammar_fingerprint(cache.graph)
+    if payload["grammar_hash"] != expected:
+        raise CacheSnapshotError(
+            f"stale cache snapshot {file_path}: grammar hash "
+            f"{payload['grammar_hash'][:16]}... does not match the current "
+            f"grammar ({expected[:16]}...); rebuild with 'cache warm'"
+        )
+    if domain_name is not None and payload["domain"] != domain_name:
+        raise CacheSnapshotError(
+            f"cache snapshot {file_path} was written for domain "
+            f"{payload['domain']!r}, not {domain_name!r}"
+        )
+    return cache.import_entries(payload["layers"])
+
+
+def snapshot_info(file_path: Union[str, Path]) -> Dict[str, Any]:
+    """Human-facing metadata about a snapshot file (the ``cache info``
+    CLI): domain, hash, entry counts per layer, size on disk."""
+    file_path = Path(file_path)
+    payload = read_snapshot(file_path)
+    return {
+        "file": str(file_path),
+        "bytes": file_path.stat().st_size,
+        "format_version": payload["format_version"],
+        "domain": payload["domain"],
+        "grammar_hash": payload["grammar_hash"],
+        "created_unix": payload.get("created_unix"),
+        "entries": {
+            name: len(items) for name, items in payload["layers"].items()
+        },
+    }

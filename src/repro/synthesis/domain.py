@@ -13,13 +13,21 @@ new :class:`Domain` from the updated BNF + document and nothing retrains
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.errors import DomainError
+from repro.errors import CacheSnapshotError, DomainError
 from repro.grammar.bnf import parse_bnf
 from repro.grammar.cfg import Grammar
 from repro.grammar.graph import GrammarGraph, literal_id
-from repro.grammar.path_cache import PathCache
+from repro.grammar.path_cache import (
+    PathCache,
+    default_cache_dir,
+    grammar_fingerprint,
+    load_snapshot,
+    snapshot_path,
+    write_snapshot,
+)
 from repro.grammar.paths import PathSearchLimits
 from repro.nlp.pruning import PruneConfig
 from repro.nlu.docs import ApiDoc, ApiDocument
@@ -55,6 +63,11 @@ class Domain:
     #: noun governed by an ordinal is a token, a noun in a locative PP is a
     #: scope).  Must reorder, never add or drop.
     candidate_reranker: Optional[object] = None
+    #: Per-domain LRU capacity overrides for the PathCache layers, keyed
+    #: "paths"/"conflicts"/"sizes"/"merge"/"outcomes".  Missing layers use
+    #: the library defaults; ``REPRO_CACHE_MAX_*`` env vars override both
+    #: (see :func:`repro.grammar.path_cache.resolve_capacities`).
+    cache_capacities: Mapping[str, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self._matcher: Optional[WordToApiMatcher] = None
@@ -85,6 +98,7 @@ class Domain:
         path_limits: Optional[PathSearchLimits] = None,
         generic_apis: Optional[Iterable[str]] = None,
         candidate_reranker=None,
+        cache_capacities: Optional[Mapping[str, int]] = None,
     ) -> "Domain":
         """Build a domain from BNF text and an API document.
 
@@ -123,6 +137,7 @@ class Domain:
             description=description,
             path_limits=path_limits or PathSearchLimits(),
             candidate_reranker=candidate_reranker,
+            cache_capacities=dict(cache_capacities or {}),
         )
 
     # ------------------------------------------------------------------
@@ -145,7 +160,15 @@ class Domain:
         """
         cache = self._path_cache
         if cache is None or cache.graph is not self.graph:
-            cache = PathCache(self.graph)
+            caps = self.cache_capacities or {}
+            cache = PathCache(
+                self.graph,
+                max_path_entries=caps.get("paths"),
+                max_conflict_entries=caps.get("conflicts"),
+                max_size_entries=caps.get("sizes"),
+                max_merge_entries=caps.get("merge"),
+                max_outcome_entries=caps.get("outcomes"),
+            )
             self._path_cache = cache
         return cache
 
@@ -154,6 +177,51 @@ class Domain:
         entry (e.g. after mutating the grammar in place)."""
         if self._path_cache is not None:
             self._path_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Persistent cache snapshots (see repro.grammar.path_cache)
+    # ------------------------------------------------------------------
+
+    def grammar_hash(self) -> str:
+        """Content hash of the grammar graph — the snapshot freshness key."""
+        return grammar_fingerprint(self.graph)
+
+    def cache_file(self, cache_dir: Union[str, Path, None] = None) -> Path:
+        """Where this domain's snapshot lives under ``cache_dir`` (default:
+        ``$REPRO_CACHE_DIR`` / ``~/.cache/repro-dggt``).  The grammar hash
+        is part of the file name, so a grammar change writes a new file."""
+        base = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        return snapshot_path(base, self.name, self.grammar_hash())
+
+    def save_cache(self, cache_dir: Union[str, Path, None] = None) -> Path:
+        """Atomically persist the grammar-pure PathCache layers; returns
+        the snapshot path.  Typically run after warming the cache over a
+        representative query set (CLI: ``repro cache warm``)."""
+        target = self.cache_file(cache_dir)
+        return write_snapshot(self.path_cache, target, self.name)
+
+    def load_cache(
+        self,
+        cache_dir: Union[str, Path, None] = None,
+        *,
+        strict: bool = False,
+    ) -> bool:
+        """Preload the PathCache from this domain's snapshot, if present.
+
+        Returns True when a snapshot was loaded.  A missing, stale
+        (grammar-hash mismatch), or corrupt snapshot returns False — cold
+        start is always a safe fallback — unless ``strict`` is set, in
+        which case those failures raise
+        :class:`~repro.errors.CacheSnapshotError` (missing files included).
+        """
+        target = self.cache_file(cache_dir)
+        try:
+            load_snapshot(self.path_cache, target, domain_name=self.name)
+        except CacheSnapshotError:
+            if strict:
+                raise
+            return False
+        return True
 
     @property
     def matcher(self) -> WordToApiMatcher:
@@ -172,14 +240,19 @@ class Domain:
         ]
 
     def stats(self) -> Dict[str, int]:
-        """Summary used by Table I."""
-        return {
+        """Summary used by Table I, plus the configured cache capacities
+        (so a deployment can verify its ``REPRO_CACHE_*`` overrides took
+        effect)."""
+        out = {
             "apis": len(self.document),
             "nonterminals": len(self.grammar.nonterminals),
             "terminals": len(self.grammar.terminals),
             "graph_nodes": self.graph.n_nodes,
             "graph_edges": self.graph.n_edges,
         }
+        for layer, capacity in self.path_cache.capacities.items():
+            out[f"cache_capacity_{layer}"] = capacity
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Domain({self.name!r}, apis={len(self.document)})"

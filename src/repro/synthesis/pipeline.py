@@ -10,18 +10,34 @@ ends (Steps 5-6): the exhaustive HISyn baseline and DGGT.  The
     print(outcome.codelet)
 
 For serving workloads, :meth:`Synthesizer.synthesize_many` processes a
-batch of queries over one shared warm domain cache (optionally across a
-thread pool) and returns per-query outcomes — including per-query errors —
-in input order.  See ``docs/performance.md`` for the caching architecture.
+batch of queries and returns per-query outcomes — including per-query
+errors — in input order.  Two execution backends:
+
+* ``backend="thread"`` (default) — one shared warm domain cache,
+  optionally fanned out over a thread pool.  The pipeline is pure Python,
+  so threads buy I/O overlap, not CPU scaling (GIL).
+* ``backend="process"`` — a ``ProcessPoolExecutor``; each worker
+  initializes its domain once by *name* from :mod:`repro.domains` (only
+  the name, engine config, and limits cross the pipe) and optionally
+  preloads a persistent cache snapshot (``cache_dir``), so every worker
+  starts as warm as the first.  This is the CPU-scaling path.
+
+See ``docs/performance.md`` for the caching architecture and the
+measured backend matrix.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import multiprocessing
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Union
+from typing import Any, Iterable, List, Optional, Union
 
 from repro.errors import ReproError, SynthesisTimeout
 from repro.grammar.paths import PathSearchLimits
@@ -58,7 +74,9 @@ class BatchItem:
 
     Exactly one of ``outcome`` / ``error`` is set; ``index`` is the query's
     position in the input batch (results are returned in input order
-    regardless of worker count).
+    regardless of worker count or backend).  Everything here — outcome,
+    stats, and error objects included — pickles cleanly: the process
+    backend ships BatchItems over the worker pipe verbatim.
     """
 
     query: str
@@ -79,6 +97,109 @@ class BatchItem:
         if isinstance(self.error, SynthesisTimeout):
             return "timeout"
         return "error"
+
+
+def _run_single(
+    synthesizer: "Synthesizer",
+    index: int,
+    query: str,
+    timeout_seconds: Optional[float],
+    record_cache_delta: bool = True,
+) -> BatchItem:
+    """One query -> one BatchItem, failures captured (shared by the serial
+    loop, the thread pool, and the process-pool workers, so the three
+    backends cannot drift in budget/error semantics)."""
+    started = time.monotonic()
+    try:
+        outcome = synthesizer.synthesize(
+            query,
+            timeout_seconds,
+            record_cache_delta=record_cache_delta,
+        )
+        return BatchItem(
+            query,
+            index,
+            outcome=outcome,
+            elapsed_seconds=outcome.elapsed_seconds,
+        )
+    except SynthesisTimeout as exc:
+        # Clamp to the budget, as the paper's harness does.
+        elapsed = (
+            timeout_seconds
+            if timeout_seconds is not None
+            else exc.elapsed_seconds
+        )
+        return BatchItem(query, index, error=exc, elapsed_seconds=elapsed)
+    except ReproError as exc:
+        return BatchItem(
+            query,
+            index,
+            error=exc,
+            elapsed_seconds=time.monotonic() - started,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Process-pool backend plumbing
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _WorkerSpec:
+    """Everything a pool worker needs to rebuild the parent's Synthesizer —
+    by *name*, so only this small picklable record crosses the pipe."""
+
+    domain_name: str
+    engine_name: str
+    config: Any
+    limits: Optional[PathSearchLimits]
+    cache_outcomes: bool
+    cache_dir: Optional[str]
+
+
+#: Per-worker-process Synthesizer, built once by ``_process_worker_init``.
+_WORKER_SYNTH: Optional["Synthesizer"] = None
+
+
+def _process_worker_init(spec: _WorkerSpec) -> None:
+    """Pool-worker initializer: resolve the domain from the registry
+    (process-shared instance, so every batch in this worker reuses one
+    warm cache), preload the on-disk snapshot when configured, and build
+    the worker's Synthesizer."""
+    global _WORKER_SYNTH
+    from repro.domains import get as get_domain
+
+    domain = get_domain(spec.domain_name)
+    if spec.cache_dir is not None:
+        # Best-effort: a missing or stale snapshot just means a cold start.
+        domain.load_cache(spec.cache_dir)
+    _WORKER_SYNTH = Synthesizer(
+        domain,
+        engine=spec.engine_name,
+        config=spec.config,
+        limits=spec.limits,
+        cache_outcomes=spec.cache_outcomes,
+    )
+
+
+def _process_worker_run(
+    index: int, query: str, timeout_seconds: Optional[float]
+) -> BatchItem:
+    """Task body executed in a pool worker.  Per-query deltas are exact
+    here: each worker process runs its queries sequentially against its
+    own cache."""
+    assert _WORKER_SYNTH is not None, "worker initializer did not run"
+    return _run_single(_WORKER_SYNTH, index, query, timeout_seconds)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Fork where available (cheap startup, copy-on-write domain build),
+    spawn elsewhere — semantics are identical because workers only consume
+    the picklable _WorkerSpec."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
 
 
 class Synthesizer:
@@ -144,6 +265,8 @@ class Synthesizer:
         self,
         query: str,
         timeout_seconds: Optional[float] = None,
+        *,
+        record_cache_delta: bool = True,
     ) -> SynthesisOutcome:
         """Synthesize a codelet for ``query``.
 
@@ -153,6 +276,11 @@ class Synthesizer:
         (the harness records such cases as errors at the cut-off, per the
         paper's Sec. VII-B), and :class:`~repro.errors.SynthesisError`
         when no grammar-valid codelet exists for the query.
+
+        ``record_cache_delta=False`` skips the per-query PathCache delta
+        (``stats.cache_delta_scope`` becomes "batch", fields read 0) —
+        the thread fan-out uses this because subtracting counters shared
+        with concurrent queries would produce racy numbers.
         """
         deadline = (
             Deadline(timeout_seconds)
@@ -161,7 +289,7 @@ class Synthesizer:
         )
         deadline.check()
         cache = self.domain.path_cache
-        before = cache.snapshot()
+        before = cache.snapshot() if record_cache_delta else None
         started = time.monotonic()
 
         key = self._outcome_key(query) if self.cache_outcomes else None
@@ -169,7 +297,12 @@ class Synthesizer:
             cached = cache.get_outcome(key)
             if cached is not None:
                 outcome = self._replay(cached)
-                outcome.stats.record_cache_delta(before, cache.snapshot())
+                if record_cache_delta:
+                    outcome.stats.record_cache_delta(
+                        before, cache.snapshot()
+                    )
+                else:
+                    outcome.stats.mark_cache_delta_unrecorded()
                 outcome.elapsed_seconds = time.monotonic() - started
                 return outcome
 
@@ -177,7 +310,10 @@ class Synthesizer:
         deadline.check()
         outcome = self.engine.synthesize(problem, deadline)
         outcome.query = query
-        outcome.stats.record_cache_delta(before, cache.snapshot())
+        if record_cache_delta:
+            outcome.stats.record_cache_delta(before, cache.snapshot())
+        else:
+            outcome.stats.mark_cache_delta_unrecorded()
         outcome.elapsed_seconds = time.monotonic() - started
         if key is not None:
             cache.put_outcome(key, outcome)
@@ -187,61 +323,92 @@ class Synthesizer:
     # Batch entry point (serving workloads)
     # ------------------------------------------------------------------
 
+    def _worker_spec(self, cache_dir: Optional[str]) -> _WorkerSpec:
+        """Validate that this Synthesizer can be rebuilt by name inside a
+        pool worker, and pack the recipe."""
+        from repro.domains import is_registered
+
+        if not is_registered(self.domain.name):
+            raise ReproError(
+                f"backend='process' needs domain {self.domain.name!r} in "
+                "the repro.domains registry (register(name, factory) at "
+                "module scope) so pool workers can rebuild it by name"
+            )
+        engine_name = getattr(self.engine, "name", None)
+        if engine_name not in ("dggt", "hisyn"):
+            raise ReproError(
+                "backend='process' needs a named engine ('dggt'/'hisyn'); "
+                f"got {self.engine!r}"
+            )
+        return _WorkerSpec(
+            domain_name=self.domain.name,
+            engine_name=engine_name,
+            config=getattr(self.engine, "config", None),
+            limits=self.limits,
+            cache_outcomes=self.cache_outcomes,
+            cache_dir=None if cache_dir is None else str(cache_dir),
+        )
+
     def synthesize_many(
         self,
         queries: Iterable[str],
         *,
         timeout_seconds_each: Optional[float] = None,
         max_workers: int = 1,
+        backend: str = "thread",
+        cache_dir: Optional[str] = None,
         on_result=None,
     ) -> List[BatchItem]:
-        """Synthesize a batch of queries over one shared warm cache.
+        """Synthesize a batch of queries.
 
         Per-query failures (timeouts included) are captured in the
         returned :class:`BatchItem` list — one item per query, in input
         order — rather than aborting the batch.  ``timeout_seconds_each``
         is an independent budget per query.
 
-        ``max_workers > 1`` fans the batch out across a
+        ``backend="thread"`` (default) runs over this Synthesizer's shared
+        warm cache; ``max_workers > 1`` fans out across a
         ``ThreadPoolExecutor``.  The pipeline is pure Python, so threads
-        contend for the GIL and the measured scaling is modest (the
-        throughput benchmark reports it; see docs/performance.md);
-        the win is shared-cache warm-up and I/O overlap, not CPU
-        parallelism.  Process pools are a documented follow-up.
+        contend for the GIL and the measured scaling is ~1x (see
+        docs/performance.md); the win is I/O overlap.  Per-query cache
+        deltas are recorded only when single-worker (they race otherwise);
+        snapshot ``domain.path_cache`` around the batch for aggregates.
+
+        ``backend="process"`` fans out across a ``ProcessPoolExecutor`` —
+        the CPU-scaling path.  Requires a registry-resolvable domain and a
+        named engine (see :meth:`_worker_spec`); each worker builds its
+        domain once, preloads the on-disk snapshot when ``cache_dir`` is
+        given, and ships picklable BatchItems back.  Budgets, failure
+        capture, and result order are identical to the thread path.
+
+        ``cache_dir`` with the thread backend preloads *this* domain's
+        snapshot (best effort) before the batch.
 
         ``on_result`` (optional) is invoked with each finished
-        :class:`BatchItem` as it completes — in input order for a single
-        worker, in completion order (from worker threads) otherwise.
+        :class:`BatchItem` as it completes — in input order for a serial
+        run, in completion order otherwise.
         """
+        if backend not in ("thread", "process"):
+            raise ReproError(
+                f"unknown backend {backend!r}; use 'thread' or 'process'"
+            )
         queries = list(queries)
 
+        if backend == "process":
+            return self._synthesize_many_process(
+                queries, timeout_seconds_each, max_workers, cache_dir,
+                on_result,
+            )
+
+        if cache_dir is not None:
+            self.domain.load_cache(cache_dir)
+
+        record_deltas = max_workers <= 1
+
         def run_one(index: int, query: str) -> BatchItem:
-            started = time.monotonic()
-            try:
-                outcome = self.synthesize(query, timeout_seconds_each)
-                item = BatchItem(
-                    query,
-                    index,
-                    outcome=outcome,
-                    elapsed_seconds=outcome.elapsed_seconds,
-                )
-            except SynthesisTimeout as exc:
-                # Clamp to the budget, as the paper's harness does.
-                elapsed = (
-                    timeout_seconds_each
-                    if timeout_seconds_each is not None
-                    else exc.elapsed_seconds
-                )
-                item = BatchItem(
-                    query, index, error=exc, elapsed_seconds=elapsed
-                )
-            except ReproError as exc:
-                item = BatchItem(
-                    query,
-                    index,
-                    error=exc,
-                    elapsed_seconds=time.monotonic() - started,
-                )
+            item = _run_single(
+                self, index, query, timeout_seconds_each, record_deltas
+            )
             if on_result is not None:
                 on_result(item)
             return item
@@ -253,6 +420,36 @@ class Synthesizer:
                 pool.submit(run_one, i, q) for i, q in enumerate(queries)
             ]
             return [f.result() for f in futures]
+
+    def _synthesize_many_process(
+        self,
+        queries: List[str],
+        timeout_seconds_each: Optional[float],
+        max_workers: int,
+        cache_dir: Optional[str],
+        on_result,
+    ) -> List[BatchItem]:
+        spec = self._worker_spec(cache_dir)
+        n_workers = max(1, min(max_workers, max(1, len(queries))))
+        results: List[Optional[BatchItem]] = [None] * len(queries)
+        with ProcessPoolExecutor(
+            max_workers=n_workers,
+            mp_context=_pool_context(),
+            initializer=_process_worker_init,
+            initargs=(spec,),
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _process_worker_run, i, q, timeout_seconds_each
+                )
+                for i, q in enumerate(queries)
+            ]
+            for future in as_completed(futures):
+                item = future.result()
+                results[item.index] = item
+                if on_result is not None:
+                    on_result(item)
+        return [item for item in results if item is not None]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Synthesizer({self.domain.name!r}, engine={self.engine.name!r})"

@@ -33,9 +33,14 @@ class SynthesisStats:
     # Per-query deltas of the domain's cross-query PathCache counters
     # (see repro.grammar.path_cache), recorded by the Synthesizer so the
     # throughput benchmark can assert warm-vs-cold behaviour instead of
-    # guessing.  Under synthesize_many with several workers the deltas of
-    # concurrent queries may bleed into each other; sums over a batch are
-    # exact either way.
+    # guessing.  They are before/after subtractions of counters shared by
+    # every query on the domain, so they are only meaningful when nothing
+    # else touches the cache during the query: under thread fan-out the
+    # Synthesizer skips them entirely (``cache_delta_scope == "batch"``,
+    # fields stay 0) instead of reporting racy numbers — snapshot the
+    # domain's PathCache around the batch for exact aggregates.  The
+    # process backend records exact per-query deltas again (each worker
+    # runs its queries sequentially against its own cache).
     path_cache_hits: int = 0
     path_cache_misses: int = 0
     path_cache_evictions: int = 0
@@ -47,6 +52,11 @@ class SynthesisStats:
     merge_cache_misses: int = 0
     outcome_cache_hits: int = 0
     outcome_cache_misses: int = 0
+
+    #: "query" — the cache fields above are this query's exact deltas;
+    #: "batch" — they were not recorded (shared-counter subtraction races
+    #: under concurrent workers) and read 0; use batch-level snapshots.
+    cache_delta_scope: str = "query"
 
     #: The cache-counter fields, in as_dict order.
     CACHE_FIELDS = (
@@ -68,8 +78,17 @@ class SynthesisStats:
     ) -> None:
         """Set the cache counters from two PathCache snapshots taken
         around this query's synthesis."""
+        self.cache_delta_scope = "query"
         for name in self.CACHE_FIELDS:
             setattr(self, name, after.get(name, 0) - before.get(name, 0))
+
+    def mark_cache_delta_unrecorded(self) -> None:
+        """Zero the cache counters and flag them aggregate-only — used by
+        concurrent thread fan-out, where per-query subtraction of the
+        shared counters would interleave with other workers' queries."""
+        self.cache_delta_scope = "batch"
+        for name in self.CACHE_FIELDS:
+            setattr(self, name, 0)
 
     def merge_from(self, other: "SynthesisStats") -> None:
         """Accumulate a per-variant stats record into this one."""

@@ -24,7 +24,7 @@ from repro.synthesis.result import SynthesisStats
 
 def fresh_textediting():
     """A private Domain instance (load_domain returns a process singleton)."""
-    return build_textediting.__wrapped__()
+    return build_textediting(fresh=True)
 
 
 def _api_node_ids(domain):
@@ -32,7 +32,7 @@ def _api_node_ids(domain):
 
 
 def fresh_astmatcher():
-    return build_astmatcher.__wrapped__()
+    return build_astmatcher(fresh=True)
 
 
 # ---------------------------------------------------------------------------

@@ -103,3 +103,113 @@ class TestBatchCommand:
         code = main(["batch", path, "--domain", "nope"])
         assert code == 2
         assert "unknown domain" in capsys.readouterr().err
+
+    def test_process_backend(self, tmp_path, capsys):
+        path = _write_queries(
+            tmp_path,
+            ["print every line", "delete every word that contains numbers"],
+        )
+        code = main(
+            ["batch", path, "--backend", "process", "--workers", "2"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        lines = captured.out.strip().splitlines()
+        assert lines[0].startswith("1. PRINT(")
+        assert "backend=process" in captured.err
+        assert "2/2 ok" in captured.err
+
+    def test_process_backend_stats_aggregate(self, tmp_path, capsys):
+        path = _write_queries(
+            tmp_path, ["print every line", "print every line"]
+        )
+        code = main(
+            ["batch", path, "--backend", "process", "--workers", "2",
+             "--stats"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "# path_cache_misses = " in captured.err
+
+
+class TestCacheCommand:
+    def test_warm_info_clear_cycle(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        queries = _write_queries(
+            tmp_path, ["print every line", "delete every word that contains numbers"]
+        )
+
+        code = main(
+            ["cache", "warm", "--domain", "textediting",
+             "--cache-dir", cache_dir, "--queries", queries]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "warmed textediting with 2/2 queries" in captured.out
+        assert "snapshot:" in captured.out
+
+        code = main(["cache", "info", "--cache-dir", cache_dir])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "domain=textediting" in captured.out
+        assert "[fresh]" in captured.out
+
+        code = main(["cache", "clear", "--cache-dir", cache_dir])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "removed" in captured.out
+
+        code = main(["cache", "info", "--cache-dir", cache_dir])
+        assert code == 0
+        assert "no snapshots found" in capsys.readouterr().out
+
+    def test_warm_with_limit_uses_bundled_queries(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        code = main(
+            ["cache", "warm", "--domain", "textediting",
+             "--cache-dir", cache_dir, "--limit", "3"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "3/3 queries" in captured.out
+
+    def test_batch_uses_warmed_cache_dir(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        queries = _write_queries(tmp_path, ["print every line"])
+        assert main(
+            ["cache", "warm", "--domain", "textediting",
+             "--cache-dir", cache_dir, "--queries", queries]
+        ) == 0
+        capsys.readouterr()
+        # Real invocations are separate processes; drop the in-process
+        # shared domain so the workers start cold and hit the snapshot.
+        from repro.domains import clear_cached_domains
+
+        clear_cached_domains()
+
+        code = main(
+            ["batch", queries, "--backend", "process", "--workers", "1",
+             "--cache-dir", cache_dir, "--stats"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        stats = {
+            line.split(" = ")[0].lstrip("# "): int(line.split(" = ")[1])
+            for line in captured.err.splitlines()
+            if line.startswith("# ") and " = " in line
+        }
+        assert stats["path_cache_hits"] > 0
+        assert stats["path_cache_misses"] == 0
+
+    def test_clear_empty_dir(self, tmp_path, capsys):
+        code = main(["cache", "clear", "--cache-dir", str(tmp_path)])
+        assert code == 0
+        assert "no snapshots to remove" in capsys.readouterr().out
+
+    def test_unknown_domain(self, tmp_path, capsys):
+        code = main(
+            ["cache", "warm", "--domain", "nope",
+             "--cache-dir", str(tmp_path)]
+        )
+        assert code == 2
+        assert "unknown domain" in capsys.readouterr().err

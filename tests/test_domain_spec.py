@@ -70,5 +70,8 @@ class TestCreate:
     def test_stats_keys(self):
         d = Domain.create("mini", BNF, [ApiDoc("DO", "x"), ApiDoc("THING", "y")])
         assert set(d.stats()) == {
-            "apis", "nonterminals", "terminals", "graph_nodes", "graph_edges"
+            "apis", "nonterminals", "terminals", "graph_nodes", "graph_edges",
+            "cache_capacity_paths", "cache_capacity_conflicts",
+            "cache_capacity_sizes", "cache_capacity_merge",
+            "cache_capacity_outcomes",
         }
