@@ -22,8 +22,15 @@ Cache mode manages the persistent on-disk PathCache snapshots that let a
 cold process start warm (see docs/performance.md)::
 
     python -m repro cache warm --domain textediting --cache-dir /var/cache
+    python -m repro cache warm --queries corpus-a.txt --queries corpus-b.txt
     python -m repro cache info
     python -m repro cache clear --domain textediting
+
+Serve mode keeps warm domains resident behind an HTTP or stdio front end
+(see docs/serving.md)::
+
+    python -m repro serve --http 8080 --cache-dir /var/cache
+    python -m repro serve --stdio --domains textediting
 """
 
 from __future__ import annotations
@@ -220,18 +227,8 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
     elapsed = time.monotonic() - started
 
     if args.json:
-        payload = [
-            {
-                "index": item.index,
-                "query": item.query,
-                "status": item.status,
-                "codelet": item.outcome.codelet if item.ok else None,
-                "size": item.outcome.size if item.ok else None,
-                "elapsed_seconds": item.elapsed_seconds,
-                "error": None if item.ok else str(item.error),
-            }
-            for item in items
-        ]
+        # One schema for batch and serving payloads (docs/serving.md).
+        payload = [item.to_json() for item in items]
         print(json.dumps(payload, indent=2))
     else:
         for item in items:
@@ -299,9 +296,11 @@ def build_cache_arg_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--queries",
+        action="append",
         default=None,
         metavar="FILE",
         help="warm: queries to replay, one per line ('-' for stdin; "
+        "repeatable — files are concatenated and deduplicated; "
         "default: the domain's bundled evaluation suite)",
     )
     parser.add_argument(
@@ -354,8 +353,15 @@ def cache_main(argv: Optional[List[str]] = None) -> int:
         domain_name = args.domain or "textediting"
         try:
             domain = load_domain(domain_name)
-            if args.queries is not None:
-                queries = _read_queries(args.queries)
+            if args.queries:
+                # Concatenate every corpus file, drop duplicates but keep
+                # first-seen order (snapshot warming at scale: several
+                # mined corpora are the common case).
+                seen = {}
+                for source in args.queries:
+                    for query in _read_queries(source):
+                        seen.setdefault(query, None)
+                queries = list(seen)
             else:
                 queries = _bundled_queries(domain.name)
                 if queries is None:
@@ -439,6 +445,164 @@ def cache_main(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+def build_serve_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="long-running synthesis server: warm multi-domain "
+        "routing over HTTP or stdio JSON lines (see docs/serving.md)",
+    )
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--http",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve HTTP on PORT (0 picks a free port, printed on stderr)",
+    )
+    mode.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve JSON lines over stdin/stdout (language-server style)",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="HTTP bind address (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--domains",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated domains to keep resident "
+        "(default: every registered domain); the first is the default "
+        "for requests that name none",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("dggt", "hisyn"),
+        default="dggt",
+        help="default synthesis engine (default: dggt)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="preload persistent cache snapshots from DIR at startup "
+        "(see 'repro cache warm'; default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-dggt)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="request execution: 'thread' shares one warm cache; "
+        "'process' dispatches to a persistent worker pool (default: thread)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="process-pool size per domain (process backend; default: 2)",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=8,
+        metavar="N",
+        help="admission control: reject ('overloaded') beyond N "
+        "concurrently executing requests (default: 8)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=20.0,
+        help="default per-request budget in seconds when the request "
+        "carries none (default: 20, as in the paper)",
+    )
+    parser.add_argument(
+        "--max-timeout",
+        type=float,
+        default=120.0,
+        help="hard ceiling a request's own timeout is clamped to "
+        "(default: 120)",
+    )
+    parser.add_argument(
+        "--grace",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="how long shutdown waits for in-flight requests (default: 30)",
+    )
+    return parser
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    from repro.server import ServerConfig, SynthesisService, run_http
+    from repro.server.stdio import serve_stdio
+
+    args = build_serve_arg_parser().parse_args(argv)
+    domains = (
+        tuple(n.strip() for n in args.domains.split(",") if n.strip())
+        if args.domains
+        else ()
+    )
+    try:
+        config = ServerConfig(
+            domains=domains,
+            engine=args.engine,
+            cache_dir=args.cache_dir,
+            backend=args.backend,
+            workers=args.workers,
+            max_inflight=args.max_inflight,
+            default_timeout=args.timeout,
+            max_timeout=args.max_timeout,
+        )
+        service = SynthesisService(config)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    preloaded = [
+        name
+        for name, info in service.health()["domains"].items()
+        if info["snapshot_loaded"]
+    ]
+    print(
+        f"# serving {', '.join(service.domain_names())} "
+        f"(backend={args.backend}, snapshots: "
+        f"{', '.join(preloaded) if preloaded else 'none'})",
+        file=sys.stderr,
+    )
+
+    if args.stdio:
+        drained = serve_stdio(service, grace_seconds=args.grace)
+        print("# stdio server drained and exited", file=sys.stderr)
+        return 0 if drained else 1
+
+    def on_ready(server) -> None:
+        print(
+            f"# listening on http://{args.host}:{server.port} "
+            "(POST /synthesize, GET /healthz /stats /domains)",
+            file=sys.stderr,
+        )
+
+    try:
+        drained = run_http(
+            service,
+            args.host,
+            args.http,
+            grace_seconds=args.grace,
+            on_ready=on_ready,
+        )
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.http}: {exc}",
+              file=sys.stderr)
+        return 2
+    print("# http server drained and exited", file=sys.stderr)
+    return 0 if drained else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -446,6 +610,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return batch_main(argv[1:])
     if argv and argv[0] == "cache":
         return cache_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     args = build_arg_parser().parse_args(argv)
 
     if args.list_domains:

@@ -1,0 +1,231 @@
+"""Clients for a running ``repro serve`` instance.
+
+:class:`HttpClient` speaks to the HTTP front end over ``http.client``
+(stdlib, one connection per call — trivially thread-safe);
+:class:`StdioClient` owns a ``repro serve --stdio`` child process and
+speaks the JSON-lines protocol.  Both raise :class:`ServerError` —
+carrying the server's stable error code — when the server answers with a
+structured error, so callers get ``timeout`` / ``unknown_domain`` /
+``overloaded`` as data instead of parsing messages.
+
+Used by the test suite, the CI smoke job, and
+``benchmarks/test_server_latency.py``; also the reference implementation
+for anyone integrating an editor or gateway (see docs/serving.md).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import subprocess
+import sys
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["ServerError", "HttpClient", "StdioClient"]
+
+
+class ServerError(ReproError):
+    """A structured error answered by the server.
+
+    ``code`` is the stable wire code (:data:`repro.errors.ERROR_CODES` +
+    the serving codes); ``http_status`` is 0 for stdio transports;
+    ``payload`` is the full response body.
+    """
+
+    def __init__(self, code: str, message: str, *, http_status: int = 0,
+                 payload: Optional[Dict[str, Any]] = None):
+        self.code = code
+        self.http_status = http_status
+        self.payload = payload or {}
+        super().__init__(f"[{code}] {message}")
+
+
+def _raise_for_error(payload: Dict[str, Any], status: int = 0) -> None:
+    error = payload.get("error")
+    if error:
+        raise ServerError(
+            error.get("code", "error"),
+            error.get("message", "unknown server error"),
+            http_status=status,
+            payload=payload,
+        )
+
+
+class HttpClient:
+    """Minimal client for the HTTP front end."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8080, *,
+                 connect_timeout: float = 10.0):
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+
+    # ------------------------------------------------------------------
+
+    def request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None,
+        *, timeout: Optional[float] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        """One round trip; returns ``(http_status, decoded_payload)``
+        without interpreting errors (the raw escape hatch)."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=self.connect_timeout if timeout is None else timeout,
+        )
+        try:
+            raw = None if body is None else json.dumps(body).encode("utf-8")
+            headers = {"Content-Type": "application/json"} if raw else {}
+            conn.request(method, path, body=raw, headers=headers)
+            response = conn.getresponse()
+            payload = json.loads(response.read().decode("utf-8"))
+            return response.status, payload
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+
+    def synthesize(
+        self,
+        query: str,
+        *,
+        domain: Optional[str] = None,
+        engine: Optional[str] = None,
+        timeout: Optional[float] = None,
+        include_stats: bool = False,
+        id: Any = None,
+    ) -> Dict[str, Any]:
+        """Synthesize one query; returns the response payload (the shared
+        ``BatchItem.to_json()`` shape) or raises :class:`ServerError`."""
+        body: Dict[str, Any] = {"query": query}
+        if domain is not None:
+            body["domain"] = domain
+        if engine is not None:
+            body["engine"] = engine
+        if timeout is not None:
+            body["timeout"] = timeout
+        if include_stats:
+            body["include_stats"] = True
+        if id is not None:
+            body["id"] = id
+        # Leave the socket comfortably more patience than the synthesis
+        # budget so the server, not the transport, reports the timeout.
+        socket_timeout = (
+            None if timeout is None
+            else max(self.connect_timeout, timeout + 30.0)
+        )
+        status, payload = self.request(
+            "POST", "/synthesize", body, timeout=socket_timeout
+        )
+        _raise_for_error(payload, status)
+        return payload
+
+    def health(self) -> Dict[str, Any]:
+        return self.request("GET", "/healthz")[1]
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("GET", "/stats")[1]
+
+    def domains(self) -> List[str]:
+        return self.request("GET", "/domains")[1]["domains"]
+
+
+class StdioClient:
+    """Client that owns a ``repro serve --stdio`` child process.
+
+    Also accepts pre-opened text streams (``reader=``/``writer=``) for
+    in-process testing of the line protocol without a subprocess.
+    """
+
+    def __init__(
+        self,
+        argv: Optional[List[str]] = None,
+        *,
+        reader=None,
+        writer=None,
+    ):
+        self._proc: Optional[subprocess.Popen] = None
+        if reader is not None or writer is not None:
+            if reader is None or writer is None:
+                raise ValueError("pass both reader and writer, or neither")
+            self._reader, self._writer = reader, writer
+        else:
+            cmd = [sys.executable, "-m", "repro", "serve", "--stdio"]
+            cmd += argv or []
+            self._proc = subprocess.Popen(
+                cmd,
+                stdin=subprocess.PIPE,
+                stdout=subprocess.PIPE,
+                text=True,
+            )
+            self._reader, self._writer = self._proc.stdout, self._proc.stdin
+
+    # ------------------------------------------------------------------
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """One line out, one line back (the raw escape hatch)."""
+        self._writer.write(json.dumps(payload) + "\n")
+        self._writer.flush()
+        line = self._reader.readline()
+        if not line:
+            raise ServerError("shutting_down", "stdio server closed the pipe")
+        return json.loads(line)
+
+    def synthesize(
+        self,
+        query: str,
+        *,
+        domain: Optional[str] = None,
+        engine: Optional[str] = None,
+        timeout: Optional[float] = None,
+        include_stats: bool = False,
+        id: Any = None,
+    ) -> Dict[str, Any]:
+        body: Dict[str, Any] = {"query": query}
+        if domain is not None:
+            body["domain"] = domain
+        if engine is not None:
+            body["engine"] = engine
+        if timeout is not None:
+            body["timeout"] = timeout
+        if include_stats:
+            body["include_stats"] = True
+        if id is not None:
+            body["id"] = id
+        payload = self.request(body)
+        _raise_for_error(payload)
+        return payload
+
+    def health(self) -> Dict[str, Any]:
+        return self.request({"op": "health"})["health"]
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request({"op": "stats"})["stats"]
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request({"op": "shutdown"})
+
+    def close(self, *, timeout: float = 30.0) -> Optional[int]:
+        """Shut the child down politely; returns its exit code (None for
+        stream-backed clients)."""
+        if self._proc is None:
+            return None
+        if self._proc.poll() is None:
+            try:
+                self.shutdown()
+            except (ServerError, ValueError, OSError):
+                pass  # already exiting or pipe closed
+        try:
+            self._proc.stdin.close()
+        except OSError:
+            pass
+        code = self._proc.wait(timeout=timeout)
+        self._proc.stdout.close()
+        return code
+
+    def __enter__(self) -> "StdioClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -13,7 +13,7 @@ tests use it to guarantee a cold start.  Custom domains join the registry
 via :func:`register`.
 """
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, Iterable, List
 
 from repro.errors import DomainError
 from repro.synthesis.domain import Domain
@@ -64,6 +64,26 @@ def load_domain(name: str, *, fresh: bool = False) -> Domain:
     """Load a built-in or registered domain by name (alias of :func:`get`,
     kept as the README-facing spelling)."""
     return get(name, fresh=fresh)
+
+
+def load_domains(
+    names: "Iterable[str] | None" = None, *, fresh: bool = False
+) -> Dict[str, Domain]:
+    """Resolve several registered domains at once, as ``name -> Domain``.
+
+    ``names=None`` loads every registered domain.  Order and duplicates in
+    ``names`` are normalised away; an unknown name raises
+    :class:`~repro.errors.DomainError` before anything is built, so callers
+    (e.g. ``repro serve --domains``) fail fast instead of half-starting.
+    """
+    wanted = available_domains() if names is None else list(names)
+    unknown = [n for n in wanted if not is_registered(n)]
+    if unknown:
+        raise DomainError(
+            f"unknown domain(s) {sorted(set(unknown))}; "
+            f"available: {available_domains()}"
+        )
+    return {n.lower(): get(n, fresh=fresh) for n in wanted}
 
 
 def register(name: str, factory: Callable[..., Domain]) -> None:

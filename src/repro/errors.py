@@ -86,3 +86,30 @@ class CacheSnapshotError(ReproError):
     """A persistent PathCache snapshot could not be used: unreadable or
     corrupt file, unknown format version, or a grammar hash that does not
     match the domain it is being loaded into (stale snapshot)."""
+
+
+#: Stable machine-readable codes for the error classes above, most-derived
+#: first (:func:`error_code` walks this in order, so a subclass must appear
+#: before its base).  These codes are part of the serving wire format —
+#: ``BatchItem.to_json()`` and every ``repro.server`` response embed them —
+#: so add new codes freely but never rename existing ones.
+ERROR_CODES: "tuple[tuple[type, str], ...]" = (
+    (SynthesisTimeout, "timeout"),
+    (SynthesisError, "synthesis_failed"),
+    (BNFSyntaxError, "bnf_syntax"),
+    (GrammarError, "grammar"),
+    (TokenizationError, "tokenization"),
+    (ParseError, "parse"),
+    (DomainError, "unknown_domain"),
+    (CacheSnapshotError, "cache_snapshot"),
+    (ReproError, "error"),
+)
+
+
+def error_code(exc: BaseException) -> str:
+    """The stable wire code for an exception (``"internal"`` for anything
+    outside the :class:`ReproError` hierarchy)."""
+    for cls, code in ERROR_CODES:
+        if isinstance(exc, cls):
+            return code
+    return "internal"

@@ -1,0 +1,48 @@
+"""Long-running synthesis serving (``repro serve``).
+
+The paper's pitch is *near real-time* NL-to-code translation; this
+package is the deployment shape that claim implies — a resident service
+with warm grammar caches, not a per-query process.  Three layers:
+
+* :class:`SynthesisService` (:mod:`repro.server.service`) — warm
+  multi-domain routing, admission control, deadline propagation,
+  structured errors, graceful drain;
+* :mod:`repro.server.http` — ``POST /synthesize`` + ``GET
+  /healthz``/``/stats``/``/domains`` over a stdlib threading HTTP server;
+* :mod:`repro.server.stdio` — the same payloads as JSON lines over
+  stdin/stdout (language-server style, one child per editor session).
+
+Clients live in :mod:`repro.client`; the wire format in
+:mod:`repro.server.protocol` and docs/serving.md.
+"""
+
+from repro.server.http import (
+    SynthesisHTTPServer,
+    run_http,
+    start_http_server,
+)
+from repro.server.protocol import (
+    BadRequest,
+    SynthesisRequest,
+    error_response,
+    http_status,
+    ok_response,
+    parse_request,
+)
+from repro.server.service import ServerConfig, SynthesisService
+from repro.server.stdio import serve_stdio
+
+__all__ = [
+    "ServerConfig",
+    "SynthesisService",
+    "SynthesisHTTPServer",
+    "SynthesisRequest",
+    "BadRequest",
+    "parse_request",
+    "ok_response",
+    "error_response",
+    "http_status",
+    "run_http",
+    "start_http_server",
+    "serve_stdio",
+]

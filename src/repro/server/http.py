@@ -1,0 +1,186 @@
+"""HTTP front end: a stdlib ``ThreadingHTTPServer`` over the service.
+
+Endpoints (docs/serving.md is the reference):
+
+* ``POST /synthesize`` — JSON body per :mod:`repro.server.protocol`;
+  returns the shared per-query payload (``BatchItem.to_json()`` shape).
+* ``GET /healthz`` — readiness: 200 while serving, 503 while draining;
+  body reports domains, snapshot provenance, cache occupancy, inflight.
+* ``GET /stats`` — cumulative PathCache counters per domain plus request
+  counters (the service-level view of ``SynthesisStats``).
+* ``GET /domains`` — the served domain names.
+
+Each request is handled on its own thread (``ThreadingHTTPServer``), so
+concurrency is bounded by the service's admission control, not the
+transport.  :func:`run_http` is the blocking entry point used by ``repro
+serve --http``: it installs SIGINT/SIGTERM handlers that stop the accept
+loop, drain in-flight requests, and close the service — a served request
+is never cut off mid-synthesis by a polite shutdown.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.server.protocol import error_response
+from repro.server.service import SynthesisService
+
+#: Largest accepted request body; a synthesis query is a sentence, so
+#: anything close to this is a client bug, not a workload.
+MAX_BODY_BYTES = 1 << 20
+
+
+class SynthesisHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer bound to a :class:`SynthesisService`."""
+
+    #: Handler threads are daemonic so one wedged request cannot block
+    #: process exit; the graceful path drains via the service instead.
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: SynthesisService):
+        super().__init__(address, _Handler)
+        self.service = service
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    #: Advertise HTTP/1.1 (keep-alive) so clients can reuse connections.
+    protocol_version = "HTTP/1.1"
+    server: SynthesisHTTPServer
+
+    # ------------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        if self.path.rstrip("/") != "/synthesize":
+            self._send(*error_response(
+                "not_found", f"no such endpoint: POST {self.path}"
+            ))
+            return
+        error, body = self._read_json()
+        if error is not None:
+            self._send(*error)
+            return
+        self._send(*self.server.service.handle_payload(body))
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        service = self.server.service
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            health = service.health()
+            self._send(503 if health["status"] == "draining" else 200, health)
+        elif path == "/stats":
+            self._send(200, service.stats())
+        elif path == "/domains":
+            self._send(200, {"domains": list(service.domain_names())})
+        else:
+            self._send(*error_response(
+                "not_found", f"no such endpoint: GET {self.path}"
+            ))
+
+    # ------------------------------------------------------------------
+
+    def _read_json(self):
+        """Returns ``(None, decoded_body)`` or ``((status, payload), None)``
+        for a body that cannot be decoded."""
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES:
+            return (
+                error_response(
+                    "bad_request",
+                    "Content-Length required and must be "
+                    f"0..{MAX_BODY_BYTES}",
+                ),
+                None,
+            )
+        raw = self.rfile.read(length)
+        try:
+            return None, json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return (
+                error_response("bad_request", f"malformed JSON body: {exc}"),
+                None,
+            )
+
+    def _send(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Quiet by default; the CLI owns user-facing logging."""
+
+
+def start_http_server(
+    service: SynthesisService, host: str = "127.0.0.1", port: int = 0
+) -> SynthesisHTTPServer:
+    """Bind and start serving on a background thread (tests and embedders;
+    ``port=0`` picks a free port — read it back from ``server.port``).
+    Caller owns shutdown: ``server.shutdown()`` then ``service`` drain."""
+    server = SynthesisHTTPServer((host, port), service)
+    thread = threading.Thread(
+        target=server.serve_forever,
+        kwargs={"poll_interval": 0.05},
+        name="repro-http",
+        daemon=True,
+    )
+    thread.start()
+    return server
+
+
+def run_http(
+    service: SynthesisService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    *,
+    grace_seconds: float = 30.0,
+    install_signal_handlers: bool = True,
+    on_ready=None,
+) -> bool:
+    """Serve until SIGINT/SIGTERM, then drain gracefully.
+
+    Returns True when the drain finished inside ``grace_seconds`` (the
+    CLI turns False into a non-zero exit code).  ``on_ready(server)`` is
+    invoked once the socket is bound — the CLI uses it to print the
+    listening address.
+    """
+    server = SynthesisHTTPServer((host, port), service)
+    if on_ready is not None:
+        on_ready(server)
+
+    if install_signal_handlers:
+        previous: Dict[int, Any] = {}
+
+        def _handle(signum: int, frame: Optional[Any]) -> None:
+            service.begin_shutdown()
+            # shutdown() blocks until serve_forever() exits, and the
+            # handler runs on the thread that is inside serve_forever —
+            # stop the loop from a helper thread to avoid the deadlock.
+            threading.Thread(target=server.shutdown, daemon=True).start()
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous[signum] = signal.signal(signum, _handle)
+
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        if install_signal_handlers:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+        service.begin_shutdown()
+        drained = service.drain(grace_seconds=grace_seconds)
+        server.server_close()
+        service.close()
+    return drained

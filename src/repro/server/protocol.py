@@ -1,0 +1,157 @@
+"""Wire protocol shared by the HTTP and stdio serving front ends.
+
+One request/response shape for both transports (docs/serving.md is the
+reference):
+
+Request (HTTP ``POST /synthesize`` body, or one stdio JSON line)::
+
+    {"query": "print every line",        # required
+     "domain": "textediting",            # optional (service default)
+     "engine": "dggt",                   # optional (service default)
+     "timeout": 5.0,                     # optional per-request budget (s)
+     "include_stats": false,             # optional: attach stats payload
+     "id": "req-42"}                     # optional opaque token, echoed
+
+Success response: ``BatchItem.to_json()`` plus ``{"id": ...}`` — exactly
+the payload ``repro batch --json`` emits per query, so batch and serving
+consumers share one schema.  Error response::
+
+    {"status": "timeout" | "error",
+     "error": {"code": "<stable code>", "message": "..."},
+     "id": ...}
+
+Error codes are :data:`repro.errors.ERROR_CODES` plus the serving-only
+codes :data:`SERVING_CODES` (``bad_request``, ``overloaded``,
+``shutting_down``, ``not_found``, ``internal``).  Each code maps to one
+HTTP status via :data:`HTTP_STATUS`; the stdio transport carries the same
+payloads without the status line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.synthesis.pipeline import BatchItem
+
+#: Serving-layer codes (requests rejected before reaching a synthesizer).
+SERVING_CODES = (
+    "bad_request",
+    "overloaded",
+    "shutting_down",
+    "not_found",
+    "internal",
+)
+
+#: code -> HTTP status.  Synthesis failures are 422 (the request was
+#: well-formed; the query has no grammar-valid codelet), timeouts 504,
+#: admission rejections 429/503.  Codes not listed map to 422 when they
+#: come from the ReproError hierarchy and 500 otherwise.
+HTTP_STATUS: Dict[str, int] = {
+    "ok": 200,
+    "bad_request": 400,
+    "unknown_domain": 404,
+    "not_found": 404,
+    "overloaded": 429,
+    "shutting_down": 503,
+    "timeout": 504,
+    "internal": 500,
+}
+_DEFAULT_ERROR_STATUS = 422
+
+
+def http_status(code: str) -> int:
+    return HTTP_STATUS.get(code, _DEFAULT_ERROR_STATUS)
+
+
+class BadRequest(ReproError):
+    """A request that fails protocol validation (missing query, wrong
+    types, out-of-range timeout).  Always maps to ``bad_request``/400."""
+
+
+@dataclass(frozen=True)
+class SynthesisRequest:
+    """A validated synthesis request, transport-independent."""
+
+    query: str
+    domain: Optional[str] = None
+    engine: Optional[str] = None
+    timeout: Optional[float] = None
+    include_stats: bool = False
+    id: Any = None
+
+
+def parse_request(payload: Any) -> SynthesisRequest:
+    """Validate a decoded JSON body into a :class:`SynthesisRequest`.
+
+    Raises :class:`BadRequest` with a human-readable message; unknown keys
+    are rejected so client typos ("querry") fail loudly instead of
+    silently synthesizing the wrong thing.
+    """
+    if not isinstance(payload, dict):
+        raise BadRequest("request body must be a JSON object")
+    allowed = {"query", "domain", "engine", "timeout", "include_stats",
+               "id", "op"}
+    unknown = sorted(set(payload) - allowed)
+    if unknown:
+        raise BadRequest(f"unknown request field(s): {unknown}")
+
+    query = payload.get("query")
+    if not isinstance(query, str) or not query.strip():
+        raise BadRequest("'query' must be a non-empty string")
+
+    domain = payload.get("domain")
+    if domain is not None and not isinstance(domain, str):
+        raise BadRequest("'domain' must be a string")
+
+    engine = payload.get("engine")
+    if engine is not None and engine not in ("dggt", "hisyn"):
+        raise BadRequest("'engine' must be 'dggt' or 'hisyn'")
+
+    timeout = payload.get("timeout")
+    if timeout is not None:
+        if isinstance(timeout, bool) or not isinstance(timeout, (int, float)):
+            raise BadRequest("'timeout' must be a number of seconds")
+        if timeout < 0:
+            raise BadRequest("'timeout' must be non-negative")
+        timeout = float(timeout)
+
+    include_stats = payload.get("include_stats", False)
+    if not isinstance(include_stats, bool):
+        raise BadRequest("'include_stats' must be a boolean")
+
+    return SynthesisRequest(
+        query=query.strip(),
+        domain=domain,
+        engine=engine,
+        timeout=timeout,
+        include_stats=include_stats,
+        id=payload.get("id"),
+    )
+
+
+def ok_response(
+    item: BatchItem, request: Optional[SynthesisRequest] = None
+) -> Tuple[int, Dict[str, Any]]:
+    """(HTTP status, payload) for a finished :class:`BatchItem` — which may
+    itself be a captured failure (timeout / synthesis error)."""
+    include_stats = request.include_stats if request is not None else False
+    payload = item.to_json(include_stats=include_stats)
+    payload["id"] = request.id if request is not None else None
+    if item.ok:
+        return 200, payload
+    return http_status(payload["error"]["code"]), payload
+
+
+def error_response(
+    code: str, message: str, *, id: Any = None
+) -> Tuple[int, Dict[str, Any]]:
+    """(HTTP status, payload) for a request rejected by the serving layer
+    itself (never reached a synthesizer)."""
+    status = "timeout" if code == "timeout" else "error"
+    return http_status(code), {
+        "status": status,
+        "error": {"code": code, "message": message},
+        "id": id,
+    }

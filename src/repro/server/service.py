@@ -1,0 +1,423 @@
+"""The resident synthesis service behind both serving front ends.
+
+:class:`SynthesisService` is the transport-independent core of ``repro
+serve``: it keeps one warm :class:`~repro.synthesis.domain.Domain` per
+configured domain resident for the life of the process (cache snapshots
+preloaded at startup), routes each request to the right domain through the
+:mod:`repro.domains` registry, and wraps dispatch with the serving
+concerns a long-running deployment needs:
+
+* **admission control** — at most ``max_inflight`` requests are executing
+  at once; excess requests are rejected immediately with ``overloaded``
+  (HTTP 429) instead of queueing without bound;
+* **deadline propagation** — the per-request ``timeout`` (clamped to
+  ``max_timeout``, defaulting to ``default_timeout``) flows into the
+  engines' existing cooperative :class:`~repro.synthesis.deadline.Deadline`,
+  so a served request times out exactly like a CLI run;
+* **structured errors** — every failure maps to a stable wire code
+  (:data:`repro.errors.ERROR_CODES` + the serving codes in
+  :mod:`repro.server.protocol`);
+* **graceful lifecycle** — :meth:`begin_shutdown` flips the service to
+  draining (new work rejected with ``shutting_down``), :meth:`drain`
+  waits for in-flight requests to finish, :meth:`close` releases worker
+  pools.  The front ends wire SIGINT/SIGTERM to exactly this sequence.
+
+Execution backends mirror :meth:`Synthesizer.synthesize_many`:
+
+* ``backend="thread"`` (default) — requests run on the transport's
+  threads against the shared warm cache.  The PathCache is lock-guarded,
+  so this is safe; per-query cache deltas are not recorded (they would
+  race across concurrent requests — ``stats.cache_delta_scope`` reads
+  ``"batch"``), use ``/stats`` for service-level counters.
+* ``backend="process"`` — requests are dispatched to a persistent
+  ``ProcessPoolExecutor`` per (domain, engine), reusing the batch
+  backend's worker plumbing (``_process_worker_init`` preloads the same
+  cache snapshots).  This is the CPU-scaling path for heavy traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.domains import load_domains
+from repro.errors import DomainError, ReproError
+from repro.synthesis.domain import Domain
+from repro.synthesis.pipeline import (
+    BatchItem,
+    Synthesizer,
+    _pool_context,
+    _process_worker_init,
+    _process_worker_run,
+    _run_single,
+)
+from repro.server.protocol import (
+    BadRequest,
+    SynthesisRequest,
+    error_response,
+    ok_response,
+    parse_request,
+)
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Startup configuration for a :class:`SynthesisService`."""
+
+    #: Domain names to keep resident (() = every registered domain).
+    domains: Tuple[str, ...] = ()
+    #: Default domain when a request names none (must be in ``domains``;
+    #: None = the first configured name).
+    default_domain: Optional[str] = None
+    #: Default synthesis engine ("dggt" / "hisyn").
+    engine: str = "dggt"
+    #: Snapshot directory preloaded at startup (None: the library default,
+    #: ``$REPRO_CACHE_DIR`` / ``~/.cache/repro-dggt``).
+    cache_dir: Optional[str] = None
+    #: "thread" (shared warm cache) or "process" (persistent pool).
+    backend: str = "thread"
+    #: Process-pool size per (domain, engine) — process backend only.
+    workers: int = 2
+    #: Admission-control bound on concurrently executing requests.
+    max_inflight: int = 8
+    #: Per-request budget when the request carries none (seconds).
+    default_timeout: float = 20.0
+    #: Hard ceiling a request's own ``timeout`` is clamped to.
+    max_timeout: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("thread", "process"):
+            raise ReproError(
+                f"unknown backend {self.backend!r}; use 'thread' or 'process'"
+            )
+        if self.engine not in ("dggt", "hisyn"):
+            raise ReproError(
+                f"unknown engine {self.engine!r}; use 'dggt' or 'hisyn'"
+            )
+        if self.max_inflight < 1:
+            raise ReproError("max_inflight must be >= 1")
+        if self.workers < 1:
+            raise ReproError("workers must be >= 1")
+        if self.default_timeout < 0 or self.max_timeout <= 0:
+            raise ReproError("timeouts must be non-negative")
+
+
+@dataclass
+class _DomainState:
+    """Per-domain serving state."""
+
+    domain: Domain
+    snapshot_loaded: bool
+    snapshot_file: str
+    requests: int = 0
+    synthesizers: Dict[str, Synthesizer] = field(default_factory=dict)
+
+
+class SynthesisService:
+    """Multi-domain synthesis routing with admission control and a
+    graceful lifecycle (see module docstring).
+
+    The service is transport-independent: both front ends call
+    :meth:`handle_payload` (decoded JSON in, ``(http_status, payload)``
+    out) and the health/stats accessors; nothing here knows about sockets
+    or pipes.
+    """
+
+    def __init__(self, config: Optional[ServerConfig] = None, **kwargs: Any):
+        if config is None:
+            config = ServerConfig(**kwargs)
+        elif kwargs:
+            raise TypeError("pass either a ServerConfig or keyword fields")
+        self.config = config
+        self._started = time.monotonic()
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._inflight = 0
+        self._draining = False
+        self._closed = False
+        self._counters: Dict[str, int] = {
+            "total": 0, "ok": 0, "timeout": 0, "error": 0, "rejected": 0,
+        }
+        self._pools: Dict[Tuple[str, str], ProcessPoolExecutor] = {}
+
+        domains = load_domains(config.domains or None)
+        if not domains:
+            raise DomainError("no domains to serve")
+        self._domains: Dict[str, _DomainState] = {}
+        for name, domain in domains.items():
+            loaded = domain.load_cache(config.cache_dir)
+            state = _DomainState(
+                domain=domain,
+                snapshot_loaded=loaded,
+                snapshot_file=str(domain.cache_file(config.cache_dir)),
+            )
+            state.synthesizers[config.engine] = Synthesizer(
+                domain, engine=config.engine
+            )
+            self._domains[name] = state
+        default = (
+            config.default_domain
+            if config.default_domain is not None
+            else next(iter(self._domains))
+        )
+        if default.lower() not in self._domains:
+            raise DomainError(
+                f"default domain {default!r} is not among the served "
+                f"domains {sorted(self._domains)}"
+            )
+        self.default_domain = default.lower()
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+
+    def handle_payload(self, payload: Any) -> Tuple[int, Dict[str, Any]]:
+        """Validate + dispatch one decoded request body.  Never raises:
+        every failure becomes a structured error payload."""
+        req_id = payload.get("id") if isinstance(payload, dict) else None
+        try:
+            request = parse_request(payload)
+        except BadRequest as exc:
+            self._count("rejected")
+            return error_response("bad_request", str(exc), id=req_id)
+        return self.synthesize(request)
+
+    def synthesize(
+        self, request: SynthesisRequest
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Route one validated request; returns (http_status, payload)."""
+        name = (request.domain or self.default_domain).lower()
+        state = self._domains.get(name)
+        if state is None:
+            self._count("rejected")
+            return error_response(
+                "unknown_domain",
+                f"domain {name!r} is not served here; "
+                f"available: {sorted(self._domains)}",
+                id=request.id,
+            )
+        timeout = self._resolve_timeout(request.timeout)
+
+        with self._lock:
+            if self._draining or self._closed:
+                self._counters["total"] += 1
+                self._counters["rejected"] += 1
+                return error_response(
+                    "shutting_down",
+                    "service is draining; retry against another replica",
+                    id=request.id,
+                )
+            if self._inflight >= self.config.max_inflight:
+                self._counters["total"] += 1
+                self._counters["rejected"] += 1
+                return error_response(
+                    "overloaded",
+                    f"at capacity ({self.config.max_inflight} in flight); "
+                    "retry with backoff",
+                    id=request.id,
+                )
+            self._inflight += 1
+            state.requests += 1
+
+        try:
+            item = self._dispatch(state, request, timeout)
+            status, payload = ok_response(item, request)
+        except BaseException as exc:  # the service must stay up
+            self._count("error")
+            return error_response(
+                "internal", f"{type(exc).__name__}: {exc}", id=request.id
+            )
+        finally:
+            with self._lock:
+                self._inflight -= 1
+                if self._inflight == 0:
+                    self._idle.notify_all()
+        self._count(payload.get("status", "error"))
+        return status, payload
+
+    def _resolve_timeout(self, requested: Optional[float]) -> float:
+        if requested is None:
+            return self.config.default_timeout
+        return min(requested, self.config.max_timeout)
+
+    def _dispatch(
+        self,
+        state: _DomainState,
+        request: SynthesisRequest,
+        timeout: float,
+    ) -> BatchItem:
+        engine = request.engine or self.config.engine
+        if self.config.backend == "process":
+            pool = self._pool(state.domain.name, engine)
+            future = pool.submit(_process_worker_run, 0, request.query, timeout)
+            # The worker enforces the deadline cooperatively; the grace
+            # period only guards against a wedged worker process.
+            return future.result(timeout=timeout + 30.0)
+        synth = self._synthesizer(state, engine)
+        # Per-query cache deltas race across concurrent server requests
+        # (shared counters), so they are not recorded: scope is "batch".
+        return _run_single(
+            synth, 0, request.query, timeout, record_cache_delta=False
+        )
+
+    def _synthesizer(self, state: _DomainState, engine: str) -> Synthesizer:
+        with self._lock:
+            synth = state.synthesizers.get(engine)
+            if synth is None:
+                synth = Synthesizer(state.domain, engine=engine)
+                state.synthesizers[engine] = synth
+            return synth
+
+    def _pool(self, domain_name: str, engine: str) -> ProcessPoolExecutor:
+        key = (domain_name, engine)
+        with self._lock:
+            pool = self._pools.get(key)
+            if pool is None:
+                spec = Synthesizer(
+                    self._domains[domain_name].domain, engine=engine
+                )._worker_spec(self.config.cache_dir)
+                pool = ProcessPoolExecutor(
+                    max_workers=self.config.workers,
+                    mp_context=_pool_context(),
+                    initializer=_process_worker_init,
+                    initargs=(spec,),
+                )
+                self._pools[key] = pool
+            return pool
+
+    def _count(self, status: str) -> None:
+        with self._lock:
+            self._counters["total"] += 1
+            if status in self._counters:
+                self._counters[status] += 1
+
+    # ------------------------------------------------------------------
+    # Introspection (the /healthz and /stats payloads)
+    # ------------------------------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    def health(self) -> Dict[str, Any]:
+        """Readiness payload: lifecycle state plus, per domain, the
+        snapshot provenance and current cache occupancy."""
+        with self._lock:
+            status = "draining" if (self._draining or self._closed) else "ok"
+            inflight = self._inflight
+            counters = dict(self._counters)
+        domains: Dict[str, Any] = {}
+        for name, state in self._domains.items():
+            cache = state.domain.path_cache
+            domains[name] = {
+                "apis": len(state.domain.document),
+                "grammar_hash": state.domain.grammar_hash(),
+                "snapshot_loaded": state.snapshot_loaded,
+                "snapshot_file": state.snapshot_file,
+                "requests": state.requests,
+                "cache_entries": {
+                    layer: len(cache.layer(layer))
+                    for layer in (*cache.PERSISTED_LAYERS, "outcomes")
+                },
+            }
+        return {
+            "status": status,
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+            "backend": self.config.backend,
+            "engine": self.config.engine,
+            "default_domain": self.default_domain,
+            "max_inflight": self.config.max_inflight,
+            "inflight": inflight,
+            "requests": counters,
+            "domains": domains,
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        """Service-level cache counters: per domain, the cumulative
+        PathCache layer hits/misses/evictions plus configured capacities
+        (the same counters ``SynthesisStats`` reports per query)."""
+        with self._lock:
+            counters = dict(self._counters)
+        domains: Dict[str, Any] = {}
+        for name, state in self._domains.items():
+            cache = state.domain.path_cache
+            domains[name] = {
+                "counters": cache.snapshot(),
+                "capacities": dict(cache.capacities),
+                "entries": {
+                    layer: len(cache.layer(layer))
+                    for layer in (*cache.PERSISTED_LAYERS, "outcomes")
+                },
+            }
+        return {
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+            "requests": counters,
+            "domains": domains,
+        }
+
+    def domain_names(self) -> Sequence[str]:
+        return sorted(self._domains)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def begin_shutdown(self) -> None:
+        """Stop admitting new requests; in-flight work keeps running."""
+        with self._lock:
+            self._draining = True
+
+    def drain(self, grace_seconds: Optional[float] = None) -> bool:
+        """Wait for in-flight requests to finish (after
+        :meth:`begin_shutdown`).  Returns True when the service is idle,
+        False when ``grace_seconds`` elapsed with work still running."""
+        deadline = (
+            None if grace_seconds is None
+            else time.monotonic() + grace_seconds
+        )
+        with self._idle:
+            while self._inflight > 0:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._idle.wait(timeout=remaining)
+            return True
+
+    def close(self) -> None:
+        """Release worker pools.  Idempotent; implies
+        :meth:`begin_shutdown`."""
+        with self._lock:
+            if self._closed:
+                return
+            self._draining = True
+            self._closed = True
+            pools = list(self._pools.values())
+            self._pools.clear()
+        for pool in pools:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "SynthesisService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.begin_shutdown()
+        self.drain(grace_seconds=30.0)
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SynthesisService(domains={sorted(self._domains)}, "
+            f"backend={self.config.backend!r}, "
+            f"inflight={self.inflight}/{self.config.max_inflight})"
+        )

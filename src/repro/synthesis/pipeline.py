@@ -39,7 +39,7 @@ from concurrent.futures import (
 from dataclasses import dataclass
 from typing import Any, Iterable, List, Optional, Union
 
-from repro.errors import ReproError, SynthesisTimeout
+from repro.errors import ReproError, SynthesisTimeout, error_code
 from repro.grammar.paths import PathSearchLimits
 from repro.synthesis.deadline import Deadline
 from repro.synthesis.domain import Domain
@@ -97,6 +97,34 @@ class BatchItem:
         if isinstance(self.error, SynthesisTimeout):
             return "timeout"
         return "error"
+
+    def to_json(self, *, include_stats: bool = False) -> dict:
+        """The one per-query JSON shape shared by ``repro batch --json``
+        and the ``repro serve`` front ends (see docs/serving.md).
+
+        ``codelet``/``size``/``engine`` are null on failure; ``error`` is
+        null on success and otherwise ``{"code", "message"}`` with a
+        stable code from :data:`repro.errors.ERROR_CODES`.
+        """
+        out: dict = {
+            "index": self.index,
+            "query": self.query,
+            "status": self.status,
+            "codelet": None,
+            "size": None,
+            "engine": None,
+            "elapsed_seconds": self.elapsed_seconds,
+            "error": None,
+        }
+        if self.outcome is not None:
+            out.update(self.outcome.to_json(include_stats=include_stats))
+            out["elapsed_seconds"] = self.elapsed_seconds
+        elif self.error is not None:
+            out["error"] = {
+                "code": error_code(self.error),
+                "message": str(self.error),
+            }
+        return out
 
 
 def _run_single(

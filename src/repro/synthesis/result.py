@@ -115,6 +115,13 @@ class SynthesisStats:
             out[name] = getattr(self, name)
         return out
 
+    def to_json(self) -> Dict[str, object]:
+        """JSON-safe stats payload: the :meth:`as_dict` counters plus the
+        ``cache_delta_scope`` flag callers need to interpret them."""
+        out: Dict[str, object] = dict(self.as_dict())
+        out["cache_delta_scope"] = self.cache_delta_scope
+        return out
+
 
 @dataclass
 class SynthesisOutcome:
@@ -131,6 +138,20 @@ class SynthesisOutcome:
     @property
     def codelet(self) -> str:
         return self.expression.render()
+
+    def to_json(self, *, include_stats: bool = False) -> Dict[str, object]:
+        """The one JSON shape for a successful synthesis, shared by the
+        batch CLI and the serving front ends (see docs/serving.md)."""
+        out: Dict[str, object] = {
+            "query": self.query,
+            "engine": self.engine,
+            "codelet": self.codelet,
+            "size": self.size,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+        if include_stats:
+            out["stats"] = self.stats.to_json()
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

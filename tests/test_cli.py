@@ -49,6 +49,14 @@ class TestMain:
     def test_missing_query(self, capsys):
         assert main([]) == 2
 
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as info:
+            main(["--version"])
+        assert info.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
     def test_unknown_domain(self, capsys):
         assert main(["--domain", "nope", "q"]) == 2
 

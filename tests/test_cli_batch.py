@@ -54,6 +54,12 @@ class TestBatchCommand:
         assert item["query"] == "print every line"
         assert item["codelet"].startswith("PRINT(")
         assert item["error"] is None
+        # The schema is shared with the serving front ends
+        # (BatchItem.to_json; see docs/serving.md).
+        assert set(item) == {
+            "index", "query", "status", "codelet", "size", "engine",
+            "elapsed_seconds", "error",
+        }
 
     def test_failing_query_sets_exit_code(self, tmp_path, capsys):
         path = _write_queries(
@@ -65,7 +71,8 @@ class TestBatchCommand:
         payload = json.loads(captured.out)
         assert [i["status"] for i in payload] == ["ok", "error"]
         assert payload[1]["codelet"] is None
-        assert payload[1]["error"]
+        assert payload[1]["error"]["code"] == "synthesis_failed"
+        assert payload[1]["error"]["message"]
 
     def test_stats_flag_prints_cache_counters(self, tmp_path, capsys):
         path = _write_queries(
@@ -162,6 +169,25 @@ class TestCacheCommand:
         code = main(["cache", "info", "--cache-dir", cache_dir])
         assert code == 0
         assert "no snapshots found" in capsys.readouterr().out
+
+    def test_warm_from_multiple_corpus_files(self, tmp_path, capsys):
+        # Snapshot warming at scale: --queries is repeatable; files are
+        # concatenated and duplicates collapsed.
+        cache_dir = str(tmp_path / "cache")
+        first = tmp_path / "corpus_a.txt"
+        first.write_text("print every line\n# comment\nprint every line\n")
+        second = tmp_path / "corpus_b.txt"
+        second.write_text(
+            "print every line\ndelete every word that contains numbers\n"
+        )
+        code = main(
+            ["cache", "warm", "--domain", "textediting",
+             "--cache-dir", cache_dir,
+             "--queries", str(first), "--queries", str(second)]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "warmed textediting with 2/2 queries" in captured.out
 
     def test_warm_with_limit_uses_bundled_queries(self, tmp_path, capsys):
         cache_dir = str(tmp_path / "cache")

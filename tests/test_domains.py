@@ -29,6 +29,25 @@ class TestRegistry:
         with pytest.raises(DomainError):
             load_domain("nope")
 
+    def test_load_domains_all(self):
+        from repro.domains import load_domains
+
+        domains = load_domains()
+        assert sorted(domains) == ["astmatcher", "textediting"]
+        assert domains["textediting"] is load_domain("textediting")
+
+    def test_load_domains_subset_normalises_names(self):
+        from repro.domains import load_domains
+
+        domains = load_domains(["TextEditing", "textediting"])
+        assert list(domains) == ["textediting"]
+
+    def test_load_domains_unknown_fails_before_building(self):
+        from repro.domains import load_domains
+
+        with pytest.raises(DomainError, match="nope"):
+            load_domains(["textediting", "nope"])
+
 
 class TestTextEditing:
     def test_api_count(self, textediting):

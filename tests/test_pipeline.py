@@ -55,6 +55,57 @@ class TestSynthesizer:
         assert prob.dep_graph.is_tree()
 
 
+class TestToJson:
+    """One JSON schema for batch CLI and serving (docs/serving.md)."""
+
+    def test_ok_item(self, toy_domain):
+        synth = Synthesizer(toy_domain)
+        (item,) = synth.synthesize_many(['insert ":" into lines'])
+        payload = item.to_json()
+        assert payload["status"] == "ok"
+        assert payload["codelet"] == item.outcome.codelet
+        assert payload["size"] == item.outcome.size
+        assert payload["engine"] == "dggt"
+        assert payload["error"] is None
+        assert "stats" not in payload
+
+    def test_ok_item_with_stats(self, toy_domain):
+        synth = Synthesizer(toy_domain)
+        (item,) = synth.synthesize_many(['insert ":" into lines'])
+        payload = item.to_json(include_stats=True)
+        assert payload["stats"]["cache_delta_scope"] == "query"
+        assert set(payload["stats"]) >= {"combinations", "path_cache_hits"}
+
+    def test_failed_item_carries_stable_code(self, toy_domain):
+        synth = Synthesizer(toy_domain)
+        (item,) = synth.synthesize_many(["zebra"])
+        payload = item.to_json()
+        assert payload["status"] == "error"
+        assert payload["codelet"] is None and payload["size"] is None
+        assert payload["error"]["code"] == "synthesis_failed"
+        assert payload["error"]["message"]
+
+    def test_timeout_item(self, toy_domain):
+        synth = Synthesizer(toy_domain)
+        (item,) = synth.synthesize_many(
+            ['insert ":" into lines'], timeout_seconds_each=0
+        )
+        payload = item.to_json()
+        assert payload["status"] == "timeout"
+        assert payload["error"]["code"] == "timeout"
+        assert payload["elapsed_seconds"] == 0
+
+    def test_payload_is_json_serializable(self, toy_domain):
+        import json as json_mod
+
+        synth = Synthesizer(toy_domain)
+        items = synth.synthesize_many(['insert ":" into lines', "zebra"])
+        text = json_mod.dumps(
+            [i.to_json(include_stats=True) for i in items]
+        )
+        assert json_mod.loads(text)[0]["status"] == "ok"
+
+
 class TestDeadline:
     def test_unlimited_never_expires(self):
         d = Deadline.unlimited()

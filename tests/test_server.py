@@ -1,0 +1,495 @@
+"""Server subsystem: service routing, admission control, HTTP front end,
+and the graceful lifecycle (docs/serving.md)."""
+
+import json
+import http.client
+import os
+import pickle
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro import Synthesizer, load_domain
+from repro.client import HttpClient, ServerError
+from repro.errors import ReproError, error_code, SynthesisTimeout
+from repro.server import (
+    BadRequest,
+    ServerConfig,
+    SynthesisService,
+    http_status,
+    parse_request,
+    start_http_server,
+)
+
+QUERY = "print every line"
+QUERY2 = "delete every word that contains numbers"
+
+
+@pytest.fixture(scope="module")
+def http_setup():
+    """One warm service + HTTP server + client shared by the read-only
+    HTTP tests (startup costs a domain build; no point paying it per
+    test).  Lifecycle tests build their own service."""
+    service = SynthesisService(
+        ServerConfig(domains=("textediting", "astmatcher"))
+    )
+    server = start_http_server(service, port=0)
+    yield service, HttpClient(port=server.port)
+    server.shutdown()
+    service.begin_shutdown()
+    assert service.drain(grace_seconds=10) is True
+    service.close()
+
+
+# ---------------------------------------------------------------------------
+# Protocol validation
+# ---------------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_parse_minimal(self):
+        req = parse_request({"query": " print every line "})
+        assert req.query == QUERY
+        assert req.domain is None and req.timeout is None
+
+    @pytest.mark.parametrize(
+        "payload, fragment",
+        [
+            ("not a dict", "JSON object"),
+            ({}, "'query'"),
+            ({"query": ""}, "'query'"),
+            ({"query": 3}, "'query'"),
+            ({"query": "q", "timeout": "soon"}, "'timeout'"),
+            ({"query": "q", "timeout": True}, "'timeout'"),
+            ({"query": "q", "timeout": -1}, "'timeout'"),
+            ({"query": "q", "engine": "gpt"}, "'engine'"),
+            ({"query": "q", "include_stats": 1}, "'include_stats'"),
+            ({"query": "q", "querry": "typo"}, "querry"),
+        ],
+    )
+    def test_parse_rejects(self, payload, fragment):
+        with pytest.raises(BadRequest, match=re.escape(fragment)):
+            parse_request(payload)
+
+    def test_http_status_mapping(self):
+        assert http_status("ok") == 200
+        assert http_status("bad_request") == 400
+        assert http_status("unknown_domain") == 404
+        assert http_status("overloaded") == 429
+        assert http_status("shutting_down") == 503
+        assert http_status("timeout") == 504
+        assert http_status("internal") == 500
+        assert http_status("synthesis_failed") == 422  # domain failures
+
+    def test_error_codes_are_stable(self):
+        assert error_code(SynthesisTimeout(1.0, 1.1)) == "timeout"
+        assert error_code(ReproError("x")) == "error"
+        assert error_code(ValueError("x")) == "internal"
+
+
+# ---------------------------------------------------------------------------
+# Service routing + admission
+# ---------------------------------------------------------------------------
+
+
+class TestService:
+    def test_serves_all_registered_domains_by_default(self):
+        with SynthesisService() as service:
+            assert list(service.domain_names()) == [
+                "astmatcher", "textediting",
+            ]
+
+    def test_unknown_configured_domain_fails_fast(self):
+        with pytest.raises(ReproError, match="nope"):
+            SynthesisService(ServerConfig(domains=("nope",)))
+
+    def test_bad_default_domain_fails_fast(self):
+        with pytest.raises(ReproError, match="default domain"):
+            SynthesisService(ServerConfig(
+                domains=("textediting",), default_domain="astmatcher",
+            ))
+
+    def test_config_validation(self):
+        with pytest.raises(ReproError):
+            ServerConfig(backend="carrier-pigeon")
+        with pytest.raises(ReproError):
+            ServerConfig(max_inflight=0)
+
+    def test_codelet_identical_to_direct_synthesize(self):
+        direct = Synthesizer(load_domain("textediting")).synthesize(QUERY)
+        with SynthesisService(ServerConfig(domains=("textediting",))) as s:
+            status, payload = s.handle_payload({"query": QUERY})
+        assert status == 200
+        assert payload["codelet"] == direct.codelet
+        assert payload["size"] == direct.size
+        assert payload["engine"] == "dggt"
+
+    def test_routes_by_domain_name(self):
+        with SynthesisService() as service:
+            status, payload = service.handle_payload(
+                {"query": "find virtual methods", "domain": "astmatcher"}
+            )
+            assert status == 200
+            direct = Synthesizer(load_domain("astmatcher")).synthesize(
+                "find virtual methods"
+            )
+            assert payload["codelet"] == direct.codelet
+
+    def test_request_timeout_propagates_into_deadline(self):
+        with SynthesisService(ServerConfig(domains=("textediting",))) as s:
+            status, payload = s.handle_payload(
+                {"query": QUERY2, "timeout": 0}
+            )
+        assert status == 504
+        assert payload["status"] == "timeout"
+        assert payload["error"]["code"] == "timeout"
+
+    def test_timeout_clamped_to_max(self):
+        with SynthesisService(ServerConfig(
+            domains=("textediting",), max_timeout=30.0,
+        )) as s:
+            assert s._resolve_timeout(10_000.0) == 30.0
+            assert s._resolve_timeout(None) == s.config.default_timeout
+
+    def test_unsynthesizable_query_is_structured(self):
+        with SynthesisService(ServerConfig(domains=("textediting",))) as s:
+            status, payload = s.handle_payload(
+                {"query": "zebra giraffe pumpkin", "id": 5}
+            )
+        assert status == 422
+        assert payload["error"]["code"] == "synthesis_failed"
+        assert payload["id"] == 5
+
+    def test_request_id_echoed_on_success(self):
+        with SynthesisService(ServerConfig(domains=("textediting",))) as s:
+            _, payload = s.handle_payload({"query": QUERY, "id": "abc"})
+        assert payload["id"] == "abc"
+
+    def test_admission_control_rejects_overload(self):
+        service = SynthesisService(ServerConfig(
+            domains=("textediting",), max_inflight=1,
+        ))
+        state = service._domains["textediting"]
+        inner = state.synthesizers["dggt"]
+        entered = threading.Event()
+        release = threading.Event()
+
+        class Gated:
+            def synthesize(self, query, timeout_seconds=None, **kwargs):
+                entered.set()
+                release.wait(10)
+                return inner.synthesize(query, timeout_seconds, **kwargs)
+
+        state.synthesizers["dggt"] = Gated()
+        results = {}
+
+        def first():
+            results["first"] = service.handle_payload({"query": QUERY})
+
+        thread = threading.Thread(target=first)
+        thread.start()
+        assert entered.wait(10)
+        status, payload = service.handle_payload({"query": QUERY})
+        assert status == 429
+        assert payload["error"]["code"] == "overloaded"
+        release.set()
+        thread.join(10)
+        assert results["first"][0] == 200
+        service.begin_shutdown()
+        assert service.drain(grace_seconds=10) is True
+        service.close()
+        counters = service.health()["requests"]
+        assert counters["ok"] == 1 and counters["rejected"] == 1
+
+    def test_graceful_shutdown_mid_request(self):
+        """begin_shutdown() must let the in-flight request finish and
+        answer, while rejecting new work; drain() then reports idle."""
+        service = SynthesisService(ServerConfig(domains=("textediting",)))
+        state = service._domains["textediting"]
+        inner = state.synthesizers["dggt"]
+        entered = threading.Event()
+        release = threading.Event()
+
+        class Gated:
+            def synthesize(self, query, timeout_seconds=None, **kwargs):
+                entered.set()
+                release.wait(10)
+                return inner.synthesize(query, timeout_seconds, **kwargs)
+
+        state.synthesizers["dggt"] = Gated()
+        results = {}
+
+        def first():
+            results["first"] = service.handle_payload({"query": QUERY})
+
+        thread = threading.Thread(target=first)
+        thread.start()
+        assert entered.wait(10)
+        service.begin_shutdown()
+        # New work is rejected while the first request is still running.
+        status, payload = service.handle_payload({"query": QUERY})
+        assert status == 503
+        assert payload["error"]["code"] == "shutting_down"
+        assert service.drain(grace_seconds=0.05) is False  # still busy
+        release.set()
+        thread.join(10)
+        assert service.drain(grace_seconds=10) is True
+        assert results["first"][0] == 200
+        assert results["first"][1]["codelet"].startswith("PRINT(")
+        service.close()
+
+    def test_internal_errors_do_not_kill_the_service(self):
+        service = SynthesisService(ServerConfig(domains=("textediting",)))
+        state = service._domains["textediting"]
+
+        class Exploding:
+            def synthesize(self, *args, **kwargs):
+                raise RuntimeError("boom")
+
+        state.synthesizers["dggt"] = Exploding()
+        status, payload = service.handle_payload({"query": QUERY})
+        assert status == 500
+        assert payload["error"]["code"] == "internal"
+        assert "boom" in payload["error"]["message"]
+        # A later request on another engine still works.
+        status, payload = service.handle_payload(
+            {"query": QUERY, "engine": "hisyn"}
+        )
+        assert status == 200
+        service.close()
+
+    def test_process_backend_round_trip(self):
+        with SynthesisService(ServerConfig(
+            domains=("textediting",), backend="process", workers=2,
+        )) as service:
+            status, payload = service.handle_payload({"query": QUERY})
+            assert status == 200
+            direct = Synthesizer(load_domain("textediting")).synthesize(QUERY)
+            assert payload["codelet"] == direct.codelet
+
+
+# ---------------------------------------------------------------------------
+# Snapshot preload at startup
+# ---------------------------------------------------------------------------
+
+
+class TestStartupSnapshots:
+    def test_missing_snapshot_serves_cold(self, tmp_path):
+        with SynthesisService(ServerConfig(
+            domains=("textediting",), cache_dir=str(tmp_path),
+        )) as service:
+            health = service.health()
+            info = health["domains"]["textediting"]
+            assert info["snapshot_loaded"] is False
+            status, payload = service.handle_payload({"query": QUERY})
+            assert status == 200 and payload["status"] == "ok"
+
+    def test_stale_snapshot_rejected_but_serves(self, tmp_path):
+        # Write a real snapshot, then tamper its grammar hash so the
+        # loader must treat it as stale from a pre-change grammar.
+        domain = load_domain("textediting", fresh=True)
+        Synthesizer(domain).synthesize(QUERY)
+        target = domain.save_cache(tmp_path)
+        payload = pickle.loads(target.read_bytes())
+        payload["grammar_hash"] = "0" * 64
+        target.write_bytes(pickle.dumps(payload))
+
+        with SynthesisService(ServerConfig(
+            domains=("textediting",), cache_dir=str(tmp_path),
+        )) as service:
+            info = service.health()["domains"]["textediting"]
+            assert info["snapshot_loaded"] is False
+            status, _ = service.handle_payload({"query": QUERY})
+            assert status == 200
+
+    def test_warm_snapshot_preloaded(self, tmp_path):
+        domain = load_domain("textediting", fresh=True)
+        Synthesizer(domain).synthesize(QUERY)
+        domain.save_cache(tmp_path)
+
+        with SynthesisService(ServerConfig(
+            domains=("textediting",), cache_dir=str(tmp_path),
+        )) as service:
+            info = service.health()["domains"]["textediting"]
+            assert info["snapshot_loaded"] is True
+            assert info["cache_entries"]["paths"] > 0
+
+
+# ---------------------------------------------------------------------------
+# HTTP front end
+# ---------------------------------------------------------------------------
+
+
+class TestHttp:
+    def test_synthesize_identical_to_direct(self, http_setup):
+        _, client = http_setup
+        direct = Synthesizer(load_domain("textediting")).synthesize(QUERY)
+        payload = client.synthesize(QUERY, id=1)
+        assert payload["codelet"] == direct.codelet
+        assert payload["status"] == "ok"
+        assert payload["id"] == 1
+
+    def test_include_stats(self, http_setup):
+        _, client = http_setup
+        payload = client.synthesize(QUERY, include_stats=True)
+        assert payload["stats"]["cache_delta_scope"] == "batch"
+        assert "combinations" in payload["stats"]
+
+    def test_concurrent_requests_all_succeed(self, http_setup):
+        _, client = http_setup
+        direct = {
+            q: Synthesizer(load_domain("textediting")).synthesize(q).codelet
+            for q in (QUERY, QUERY2)
+        }
+        queries = [QUERY, QUERY2] * 4
+        results = [None] * len(queries)
+
+        def hit(i, q):
+            results[i] = client.synthesize(q)
+
+        threads = [
+            threading.Thread(target=hit, args=(i, q))
+            for i, q in enumerate(queries)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        assert all(r is not None for r in results)
+        for q, r in zip(queries, results):
+            assert r["codelet"] == direct[q]
+
+    def test_unknown_domain_404(self, http_setup):
+        _, client = http_setup
+        with pytest.raises(ServerError) as info:
+            client.synthesize(QUERY, domain="nope")
+        assert info.value.code == "unknown_domain"
+        assert info.value.http_status == 404
+
+    def test_per_request_timeout_504(self, http_setup):
+        _, client = http_setup
+        with pytest.raises(ServerError) as info:
+            client.synthesize(QUERY2, timeout=0)
+        assert info.value.code == "timeout"
+        assert info.value.http_status == 504
+        assert info.value.payload["status"] == "timeout"
+
+    def test_malformed_json_body_400(self, http_setup):
+        _, client = http_setup
+        conn = http.client.HTTPConnection(client.host, client.port, timeout=10)
+        try:
+            conn.request(
+                "POST", "/synthesize", body=b"{oops",
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+        finally:
+            conn.close()
+        assert response.status == 400
+        assert payload["error"]["code"] == "bad_request"
+        assert "malformed" in payload["error"]["message"]
+
+    def test_missing_endpoint_404(self, http_setup):
+        _, client = http_setup
+        status, payload = client.request("GET", "/nope")
+        assert status == 404
+        assert payload["error"]["code"] == "not_found"
+        status, _ = client.request("POST", "/also-nope", {"query": QUERY})
+        assert status == 404
+
+    def test_healthz_payload(self, http_setup):
+        _, client = http_setup
+        health = client.health()
+        assert health["status"] == "ok"
+        assert set(health["domains"]) == {"textediting", "astmatcher"}
+        info = health["domains"]["textediting"]
+        assert info["apis"] > 0
+        assert re.fullmatch(r"[0-9a-f]{64}", info["grammar_hash"])
+        assert set(info["cache_entries"]) == {
+            "paths", "conflicts", "sizes", "merge", "outcomes",
+        }
+
+    def test_stats_payload_tracks_requests(self, http_setup):
+        _, client = http_setup
+        before = client.stats()
+        client.synthesize(QUERY)
+        after = client.stats()
+        assert after["requests"]["ok"] >= before["requests"]["ok"] + 1
+        counters = after["domains"]["textediting"]["counters"]
+        assert counters["path_cache_misses"] + counters["path_cache_hits"] > 0
+
+    def test_domains_endpoint(self, http_setup):
+        _, client = http_setup
+        assert client.domains() == ["astmatcher", "textediting"]
+
+    def test_healthz_503_while_draining(self):
+        service = SynthesisService(ServerConfig(domains=("textediting",)))
+        server = start_http_server(service, port=0)
+        client = HttpClient(port=server.port)
+        try:
+            service.begin_shutdown()
+            status, payload = client.request("GET", "/healthz")
+            assert status == 503
+            assert payload["status"] == "draining"
+            with pytest.raises(ServerError) as info:
+                client.synthesize(QUERY)
+            assert info.value.code == "shutting_down"
+        finally:
+            server.shutdown()
+            service.close()
+
+
+# ---------------------------------------------------------------------------
+# Full-process lifecycle: `repro serve --http` under SIGTERM
+# ---------------------------------------------------------------------------
+
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+
+def _spawn_http_server(*extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--http", "0",
+         "--domains", "textediting", *extra],
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    port = None
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        line = proc.stderr.readline()
+        if not line:
+            break
+        match = re.search(r"listening on http://[^:]+:(\d+)", line)
+        if match:
+            port = int(match.group(1))
+            break
+    if port is None:
+        proc.kill()
+        raise AssertionError("server did not report a listening port")
+    return proc, HttpClient(port=port)
+
+
+class TestServeProcess:
+    def test_sigterm_drains_and_exits_zero(self):
+        proc, client = _spawn_http_server()
+        try:
+            payload = client.synthesize(QUERY)
+            direct = Synthesizer(load_domain("textediting")).synthesize(QUERY)
+            assert payload["codelet"] == direct.codelet
+            assert client.health()["status"] == "ok"
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            code = proc.wait(timeout=60)
+        stderr = proc.stderr.read()
+        assert code == 0, stderr
+        assert "drained and exited" in stderr
