@@ -5,7 +5,6 @@ matching, Step-4 path search, full DGGT query) so regressions in any stage
 are visible independently of the dataset sweeps.
 """
 
-import pytest
 
 from repro.grammar.paths import find_paths_between_apis
 from repro.nlp.parser import parse_query

@@ -9,7 +9,6 @@ additively.
 
 import time
 
-import pytest
 
 from repro.baseline.hisyn import HISynEngine
 from repro.core.dggt import DggtEngine

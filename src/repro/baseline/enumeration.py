@@ -11,7 +11,7 @@ across overlapping combinations — the redundancy DGGT's memoization removes
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, Optional, Sequence, Tuple
 
 from repro.core.cgt import CGT, merge_bindings
 from repro.grammar.graph import GrammarGraph

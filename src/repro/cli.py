@@ -514,6 +514,25 @@ def build_serve_arg_parser() -> argparse.ArgumentParser:
         "concurrently executing requests (default: 8)",
     )
     parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=0,
+        metavar="N",
+        help="bounded admission queue: requests beyond --max-inflight "
+        "wait (up to their deadline) for a slot instead of being shed; "
+        "'overloaded' only once N are already waiting (default: 0 — "
+        "shed immediately, the pre-queueing behaviour)",
+    )
+    parser.add_argument(
+        "--domain-budget",
+        action="append",
+        default=None,
+        metavar="NAME=K",
+        help="cap one domain at K concurrently executing requests "
+        "(repeatable); with --queue-depth > 0, unnamed domains default "
+        "to a fair share of --max-inflight",
+    )
+    parser.add_argument(
         "--timeout",
         type=float,
         default=20.0,
@@ -547,6 +566,23 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         if args.domains
         else ()
     )
+    domain_budgets = {}
+    for spec in args.domain_budget or ():
+        name, sep, slots = spec.partition("=")
+        if not sep or not name.strip():
+            print(
+                f"error: --domain-budget expects NAME=K, got {spec!r}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            domain_budgets[name.strip()] = int(slots)
+        except ValueError:
+            print(
+                f"error: --domain-budget {spec!r}: K must be an integer",
+                file=sys.stderr,
+            )
+            return 2
     try:
         config = ServerConfig(
             domains=domains,
@@ -555,6 +591,8 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
             backend=args.backend,
             workers=args.workers,
             max_inflight=args.max_inflight,
+            queue_depth=args.queue_depth,
+            domain_budgets=domain_budgets,
             default_timeout=args.timeout,
             max_timeout=args.max_timeout,
         )
@@ -583,7 +621,8 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     def on_ready(server) -> None:
         print(
             f"# listening on http://{args.host}:{server.port} "
-            "(POST /synthesize, GET /healthz /stats /domains)",
+            "(POST /synthesize /admin/reload, GET /healthz /stats "
+            "/domains; SIGHUP reloads snapshots)",
             file=sys.stderr,
         )
 

@@ -6,7 +6,11 @@
 speaks the JSON-lines protocol.  Both raise :class:`ServerError` —
 carrying the server's stable error code — when the server answers with a
 structured error, so callers get ``timeout`` / ``unknown_domain`` /
-``overloaded`` as data instead of parsing messages.
+``overloaded`` as data instead of parsing messages.  A 429 carries the
+scheduler's backpressure hint as :attr:`ServerError.retry_after_ms`;
+``HttpClient(retries=N)`` opts into honoring it automatically for
+``overloaded`` answers (and only those — other errors are not load
+transients, so retrying them just repeats the failure).
 
 Used by the test suite, the CI smoke job, and
 ``benchmarks/test_server_latency.py``; also the reference implementation
@@ -19,6 +23,7 @@ import http.client
 import json
 import subprocess
 import sys
+import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
@@ -31,36 +36,62 @@ class ServerError(ReproError):
 
     ``code`` is the stable wire code (:data:`repro.errors.ERROR_CODES` +
     the serving codes); ``http_status`` is 0 for stdio transports;
-    ``payload`` is the full response body.
+    ``payload`` is the full response body.  For ``overloaded`` answers
+    from a queueing server, ``retry_after_ms`` is the scheduler's
+    backpressure hint (how long until a queue slot likely frees up);
+    None when the server did not supply one.
     """
 
     def __init__(self, code: str, message: str, *, http_status: int = 0,
-                 payload: Optional[Dict[str, Any]] = None):
+                 payload: Optional[Dict[str, Any]] = None,
+                 retry_after_ms: Optional[int] = None):
         self.code = code
         self.http_status = http_status
         self.payload = payload or {}
+        self.retry_after_ms = retry_after_ms
         super().__init__(f"[{code}] {message}")
 
 
 def _raise_for_error(payload: Dict[str, Any], status: int = 0) -> None:
     error = payload.get("error")
     if error:
+        retry_after_ms = error.get("retry_after_ms")
+        if not isinstance(retry_after_ms, (int, float)) or isinstance(
+            retry_after_ms, bool
+        ):
+            retry_after_ms = None
         raise ServerError(
             error.get("code", "error"),
             error.get("message", "unknown server error"),
             http_status=status,
             payload=payload,
+            retry_after_ms=(
+                None if retry_after_ms is None else int(retry_after_ms)
+            ),
         )
 
 
 class HttpClient:
-    """Minimal client for the HTTP front end."""
+    """Minimal client for the HTTP front end.
+
+    ``retries``/``backoff`` opt into automatic retry of ``overloaded``
+    (429) answers only: each retry sleeps the server's
+    ``retry_after_ms`` hint when present, else ``backoff * 2**attempt``
+    seconds.  The default (``retries=0``) preserves fail-fast behaviour.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8080, *,
-                 connect_timeout: float = 10.0):
+                 connect_timeout: float = 10.0, retries: int = 0,
+                 backoff: float = 0.05):
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if backoff < 0:
+            raise ValueError("backoff must be >= 0")
         self.host = host
         self.port = port
         self.connect_timeout = connect_timeout
+        self.retries = retries
+        self.backoff = backoff
 
     # ------------------------------------------------------------------
 
@@ -97,7 +128,10 @@ class HttpClient:
         id: Any = None,
     ) -> Dict[str, Any]:
         """Synthesize one query; returns the response payload (the shared
-        ``BatchItem.to_json()`` shape) or raises :class:`ServerError`."""
+        ``BatchItem.to_json()`` shape) or raises :class:`ServerError`.
+        With ``retries > 0``, ``overloaded`` answers are retried after
+        the server's ``retry_after_ms`` hint (exponential backoff when
+        the hint is absent); every other error raises immediately."""
         body: Dict[str, Any] = {"query": query}
         if domain is not None:
             body["domain"] = domain
@@ -115,11 +149,21 @@ class HttpClient:
             None if timeout is None
             else max(self.connect_timeout, timeout + 30.0)
         )
-        status, payload = self.request(
-            "POST", "/synthesize", body, timeout=socket_timeout
-        )
-        _raise_for_error(payload, status)
-        return payload
+        for attempt in range(self.retries + 1):
+            status, payload = self.request(
+                "POST", "/synthesize", body, timeout=socket_timeout
+            )
+            try:
+                _raise_for_error(payload, status)
+            except ServerError as exc:
+                if exc.code != "overloaded" or attempt >= self.retries:
+                    raise
+                if exc.retry_after_ms is not None:
+                    time.sleep(exc.retry_after_ms / 1000.0)
+                else:
+                    time.sleep(self.backoff * (2 ** attempt))
+                continue
+            return payload
 
     def health(self) -> Dict[str, Any]:
         return self.request("GET", "/healthz")[1]
@@ -129,6 +173,13 @@ class HttpClient:
 
     def domains(self) -> List[str]:
         return self.request("GET", "/domains")[1]["domains"]
+
+    def reload(self, cache_dir: Optional[str] = None) -> Dict[str, Any]:
+        """POST /admin/reload — hot-swap freshly loaded cache snapshots."""
+        body = None if cache_dir is None else {"cache_dir": cache_dir}
+        status, payload = self.request("POST", "/admin/reload", body)
+        _raise_for_error(payload, status)
+        return payload
 
 
 class StdioClient:
@@ -202,6 +253,15 @@ class StdioClient:
 
     def stats(self) -> Dict[str, Any]:
         return self.request({"op": "stats"})["stats"]
+
+    def reload(self, cache_dir: Optional[str] = None) -> Dict[str, Any]:
+        """The ``reload`` op — hot-swap freshly loaded cache snapshots."""
+        body: Dict[str, Any] = {"op": "reload"}
+        if cache_dir is not None:
+            body["cache_dir"] = cache_dir
+        payload = self.request(body)
+        _raise_for_error(payload)
+        return payload["reload"]
 
     def shutdown(self) -> Dict[str, Any]:
         return self.request({"op": "shutdown"})

@@ -17,7 +17,16 @@ only in *which* path combinations they materialize.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.grammar.graph import GrammarGraph, NodeKind
 from repro.grammar.paths import GrammarPath

@@ -24,7 +24,7 @@ node memoizes its full optimal partial CGT.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.cgt import merge_bindings

@@ -18,8 +18,8 @@ This module provides:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
 
 from repro.errors import SynthesisError
 from repro.core.cgt import CGT

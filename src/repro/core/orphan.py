@@ -18,7 +18,7 @@ of problems and the engine keeps the best result.
 from __future__ import annotations
 
 from itertools import product
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.synthesis.problem import SynthesisProblem
 

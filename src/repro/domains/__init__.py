@@ -13,7 +13,7 @@ tests use it to guarantee a cold start.  Custom domains join the registry
 via :func:`register`.
 """
 
-from typing import Callable, Dict, Iterable, List
+from typing import Callable, Dict, List
 
 from repro.errors import DomainError
 from repro.synthesis.domain import Domain

@@ -78,6 +78,29 @@ class SynthesisTimeout(SynthesisError):
         )
 
 
+class DeadlineExceeded(ReproError):
+    """A served request's deadline expired while it was still waiting in
+    the admission queue — it never reached a worker.
+
+    Distinct from :class:`SynthesisTimeout` (the budget ran out *during*
+    synthesis): this failure is decided by the request scheduler before
+    dispatch, so no engine time was spent.  ``waited_seconds`` is the
+    time the request spent queued.
+    """
+
+    def __init__(self, waited_seconds: float):
+        self.waited_seconds = waited_seconds
+        super().__init__(
+            f"deadline expired after {waited_seconds:.3g}s in the "
+            "admission queue; the request was never dispatched"
+        )
+
+    def __reduce__(self):
+        # Reconstruct from the numeric field (default exception pickling
+        # would replay __init__ with the formatted message).
+        return (type(self), (self.waited_seconds,))
+
+
 class DomainError(ReproError):
     """A problem with a domain registration (missing APIs, bad document)."""
 
@@ -95,6 +118,7 @@ class CacheSnapshotError(ReproError):
 #: so add new codes freely but never rename existing ones.
 ERROR_CODES: "tuple[tuple[type, str], ...]" = (
     (SynthesisTimeout, "timeout"),
+    (DeadlineExceeded, "deadline_exceeded"),
     (SynthesisError, "synthesis_failed"),
     (BNFSyntaxError, "bnf_syntax"),
     (GrammarError, "grammar"),

@@ -13,7 +13,7 @@ codelets after normalization through the codelet re-parser.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.expression import normalize_codelet

@@ -14,17 +14,13 @@ from __future__ import annotations
 import os
 import sys
 import time
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 from repro.domains import load_domain
 from repro.domains.astmatcher.queries import ASTMATCHER_QUERIES
 from repro.domains.textediting.queries import TEXTEDITING_QUERIES
 from repro.eval.harness import CaseResult, run_dataset
-from repro.eval.metrics import (
-    accuracy,
-    per_family_accuracy,
-    time_distribution,
-)
+from repro.eval.metrics import per_family_accuracy, time_distribution
 from repro.eval.tables import render_table2, table2_row
 
 PAPER = {

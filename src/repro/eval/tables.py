@@ -7,7 +7,7 @@ text table (for the benchmark logs / EXPERIMENTS.md).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 from repro.eval.harness import CaseResult
 from repro.eval.metrics import SpeedupSummary, accuracy, speedup_summary

@@ -66,7 +66,6 @@ from typing import (
     Callable,
     Dict,
     FrozenSet,
-    Iterable,
     List,
     Optional,
     Sequence,

@@ -14,7 +14,7 @@ candidate paths cover it.  Two of the paper's mechanisms read this structure:
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
 
 from repro.grammar.graph import GrammarGraph
 from repro.grammar.paths import GrammarPath

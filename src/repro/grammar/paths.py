@@ -17,7 +17,7 @@ additively along the dependency graph — see DESIGN.md "Path size accounting".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.grammar.graph import GrammarGraph, NodeKind
 

@@ -13,8 +13,8 @@ the root word are level 2, and so on (``level = depth(governor) + 2`` with
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ParseError
 

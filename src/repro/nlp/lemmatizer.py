@@ -98,7 +98,6 @@ def lemmatize(word: str, pos: Optional[str] = None) -> str:
     if len(w) <= 3:
         return w
 
-    is_verb = pos is not None and pos.startswith("V")
     is_noun = pos is not None and pos.startswith("N")
 
     # -ing (gerunds): containing -> contain, ending -> end

@@ -19,8 +19,8 @@ runs later in the pipeline, after Step-3 — see
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import FrozenSet, List, Optional, Set
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional
 
 from repro.nlp.dependency import DepEdge, DepNode, DependencyGraph
 

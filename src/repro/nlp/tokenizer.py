@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Iterator, List
+from typing import List
 
 from repro.errors import TokenizationError
 

@@ -11,8 +11,8 @@ tokens, e.g. ``STARTFROM`` -> ``["start", "from"]``).
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Tuple
 
 from repro.errors import DomainError
 from repro.nlp.lemmatizer import lemmatize

@@ -15,7 +15,7 @@ Domains may extend both tables at registration time.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
 #: Words that mean the same thing in this genre.  Each inner tuple is one
 #: group; the first member is the canonical form.

@@ -5,8 +5,11 @@ package is the deployment shape that claim implies — a resident service
 with warm grammar caches, not a per-query process.  Three layers:
 
 * :class:`SynthesisService` (:mod:`repro.server.service`) — warm
-  multi-domain routing, admission control, deadline propagation,
-  structured errors, graceful drain;
+  multi-domain routing, deadline propagation, structured errors,
+  graceful drain, hot snapshot reload;
+* :class:`RequestScheduler` (:mod:`repro.server.scheduler`) — bounded
+  admission queueing with backpressure and per-domain concurrency
+  budgets, sitting between the transports and the service;
 * :mod:`repro.server.http` — ``POST /synthesize`` + ``GET
   /healthz``/``/stats``/``/domains`` over a stdlib threading HTTP server;
 * :mod:`repro.server.stdio` — the same payloads as JSON lines over
@@ -29,12 +32,22 @@ from repro.server.protocol import (
     ok_response,
     parse_request,
 )
+from repro.server.scheduler import (
+    Grant,
+    QueueFull,
+    RequestScheduler,
+    SchedulerDraining,
+)
 from repro.server.service import ServerConfig, SynthesisService
 from repro.server.stdio import serve_stdio
 
 __all__ = [
     "ServerConfig",
     "SynthesisService",
+    "RequestScheduler",
+    "Grant",
+    "QueueFull",
+    "SchedulerDraining",
     "SynthesisHTTPServer",
     "SynthesisRequest",
     "BadRequest",

@@ -4,23 +4,35 @@ Endpoints (docs/serving.md is the reference):
 
 * ``POST /synthesize`` — JSON body per :mod:`repro.server.protocol`;
   returns the shared per-query payload (``BatchItem.to_json()`` shape).
+  A 429 (``overloaded``) response carries the scheduler's backpressure
+  hint both as ``error.retry_after_ms`` and as a standard ``Retry-After``
+  header (seconds, rounded up).
+* ``POST /admin/reload`` — hot snapshot reload: atomically swap freshly
+  loaded cache snapshots (and process-pool workers) without dropping
+  in-flight or queued work; body is optional ``{"cache_dir": "..."}``.
 * ``GET /healthz`` — readiness: 200 while serving, 503 while draining;
-  body reports domains, snapshot provenance, cache occupancy, inflight.
+  body reports domains, snapshot provenance, cache occupancy, inflight,
+  and the scheduler's queue/budget state.
 * ``GET /stats`` — cumulative PathCache counters per domain plus request
-  counters (the service-level view of ``SynthesisStats``).
+  counters (the service-level view of ``SynthesisStats``) and the
+  scheduler section.
 * ``GET /domains`` — the served domain names.
 
 Each request is handled on its own thread (``ThreadingHTTPServer``), so
-concurrency is bounded by the service's admission control, not the
-transport.  :func:`run_http` is the blocking entry point used by ``repro
-serve --http``: it installs SIGINT/SIGTERM handlers that stop the accept
-loop, drain in-flight requests, and close the service — a served request
-is never cut off mid-synthesis by a polite shutdown.
+concurrency is bounded by the service's request scheduler, not the
+transport — excess requests wait in its bounded queue (backpressure)
+instead of piling onto sockets.  :func:`run_http` is the blocking entry
+point used by ``repro serve --http``: it installs SIGINT/SIGTERM handlers
+that stop the accept loop, drain in-flight requests, and close the
+service — a served request is never cut off mid-synthesis by a polite
+shutdown — and a SIGHUP handler that triggers the same hot reload as
+``POST /admin/reload``.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -58,7 +70,11 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
-        if self.path.rstrip("/") != "/synthesize":
+        path = self.path.rstrip("/")
+        if path == "/admin/reload":
+            self._handle_reload()
+            return
+        if path != "/synthesize":
             self._send(*error_response(
                 "not_found", f"no such endpoint: POST {self.path}"
             ))
@@ -68,6 +84,41 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(*error)
             return
         self._send(*self.server.service.handle_payload(body))
+
+    def _handle_reload(self) -> None:
+        """POST /admin/reload: swap in fresh cache snapshots.  Optional
+        body ``{"cache_dir": "..."}`` redirects the snapshot directory."""
+        error, body = self._read_json()
+        if error is not None:
+            self._send(*error)
+            return
+        cache_dir = None
+        if isinstance(body, dict):
+            cache_dir = body.get("cache_dir")
+            if cache_dir is not None and not isinstance(cache_dir, str):
+                self._send(*error_response(
+                    "bad_request", "'cache_dir' must be a string"
+                ))
+                return
+            unknown = sorted(set(body) - {"cache_dir"})
+            if unknown:
+                self._send(*error_response(
+                    "bad_request", f"unknown reload field(s): {unknown}"
+                ))
+                return
+        elif body is not None:
+            self._send(*error_response(
+                "bad_request", "reload body must be a JSON object"
+            ))
+            return
+        try:
+            result = self.server.service.reload_snapshots(cache_dir)
+        except Exception as exc:  # the service must stay up
+            self._send(*error_response(
+                "internal", f"{type(exc).__name__}: {exc}"
+            ))
+            return
+        self._send(200, result)
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
         service = self.server.service
@@ -102,6 +153,8 @@ class _Handler(BaseHTTPRequestHandler):
                 ),
                 None,
             )
+        if length == 0:
+            return None, None  # endpoints decide whether a body is required
         raw = self.rfile.read(length)
         try:
             return None, json.loads(raw.decode("utf-8"))
@@ -116,6 +169,16 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        retry_after_ms = (
+            (payload.get("error") or {}).get("retry_after_ms")
+            if status == 429 else None
+        )
+        if retry_after_ms is not None:
+            # Standard backpressure surface for generic HTTP clients:
+            # whole seconds, rounded up so "soon" never reads as "now".
+            self.send_header(
+                "Retry-After", str(max(1, math.ceil(retry_after_ms / 1000)))
+            )
         self.end_headers()
         self.wfile.write(body)
 
@@ -172,6 +235,24 @@ def run_http(
 
         for signum in (signal.SIGINT, signal.SIGTERM):
             previous[signum] = signal.signal(signum, _handle)
+
+        if hasattr(signal, "SIGHUP"):  # pragma: no branch - POSIX only
+            def _handle_hup(signum: int, frame: Optional[Any]) -> None:
+                # Reload off the signal context so the accept loop never
+                # stalls on snapshot IO; errors must not kill the server.
+                def _reload() -> None:
+                    try:
+                        service.reload_snapshots()
+                    except Exception:
+                        pass  # /healthz still reports the old snapshots
+
+                threading.Thread(
+                    target=_reload, name="repro-sighup-reload", daemon=True
+                ).start()
+
+            previous[signal.SIGHUP] = signal.signal(
+                signal.SIGHUP, _handle_hup
+            )
 
     try:
         server.serve_forever(poll_interval=0.1)

@@ -36,9 +36,14 @@ from repro.errors import ReproError
 from repro.synthesis.pipeline import BatchItem
 
 #: Serving-layer codes (requests rejected before reaching a synthesizer).
+#: ``deadline_exceeded`` is issued by the request scheduler when a queued
+#: request's budget elapses before dispatch; ``overloaded`` responses may
+#: carry a ``retry_after_ms`` hint inside the error object (HTTP also
+#: sends it as a ``Retry-After`` header).
 SERVING_CODES = (
     "bad_request",
     "overloaded",
+    "deadline_exceeded",
     "shutting_down",
     "not_found",
     "internal",
@@ -56,6 +61,7 @@ HTTP_STATUS: Dict[str, int] = {
     "overloaded": 429,
     "shutting_down": 503,
     "timeout": 504,
+    "deadline_exceeded": 504,
     "internal": 500,
 }
 _DEFAULT_ERROR_STATUS = 422
@@ -145,13 +151,27 @@ def ok_response(
 
 
 def error_response(
-    code: str, message: str, *, id: Any = None
+    code: str,
+    message: str,
+    *,
+    id: Any = None,
+    retry_after_ms: Optional[int] = None,
+    queue_wait_ms: Optional[float] = None,
 ) -> Tuple[int, Dict[str, Any]]:
     """(HTTP status, payload) for a request rejected by the serving layer
-    itself (never reached a synthesizer)."""
-    status = "timeout" if code == "timeout" else "error"
-    return http_status(code), {
-        "status": status,
-        "error": {"code": code, "message": message},
-        "id": id,
-    }
+    itself (never reached a synthesizer).
+
+    ``retry_after_ms`` (overloaded responses) is the scheduler's
+    backpressure hint; ``queue_wait_ms`` (deadline_exceeded responses)
+    is the time the request spent queued before expiring.  Both are
+    omitted from the payload when None, keeping pre-scheduler responses
+    byte-identical.
+    """
+    status = "timeout" if code in ("timeout", "deadline_exceeded") else "error"
+    error: Dict[str, Any] = {"code": code, "message": message}
+    if retry_after_ms is not None:
+        error["retry_after_ms"] = retry_after_ms
+    payload: Dict[str, Any] = {"status": status, "error": error, "id": id}
+    if queue_wait_ms is not None:
+        payload["queue_wait_ms"] = queue_wait_ms
+    return http_status(code), payload

@@ -1,0 +1,410 @@
+"""Request scheduler: bounded queueing, backpressure, per-domain budgets.
+
+:class:`RequestScheduler` sits between the serving transports and request
+dispatch inside :class:`~repro.server.service.SynthesisService`.  It owns
+every admission decision the service makes:
+
+* **bounded queue with backpressure** — up to ``queue_depth`` requests
+  wait for an execution slot instead of being shed.  Only when the queue
+  itself is full does a request fail with :class:`QueueFull`, which
+  carries a ``retry_after_ms`` hint derived from the observed service
+  time (HTTP surfaces it as a ``Retry-After`` header on 429).  With
+  ``queue_depth=0`` (the default) admission is exactly the pre-scheduler
+  behaviour: at capacity, shed immediately.
+* **deadline-aware scheduling** — a queued request's wait is bounded by
+  its own synthesis budget.  When the deadline passes while the request
+  is still waiting it fails with
+  :class:`~repro.errors.DeadlineExceeded` *before* dispatch — an expired
+  request never burns a worker slot.  The wait that was spent in the
+  queue is deducted from the budget handed to the engines, so the
+  request's deadline covers queueing *and* synthesis.
+* **per-domain concurrency budgets** — each domain may use at most
+  ``budget[domain]`` of the ``max_inflight`` slots, so one hot domain
+  cannot starve the rest.  Budgets default to a fair share
+  (``ceil(max_inflight / n_domains)``) when queueing is enabled and to
+  ``max_inflight`` (no constraint beyond the global bound) in the
+  legacy ``queue_depth=0`` mode, preserving its exact semantics.
+
+Dispatch order is FIFO with eligibility: the oldest waiter whose domain
+is under budget runs first; a waiter blocked on its domain's budget does
+not block younger waiters of other domains (no cross-domain head-of-line
+blocking).  Within one domain, order is strictly FIFO.
+
+The scheduler is also the service's single source of truth for in-flight
+accounting: :meth:`begin_shutdown` wakes every waiter with
+:class:`SchedulerDraining` and :meth:`drain` blocks until the last
+granted slot is released — the graceful-shutdown sequence both front
+ends rely on.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Mapping, Optional, Tuple
+
+from repro.errors import DeadlineExceeded, ReproError
+
+__all__ = [
+    "Grant",
+    "QueueFull",
+    "RequestScheduler",
+    "SchedulerDraining",
+]
+
+#: Floor / ceiling for the ``retry_after_ms`` backpressure hint.
+MIN_RETRY_AFTER_MS = 50
+MAX_RETRY_AFTER_MS = 60_000
+
+#: Assumed service time (seconds) for the retry hint before any request
+#: has completed — deliberately pessimistic for a cold server.
+DEFAULT_SERVICE_SECONDS = 0.1
+
+#: EWMA smoothing for the observed per-request service time.
+_EWMA_ALPHA = 0.2
+
+# Waiter lifecycle: exactly one transition away from WAITING, performed
+# under the scheduler lock by whoever decides the outcome (the pump on
+# grant/expiry, begin_shutdown on drain, the waiter thread on its own
+# deadline) — so every waiter is counted exactly once.
+_WAITING = "waiting"
+_GRANTED = "granted"
+_EXPIRED = "expired"
+_DRAINING = "draining"
+
+
+class QueueFull(ReproError):
+    """Admission failed: no free slot and the wait queue is at capacity
+    (or queueing is disabled).  Maps to the stable ``overloaded`` wire
+    code; ``retry_after_ms`` is the backpressure hint."""
+
+    def __init__(self, message: str, retry_after_ms: int):
+        self.retry_after_ms = retry_after_ms
+        super().__init__(message)
+
+
+class SchedulerDraining(ReproError):
+    """Admission failed: the scheduler is shutting down.  Maps to the
+    stable ``shutting_down`` wire code."""
+
+
+@dataclass(frozen=True)
+class Grant:
+    """A successfully acquired execution slot.
+
+    ``queue_wait_seconds`` is how long the request waited for the slot
+    (0 for an immediate grant); callers deduct it from the synthesis
+    budget and release the slot via :meth:`RequestScheduler.release`.
+    """
+
+    domain: str
+    queue_wait_seconds: float
+
+
+class _Waiter:
+    """One queued request (internal)."""
+
+    __slots__ = ("domain", "deadline", "enqueued_at", "state")
+
+    def __init__(self, domain: str, deadline: float, enqueued_at: float):
+        self.domain = domain
+        self.deadline = deadline
+        self.enqueued_at = enqueued_at
+        self.state = _WAITING
+
+
+class RequestScheduler:
+    """Admission control for a fixed set of domains (see module docstring).
+
+    Thread-safe; every public method may be called from any transport
+    thread.  ``domain_budgets`` maps domain name -> slot budget; domains
+    not listed get the default described in the module docstring.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_inflight: int,
+        queue_depth: int = 0,
+        domains: Tuple[str, ...] = (),
+        domain_budgets: Optional[Mapping[str, int]] = None,
+    ):
+        if max_inflight < 1:
+            raise ReproError("max_inflight must be >= 1")
+        if queue_depth < 0:
+            raise ReproError("queue_depth must be >= 0")
+        if not domains:
+            raise ReproError("the scheduler needs at least one domain")
+        budgets = dict(domain_budgets or {})
+        unknown = sorted(set(budgets) - set(domains))
+        if unknown:
+            raise ReproError(
+                f"domain budget(s) for unserved domain(s) {unknown}; "
+                f"served: {sorted(domains)}"
+            )
+        for name, value in budgets.items():
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 1:
+                raise ReproError(
+                    f"domain budget for {name!r} must be a positive "
+                    f"integer, got {value!r}"
+                )
+
+        self.max_inflight = max_inflight
+        self.queue_depth = queue_depth
+        if queue_depth > 0:
+            default_budget = max(1, math.ceil(max_inflight / len(domains)))
+        else:
+            # Legacy mode: the global bound is the only constraint.
+            default_budget = max_inflight
+        self.budgets: Dict[str, int] = {
+            name: min(max_inflight, budgets.get(name, default_budget))
+            for name in domains
+        }
+
+        self._cond = threading.Condition(threading.Lock())
+        self._inflight_total = 0
+        self._inflight: Dict[str, int] = {name: 0 for name in domains}
+        self._waiters: Deque[_Waiter] = deque()
+        self._draining = False
+        self._service_ewma_seconds: Optional[float] = None
+        self._counters: Dict[str, int] = {
+            "admitted": 0,       # granted a slot (immediately or queued)
+            "queued": 0,         # of which waited in the queue first
+            "completed": 0,      # slots released after dispatch
+            "shed": 0,           # rejected: queue full / queueing disabled
+            "expired": 0,        # deadline passed while waiting
+            "drained": 0,        # rejected or woken by shutdown
+        }
+        self._queue_wait_total_ms = 0.0
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    @property
+    def queueing_enabled(self) -> bool:
+        return self.queue_depth > 0
+
+    def acquire(self, domain: str, timeout_seconds: float) -> Grant:
+        """Acquire an execution slot for ``domain``, waiting up to
+        ``timeout_seconds`` (the request's whole budget) when queueing is
+        enabled.
+
+        Raises :class:`QueueFull` (shed), :class:`SchedulerDraining`
+        (shutdown), or :class:`~repro.errors.DeadlineExceeded` (the
+        budget elapsed while waiting).
+        """
+        if domain not in self._inflight:
+            raise ReproError(f"unknown scheduler domain {domain!r}")
+        now = time.monotonic()
+        with self._cond:
+            if self._draining:
+                self._counters["drained"] += 1
+                raise SchedulerDraining(
+                    "service is draining; retry against another replica"
+                )
+            if self._can_dispatch(domain):
+                self._admit(domain)
+                return Grant(domain, 0.0)
+            if len(self._waiters) >= self.queue_depth:
+                self._counters["shed"] += 1
+                raise QueueFull(
+                    self._shed_message(), self._retry_after_ms_locked()
+                )
+            waiter = _Waiter(domain, now + timeout_seconds, now)
+            self._waiters.append(waiter)
+            try:
+                while waiter.state == _WAITING:
+                    remaining = waiter.deadline - time.monotonic()
+                    if remaining <= 0:
+                        waiter.state = _EXPIRED
+                        self._counters["expired"] += 1
+                        break
+                    self._cond.wait(timeout=remaining)
+            finally:
+                if waiter.state != _GRANTED:
+                    self._discard(waiter)
+            waited = time.monotonic() - waiter.enqueued_at
+            if waiter.state == _GRANTED:
+                self._counters["queued"] += 1
+                self._queue_wait_total_ms += waited * 1000.0
+                return Grant(domain, waited)
+            if waiter.state == _DRAINING:
+                raise SchedulerDraining(
+                    "service is draining; retry against another replica"
+                )
+            raise DeadlineExceeded(waited)
+
+    def release(
+        self, domain: str, *, service_seconds: Optional[float] = None
+    ) -> None:
+        """Return a granted slot.  ``service_seconds`` (dispatch wall
+        time) feeds the EWMA behind the ``retry_after_ms`` hint."""
+        with self._cond:
+            self._inflight_total -= 1
+            self._inflight[domain] -= 1
+            self._counters["completed"] += 1
+            if service_seconds is not None and service_seconds >= 0:
+                if self._service_ewma_seconds is None:
+                    self._service_ewma_seconds = service_seconds
+                else:
+                    self._service_ewma_seconds += _EWMA_ALPHA * (
+                        service_seconds - self._service_ewma_seconds
+                    )
+            self._pump()
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Internals (all called with the lock held)
+    # ------------------------------------------------------------------
+
+    def _can_dispatch(self, domain: str) -> bool:
+        return (
+            self._inflight_total < self.max_inflight
+            and self._inflight[domain] < self.budgets[domain]
+        )
+
+    def _admit(self, domain: str) -> None:
+        self._inflight_total += 1
+        self._inflight[domain] += 1
+        self._counters["admitted"] += 1
+
+    def _pump(self) -> None:
+        """Grant slots to waiters: oldest-first, skipping waiters whose
+        domain is at budget (they keep their place), expiring waiters
+        whose deadline passed."""
+        if not self._waiters:
+            return
+        now = time.monotonic()
+        remaining: Deque[_Waiter] = deque()
+        for waiter in self._waiters:
+            if waiter.state != _WAITING:
+                continue  # already resolved; drop from the queue
+            if waiter.deadline <= now:
+                waiter.state = _EXPIRED
+                self._counters["expired"] += 1
+                continue
+            if self._can_dispatch(waiter.domain):
+                waiter.state = _GRANTED
+                self._admit(waiter.domain)
+                continue
+            remaining.append(waiter)
+        self._waiters = remaining
+
+    def _discard(self, waiter: _Waiter) -> None:
+        try:
+            self._waiters.remove(waiter)
+        except ValueError:
+            pass  # the pump already dropped it
+
+    def _shed_message(self) -> str:
+        if not self.queueing_enabled:
+            return (
+                f"at capacity ({self.max_inflight} in flight); "
+                "retry with backoff"
+            )
+        return (
+            f"queue full ({len(self._waiters)} waiting, "
+            f"{self._inflight_total} in flight); retry after the hint"
+        )
+
+    def _retry_after_ms_locked(self) -> int:
+        service = self._service_ewma_seconds
+        if service is None or service <= 0:
+            service = DEFAULT_SERVICE_SECONDS
+        # Rough time until a queue slot frees: the backlog ahead of a
+        # retrying client, drained max_inflight at a time.
+        backlog = len(self._waiters) + 1
+        hint = service * backlog / self.max_inflight
+        return max(
+            MIN_RETRY_AFTER_MS, min(MAX_RETRY_AFTER_MS, int(hint * 1000))
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def begin_shutdown(self) -> None:
+        """Stop admitting; every queued waiter fails with
+        :class:`SchedulerDraining`.  Granted slots keep running."""
+        with self._cond:
+            self._draining = True
+            for waiter in self._waiters:
+                if waiter.state == _WAITING:
+                    waiter.state = _DRAINING
+                    self._counters["drained"] += 1
+            self._waiters.clear()
+            self._cond.notify_all()
+
+    def drain(self, grace_seconds: Optional[float] = None) -> bool:
+        """Block until every granted slot is released.  Returns False if
+        ``grace_seconds`` elapsed with work still in flight."""
+        deadline = (
+            None if grace_seconds is None
+            else time.monotonic() + grace_seconds
+        )
+        with self._cond:
+            while self._inflight_total > 0:
+                remaining = (
+                    None if deadline is None
+                    else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._cond.wait(timeout=remaining)
+            return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def inflight_total(self) -> int:
+        with self._cond:
+            return self._inflight_total
+
+    @property
+    def queued(self) -> int:
+        with self._cond:
+            return sum(1 for w in self._waiters if w.state == _WAITING)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The scheduler section of ``/stats`` and ``/healthz``."""
+        with self._cond:
+            queued_by_domain: Dict[str, int] = {
+                name: 0 for name in self._inflight
+            }
+            for waiter in self._waiters:
+                if waiter.state == _WAITING:
+                    queued_by_domain[waiter.domain] += 1
+            served = self._counters["queued"]
+            avg_wait = (
+                round(self._queue_wait_total_ms / served, 3) if served else 0.0
+            )
+            return {
+                "queueing_enabled": self.queueing_enabled,
+                "queue_depth": sum(queued_by_domain.values()),
+                "queue_capacity": self.queue_depth,
+                "max_inflight": self.max_inflight,
+                "inflight": self._inflight_total,
+                "avg_queue_wait_ms": avg_wait,
+                "counters": dict(self._counters),
+                "domains": {
+                    name: {
+                        "inflight": self._inflight[name],
+                        "budget": self.budgets[name],
+                        "queued": queued_by_domain[name],
+                    }
+                    for name in sorted(self._inflight)
+                },
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RequestScheduler(inflight={self.inflight_total}/"
+            f"{self.max_inflight}, queue={self.queued}/{self.queue_depth})"
+        )

@@ -7,9 +7,17 @@ preloaded at startup), routes each request to the right domain through the
 :mod:`repro.domains` registry, and wraps dispatch with the serving
 concerns a long-running deployment needs:
 
-* **admission control** — at most ``max_inflight`` requests are executing
-  at once; excess requests are rejected immediately with ``overloaded``
-  (HTTP 429) instead of queueing without bound;
+* **admission scheduling** — every request passes through a
+  :class:`~repro.server.scheduler.RequestScheduler`: at most
+  ``max_inflight`` requests execute at once, excess requests wait in a
+  bounded queue (``queue_depth``; 0 = shed immediately, the
+  pre-scheduler behaviour) up to their own deadline, per-domain
+  concurrency budgets keep one hot domain from starving the rest, and
+  requests shed at a full queue carry a ``retry_after_ms`` hint;
+* **hot snapshot reload** — :meth:`reload_snapshots` (wired to SIGHUP
+  and ``POST /admin/reload`` by the front ends) atomically swaps freshly
+  loaded PathCache snapshots — and restarts process-pool workers —
+  without dropping in-flight or queued work;
 * **deadline propagation** — the per-request ``timeout`` (clamped to
   ``max_timeout``, defaulting to ``default_timeout``) flows into the
   engines' existing cooperative :class:`~repro.synthesis.deadline.Deadline`,
@@ -44,7 +52,12 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.domains import load_domains
-from repro.errors import DomainError, ReproError
+from repro.errors import DeadlineExceeded, DomainError, ReproError
+from repro.server.scheduler import (
+    QueueFull,
+    RequestScheduler,
+    SchedulerDraining,
+)
 from repro.synthesis.domain import Domain
 from repro.synthesis.pipeline import (
     BatchItem,
@@ -83,12 +96,27 @@ class ServerConfig:
     workers: int = 2
     #: Admission-control bound on concurrently executing requests.
     max_inflight: int = 8
+    #: Bounded-queue capacity for requests waiting on a slot.  0 (the
+    #: default) disables queueing: at capacity, shed immediately with
+    #: ``overloaded`` — exactly the pre-scheduler semantics.
+    queue_depth: int = 0
+    #: Per-domain concurrency budgets as (name, slots) pairs (a dict is
+    #: accepted and normalized).  Domains not listed get a fair share of
+    #: ``max_inflight`` when queueing is enabled, or ``max_inflight``
+    #: (no extra constraint) in the legacy ``queue_depth=0`` mode.
+    domain_budgets: Tuple[Tuple[str, int], ...] = ()
     #: Per-request budget when the request carries none (seconds).
     default_timeout: float = 20.0
     #: Hard ceiling a request's own ``timeout`` is clamped to.
     max_timeout: float = 120.0
 
     def __post_init__(self) -> None:
+        if isinstance(self.domain_budgets, dict):
+            object.__setattr__(
+                self,
+                "domain_budgets",
+                tuple(sorted(self.domain_budgets.items())),
+            )
         if self.backend not in ("thread", "process"):
             raise ReproError(
                 f"unknown backend {self.backend!r}; use 'thread' or 'process'"
@@ -99,6 +127,15 @@ class ServerConfig:
             )
         if self.max_inflight < 1:
             raise ReproError("max_inflight must be >= 1")
+        if self.queue_depth < 0:
+            raise ReproError("queue_depth must be >= 0")
+        for name, slots in self.domain_budgets:
+            if not isinstance(slots, int) or isinstance(slots, bool) \
+                    or slots < 1:
+                raise ReproError(
+                    f"domain budget for {name!r} must be a positive "
+                    f"integer, got {slots!r}"
+                )
         if self.workers < 1:
             raise ReproError("workers must be >= 1")
         if self.default_timeout < 0 or self.max_timeout <= 0:
@@ -134,12 +171,16 @@ class SynthesisService:
         self.config = config
         self._started = time.monotonic()
         self._lock = threading.Lock()
-        self._idle = threading.Condition(self._lock)
-        self._inflight = 0
+        self._reload_lock = threading.Lock()
         self._draining = False
         self._closed = False
+        self._reloads = 0
+        #: Snapshot directory requests are served from; starts at the
+        #: configured dir and follows :meth:`reload_snapshots`.
+        self._cache_dir = config.cache_dir
         self._counters: Dict[str, int] = {
             "total": 0, "ok": 0, "timeout": 0, "error": 0, "rejected": 0,
+            "expired": 0,
         }
         self._pools: Dict[Tuple[str, str], ProcessPoolExecutor] = {}
 
@@ -169,6 +210,14 @@ class SynthesisService:
                 f"domains {sorted(self._domains)}"
             )
         self.default_domain = default.lower()
+        self._scheduler = RequestScheduler(
+            max_inflight=config.max_inflight,
+            queue_depth=config.queue_depth,
+            domains=tuple(sorted(self._domains)),
+            domain_budgets={
+                name.lower(): slots for name, slots in config.domain_budgets
+            },
+        )
 
     # ------------------------------------------------------------------
     # Request path
@@ -201,40 +250,60 @@ class SynthesisService:
             )
         timeout = self._resolve_timeout(request.timeout)
 
-        with self._lock:
-            if self._draining or self._closed:
-                self._counters["total"] += 1
-                self._counters["rejected"] += 1
-                return error_response(
-                    "shutting_down",
-                    "service is draining; retry against another replica",
-                    id=request.id,
-                )
-            if self._inflight >= self.config.max_inflight:
-                self._counters["total"] += 1
-                self._counters["rejected"] += 1
-                return error_response(
-                    "overloaded",
-                    f"at capacity ({self.config.max_inflight} in flight); "
-                    "retry with backoff",
-                    id=request.id,
-                )
-            self._inflight += 1
-            state.requests += 1
-
+        # Admission: the scheduler either grants a slot (immediately, or
+        # after a bounded deadline-aware wait), or rejects with a stable
+        # structured code — an expired or shed request never dispatches.
         try:
-            item = self._dispatch(state, request, timeout)
+            grant = self._scheduler.acquire(name, timeout)
+        except SchedulerDraining as exc:
+            self._count("rejected")
+            return error_response("shutting_down", str(exc), id=request.id)
+        except QueueFull as exc:
+            self._count("rejected")
+            return error_response(
+                "overloaded",
+                str(exc),
+                id=request.id,
+                retry_after_ms=(
+                    exc.retry_after_ms
+                    if self._scheduler.queueing_enabled else None
+                ),
+            )
+        except DeadlineExceeded as exc:
+            self._count("expired")
+            return error_response(
+                "deadline_exceeded",
+                str(exc),
+                id=request.id,
+                queue_wait_ms=round(exc.waited_seconds * 1000.0, 3),
+            )
+
+        with self._lock:
+            state.requests += 1
+        # The deadline covers queueing + synthesis: hand the engines
+        # whatever budget the queue wait left over.
+        budget = max(0.0, timeout - grant.queue_wait_seconds)
+        dispatch_started = time.monotonic()
+        try:
+            item = self._dispatch(state, request, budget)
+            if self._scheduler.queueing_enabled and item.outcome is not None:
+                item.outcome.queue_wait_ms = round(
+                    grant.queue_wait_seconds * 1000.0, 3
+                )
             status, payload = ok_response(item, request)
+            if self._scheduler.queueing_enabled and item.outcome is None:
+                payload["queue_wait_ms"] = round(
+                    grant.queue_wait_seconds * 1000.0, 3
+                )
         except BaseException as exc:  # the service must stay up
             self._count("error")
             return error_response(
                 "internal", f"{type(exc).__name__}: {exc}", id=request.id
             )
         finally:
-            with self._lock:
-                self._inflight -= 1
-                if self._inflight == 0:
-                    self._idle.notify_all()
+            self._scheduler.release(
+                name, service_seconds=time.monotonic() - dispatch_started
+            )
         self._count(payload.get("status", "error"))
         return status, payload
 
@@ -251,8 +320,14 @@ class SynthesisService:
     ) -> BatchItem:
         engine = request.engine or self.config.engine
         if self.config.backend == "process":
-            pool = self._pool(state.domain.name, engine)
-            future = pool.submit(_process_worker_run, 0, request.query, timeout)
+            # Look up the pool and submit under one lock so a concurrent
+            # hot reload (which swaps pools) can never shut a pool down
+            # between the lookup and the submit.
+            with self._lock:
+                pool = self._pool_locked(state.domain.name, engine)
+                future = pool.submit(
+                    _process_worker_run, 0, request.query, timeout
+                )
             # The worker enforces the deadline cooperatively; the grace
             # period only guards against a wedged worker process.
             return future.result(timeout=timeout + 30.0)
@@ -272,21 +347,27 @@ class SynthesisService:
             return synth
 
     def _pool(self, domain_name: str, engine: str) -> ProcessPoolExecutor:
-        key = (domain_name, engine)
         with self._lock:
-            pool = self._pools.get(key)
-            if pool is None:
-                spec = Synthesizer(
-                    self._domains[domain_name].domain, engine=engine
-                )._worker_spec(self.config.cache_dir)
-                pool = ProcessPoolExecutor(
-                    max_workers=self.config.workers,
-                    mp_context=_pool_context(),
-                    initializer=_process_worker_init,
-                    initargs=(spec,),
-                )
-                self._pools[key] = pool
-            return pool
+            return self._pool_locked(domain_name, engine)
+
+    def _pool_locked(
+        self, domain_name: str, engine: str
+    ) -> ProcessPoolExecutor:
+        """Get-or-create a worker pool; caller holds ``self._lock``."""
+        key = (domain_name, engine)
+        pool = self._pools.get(key)
+        if pool is None:
+            spec = Synthesizer(
+                self._domains[domain_name].domain, engine=engine
+            )._worker_spec(self._cache_dir)
+            pool = ProcessPoolExecutor(
+                max_workers=self.config.workers,
+                mp_context=_pool_context(),
+                initializer=_process_worker_init,
+                initargs=(spec,),
+            )
+            self._pools[key] = pool
+        return pool
 
     def _count(self, status: str) -> None:
         with self._lock:
@@ -300,8 +381,15 @@ class SynthesisService:
 
     @property
     def inflight(self) -> int:
-        with self._lock:
-            return self._inflight
+        return self._scheduler.inflight_total
+
+    @property
+    def queued(self) -> int:
+        return self._scheduler.queued
+
+    @property
+    def scheduler(self) -> RequestScheduler:
+        return self._scheduler
 
     @property
     def draining(self) -> bool:
@@ -313,8 +401,9 @@ class SynthesisService:
         snapshot provenance and current cache occupancy."""
         with self._lock:
             status = "draining" if (self._draining or self._closed) else "ok"
-            inflight = self._inflight
             counters = dict(self._counters)
+            reloads = self._reloads
+        scheduler = self._scheduler.snapshot()
         domains: Dict[str, Any] = {}
         for name, state in self._domains.items():
             cache = state.domain.path_cache
@@ -336,17 +425,21 @@ class SynthesisService:
             "engine": self.config.engine,
             "default_domain": self.default_domain,
             "max_inflight": self.config.max_inflight,
-            "inflight": inflight,
+            "inflight": scheduler["inflight"],
             "requests": counters,
+            "scheduler": scheduler,
+            "reloads": reloads,
             "domains": domains,
         }
 
     def stats(self) -> Dict[str, Any]:
         """Service-level cache counters: per domain, the cumulative
         PathCache layer hits/misses/evictions plus configured capacities
-        (the same counters ``SynthesisStats`` reports per query)."""
+        (the same counters ``SynthesisStats`` reports per query), and the
+        scheduler's queue/budget observability section."""
         with self._lock:
             counters = dict(self._counters)
+            reloads = self._reloads
         domains: Dict[str, Any] = {}
         for name, state in self._domains.items():
             cache = state.domain.path_cache
@@ -361,6 +454,8 @@ class SynthesisService:
         return {
             "uptime_seconds": round(time.monotonic() - self._started, 3),
             "requests": counters,
+            "scheduler": self._scheduler.snapshot(),
+            "reloads": reloads,
             "domains": domains,
         }
 
@@ -368,31 +463,90 @@ class SynthesisService:
         return sorted(self._domains)
 
     # ------------------------------------------------------------------
+    # Hot snapshot reload (SIGHUP / POST /admin/reload)
+    # ------------------------------------------------------------------
+
+    def reload_snapshots(
+        self, cache_dir: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """Atomically adopt freshly loaded cache snapshots without
+        dropping in-flight or queued work.
+
+        For every served domain the snapshot is read from ``cache_dir``
+        (default: the directory currently in effect) into a *new*
+        PathCache which is then reference-swapped in — requests already
+        running keep the cache object they resolved, new requests see
+        the new one (:meth:`Domain.reload_cache`).  Under the process
+        backend the worker pools are replaced as well: old pools finish
+        the work already submitted to them and are reaped in the
+        background, new pools preload the new snapshots.  A domain whose
+        snapshot is missing or stale keeps its current cache and reports
+        ``snapshot_loaded: false``.  Safe to call concurrently (calls
+        serialize) and while serving traffic.
+        """
+        with self._reload_lock:
+            target_dir = cache_dir if cache_dir is not None else self._cache_dir
+            domains: Dict[str, Any] = {}
+            for name, state in self._domains.items():
+                loaded = state.domain.reload_cache(target_dir)
+                snapshot_file = str(state.domain.cache_file(target_dir))
+                if loaded:
+                    state.snapshot_loaded = True
+                    state.snapshot_file = snapshot_file
+                domains[name] = {
+                    "snapshot_loaded": loaded,
+                    "snapshot_file": snapshot_file,
+                }
+            self._cache_dir = target_dir
+            if self.config.backend == "process":
+                self._restart_pools()
+            with self._lock:
+                self._reloads += 1
+                reloads = self._reloads
+        return {
+            "status": "ok",
+            "reloads": reloads,
+            "cache_dir": (
+                str(target_dir) if target_dir is not None else None
+            ),
+            "domains": domains,
+        }
+
+    def _restart_pools(self) -> None:
+        """Swap in fresh process pools (new workers preload the current
+        snapshots); old pools drain their submitted work in background
+        reaper threads, so no in-flight future is dropped."""
+        with self._lock:
+            old = dict(self._pools)
+            self._pools.clear()
+        for pool in old.values():
+            threading.Thread(
+                target=pool.shutdown,
+                kwargs={"wait": True},
+                name="repro-pool-reaper",
+                daemon=True,
+            ).start()
+        # Rebuild eagerly so the first post-reload request doesn't pay
+        # worker spin-up.
+        for domain_name, engine in old:
+            self._pool(domain_name, engine)
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
 
     def begin_shutdown(self) -> None:
-        """Stop admitting new requests; in-flight work keeps running."""
+        """Stop admitting new requests; queued requests fail with
+        ``shutting_down``; in-flight work keeps running."""
         with self._lock:
             self._draining = True
+        self._scheduler.begin_shutdown()
 
     def drain(self, grace_seconds: Optional[float] = None) -> bool:
         """Wait for in-flight requests to finish (after
         :meth:`begin_shutdown`).  Returns True when the service is idle,
         False when ``grace_seconds`` elapsed with work still running."""
-        deadline = (
-            None if grace_seconds is None
-            else time.monotonic() + grace_seconds
-        )
-        with self._idle:
-            while self._inflight > 0:
-                remaining = (
-                    None if deadline is None else deadline - time.monotonic()
-                )
-                if remaining is not None and remaining <= 0:
-                    return False
-                self._idle.wait(timeout=remaining)
-            return True
+        return self._scheduler.drain(grace_seconds)
 
     def close(self) -> None:
         """Release worker pools.  Idempotent; implies
@@ -404,6 +558,7 @@ class SynthesisService:
             self._closed = True
             pools = list(self._pools.values())
             self._pools.clear()
+        self._scheduler.begin_shutdown()
         for pool in pools:
             pool.shutdown(wait=True)
 

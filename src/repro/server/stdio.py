@@ -14,8 +14,15 @@ Line protocol (``op`` defaults to ``synthesize``)::
     <- {"op": "health", "health": {...}}
     -> {"op": "stats"}
     <- {"op": "stats", "stats": {...}}
+    -> {"op": "reload"}
+    <- {"op": "reload", "reload": {...}}
     -> {"op": "shutdown"}
     <- {"op": "shutdown", "ok": true}
+
+The ``reload`` op (and SIGHUP, when signal handlers are installed)
+hot-swaps freshly loaded cache snapshots without dropping in-flight or
+queued work — the same semantics as the HTTP ``POST /admin/reload``; an
+optional ``"cache_dir"`` field redirects the snapshot directory.
 
 Requests are served strictly in order (responses never interleave), so
 admission control rarely triggers here; it still guards the service when
@@ -114,6 +121,31 @@ def serve_stdio(
                 elif op == "stats":
                     response = {"op": "stats", "id": req_id,
                                 "stats": service.stats()}
+                elif op == "reload":
+                    cache_dir = (
+                        payload.get("cache_dir")
+                        if isinstance(payload, dict) else None
+                    )
+                    if cache_dir is not None and not isinstance(
+                        cache_dir, str
+                    ):
+                        _, response = error_response(
+                            "bad_request", "'cache_dir' must be a string",
+                            id=req_id,
+                        )
+                    else:
+                        try:
+                            response = {
+                                "op": "reload",
+                                "id": req_id,
+                                "reload": service.reload_snapshots(cache_dir),
+                            }
+                        except Exception as exc:  # service must stay up
+                            _, response = error_response(
+                                "internal",
+                                f"{type(exc).__name__}: {exc}",
+                                id=req_id,
+                            )
                 elif op == "shutdown":
                     service.begin_shutdown()
                     stop_requested = True

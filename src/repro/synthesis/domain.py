@@ -223,6 +223,43 @@ class Domain:
             return False
         return True
 
+    def reload_cache(
+        self,
+        cache_dir: Union[str, Path, None] = None,
+        *,
+        strict: bool = False,
+    ) -> bool:
+        """Hot-swap the PathCache from a freshly read snapshot.
+
+        Unlike :meth:`load_cache` (which merges into the live cache), this
+        builds a *new* cache, loads the snapshot into it, and atomically
+        swaps the reference — so a long-running server adopts a
+        regenerated snapshot exactly, while requests already holding the
+        old cache object finish against it undisturbed.  On a missing,
+        stale, or corrupt snapshot the live cache is left untouched and
+        False is returned (or :class:`~repro.errors.CacheSnapshotError`
+        is raised under ``strict``).  Cumulative hit/miss counters and
+        the (non-persisted) outcome layer restart empty.
+        """
+        caps = self.cache_capacities or {}
+        fresh = PathCache(
+            self.graph,
+            max_path_entries=caps.get("paths"),
+            max_conflict_entries=caps.get("conflicts"),
+            max_size_entries=caps.get("sizes"),
+            max_merge_entries=caps.get("merge"),
+            max_outcome_entries=caps.get("outcomes"),
+        )
+        target = self.cache_file(cache_dir)
+        try:
+            load_snapshot(fresh, target, domain_name=self.name)
+        except CacheSnapshotError:
+            if strict:
+                raise
+            return False
+        self._path_cache = fresh
+        return True
+
     @property
     def matcher(self) -> WordToApiMatcher:
         if self._matcher is None:

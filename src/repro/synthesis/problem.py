@@ -17,7 +17,7 @@ Both engines consume the same :class:`SynthesisProblem`:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import SynthesisError

@@ -9,7 +9,7 @@ bench regenerates that table directly from these counters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.core.cgt import CGT
 from repro.core.expression import Expr
@@ -134,6 +134,11 @@ class SynthesisOutcome:
     size: int  # number of APIs in the codelet
     stats: SynthesisStats = field(default_factory=SynthesisStats)
     elapsed_seconds: float = 0.0
+    #: Milliseconds the request waited in the serving admission queue
+    #: before dispatch.  None outside a scheduler-enabled server (batch
+    #: runs, direct synthesis, legacy immediate-shed serving), in which
+    #: case the field is omitted from :meth:`to_json`.
+    queue_wait_ms: Optional[float] = None
 
     @property
     def codelet(self) -> str:
@@ -149,6 +154,8 @@ class SynthesisOutcome:
             "size": self.size,
             "elapsed_seconds": self.elapsed_seconds,
         }
+        if self.queue_wait_ms is not None:
+            out["queue_wait_ms"] = self.queue_wait_ms
         if include_stats:
             out["stats"] = self.stats.to_json()
         return out

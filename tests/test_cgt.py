@@ -1,6 +1,5 @@
 """Unit tests for code generation trees."""
 
-import pytest
 
 from repro.core.cgt import CGT, merge_bindings
 from repro.grammar.graph import api_id, literal_id, nonterminal_id

@@ -8,7 +8,7 @@ from repro.domains.astmatcher.catalog import (
     catalog_by_kind,
     full_catalog,
 )
-from repro.domains.astmatcher.grammar import generate_bnf, literal_slots
+from repro.domains.astmatcher.grammar import literal_slots
 from repro.domains.astmatcher.queries import ASTMATCHER_QUERIES
 from repro.domains.textediting.queries import TEXTEDITING_QUERIES
 from repro.errors import DomainError

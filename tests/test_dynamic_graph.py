@@ -2,10 +2,10 @@
 
 import pytest
 
-from repro.core.dynamic_graph import VIRTUAL, DynamicGrammarGraph
+from repro.core.dynamic_graph import DynamicGrammarGraph
 from repro.errors import SynthesisError
 from repro.grammar.graph import api_id, literal_id
-from repro.grammar.paths import find_paths, find_paths_between_apis
+from repro.grammar.paths import find_paths
 from repro.synthesis.problem import CandidatePath, EndpointCandidate
 
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.baseline.hisyn import HISynEngine
 from repro.core.dggt import DggtConfig, DggtEngine
-from repro.errors import SynthesisError, SynthesisTimeout
+from repro.errors import SynthesisTimeout
 from repro.synthesis.deadline import Deadline
 from repro.synthesis.problem import build_problem
 

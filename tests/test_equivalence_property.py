@@ -7,7 +7,6 @@ aside).  Queries are assembled from the toy domain's vocabulary so the
 exhaustive baseline stays fast enough to enumerate.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

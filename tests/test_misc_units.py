@@ -24,7 +24,6 @@ from repro.eval.synthetic import (
     make_synthetic_problem,
     worst_case_products,
 )
-from repro.grammar.graph import api_id, literal_id
 from repro.grammar.path_voted import PathVotedGraph
 from repro.grammar.paths import GrammarPath, find_paths_between_apis
 from repro.nlp import lexicon

@@ -1,6 +1,5 @@
 """Additional coverage: CLI ablation paths, figure sampling, misc edges."""
 
-import pytest
 
 from repro.cli import main
 from repro.eval.figures import render_fig8

@@ -1,6 +1,5 @@
 """Unit tests for the POS tagger's lexicon + context rules."""
 
-import pytest
 
 from repro.nlp.pos_tagger import tag
 

@@ -6,7 +6,6 @@ from repro.errors import SynthesisError
 from repro.grammar.graph import api_id, literal_id
 from repro.grammar.paths import PathSearchLimits
 from repro.synthesis.problem import build_problem
-from repro.synthesis.pipeline import Synthesizer
 
 
 class TestCandidates:

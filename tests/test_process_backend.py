@@ -11,7 +11,7 @@ import pickle
 
 import pytest
 
-from repro import BatchItem, Synthesizer, SynthesisTimeout, load_domain
+from repro import Synthesizer, SynthesisTimeout, load_domain
 from repro.domains.textediting import build_domain as build_textediting
 from repro.domains.textediting.queries import TEXTEDITING_QUERIES
 from repro.errors import BNFSyntaxError, ReproError, SynthesisError

@@ -1,6 +1,5 @@
 """Unit tests for query-graph pruning (Step-2) and phrase merging."""
 
-import pytest
 
 from repro.nlp.parser import parse_query
 from repro.nlp.pruning import PruneConfig, prune_query_graph

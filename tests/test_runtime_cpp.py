@@ -3,7 +3,7 @@
 import pytest
 
 from repro.runtime.cppast import CppParseError, parse_cpp
-from repro.runtime.matcher_eval import MatchEvaluator, match_codelet
+from repro.runtime.matcher_eval import match_codelet
 
 SOURCE = """
 namespace app {

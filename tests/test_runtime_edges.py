@@ -4,7 +4,7 @@ import pytest
 
 from repro.runtime.cppast import parse_cpp
 from repro.runtime.matcher_eval import MatchError, MatchEvaluator, match_codelet
-from repro.runtime.textedit import ExecutionError, execute_codelet
+from repro.runtime.textedit import execute_codelet
 
 
 class TestTextEditEdges:

@@ -274,6 +274,528 @@ class TestService:
 
 
 # ---------------------------------------------------------------------------
+# Bounded queueing + backpressure (scheduler integration)
+# ---------------------------------------------------------------------------
+
+
+def _gate(service, domain="textediting", engine="dggt"):
+    """Replace a domain's synthesizer with a gated wrapper.  Returns
+    (entered, release, calls): ``entered`` is set when a request reaches
+    the synthesizer, every call blocks until ``release`` is set, and
+    ``calls`` records the dispatched queries."""
+    state = service._domains[domain]
+    inner = state.synthesizers[engine]
+    entered = threading.Event()
+    release = threading.Event()
+    calls = []
+
+    class Gated:
+        def synthesize(self, query, timeout_seconds=None, **kwargs):
+            calls.append(query)
+            entered.set()
+            release.wait(10)
+            return inner.synthesize(query, timeout_seconds, **kwargs)
+
+    state.synthesizers[engine] = Gated()
+    return entered, release, calls
+
+
+def _wait_until(predicate, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+class TestQueueing:
+    def test_config_validation(self):
+        with pytest.raises(ReproError):
+            ServerConfig(queue_depth=-1)
+        with pytest.raises(ReproError):
+            ServerConfig(domain_budgets={"textediting": 0})
+        with pytest.raises(ReproError, match="unserved"):
+            SynthesisService(ServerConfig(
+                domains=("textediting",), domain_budgets={"astmatcher": 1},
+            ))
+
+    def test_no_queue_wait_field_without_queueing(self):
+        """queue_depth=0 (the default) keeps today's payload byte-shape:
+        no queue_wait_ms key anywhere."""
+        with SynthesisService(ServerConfig(domains=("textediting",))) as s:
+            status, payload = s.handle_payload({"query": QUERY})
+            assert status == 200
+            assert "queue_wait_ms" not in payload
+            scheduler = s.stats()["scheduler"]
+            assert scheduler["queueing_enabled"] is False
+            assert scheduler["queue_capacity"] == 0
+
+    def test_burst_over_capacity_zero_shed_identical_codelets(self):
+        """A burst of 4x max_inflight with generous deadlines and enough
+        queue depth: every request succeeds and every codelet is
+        byte-identical to direct synthesis (the acceptance criterion)."""
+        direct = {
+            q: Synthesizer(load_domain("textediting")).synthesize(q).codelet
+            for q in (QUERY, QUERY2)
+        }
+        service = SynthesisService(ServerConfig(
+            domains=("textediting",), max_inflight=1, queue_depth=8,
+        ))
+        entered, release, _ = _gate(service)
+        queries = [QUERY, QUERY2] * 2  # 4x the single execution slot
+        results = [None] * len(queries)
+
+        def hit(i, q):
+            results[i] = service.handle_payload({"query": q, "timeout": 30})
+
+        threads = [
+            threading.Thread(target=hit, args=(i, q))
+            for i, q in enumerate(queries)
+        ]
+        for t in threads:
+            t.start()
+        assert entered.wait(10)
+        # One request holds the slot; the other three are waiting.
+        assert _wait_until(lambda: service.queued == 3)
+        release.set()
+        for t in threads:
+            t.join(30)
+        for q, (status, payload) in zip(queries, results):
+            assert status == 200
+            assert payload["codelet"] == direct[q]
+            assert payload["queue_wait_ms"] >= 0.0
+        scheduler = service.stats()["scheduler"]
+        assert scheduler["counters"]["shed"] == 0
+        assert scheduler["counters"]["expired"] == 0
+        assert scheduler["counters"]["queued"] == 3
+        service.begin_shutdown()
+        assert service.drain(grace_seconds=10) is True
+        service.close()
+
+    def test_deadline_expired_in_queue_never_dispatches(self):
+        """A request whose deadline passes while waiting fails with
+        deadline_exceeded (504) and never reaches a worker."""
+        service = SynthesisService(ServerConfig(
+            domains=("textediting",), max_inflight=1, queue_depth=4,
+        ))
+        entered, release, calls = _gate(service)
+        results = {}
+
+        def first():
+            results["first"] = service.handle_payload(
+                {"query": QUERY, "timeout": 30}
+            )
+
+        thread = threading.Thread(target=first)
+        thread.start()
+        assert entered.wait(10)
+        status, payload = service.handle_payload(
+            {"query": QUERY2, "timeout": 0.2}
+        )
+        assert status == 504
+        assert payload["error"]["code"] == "deadline_exceeded"
+        assert payload["status"] == "timeout"
+        assert payload["queue_wait_ms"] >= 200.0
+        assert "never dispatched" in payload["error"]["message"]
+        assert calls == [QUERY]  # the expired request never ran
+        release.set()
+        thread.join(10)
+        assert results["first"][0] == 200
+        counters = service.health()["requests"]
+        assert counters["expired"] == 1 and counters["ok"] == 1
+        service.begin_shutdown()
+        assert service.drain(grace_seconds=10) is True
+        service.close()
+
+    def test_full_queue_sheds_with_retry_after(self):
+        """Queue full -> 429 with retry_after_ms in the error body and a
+        standard Retry-After header on the wire."""
+        service = SynthesisService(ServerConfig(
+            domains=("textediting",), max_inflight=1, queue_depth=1,
+        ))
+        server = start_http_server(service, port=0)
+        entered, release, _ = _gate(service)
+        results = {}
+
+        def run(key):
+            results[key] = service.handle_payload(
+                {"query": QUERY, "timeout": 30}
+            )
+
+        inflight = threading.Thread(target=run, args=("inflight",))
+        inflight.start()
+        assert entered.wait(10)
+        queued = threading.Thread(target=run, args=("queued",))
+        queued.start()
+        assert _wait_until(lambda: service.queued == 1)
+        try:
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", server.port, timeout=10
+            )
+            try:
+                conn.request(
+                    "POST", "/synthesize",
+                    body=json.dumps({"query": QUERY}).encode(),
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                payload = json.loads(response.read())
+            finally:
+                conn.close()
+            assert response.status == 429
+            assert payload["error"]["code"] == "overloaded"
+            assert "queue full" in payload["error"]["message"]
+            hint = payload["error"]["retry_after_ms"]
+            assert isinstance(hint, int) and hint >= 50
+            header = response.getheader("Retry-After")
+            assert header is not None and int(header) >= 1
+        finally:
+            release.set()
+            inflight.join(30)
+            queued.join(30)
+            server.shutdown()
+        assert results["inflight"][0] == 200
+        assert results["queued"][0] == 200
+        assert service.stats()["scheduler"]["counters"]["shed"] == 1
+        service.begin_shutdown()
+        assert service.drain(grace_seconds=10) is True
+        service.close()
+
+    def test_legacy_shed_carries_no_retry_after(self):
+        """queue_depth=0 overload answers are byte-compatible with the
+        pre-queueing server: no retry_after_ms field, no header."""
+        service = SynthesisService(ServerConfig(
+            domains=("textediting",), max_inflight=1,
+        ))
+        server = start_http_server(service, port=0)
+        entered, release, _ = _gate(service)
+        thread = threading.Thread(
+            target=service.handle_payload, args=({"query": QUERY},)
+        )
+        thread.start()
+        assert entered.wait(10)
+        try:
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", server.port, timeout=10
+            )
+            try:
+                conn.request(
+                    "POST", "/synthesize",
+                    body=json.dumps({"query": QUERY}).encode(),
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                payload = json.loads(response.read())
+            finally:
+                conn.close()
+            assert response.status == 429
+            assert "retry_after_ms" not in payload["error"]
+            assert response.getheader("Retry-After") is None
+            assert "at capacity" in payload["error"]["message"]
+        finally:
+            release.set()
+            thread.join(30)
+            server.shutdown()
+        service.begin_shutdown()
+        assert service.drain(grace_seconds=10) is True
+        service.close()
+
+    def test_shutdown_with_nonempty_queue(self):
+        """SIGTERM semantics with waiters: the in-flight request finishes
+        and answers; queued requests fail with shutting_down; drain then
+        reports idle (the acceptance criterion for graceful shutdown)."""
+        service = SynthesisService(ServerConfig(
+            domains=("textediting",), max_inflight=1, queue_depth=4,
+        ))
+        entered, release, calls = _gate(service)
+        results = {}
+
+        def run(key):
+            results[key] = service.handle_payload(
+                {"query": QUERY, "timeout": 30}
+            )
+
+        inflight = threading.Thread(target=run, args=("inflight",))
+        inflight.start()
+        assert entered.wait(10)
+        queued = threading.Thread(target=run, args=("queued",))
+        queued.start()
+        assert _wait_until(lambda: service.queued == 1)
+        service.begin_shutdown()
+        queued.join(10)
+        status, payload = results["queued"]
+        assert status == 503
+        assert payload["error"]["code"] == "shutting_down"
+        assert calls == [QUERY]  # the queued request never dispatched
+        assert service.drain(grace_seconds=0.05) is False  # still busy
+        release.set()
+        inflight.join(10)
+        assert results["inflight"][0] == 200
+        assert service.drain(grace_seconds=10) is True
+        assert service.stats()["scheduler"]["counters"]["drained"] == 1
+        service.close()
+
+    def test_domain_budget_no_cross_domain_blocking(self):
+        """One domain at its budget queues its own requests without
+        consuming the other domain's capacity."""
+        service = SynthesisService(ServerConfig(
+            domains=("textediting", "astmatcher"),
+            max_inflight=2, queue_depth=4,
+            domain_budgets={"textediting": 1},
+        ))
+        entered, release, _ = _gate(service, domain="textediting")
+        results = {}
+
+        def run(key, body):
+            results[key] = service.handle_payload(body)
+
+        inflight = threading.Thread(
+            target=run, args=("te1", {"query": QUERY, "timeout": 30})
+        )
+        inflight.start()
+        assert entered.wait(10)
+        waiter = threading.Thread(
+            target=run, args=("te2", {"query": QUERY2, "timeout": 30})
+        )
+        waiter.start()
+        assert _wait_until(lambda: service.queued == 1)
+        # astmatcher is not gated and has its own slot: it completes while
+        # the older textediting waiter stays queued behind its budget.
+        status, payload = service.handle_payload(
+            {"query": "find virtual methods", "domain": "astmatcher"}
+        )
+        assert status == 200
+        assert payload["queue_wait_ms"] == 0.0
+        assert service.queued == 1
+        release.set()
+        inflight.join(30)
+        waiter.join(30)
+        assert results["te1"][0] == 200
+        assert results["te2"][0] == 200
+        assert results["te2"][1]["queue_wait_ms"] > 0.0
+        snap = service.stats()["scheduler"]
+        assert snap["domains"]["textediting"]["budget"] == 1
+        service.begin_shutdown()
+        assert service.drain(grace_seconds=10) is True
+        service.close()
+
+
+# ---------------------------------------------------------------------------
+# Client retry behaviour (opt-in backoff on overloaded)
+# ---------------------------------------------------------------------------
+
+
+class TestClientRetry:
+    def test_retry_after_ms_surfaced_on_server_error(self):
+        service = SynthesisService(ServerConfig(
+            domains=("textediting",), max_inflight=1, queue_depth=1,
+        ))
+        server = start_http_server(service, port=0)
+        client = HttpClient(port=server.port)
+        entered, release, _ = _gate(service)
+        inflight = threading.Thread(
+            target=service.handle_payload,
+            args=({"query": QUERY, "timeout": 30},),
+        )
+        inflight.start()
+        assert entered.wait(10)
+        queued = threading.Thread(
+            target=service.handle_payload,
+            args=({"query": QUERY, "timeout": 30},),
+        )
+        queued.start()
+        assert _wait_until(lambda: service.queued == 1)
+        try:
+            with pytest.raises(ServerError) as info:
+                client.synthesize(QUERY)
+            assert info.value.code == "overloaded"
+            assert info.value.retry_after_ms >= 50
+        finally:
+            release.set()
+            inflight.join(30)
+            queued.join(30)
+            server.shutdown()
+        service.begin_shutdown()
+        assert service.drain(grace_seconds=10) is True
+        service.close()
+
+    def test_retries_recover_from_overload(self):
+        """HttpClient(retries=) keeps retrying 429s (and only 429s) until
+        capacity frees up."""
+        service = SynthesisService(ServerConfig(
+            domains=("textediting",), max_inflight=1,
+        ))
+        server = start_http_server(service, port=0)
+        entered, release, _ = _gate(service)
+        inflight = threading.Thread(
+            target=service.handle_payload, args=({"query": QUERY},)
+        )
+        inflight.start()
+        assert entered.wait(10)
+        releaser = threading.Timer(0.2, release.set)
+        releaser.start()
+        try:
+            client = HttpClient(port=server.port, retries=20, backoff=0.05)
+            payload = client.synthesize(QUERY)
+            assert payload["status"] == "ok"
+            # Non-overload errors are never retried.
+            with pytest.raises(ServerError) as info:
+                client.synthesize(QUERY, domain="nope")
+            assert info.value.code == "unknown_domain"
+        finally:
+            releaser.cancel()
+            release.set()
+            inflight.join(30)
+            server.shutdown()
+        service.begin_shutdown()
+        assert service.drain(grace_seconds=10) is True
+        service.close()
+
+    def test_retry_config_validation(self):
+        with pytest.raises(ValueError):
+            HttpClient(retries=-1)
+        with pytest.raises(ValueError):
+            HttpClient(backoff=-0.1)
+
+
+# ---------------------------------------------------------------------------
+# Hot snapshot reload (POST /admin/reload, SIGHUP)
+# ---------------------------------------------------------------------------
+
+
+class TestReload:
+    def _warm_snapshot(self, tmp_path):
+        domain = load_domain("textediting", fresh=True)
+        Synthesizer(domain).synthesize(QUERY)
+        domain.save_cache(tmp_path)
+
+    def test_reload_adopts_new_snapshot(self, tmp_path):
+        """A server started cold adopts a snapshot written afterwards —
+        the regenerate-and-reload runbook."""
+        with SynthesisService(ServerConfig(
+            domains=("textediting",), cache_dir=str(tmp_path),
+        )) as service:
+            assert service.health()["domains"]["textediting"][
+                "snapshot_loaded"] is False
+            self._warm_snapshot(tmp_path)
+            result = service.reload_snapshots()
+            assert result["status"] == "ok"
+            assert result["reloads"] == 1
+            assert result["domains"]["textediting"]["snapshot_loaded"] is True
+            info = service.health()["domains"]["textediting"]
+            assert info["snapshot_loaded"] is True
+            assert info["cache_entries"]["paths"] > 0
+            status, _ = service.handle_payload({"query": QUERY})
+            assert status == 200
+
+    def test_reload_with_explicit_cache_dir(self, tmp_path):
+        self._warm_snapshot(tmp_path)
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with SynthesisService(ServerConfig(
+            domains=("textediting",), cache_dir=str(empty),
+        )) as service:
+            result = service.reload_snapshots(str(tmp_path))
+            assert result["cache_dir"] == str(tmp_path)
+            assert result["domains"]["textediting"]["snapshot_loaded"] is True
+            # The new directory sticks for subsequent parameterless reloads.
+            assert service.reload_snapshots()["cache_dir"] == str(tmp_path)
+
+    def test_reload_missing_snapshot_keeps_serving(self, tmp_path):
+        with SynthesisService(ServerConfig(
+            domains=("textediting",), cache_dir=str(tmp_path),
+        )) as service:
+            result = service.reload_snapshots()
+            assert result["domains"]["textediting"]["snapshot_loaded"] is False
+            status, _ = service.handle_payload({"query": QUERY})
+            assert status == 200
+
+    def test_http_admin_reload_endpoint(self, tmp_path):
+        self._warm_snapshot(tmp_path)
+        service = SynthesisService(ServerConfig(domains=("textediting",)))
+        server = start_http_server(service, port=0)
+        client = HttpClient(port=server.port)
+        try:
+            result = client.reload(cache_dir=str(tmp_path))
+            assert result["status"] == "ok"
+            assert result["domains"]["textediting"]["snapshot_loaded"] is True
+            assert client.stats()["reloads"] == 1
+            # Body validation.
+            status, payload = client.request(
+                "POST", "/admin/reload", {"cache_dir": 5}
+            )
+            assert status == 400 and payload["error"]["code"] == "bad_request"
+            status, payload = client.request(
+                "POST", "/admin/reload", {"nope": 1}
+            )
+            assert status == 400 and "unknown reload field" in (
+                payload["error"]["message"]
+            )
+        finally:
+            server.shutdown()
+            service.begin_shutdown()
+            assert service.drain(grace_seconds=10) is True
+            service.close()
+
+    def test_reload_mid_traffic_drops_nothing(self, tmp_path):
+        """Reload while requests are in flight and queued: no request
+        fails, every codelet stays correct (the acceptance criterion)."""
+        self._warm_snapshot(tmp_path)
+        direct = {
+            q: Synthesizer(load_domain("textediting")).synthesize(q).codelet
+            for q in (QUERY, QUERY2)
+        }
+        service = SynthesisService(ServerConfig(
+            domains=("textediting",), cache_dir=str(tmp_path),
+            max_inflight=2, queue_depth=16,
+        ))
+        results = []
+        lock = threading.Lock()
+
+        def worker(q):
+            for _ in range(5):
+                out = service.handle_payload({"query": q, "timeout": 30})
+                with lock:
+                    results.append((q, out))
+
+        threads = [
+            threading.Thread(target=worker, args=(q,))
+            for q in (QUERY, QUERY2) * 2
+        ]
+        for t in threads:
+            t.start()
+        for _ in range(3):
+            assert service.reload_snapshots()["status"] == "ok"
+            time.sleep(0.02)
+        for t in threads:
+            t.join(60)
+        assert len(results) == 20
+        for q, (status, payload) in results:
+            assert status == 200, payload
+            assert payload["codelet"] == direct[q]
+        assert service.stats()["reloads"] == 3
+        service.begin_shutdown()
+        assert service.drain(grace_seconds=10) is True
+        service.close()
+
+    def test_process_backend_reload_restarts_pools(self, tmp_path):
+        """Under the process backend a reload swaps worker pools; requests
+        before and after both succeed."""
+        self._warm_snapshot(tmp_path)
+        with SynthesisService(ServerConfig(
+            domains=("textediting",), backend="process", workers=1,
+            cache_dir=str(tmp_path),
+        )) as service:
+            status, before = service.handle_payload({"query": QUERY})
+            assert status == 200
+            assert service.reload_snapshots()["status"] == "ok"
+            status, after = service.handle_payload({"query": QUERY})
+            assert status == 200
+            assert after["codelet"] == before["codelet"]
+
+
+# ---------------------------------------------------------------------------
 # Snapshot preload at startup
 # ---------------------------------------------------------------------------
 
@@ -493,3 +1015,34 @@ class TestServeProcess:
         stderr = proc.stderr.read()
         assert code == 0, stderr
         assert "drained and exited" in stderr
+
+    def test_sighup_hot_reloads_snapshots(self, tmp_path):
+        """SIGHUP against a real `repro serve` process reloads snapshots
+        without interrupting service."""
+        domain = load_domain("textediting", fresh=True)
+        Synthesizer(domain).synthesize(QUERY)
+        domain.save_cache(tmp_path)
+        proc, client = _spawn_http_server(
+            "--cache-dir", str(tmp_path),
+            "--queue-depth", "4", "--domain-budget", "textediting=2",
+        )
+        try:
+            assert client.stats()["reloads"] == 0
+            proc.send_signal(signal.SIGHUP)
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if client.stats()["reloads"] >= 1:
+                    break
+                time.sleep(0.05)
+            else:
+                raise AssertionError("SIGHUP reload never registered")
+            health = client.health()
+            assert health["status"] == "ok"
+            assert health["domains"]["textediting"]["snapshot_loaded"]
+            payload = client.synthesize(QUERY)
+            assert payload["status"] == "ok"
+            assert payload["queue_wait_ms"] == 0.0
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            code = proc.wait(timeout=60)
+        assert code == 0, proc.stderr.read()

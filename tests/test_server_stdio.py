@@ -6,6 +6,8 @@ import os
 import signal
 import subprocess
 import sys
+import threading
+import time
 
 import pytest
 
@@ -23,7 +25,7 @@ def run_lines(lines, **config):
     service = SynthesisService(
         ServerConfig(domains=("textediting",), **config)
     )
-    reader = io.StringIO("".join(json.dumps(l) + "\n" for l in lines))
+    reader = io.StringIO("".join(json.dumps(line) + "\n" for line in lines))
     writer = io.StringIO()
     drained = serve_stdio(
         service, reader, writer, install_signal_handlers=False
@@ -55,7 +57,7 @@ class TestStdioLoop:
         )
         writer = io.StringIO()
         serve_stdio(service, reader, writer, install_signal_handlers=False)
-        bad, good = [json.loads(l) for l in writer.getvalue().splitlines()]
+        bad, good = [json.loads(line) for line in writer.getvalue().splitlines()]
         assert bad["error"]["code"] == "bad_request"
         assert good["status"] == "ok"
 
@@ -107,6 +109,94 @@ class TestStdioLoop:
         )
         assert drained is True
         assert service.draining
+
+    def test_reload_op(self, tmp_path):
+        domain = load_domain("textediting", fresh=True)
+        Synthesizer(domain).synthesize(QUERY)
+        domain.save_cache(tmp_path)
+        reload_resp, bad = run_lines(
+            [
+                {"op": "reload", "id": 7, "cache_dir": str(tmp_path)},
+                {"op": "reload", "cache_dir": 5},
+            ],
+            cache_dir=str(tmp_path / "does-not-exist"),
+        )
+        assert reload_resp["op"] == "reload" and reload_resp["id"] == 7
+        result = reload_resp["reload"]
+        assert result["status"] == "ok" and result["reloads"] == 1
+        assert result["domains"]["textediting"]["snapshot_loaded"] is True
+        assert bad["error"]["code"] == "bad_request"
+
+
+class TestStdioShutdownWithQueue:
+    def test_shutdown_agrees_with_http_semantics(self):
+        """Graceful shutdown with a non-empty queue behaves identically
+        across transports: the stdio in-flight request finishes and
+        answers, a queued request (arriving via the shared service) fails
+        with shutting_down, and the final drain completes."""
+        service = SynthesisService(ServerConfig(
+            domains=("textediting",), max_inflight=1, queue_depth=4,
+        ))
+        state = service._domains["textediting"]
+        inner = state.synthesizers["dggt"]
+        entered = threading.Event()
+        release = threading.Event()
+
+        class Gated:
+            def synthesize(self, query, timeout_seconds=None, **kwargs):
+                entered.set()
+                release.wait(10)
+                return inner.synthesize(query, timeout_seconds, **kwargs)
+
+        state.synthesizers["dggt"] = Gated()
+
+        read_fd, write_fd = os.pipe()
+        reader = os.fdopen(read_fd, "r")
+        feeder = os.fdopen(write_fd, "w")
+        writer = io.StringIO()
+        box = {}
+
+        def serve():
+            box["drained"] = serve_stdio(
+                service, reader, writer, install_signal_handlers=False,
+                grace_seconds=30.0,
+            )
+
+        server_thread = threading.Thread(target=serve)
+        server_thread.start()
+        feeder.write(json.dumps({"query": QUERY, "id": 1}) + "\n")
+        feeder.flush()
+        assert entered.wait(10)
+
+        # A second request on the shared service queues behind the
+        # stdio in-flight one (this is how an HTTP listener sharing the
+        # service would wait).
+        def queued():
+            box["queued"] = service.handle_payload(
+                {"query": QUERY, "timeout": 30}
+            )
+
+        queued_thread = threading.Thread(target=queued)
+        queued_thread.start()
+        deadline = time.monotonic() + 10
+        while service.queued < 1 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert service.queued == 1
+
+        service.begin_shutdown()
+        queued_thread.join(10)
+        status, payload = box["queued"]
+        assert status == 503
+        assert payload["error"]["code"] == "shutting_down"
+
+        # The in-flight stdio request still completes and answers.
+        release.set()
+        feeder.close()  # EOF ends the loop after the in-flight answer
+        server_thread.join(30)
+        assert box["drained"] is True
+        responses = [json.loads(line) for line in writer.getvalue().splitlines()]
+        assert responses[0]["status"] == "ok"
+        assert responses[0]["id"] == 1
 
 
 class TestStdioSubprocess:

@@ -1,6 +1,5 @@
 """Unit tests for size-based pruning (paper Sec. V-C)."""
 
-import pytest
 
 from repro.core.size_pruning import (
     SizedCombination,

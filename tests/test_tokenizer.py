@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import TokenizationError
-from repro.nlp.tokenizer import Token, TokenKind, detokenize, tokenize, words
+from repro.nlp.tokenizer import TokenKind, detokenize, tokenize, words
 
 
 class TestWords:

@@ -26,7 +26,7 @@ class TestGrammarDot:
 
     def test_max_nodes_cap(self, toy_graph):
         dot = grammar_graph_to_dot(toy_graph, max_nodes=3)
-        node_lines = [l for l in dot.splitlines() if "label=" in l]
+        node_lines = [line for line in dot.splitlines() if "label=" in line]
         assert len(node_lines) <= 3
 
 
