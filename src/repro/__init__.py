@@ -20,6 +20,7 @@ from repro.errors import (
     CacheSnapshotError,
     DomainError,
     GrammarError,
+    InvalidRequestError,
     ParseError,
     ReproError,
     SynthesisError,
@@ -29,6 +30,7 @@ from repro.grammar.path_cache import PathCache
 from repro.synthesis.domain import Domain
 from repro.synthesis.pipeline import BatchItem, Synthesizer, make_engine
 from repro.synthesis.result import SynthesisOutcome, SynthesisStats
+from repro.synthesis.stages import STAGE_NAMES, SynthesisContext, Trace
 
 __version__ = "1.0.0"
 
@@ -44,12 +46,16 @@ __all__ = [
     "SynthesisOutcome",
     "SynthesisStats",
     "BatchItem",
+    "STAGE_NAMES",
+    "SynthesisContext",
+    "Trace",
     "PathCache",
     "ReproError",
     "GrammarError",
     "ParseError",
     "SynthesisError",
     "SynthesisTimeout",
+    "InvalidRequestError",
     "DomainError",
     "CacheSnapshotError",
     "__version__",

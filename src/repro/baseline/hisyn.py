@@ -14,18 +14,18 @@ grammar root" — which is exactly the path blow-up Table III quantifies.
 
 from __future__ import annotations
 
-import time
 from typing import List, Optional, Sequence, Tuple
 
 from repro.baseline.enumeration import (
     combination_count,
     enumerate_best_cgt,
 )
-from repro.core.expression import cgt_to_expression
+from repro.core.cgt import CGT
 from repro.errors import SynthesisError, SynthesisTimeout
 from repro.synthesis.deadline import Deadline
 from repro.synthesis.problem import CandidatePath, SynthesisProblem
 from repro.synthesis.result import SynthesisOutcome, SynthesisStats
+from repro.synthesis.stages import SynthesisContext, synthesize_with
 
 
 class HISynEngine:
@@ -37,10 +37,22 @@ class HISynEngine:
         self,
         problem: SynthesisProblem,
         deadline: Optional[Deadline] = None,
+        *,
+        ctx: Optional[SynthesisContext] = None,
     ) -> SynthesisOutcome:
-        deadline = deadline or Deadline.unlimited()
-        started = time.monotonic()
-        stats = SynthesisStats()
+        """Steps 5-6 over a pre-built problem: the :func:`search` merge
+        stage wrapped in the shared staged pipeline (codegen is engine
+        independent).  ``ctx`` (when the Synthesizer passes one) carries
+        the deadline, the stats record, and the optional trace."""
+        return synthesize_with(self, problem, deadline, ctx)
+
+    def search(
+        self,
+        problem: SynthesisProblem,
+        deadline: Deadline,
+        stats: SynthesisStats,
+    ) -> CGT:
+        """Step 5 — exhaustive PathMerging over every combination."""
         graph = problem.domain.graph
 
         edge_paths: List[List[CandidatePath]] = [list(problem.root_paths)]
@@ -85,16 +97,7 @@ class HISynEngine:
                 "no combination of candidate paths merged into a valid CGT "
                 f"({stats.n_combinations} combinations examined)"
             )
-        expr = cgt_to_expression(best, graph)
-        return SynthesisOutcome(
-            query="",
-            engine=self.name,
-            expression=expr,
-            cgt=best,
-            size=best.api_count(graph),
-            stats=stats,
-            elapsed_seconds=time.monotonic() - started,
-        )
+        return best
 
     # ------------------------------------------------------------------
 

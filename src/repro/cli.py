@@ -92,7 +92,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--stats",
         action="store_true",
-        help="print the engine's instrumentation counters",
+        help="print the engine's instrumentation counters "
+        "(implies per-stage timings)",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print per-stage wall time for the six-step pipeline "
+        "(docs/architecture.md)",
     )
     parser.add_argument(
         "--no-grammar-pruning", action="store_true",
@@ -175,6 +182,13 @@ def build_batch_arg_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit a JSON array of per-query results instead of plain text",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="collect per-stage wall time for every query; with --json "
+        "each item carries a 'trace' payload (docs/architecture.md), in "
+        "text mode a compact per-query stage line is printed to stderr",
+    )
     return parser
 
 
@@ -190,6 +204,19 @@ def _read_queries(path: str) -> List[str]:
         if line and not line.startswith("#"):
             queries.append(line)
     return queries
+
+
+def _format_trace(trace) -> str:
+    """One compact ``stage=elapsed`` line for a per-query Trace."""
+    if trace is None:
+        return "no trace"
+    if getattr(trace, "cache_hit", False):
+        return "cache hit (no stages run)"
+    parts = []
+    for span in trace.spans:
+        mark = "" if span.status == "ok" else f"[{span.status}]"
+        parts.append(f"{span.stage}={span.elapsed_seconds * 1000:.2f}ms{mark}")
+    return " ".join(parts) if parts else "no stages recorded"
 
 
 def batch_main(argv: Optional[List[str]] = None) -> int:
@@ -220,6 +247,7 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
             max_workers=args.workers,
             backend=args.backend,
             cache_dir=args.cache_dir,
+            collect_trace=args.trace,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -228,7 +256,7 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
 
     if args.json:
         # One schema for batch and serving payloads (docs/serving.md).
-        payload = [item.to_json() for item in items]
+        payload = [item.to_json(include_trace=args.trace) for item in items]
         print(json.dumps(payload, indent=2))
     else:
         for item in items:
@@ -236,6 +264,12 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
                 print(f"{item.index + 1}. {item.outcome.codelet}")
             else:
                 print(f"{item.index + 1}. [{item.status}] {item.error}")
+            if args.trace:
+                print(
+                    f"#   trace {item.index + 1}: "
+                    f"{_format_trace(item.trace)}",
+                    file=sys.stderr,
+                )
 
     n_ok = sum(1 for item in items if item.ok)
     rate = len(items) / elapsed if elapsed > 0 else float("inf")
@@ -696,11 +730,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{cand.rank}. {cand.codelet}")
         return 0
 
+    collect_trace = args.stats or args.trace
     try:
-        out = synth.synthesize(args.query, timeout_seconds=args.timeout)
-    except SynthesisTimeout:
+        out = synth.synthesize(
+            args.query,
+            timeout_seconds=args.timeout,
+            collect_trace=collect_trace,
+        )
+    except SynthesisTimeout as exc:
+        stage = getattr(exc, "stage", None)
+        where = f" (expired in stage {stage!r})" if stage else ""
         print(
-            f"timeout: no result within {args.timeout:g}s "
+            f"timeout: no result within {args.timeout:g}s{where} "
             "(the paper counts this as an error case)",
             file=sys.stderr,
         )
@@ -715,6 +756,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"time={out.elapsed_seconds * 1000:.1f}ms",
         file=sys.stderr,
     )
+    if collect_trace and out.trace is not None:
+        if out.trace.cache_hit:
+            print("# stage trace: cache hit (no stages run)", file=sys.stderr)
+        for span in out.trace.spans:
+            print(
+                f"# stage {span.stage} = "
+                f"{span.elapsed_seconds * 1000:.2f}ms",
+                file=sys.stderr,
+            )
     if args.stats:
         for key, value in out.stats.as_dict().items():
             print(f"# {key} = {value}", file=sys.stderr)

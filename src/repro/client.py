@@ -125,6 +125,7 @@ class HttpClient:
         engine: Optional[str] = None,
         timeout: Optional[float] = None,
         include_stats: bool = False,
+        include_trace: bool = False,
         id: Any = None,
     ) -> Dict[str, Any]:
         """Synthesize one query; returns the response payload (the shared
@@ -141,6 +142,8 @@ class HttpClient:
             body["timeout"] = timeout
         if include_stats:
             body["include_stats"] = True
+        if include_trace:
+            body["include_trace"] = True
         if id is not None:
             body["id"] = id
         # Leave the socket comfortably more patience than the synthesis
@@ -231,6 +234,7 @@ class StdioClient:
         engine: Optional[str] = None,
         timeout: Optional[float] = None,
         include_stats: bool = False,
+        include_trace: bool = False,
         id: Any = None,
     ) -> Dict[str, Any]:
         body: Dict[str, Any] = {"query": query}
@@ -242,6 +246,8 @@ class StdioClient:
             body["timeout"] = timeout
         if include_stats:
             body["include_stats"] = True
+        if include_trace:
+            body["include_trace"] = True
         if id is not None:
             body["id"] = id
         payload = self.request(body)

@@ -24,14 +24,12 @@ for the ablation study (research question Q3).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from itertools import product
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.cgt import CGT
 from repro.core.dynamic_graph import VIRTUAL, DynamicGrammarGraph, DynKey
-from repro.core.expression import cgt_to_expression
 from repro.core.grammar_pruning import (
     combination_conflicts,
     conflict_pairs_for,
@@ -51,6 +49,7 @@ from repro.synthesis.problem import (
     SynthesisProblem,
 )
 from repro.synthesis.result import SynthesisOutcome, SynthesisStats
+from repro.synthesis.stages import SynthesisContext, synthesize_with
 
 #: One sibling group: (dependent dep-node id, its usable candidate paths).
 SiblingEntry = Tuple[int, List[CandidatePath]]
@@ -83,11 +82,23 @@ class DggtEngine:
         self,
         problem: SynthesisProblem,
         deadline: Optional[Deadline] = None,
+        *,
+        ctx: Optional[SynthesisContext] = None,
     ) -> SynthesisOutcome:
-        deadline = deadline or Deadline.unlimited()
-        started = time.monotonic()
+        """Steps 5-6 over a pre-built problem: the :func:`search` merge
+        stage wrapped in the shared staged pipeline (codegen is engine
+        independent).  ``ctx`` (when the Synthesizer passes one) carries
+        the deadline, the stats record, and the optional trace."""
+        return synthesize_with(self, problem, deadline, ctx)
+
+    def search(
+        self,
+        problem: SynthesisProblem,
+        deadline: Deadline,
+        stats: SynthesisStats,
+    ) -> CGT:
+        """Step 5 — the dynamic program over relocation variants."""
         graph = problem.domain.graph
-        stats = SynthesisStats()
         stats.n_dep_edges = len(problem.dep_graph.edges()) + 1
         # "# of orig. path" (Table III) is the path count the *baseline*
         # faces: orphan edges carry the full root-attachment path sets
@@ -140,17 +151,7 @@ class DggtEngine:
             detail = failures[0] if failures else "no variant synthesized"
             raise SynthesisError(f"DGGT failed on all variants: {detail}")
         stats.n_paths_after_reloc = best_variant.total_paths()
-
-        expr = cgt_to_expression(best, graph)
-        return SynthesisOutcome(
-            query="",
-            engine=self.name,
-            expression=expr,
-            cgt=best,
-            size=best.api_count(graph),
-            stats=stats,
-            elapsed_seconds=time.monotonic() - started,
-        )
+        return best
 
     # ------------------------------------------------------------------
     # One dependency-graph variant

@@ -50,11 +50,23 @@ class SynthesisError(ReproError):
     """Synthesis failed to produce any grammar-valid codelet for the query."""
 
 
+class InvalidRequestError(ReproError):
+    """The caller asked for something the library cannot resolve — an
+    unknown engine or backend name.  Maps to the stable ``invalid_request``
+    wire code (HTTP 400), so serving clients get a structured rejection
+    instead of a 500."""
+
+
 class SynthesisTimeout(SynthesisError):
     """Cooperative timeout raised inside an engine's hot loop.
 
     The elapsed time at the moment of the raise is recorded so the harness
-    can clamp it to the budget.
+    can clamp it to the budget.  The staged pipeline
+    (:mod:`repro.synthesis.stages`) annotates the exception in flight:
+    ``stage`` names the Fig. 3 stage the budget expired in, and ``trace``
+    (when tracing was on) carries the spans recorded up to that point —
+    both ride :meth:`__reduce__`'s ``__dict__`` element across the
+    process-pool worker pipe, like ``partial_stats``.
     """
 
     def __init__(self, budget_seconds: float, elapsed_seconds: float):
@@ -126,6 +138,7 @@ ERROR_CODES: "tuple[tuple[type, str], ...]" = (
     (ParseError, "parse"),
     (DomainError, "unknown_domain"),
     (CacheSnapshotError, "cache_snapshot"),
+    (InvalidRequestError, "invalid_request"),
     (ReproError, "error"),
 )
 

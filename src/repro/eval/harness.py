@@ -39,6 +39,9 @@ class CaseResult:
     size: Optional[int] = None
     stats: Optional[SynthesisStats] = None
     error: str = ""
+    #: Per-stage wall time (stage name -> seconds), populated when the run
+    #: collected traces (``collect_trace=True``); None otherwise.
+    stage_seconds: Optional[Dict[str, float]] = None
 
     @property
     def timed_out(self) -> bool:
@@ -49,6 +52,8 @@ def _case_result_from_item(
     engine_name: str, case: QueryCase, item: BatchItem
 ) -> CaseResult:
     """Translate one batch item into the harness's CaseResult record."""
+    trace = item.trace
+    stage_seconds = trace.stage_seconds() if trace is not None else None
     if item.ok:
         truth = normalize_codelet(case.ground_truth)
         codelet = normalize_codelet(item.outcome.codelet)
@@ -61,6 +66,7 @@ def _case_result_from_item(
             correct=codelet == truth,
             size=item.outcome.size,
             stats=item.outcome.stats,
+            stage_seconds=stage_seconds,
         )
     if item.status == "timeout":
         return CaseResult(
@@ -70,6 +76,7 @@ def _case_result_from_item(
             elapsed_seconds=item.elapsed_seconds,
             stats=getattr(item.error, "partial_stats", None),
             error="timeout",
+            stage_seconds=stage_seconds,
         )
     return CaseResult(
         case=case,
@@ -77,6 +84,7 @@ def _case_result_from_item(
         status="error",
         elapsed_seconds=item.elapsed_seconds,
         error=str(item.error),
+        stage_seconds=stage_seconds,
     )
 
 
@@ -84,10 +92,13 @@ def run_case(
     synthesizer: Synthesizer,
     case: QueryCase,
     timeout_seconds: float = DEFAULT_TIMEOUT,
+    collect_trace: bool = False,
 ) -> CaseResult:
     """Run one case; timeouts are clamped to the budget per Sec. VII-B."""
     [item] = synthesizer.synthesize_many(
-        [case.query], timeout_seconds_each=timeout_seconds
+        [case.query],
+        timeout_seconds_each=timeout_seconds,
+        collect_trace=collect_trace,
     )
     return _case_result_from_item(synthesizer.engine.name, case, item)
 
@@ -102,6 +113,7 @@ def run_dataset(
     max_workers: int = 1,
     backend: str = "thread",
     cache_dir: Optional[str] = None,
+    collect_trace: bool = False,
 ) -> List[CaseResult]:
     """Run a full query set through one engine.
 
@@ -111,6 +123,9 @@ def run_dataset(
     pool (requires a registry-resolvable domain; see the pipeline docs).
     ``cache_dir`` preloads persistent cache snapshots.  With any fan-out,
     ``progress`` fires in completion order rather than dataset order.
+    ``collect_trace`` runs every case with per-stage tracing and fills
+    :attr:`CaseResult.stage_seconds` (where did the budget go — parsing,
+    path search, or merging?).
     """
     synthesizer = Synthesizer(domain, engine=engine, config=config)
     engine_name = synthesizer.engine.name
@@ -137,5 +152,6 @@ def run_dataset(
         backend=backend,
         cache_dir=cache_dir,
         on_result=on_result,
+        collect_trace=collect_trace,
     )
     return [convert(item) for item in items]

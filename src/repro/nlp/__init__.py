@@ -3,6 +3,10 @@ query-graph pruning.
 
 This layer replaces the Stanford CoreNLP dependency the paper's pipeline
 used; see DESIGN.md "Substitutions" for the rationale.
+
+In the staged pipeline (:mod:`repro.synthesis.stages`), :func:`parse_query`
+implements the ``parse`` stage (Step 1) and :func:`prune_query_graph` the
+``prune`` stage (Step 2).
 """
 
 from repro.nlp.dependency import DepEdge, DepNode, DependencyGraph

@@ -1,4 +1,10 @@
-"""NLU layer: API documents, lexical knowledge, WordToAPI matching (Step-3)."""
+"""NLU layer: API documents, lexical knowledge, WordToAPI matching (Step-3).
+
+In the staged pipeline (:mod:`repro.synthesis.stages`), the matcher here
+backs the ``word_to_api`` stage: :func:`build_word_to_api_map` is what
+``WordToApiStage`` runs (via the problem builder) to turn pruned query
+words into ranked API candidates.
+"""
 
 from repro.nlu.docs import ApiDoc, ApiDocument, split_name
 from repro.nlu.similarity import (

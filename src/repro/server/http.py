@@ -4,6 +4,8 @@ Endpoints (docs/serving.md is the reference):
 
 * ``POST /synthesize`` — JSON body per :mod:`repro.server.protocol`;
   returns the shared per-query payload (``BatchItem.to_json()`` shape).
+  ``"include_trace": true`` attaches the per-stage trace of the six-step
+  pipeline to the response (docs/architecture.md).
   A 429 (``overloaded``) response carries the scheduler's backpressure
   hint both as ``error.retry_after_ms`` and as a standard ``Retry-After``
   header (seconds, rounded up).
@@ -14,8 +16,9 @@ Endpoints (docs/serving.md is the reference):
   body reports domains, snapshot provenance, cache occupancy, inflight,
   and the scheduler's queue/budget state.
 * ``GET /stats`` — cumulative PathCache counters per domain plus request
-  counters (the service-level view of ``SynthesisStats``) and the
-  scheduler section.
+  counters (the service-level view of ``SynthesisStats``), the scheduler
+  section, and a ``stages`` section with per-stage p50/p99 latency over
+  recent traffic (docs/architecture.md; capacity planning).
 * ``GET /domains`` — the served domain names.
 
 Each request is handled on its own thread (``ThreadingHTTPServer``), so

@@ -10,11 +10,14 @@ Request (HTTP ``POST /synthesize`` body, or one stdio JSON line)::
      "engine": "dggt",                   # optional (service default)
      "timeout": 5.0,                     # optional per-request budget (s)
      "include_stats": false,             # optional: attach stats payload
+     "include_trace": false,             # optional: attach per-stage trace
      "id": "req-42"}                     # optional opaque token, echoed
 
 Success response: ``BatchItem.to_json()`` plus ``{"id": ...}`` — exactly
 the payload ``repro batch --json`` emits per query, so batch and serving
-consumers share one schema.  Error response::
+consumers share one schema.  ``include_trace`` requests additionally
+carry the per-stage ``trace`` payload (``repro batch --json --trace``
+emits the same shape; schema in docs/architecture.md).  Error response::
 
     {"status": "timeout" | "error",
      "error": {"code": "<stable code>", "message": "..."},
@@ -56,6 +59,7 @@ SERVING_CODES = (
 HTTP_STATUS: Dict[str, int] = {
     "ok": 200,
     "bad_request": 400,
+    "invalid_request": 400,
     "unknown_domain": 404,
     "not_found": 404,
     "overloaded": 429,
@@ -85,6 +89,7 @@ class SynthesisRequest:
     engine: Optional[str] = None
     timeout: Optional[float] = None
     include_stats: bool = False
+    include_trace: bool = False
     id: Any = None
 
 
@@ -98,7 +103,7 @@ def parse_request(payload: Any) -> SynthesisRequest:
     if not isinstance(payload, dict):
         raise BadRequest("request body must be a JSON object")
     allowed = {"query", "domain", "engine", "timeout", "include_stats",
-               "id", "op"}
+               "include_trace", "id", "op"}
     unknown = sorted(set(payload) - allowed)
     if unknown:
         raise BadRequest(f"unknown request field(s): {unknown}")
@@ -127,12 +132,17 @@ def parse_request(payload: Any) -> SynthesisRequest:
     if not isinstance(include_stats, bool):
         raise BadRequest("'include_stats' must be a boolean")
 
+    include_trace = payload.get("include_trace", False)
+    if not isinstance(include_trace, bool):
+        raise BadRequest("'include_trace' must be a boolean")
+
     return SynthesisRequest(
         query=query.strip(),
         domain=domain,
         engine=engine,
         timeout=timeout,
         include_stats=include_stats,
+        include_trace=include_trace,
         id=payload.get("id"),
     )
 
@@ -143,7 +153,10 @@ def ok_response(
     """(HTTP status, payload) for a finished :class:`BatchItem` — which may
     itself be a captured failure (timeout / synthesis error)."""
     include_stats = request.include_stats if request is not None else False
-    payload = item.to_json(include_stats=include_stats)
+    include_trace = request.include_trace if request is not None else False
+    payload = item.to_json(
+        include_stats=include_stats, include_trace=include_trace
+    )
     payload["id"] = request.id if request is not None else None
     if item.ok:
         return 200, payload

@@ -25,6 +25,10 @@ concerns a long-running deployment needs:
 * **structured errors** — every failure maps to a stable wire code
   (:data:`repro.errors.ERROR_CODES` + the serving codes in
   :mod:`repro.server.protocol`);
+* **per-stage observability** — every dispatched request runs the staged
+  pipeline (:mod:`repro.synthesis.stages`) with tracing on; the spans
+  feed the ``stages`` p50/p99 section of ``GET /stats`` and, on
+  ``include_trace`` requests, ride the response payload;
 * **graceful lifecycle** — :meth:`begin_shutdown` flips the service to
   draining (new work rejected with ``shutting_down``), :meth:`drain`
   waits for in-flight requests to finish, :meth:`close` releases worker
@@ -52,7 +56,12 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.domains import load_domains
-from repro.errors import DeadlineExceeded, DomainError, ReproError
+from repro.errors import (
+    DeadlineExceeded,
+    DomainError,
+    ReproError,
+    error_code,
+)
 from repro.server.scheduler import (
     QueueFull,
     RequestScheduler,
@@ -67,6 +76,7 @@ from repro.synthesis.pipeline import (
     _process_worker_run,
     _run_single,
 )
+from repro.synthesis.stages import StageLatencyAggregator
 from repro.server.protocol import (
     BadRequest,
     SynthesisRequest,
@@ -183,6 +193,11 @@ class SynthesisService:
             "expired": 0,
         }
         self._pools: Dict[Tuple[str, str], ProcessPoolExecutor] = {}
+        # Every dispatched request runs with tracing on (the per-stage
+        # overhead is two clock reads and a counter snapshot per stage);
+        # the trace feeds the per-stage p50/p99 section of GET /stats and
+        # is returned to the client only on include_trace requests.
+        self._stage_latency = StageLatencyAggregator()
 
         domains = load_domains(config.domains or None)
         if not domains:
@@ -286,6 +301,7 @@ class SynthesisService:
         dispatch_started = time.monotonic()
         try:
             item = self._dispatch(state, request, budget)
+            self._stage_latency.observe(getattr(item, "trace", None))
             if self._scheduler.queueing_enabled and item.outcome is not None:
                 item.outcome.queue_wait_ms = round(
                     grant.queue_wait_seconds * 1000.0, 3
@@ -295,6 +311,12 @@ class SynthesisService:
                 payload["queue_wait_ms"] = round(
                     grant.queue_wait_seconds * 1000.0, 3
                 )
+        except ReproError as exc:
+            # Failures with a stable wire code that escape dispatch (e.g.
+            # an unknown engine name from make_engine → invalid_request)
+            # are client errors, not 500s.
+            self._count("error")
+            return error_response(error_code(exc), str(exc), id=request.id)
         except BaseException as exc:  # the service must stay up
             self._count("error")
             return error_response(
@@ -326,7 +348,7 @@ class SynthesisService:
             with self._lock:
                 pool = self._pool_locked(state.domain.name, engine)
                 future = pool.submit(
-                    _process_worker_run, 0, request.query, timeout
+                    _process_worker_run, 0, request.query, timeout, True
                 )
             # The worker enforces the deadline cooperatively; the grace
             # period only guards against a wedged worker process.
@@ -334,8 +356,11 @@ class SynthesisService:
         synth = self._synthesizer(state, engine)
         # Per-query cache deltas race across concurrent server requests
         # (shared counters), so they are not recorded: scope is "batch".
+        # Tracing is always on: the spans feed /stats (and the response,
+        # when the request asked for them).
         return _run_single(
-            synth, 0, request.query, timeout, record_cache_delta=False
+            synth, 0, request.query, timeout, record_cache_delta=False,
+            collect_trace=True,
         )
 
     def _synthesizer(self, state: _DomainState, engine: str) -> Synthesizer:
@@ -435,8 +460,11 @@ class SynthesisService:
     def stats(self) -> Dict[str, Any]:
         """Service-level cache counters: per domain, the cumulative
         PathCache layer hits/misses/evictions plus configured capacities
-        (the same counters ``SynthesisStats`` reports per query), and the
-        scheduler's queue/budget observability section."""
+        (the same counters ``SynthesisStats`` reports per query), the
+        scheduler's queue/budget observability section, and the
+        per-stage latency aggregates (``stages``: count / mean / p50 /
+        p99 per Fig. 3 stage over a sliding window — the capacity-planning
+        view docs/architecture.md describes)."""
         with self._lock:
             counters = dict(self._counters)
             reloads = self._reloads
@@ -455,6 +483,7 @@ class SynthesisService:
             "uptime_seconds": round(time.monotonic() - self._started, 3),
             "requests": counters,
             "scheduler": self._scheduler.snapshot(),
+            "stages": self._stage_latency.snapshot(),
             "reloads": reloads,
             "domains": domains,
         }

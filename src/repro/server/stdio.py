@@ -6,7 +6,10 @@ plugin (the paper's IDE-hint scenario) keeps one ``repro serve --stdio``
 child alive and gets warm-cache latency on every keystroke-triggered
 query without paying process startup or a socket.
 
-Line protocol (``op`` defaults to ``synthesize``)::
+Line protocol (``op`` defaults to ``synthesize``; synthesize requests
+accept the same optional fields as HTTP, including ``include_trace`` for
+the per-stage pipeline trace, and the ``stats`` payload carries the same
+per-stage p50/p99 ``stages`` section as ``GET /stats``)::
 
     -> {"query": "print every line", "id": 1}
     <- {"status": "ok", "codelet": "PRINT(...)", "id": 1, ...}

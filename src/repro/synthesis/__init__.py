@@ -1,4 +1,5 @@
-"""End-to-end synthesis: domain registration, problem building, engines."""
+"""End-to-end synthesis: domain registration, problem building, the staged
+pipeline (:mod:`repro.synthesis.stages`), and the two engines."""
 
 from repro.synthesis.deadline import Deadline
 from repro.synthesis.domain import Domain
@@ -15,6 +16,15 @@ from repro.synthesis.problem import (
 from repro.synthesis.explain import explain_problem, explain_query
 from repro.synthesis.ranking import RankedCandidate, ranked_candidates
 from repro.synthesis.result import SynthesisOutcome, SynthesisStats
+from repro.synthesis.stages import (
+    STAGE_NAMES,
+    StageLatencyAggregator,
+    StageSpan,
+    SynthesisContext,
+    Trace,
+    run_front_end,
+    run_stage,
+)
 
 __all__ = [
     "Domain",
@@ -30,6 +40,13 @@ __all__ = [
     "CandidatePath",
     "SynthesisOutcome",
     "SynthesisStats",
+    "STAGE_NAMES",
+    "SynthesisContext",
+    "Trace",
+    "StageSpan",
+    "StageLatencyAggregator",
+    "run_front_end",
+    "run_stage",
     "explain_query",
     "explain_problem",
     "ranked_candidates",

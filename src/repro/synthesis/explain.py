@@ -6,6 +6,13 @@ renders the full intermediate state: the dependency graph (Step 1), the
 pruned graph (Step 2), the WordToAPI map (Step 3), the EdgeToPath sizes and
 a sample of candidate paths (Step 4), orphan detection and the relocation
 variants (Sec. V-B), and the synthesized codelet with its statistics.
+
+The walk-through is the *real* staged pipeline, not a re-enactment: the
+query runs once through :func:`repro.synthesis.stages.run_front_end` with
+``keep_artifacts=True``, so the rendered Step 1/Step 2 graphs are the
+exact objects the engine consumed, and the closing per-stage timing
+section comes from the same :class:`~repro.synthesis.stages.Trace` that
+``repro batch --json --trace`` and the server emit.
 """
 
 from __future__ import annotations
@@ -14,15 +21,26 @@ from typing import List, Optional
 
 from repro.core.orphan import relocation_variants
 from repro.errors import ReproError
-from repro.nlp.parser import parse_query
-from repro.nlp.pruning import prune_query_graph
+from repro.synthesis.deadline import Deadline
 from repro.synthesis.domain import Domain
-from repro.synthesis.pipeline import Synthesizer
-from repro.synthesis.problem import SynthesisProblem, build_problem
+from repro.synthesis.pipeline import make_engine
+from repro.synthesis.problem import SynthesisProblem
+from repro.synthesis.stages import SynthesisContext, Trace, run_front_end
 
 
 def _indent(text: str, prefix: str = "  ") -> str:
     return "\n".join(prefix + line for line in text.splitlines())
+
+
+def _trace_lines(trace: Trace) -> List[str]:
+    """Render the per-stage spans the walk-through actually recorded."""
+    lines = ["Per-stage timing (docs/architecture.md):"]
+    for span in trace.spans:
+        mark = "" if span.status == "ok" else f"  [{span.status}]"
+        lines.append(
+            f"  {span.stage}: {span.elapsed_seconds * 1000:.2f} ms{mark}"
+        )
+    return lines
 
 
 def explain_problem(problem: SynthesisProblem, max_paths_shown: int = 3) -> str:
@@ -81,24 +99,36 @@ def explain_query(
     """The full six-step walk-through for one query, as rendered text."""
     lines: List[str] = [f"query: {query}", ""]
 
-    dep = parse_query(query)
+    deadline = (
+        Deadline(timeout_seconds)
+        if timeout_seconds is not None
+        else Deadline.unlimited()
+    )
+    ctx = SynthesisContext(
+        query=query,
+        domain=domain,
+        deadline=deadline,
+        trace=Trace(),
+        keep_artifacts=True,
+    )
+    # Front-end failures (unparseable query, no API candidates, expired
+    # deadline) propagate to the caller exactly as before the refactor.
+    problem = run_front_end(ctx)
+
     lines.append("Step 1 — dependency parsing:")
-    lines.append(_indent(dep.describe()))
+    lines.append(_indent(ctx.artifacts["parse"].describe()))
 
-    pruned = prune_query_graph(dep, domain.prune_config)
     lines.append("Step 2 — query graph pruning:")
-    lines.append(_indent(pruned.describe()))
+    lines.append(_indent(ctx.artifacts["prune"].describe()))
 
-    problem = build_problem(domain, query)
     lines.append(explain_problem(problem))
 
     lines.append(f"Steps 5+6 — synthesis ({engine}):")
     try:
-        out = Synthesizer(domain, engine=engine).synthesize(
-            query, timeout_seconds
-        )
+        out = make_engine(engine).synthesize(problem, ctx=ctx)
     except ReproError as exc:
         lines.append(f"  FAILED: {exc}")
+        lines.extend(_trace_lines(ctx.trace))
         return "\n".join(lines)
     lines.append(f"  codelet: {out.codelet}")
     lines.append(
@@ -109,4 +139,5 @@ def explain_query(
         "  combinations={combinations} pruned_grammar={pruned_grammar} "
         "pruned_size={pruned_size} merged={merged}".format(**stats)
     )
+    lines.extend(_trace_lines(ctx.trace))
     return "\n".join(lines)

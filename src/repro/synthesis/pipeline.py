@@ -1,7 +1,10 @@
 """End-to-end synthesis pipeline (the six steps of the paper's Fig. 3).
 
 One front end (Steps 1-4: parse, prune, WordToAPI, EdgeToPath), two back
-ends (Steps 5-6): the exhaustive HISyn baseline and DGGT.  The
+ends (Steps 5-6): the exhaustive HISyn baseline and DGGT.  The stages
+themselves live in :mod:`repro.synthesis.stages`, each wrapped in a trace
+span when tracing is requested (``collect_trace`` /
+``Synthesizer(trace=True)``; see docs/architecture.md).  The
 :class:`Synthesizer` is the package's main entry point::
 
     from repro import Synthesizer, load_domain
@@ -39,12 +42,23 @@ from concurrent.futures import (
 from dataclasses import dataclass
 from typing import Any, Iterable, List, Optional, Union
 
-from repro.errors import ReproError, SynthesisTimeout, error_code
+from repro.errors import (
+    InvalidRequestError,
+    ReproError,
+    SynthesisTimeout,
+    error_code,
+)
 from repro.grammar.paths import PathSearchLimits
 from repro.synthesis.deadline import Deadline
 from repro.synthesis.domain import Domain
 from repro.synthesis.problem import SynthesisProblem, build_problem
 from repro.synthesis.result import SynthesisOutcome
+from repro.synthesis.stages import (
+    SynthesisContext,
+    Trace,
+    check_stage_entry,
+    run_front_end,
+)
 
 # Engines are imported lazily inside make_engine: the engine modules depend
 # on repro.synthesis.problem, so importing them at module scope would make
@@ -65,7 +79,11 @@ def make_engine(engine: EngineLike, config=None):
         return HISynEngine()
     if engine == "dggt":
         return DggtEngine(config)
-    raise ReproError(f"unknown engine {engine!r}; use 'hisyn' or 'dggt'")
+    # InvalidRequestError carries the stable "invalid_request" wire code,
+    # so serving clients see a structured 400 instead of a 500.
+    raise InvalidRequestError(
+        f"unknown engine {engine!r}; use 'hisyn' or 'dggt'"
+    )
 
 
 @dataclass
@@ -98,13 +116,23 @@ class BatchItem:
             return "timeout"
         return "error"
 
-    def to_json(self, *, include_stats: bool = False) -> dict:
+    def to_json(
+        self,
+        *,
+        include_stats: bool = False,
+        include_trace: bool = False,
+    ) -> dict:
         """The one per-query JSON shape shared by ``repro batch --json``
         and the ``repro serve`` front ends (see docs/serving.md).
 
         ``codelet``/``size``/``engine`` are null on failure; ``error`` is
         null on success and otherwise ``{"code", "message"}`` with a
-        stable code from :data:`repro.errors.ERROR_CODES`.
+        stable code from :data:`repro.errors.ERROR_CODES` — plus
+        ``"stage"`` when the staged pipeline attributed the failure to a
+        Fig. 3 stage (timeouts always carry it).  ``include_trace``
+        attaches the recorded per-stage spans (docs/architecture.md) for
+        successes and failures alike; without a recorded trace the key is
+        omitted, keeping legacy payloads byte-identical.
         """
         out: dict = {
             "index": self.index,
@@ -117,14 +145,34 @@ class BatchItem:
             "error": None,
         }
         if self.outcome is not None:
-            out.update(self.outcome.to_json(include_stats=include_stats))
+            out.update(
+                self.outcome.to_json(
+                    include_stats=include_stats,
+                    include_trace=include_trace,
+                )
+            )
             out["elapsed_seconds"] = self.elapsed_seconds
         elif self.error is not None:
             out["error"] = {
                 "code": error_code(self.error),
                 "message": str(self.error),
             }
+            stage = getattr(self.error, "stage", None)
+            if stage is not None:
+                out["error"]["stage"] = stage
+            trace = getattr(self.error, "trace", None)
+            if include_trace and trace is not None:
+                out["trace"] = trace.to_json()
         return out
+
+    @property
+    def trace(self):
+        """The recorded :class:`~repro.synthesis.stages.Trace`, whether
+        the query succeeded (on the outcome) or failed (attached to the
+        error by the stage machinery); None when tracing was off."""
+        if self.outcome is not None:
+            return getattr(self.outcome, "trace", None)
+        return getattr(self.error, "trace", None)
 
 
 def _run_single(
@@ -133,6 +181,7 @@ def _run_single(
     query: str,
     timeout_seconds: Optional[float],
     record_cache_delta: bool = True,
+    collect_trace: bool = False,
 ) -> BatchItem:
     """One query -> one BatchItem, failures captured (shared by the serial
     loop, the thread pool, and the process-pool workers, so the three
@@ -143,6 +192,7 @@ def _run_single(
             query,
             timeout_seconds,
             record_cache_delta=record_cache_delta,
+            collect_trace=collect_trace,
         )
         return BatchItem(
             query,
@@ -211,13 +261,21 @@ def _process_worker_init(spec: _WorkerSpec) -> None:
 
 
 def _process_worker_run(
-    index: int, query: str, timeout_seconds: Optional[float]
+    index: int,
+    query: str,
+    timeout_seconds: Optional[float],
+    collect_trace: bool = False,
 ) -> BatchItem:
     """Task body executed in a pool worker.  Per-query deltas are exact
     here: each worker process runs its queries sequentially against its
-    own cache."""
+    own cache.  Traces (and the stage a timeout fired in) ride the
+    returned BatchItem across the pipe — outcomes, errors, and the
+    :class:`~repro.synthesis.stages.Trace` payload all pickle."""
     assert _WORKER_SYNTH is not None, "worker initializer did not run"
-    return _run_single(_WORKER_SYNTH, index, query, timeout_seconds)
+    return _run_single(
+        _WORKER_SYNTH, index, query, timeout_seconds,
+        collect_trace=collect_trace,
+    )
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -250,11 +308,14 @@ class Synthesizer:
         config=None,
         limits: Optional[PathSearchLimits] = None,
         cache_outcomes: bool = True,
+        trace: bool = False,
     ):
         self.domain = domain
         self.engine = make_engine(engine, config)
         self.limits = limits
         self.cache_outcomes = cache_outcomes
+        #: Default for per-call ``collect_trace`` (record per-stage spans).
+        self.trace = trace
 
     def build_problem(
         self, query: str, deadline: Optional[Deadline] = None
@@ -295,6 +356,7 @@ class Synthesizer:
         timeout_seconds: Optional[float] = None,
         *,
         record_cache_delta: bool = True,
+        collect_trace: Optional[bool] = None,
     ) -> SynthesisOutcome:
         """Synthesize a codelet for ``query``.
 
@@ -309,13 +371,29 @@ class Synthesizer:
         (``stats.cache_delta_scope`` becomes "batch", fields read 0) —
         the thread fan-out uses this because subtracting counters shared
         with concurrent queries would produce racy numbers.
+
+        ``collect_trace`` (default: the constructor's ``trace`` flag)
+        records a per-stage :class:`~repro.synthesis.stages.Trace` on
+        ``outcome.trace`` — and on the raised exception when the pipeline
+        fails mid-stage.  Tracing never changes the synthesis result.
         """
         deadline = (
             Deadline(timeout_seconds)
             if timeout_seconds is not None
             else Deadline.unlimited()
         )
-        deadline.check()
+        tracing = self.trace if collect_trace is None else collect_trace
+        ctx = SynthesisContext(
+            query=query,
+            domain=self.domain,
+            deadline=deadline,
+            limits=self.limits,
+            trace=Trace() if tracing else None,
+        )
+        # The deadline is checked before the outcome-cache lookup (a zero
+        # budget beats a warm cache); attributed to "parse", the stage the
+        # pipeline would have entered.
+        check_stage_entry(ctx, "parse")
         cache = self.domain.path_cache
         before = cache.snapshot() if record_cache_delta else None
         started = time.monotonic()
@@ -331,12 +409,15 @@ class Synthesizer:
                     )
                 else:
                     outcome.stats.mark_cache_delta_unrecorded()
+                if ctx.trace is not None:
+                    # No stages ran; the trace records only the hit.
+                    ctx.trace.cache_hit = True
+                    outcome.trace = ctx.trace
                 outcome.elapsed_seconds = time.monotonic() - started
                 return outcome
 
-        problem = self.build_problem(query, deadline)
-        deadline.check()
-        outcome = self.engine.synthesize(problem, deadline)
+        problem = run_front_end(ctx)
+        outcome = self.engine.synthesize(problem, ctx=ctx)
         outcome.query = query
         if record_cache_delta:
             outcome.stats.record_cache_delta(before, cache.snapshot())
@@ -345,6 +426,7 @@ class Synthesizer:
         outcome.elapsed_seconds = time.monotonic() - started
         if key is not None:
             cache.put_outcome(key, outcome)
+        outcome.trace = ctx.trace
         return outcome
 
     # ------------------------------------------------------------------
@@ -386,6 +468,7 @@ class Synthesizer:
         backend: str = "thread",
         cache_dir: Optional[str] = None,
         on_result=None,
+        collect_trace: bool = False,
     ) -> List[BatchItem]:
         """Synthesize a batch of queries.
 
@@ -415,9 +498,14 @@ class Synthesizer:
         ``on_result`` (optional) is invoked with each finished
         :class:`BatchItem` as it completes — in input order for a serial
         run, in completion order otherwise.
+
+        ``collect_trace=True`` records per-stage spans on every item
+        (``item.trace``; ``repro batch --json --trace`` renders them) —
+        identical semantics on both backends, traces pickle across the
+        worker pipe.
         """
         if backend not in ("thread", "process"):
-            raise ReproError(
+            raise InvalidRequestError(
                 f"unknown backend {backend!r}; use 'thread' or 'process'"
             )
         queries = list(queries)
@@ -425,7 +513,7 @@ class Synthesizer:
         if backend == "process":
             return self._synthesize_many_process(
                 queries, timeout_seconds_each, max_workers, cache_dir,
-                on_result,
+                on_result, collect_trace,
             )
 
         if cache_dir is not None:
@@ -435,7 +523,8 @@ class Synthesizer:
 
         def run_one(index: int, query: str) -> BatchItem:
             item = _run_single(
-                self, index, query, timeout_seconds_each, record_deltas
+                self, index, query, timeout_seconds_each, record_deltas,
+                collect_trace,
             )
             if on_result is not None:
                 on_result(item)
@@ -456,6 +545,7 @@ class Synthesizer:
         max_workers: int,
         cache_dir: Optional[str],
         on_result,
+        collect_trace: bool = False,
     ) -> List[BatchItem]:
         spec = self._worker_spec(cache_dir)
         n_workers = max(1, min(max_workers, max(1, len(queries))))
@@ -468,7 +558,8 @@ class Synthesizer:
         ) as pool:
             futures = [
                 pool.submit(
-                    _process_worker_run, i, q, timeout_seconds_each
+                    _process_worker_run, i, q, timeout_seconds_each,
+                    collect_trace,
                 )
                 for i, q in enumerate(queries)
             ]

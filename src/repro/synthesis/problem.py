@@ -20,7 +20,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.errors import SynthesisError
 from repro.grammar.graph import GrammarGraph, api_id
 from repro.grammar.paths import (
     GrammarPath,
@@ -28,8 +27,6 @@ from repro.grammar.paths import (
     PathSearchLimits,
 )
 from repro.nlp.dependency import DepEdge, DependencyGraph
-from repro.nlp.parser import parse_query
-from repro.nlp.pruning import prune_query_graph
 from repro.nlu.word2api import build_word_to_api_map
 from repro.synthesis.domain import Domain
 
@@ -343,19 +340,19 @@ def build_problem(
 
     ``deadline`` (a :class:`~repro.synthesis.deadline.Deadline`) bounds the
     path search — Step-4 can be expensive in recursive grammars.
+
+    The stage implementations live in :mod:`repro.synthesis.stages`
+    (``parse`` / ``prune`` / ``word_to_api`` / ``edge_to_path``); this
+    wrapper runs them with a minimal, trace-free context.  Imported
+    lazily: stages.py needs :class:`SynthesisProblem` from this module.
     """
-    dep = parse_query(query)
-    pruned = prune_query_graph(dep, domain.prune_config)
-    candidates = build_candidates(domain, pruned)
-    pruned = drop_candidateless(pruned, candidates)
-    if not candidates.get(pruned.root):
-        raise SynthesisError(
-            f"no API candidates for any word of {query!r}; "
-            "cannot start synthesis"
-        )
-    remaining = {
-        n.node_id: candidates[n.node_id]
-        for n in pruned.nodes()
-        if n.node_id in candidates
-    }
-    return SynthesisProblem(domain, pruned, remaining, limits, deadline)
+    from repro.synthesis.deadline import Deadline
+    from repro.synthesis.stages import SynthesisContext, run_front_end
+
+    ctx = SynthesisContext(
+        query=query,
+        domain=domain,
+        deadline=deadline if deadline is not None else Deadline.unlimited(),
+        limits=limits,
+    )
+    return run_front_end(ctx)

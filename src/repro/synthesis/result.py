@@ -139,14 +139,26 @@ class SynthesisOutcome:
     #: runs, direct synthesis, legacy immediate-shed serving), in which
     #: case the field is omitted from :meth:`to_json`.
     queue_wait_ms: Optional[float] = None
+    #: Per-stage spans recorded by the staged pipeline
+    #: (:class:`repro.synthesis.stages.Trace`); None unless tracing was
+    #: requested.  Typed loosely to keep result.py free of stage imports.
+    trace: Optional[object] = None
 
     @property
     def codelet(self) -> str:
         return self.expression.render()
 
-    def to_json(self, *, include_stats: bool = False) -> Dict[str, object]:
+    def to_json(
+        self, *, include_stats: bool = False, include_trace: bool = False
+    ) -> Dict[str, object]:
         """The one JSON shape for a successful synthesis, shared by the
-        batch CLI and the serving front ends (see docs/serving.md)."""
+        batch CLI and the serving front ends (see docs/serving.md).
+
+        ``include_trace`` attaches the per-stage span payload (see
+        docs/architecture.md) when a trace was recorded; without a
+        recorded trace the key is omitted, keeping legacy payloads
+        byte-identical.
+        """
         out: Dict[str, object] = {
             "query": self.query,
             "engine": self.engine,
@@ -158,6 +170,8 @@ class SynthesisOutcome:
             out["queue_wait_ms"] = self.queue_wait_ms
         if include_stats:
             out["stats"] = self.stats.to_json()
+        if include_trace and self.trace is not None:
+            out["trace"] = self.trace.to_json()
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

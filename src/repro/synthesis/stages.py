@@ -1,0 +1,533 @@
+"""The explicit staged synthesis pipeline with per-stage tracing.
+
+The paper's Fig. 3 pipeline used to exist only implicitly —
+``build_problem`` hardwired Steps 1-4 and the engines hid Steps 5-6 — so
+the only measurable quantity was whole-query latency.  This module makes
+the six stages first-class:
+
+======  ==============  ==================================================
+Step    stage name      implementation
+======  ==============  ==================================================
+1       ``parse``       :func:`repro.nlp.parser.parse_query`
+2       ``prune``       :func:`repro.nlp.pruning.prune_query_graph`
+3       ``word_to_api`` :func:`repro.synthesis.problem.build_candidates`
+4       ``edge_to_path`` :class:`repro.synthesis.problem.SynthesisProblem`
+5       ``merge``       ``engine.search()`` (HISyn enumeration / DGGT DP)
+6       ``codegen``     :func:`repro.core.expression.cgt_to_expression`
+======  ==============  ==================================================
+
+A :class:`SynthesisContext` (query, domain, deadline, stats, optional
+:class:`Trace`) is threaded through every stage; :func:`run_stage` wraps
+each one in a lightweight span — monotonic wall time, deadline remaining,
+deltas of the Table III counters — and attributes cooperative timeouts to
+the stage they fired in (``exc.stage``/``exc.trace``).  Traces flow
+end-to-end: ``SynthesisOutcome.to_json(include_trace=True)``, ``repro
+batch --json --trace``, the serving front ends (``include_trace``
+requests), and the per-stage p50/p99 aggregates in ``GET /stats``
+(:class:`StageLatencyAggregator`).  See docs/architecture.md.
+
+Tracing is opt-in and behavior-preserving: with ``trace=None`` the stages
+run exactly the pre-refactor code path (byte-identical codelets,
+identical stats counters), and with tracing on the only extra work is two
+clock reads and a counter snapshot per stage (< 5% on the warm path,
+pinned by benchmarks/test_trace_overhead.py).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.expression import cgt_to_expression
+from repro.errors import ReproError, SynthesisError, SynthesisTimeout
+from repro.grammar.paths import PathSearchLimits
+from repro.nlp.parser import parse_query
+from repro.nlp.pruning import prune_query_graph
+from repro.synthesis.deadline import Deadline
+from repro.synthesis.result import SynthesisOutcome, SynthesisStats
+
+#: The six Fig. 3 stages, in execution order.  Stage names are part of
+#: the trace wire format (docs/architecture.md) — never rename them.
+STAGE_NAMES: Tuple[str, ...] = (
+    "parse",
+    "prune",
+    "word_to_api",
+    "edge_to_path",
+    "merge",
+    "codegen",
+)
+
+#: Steps 1-4 (the shared front end) / Steps 5-6 (the engine back end).
+FRONT_END_STAGE_NAMES: Tuple[str, ...] = STAGE_NAMES[:4]
+ENGINE_STAGE_NAMES: Tuple[str, ...] = STAGE_NAMES[4:]
+
+
+def _stat_counters(stats: SynthesisStats) -> Dict[str, int]:
+    """The Table III counters a span snapshots (as_dict short names);
+    the cache-delta fields are set *after* the pipeline runs, so they are
+    excluded — their deltas through any stage are always zero."""
+    return {
+        "dep_edges": stats.n_dep_edges,
+        "orig_paths": stats.n_orig_paths,
+        "paths_after_reloc": stats.n_paths_after_reloc,
+        "orphans": stats.n_orphans,
+        "reloc_variants": stats.n_reloc_variants,
+        "combinations": stats.n_combinations,
+        "pruned_grammar": stats.pruned_by_grammar,
+        "pruned_size": stats.pruned_by_size,
+        "merged": stats.n_merged,
+        "valid_cgts": stats.n_valid_cgts,
+    }
+
+
+@dataclass
+class StageSpan:
+    """One stage execution inside a :class:`Trace`.
+
+    ``deadline_remaining_seconds`` is the budget left when the stage
+    finished (None for an unlimited deadline); ``counters`` holds only
+    the stats counters the stage actually changed (typically empty for
+    the front end, the Table III numbers for ``merge``).
+    """
+
+    stage: str
+    elapsed_seconds: float
+    deadline_remaining_seconds: Optional[float] = None
+    status: str = "ok"  # "ok" | "timeout" | "error"
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        remaining = self.deadline_remaining_seconds
+        return {
+            "stage": self.stage,
+            "elapsed_ms": round(self.elapsed_seconds * 1000.0, 3),
+            "deadline_remaining_ms": (
+                None if remaining is None else round(remaining * 1000.0, 3)
+            ),
+            "status": self.status,
+            "counters": dict(self.counters),
+        }
+
+
+@dataclass
+class Trace:
+    """Per-query record of the stages that ran, in order.
+
+    A cache-hit trace has ``cache_hit=True`` and no spans (the outcome
+    cache answers before any stage runs).  Picklable, so traces survive
+    the process-pool worker pipe attached to outcomes and timeouts.
+    """
+
+    spans: List[StageSpan] = field(default_factory=list)
+    cache_hit: bool = False
+
+    def span(self, stage: str) -> Optional[StageSpan]:
+        """The last recorded span of a stage (None if it never ran)."""
+        for recorded in reversed(self.spans):
+            if recorded.stage == stage:
+                return recorded
+        return None
+
+    @property
+    def timed_out_stage(self) -> Optional[str]:
+        """The stage whose span recorded the timeout, if any."""
+        for recorded in self.spans:
+            if recorded.status == "timeout":
+                return recorded.stage
+        return None
+
+    def stage_seconds(self) -> Dict[str, float]:
+        """Per-stage wall time (summed when a stage has several spans)."""
+        out: Dict[str, float] = {}
+        for recorded in self.spans:
+            out[recorded.stage] = (
+                out.get(recorded.stage, 0.0) + recorded.elapsed_seconds
+            )
+        return out
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(recorded.elapsed_seconds for recorded in self.spans)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "cache_hit": self.cache_hit,
+            "total_ms": round(self.total_seconds * 1000.0, 3),
+            "spans": [recorded.to_json() for recorded in self.spans],
+        }
+
+
+@dataclass
+class SynthesisContext:
+    """Everything threaded through the staged pipeline for one query.
+
+    ``trace=None`` (the default) disables span recording entirely;
+    ``keep_artifacts`` makes :func:`run_stage` retain each stage's return
+    value in ``artifacts`` (used by ``repro explain``, never by the
+    serving path — artifacts hold whole dependency graphs and problems).
+    """
+
+    query: str
+    domain: Any  # repro.synthesis.domain.Domain (kept loose: no cycle)
+    deadline: Deadline
+    limits: Optional[PathSearchLimits] = None
+    stats: SynthesisStats = field(default_factory=SynthesisStats)
+    trace: Optional[Trace] = None
+    keep_artifacts: bool = False
+    artifacts: Dict[str, Any] = field(default_factory=dict)
+
+
+class Stage:
+    """Protocol for one pipeline stage: a ``name`` from
+    :data:`STAGE_NAMES` plus ``run(ctx, value)`` taking the previous
+    stage's return value and producing the next one."""
+
+    name: str = "?"
+
+    def run(
+        self, ctx: SynthesisContext, value: Any
+    ) -> Any:  # pragma: no cover - protocol
+        raise NotImplementedError
+
+
+def _mark_timeout(
+    exc: SynthesisTimeout, stage_name: str, trace: Optional[Trace]
+) -> None:
+    """Attribute a timeout to the stage it fired in.  The attributes ride
+    ``SynthesisTimeout.__reduce__``'s ``__dict__`` element, so they
+    survive the process-pool worker pipe like ``partial_stats`` does."""
+    if getattr(exc, "stage", None) is None:
+        exc.stage = stage_name
+    if trace is not None and getattr(exc, "trace", None) is None:
+        exc.trace = trace
+
+
+def _finish_span(
+    ctx: SynthesisContext,
+    stage_name: str,
+    started: float,
+    counters_before: Dict[str, int],
+    status: str,
+) -> None:
+    elapsed = time.monotonic() - started
+    after = _stat_counters(ctx.stats)
+    deadline = ctx.deadline
+    remaining = (
+        None
+        if deadline.budget_seconds is None
+        else max(0.0, deadline.budget_seconds - deadline.elapsed)
+    )
+    ctx.trace.spans.append(
+        StageSpan(
+            stage=stage_name,
+            elapsed_seconds=elapsed,
+            deadline_remaining_seconds=remaining,
+            status=status,
+            counters={
+                name: value - counters_before[name]
+                for name, value in after.items()
+                if value != counters_before[name]
+            },
+        )
+    )
+
+
+def run_stage(ctx: SynthesisContext, stage: Stage, value: Any) -> Any:
+    """Run one stage under the context's deadline and trace.
+
+    The deadline is checked at stage entry, and a
+    :class:`SynthesisTimeout` raised anywhere inside the stage is
+    attributed to it (``exc.stage``, plus ``exc.trace`` when tracing).
+    With ``ctx.trace`` unset this adds nothing but the entry check the
+    monolithic pipeline already performed.
+    """
+    if ctx.trace is None:
+        try:
+            ctx.deadline.check()
+            result = stage.run(ctx, value)
+        except SynthesisTimeout as exc:
+            _mark_timeout(exc, stage.name, None)
+            raise
+        if ctx.keep_artifacts:
+            ctx.artifacts[stage.name] = result
+        return result
+
+    started = time.monotonic()
+    counters_before = _stat_counters(ctx.stats)
+    try:
+        ctx.deadline.check()
+        result = stage.run(ctx, value)
+    except SynthesisTimeout as exc:
+        _finish_span(ctx, stage.name, started, counters_before, "timeout")
+        _mark_timeout(exc, stage.name, ctx.trace)
+        raise
+    except Exception as exc:
+        _finish_span(ctx, stage.name, started, counters_before, "error")
+        if isinstance(exc, ReproError) and getattr(exc, "trace", None) is None:
+            exc.trace = ctx.trace
+        raise
+    _finish_span(ctx, stage.name, started, counters_before, "ok")
+    if ctx.keep_artifacts:
+        ctx.artifacts[stage.name] = result
+    return result
+
+
+def check_stage_entry(ctx: SynthesisContext, stage_name: str) -> None:
+    """A deadline check attributed to the stage *about to* run.
+
+    The Synthesizer uses this before its outcome-cache lookup so a zero
+    budget still beats a warm cache (tests pin that ordering) while the
+    timeout is reported as expiring at ``parse`` entry — which is where
+    the pipeline would have stopped.
+    """
+    try:
+        ctx.deadline.check()
+    except SynthesisTimeout as exc:
+        if ctx.trace is not None:
+            _finish_span(
+                ctx,
+                stage_name,
+                time.monotonic(),
+                _stat_counters(ctx.stats),
+                "timeout",
+            )
+        _mark_timeout(exc, stage_name, ctx.trace)
+        raise
+
+
+# ---------------------------------------------------------------------------
+# Front-end stages (Steps 1-4)
+# ---------------------------------------------------------------------------
+
+
+class ParseStage(Stage):
+    """Step 1 — dependency parsing of the raw query."""
+
+    name = "parse"
+
+    def run(self, ctx: SynthesisContext, value: Any):
+        return parse_query(ctx.query)
+
+
+class PruneStage(Stage):
+    """Step 2 — query-graph pruning with the domain's prune config."""
+
+    name = "prune"
+
+    def run(self, ctx: SynthesisContext, dep):
+        return prune_query_graph(dep, ctx.domain.prune_config)
+
+
+class WordToApiStage(Stage):
+    """Step 3 — endpoint candidates per word, then the candidate-aware
+    prune (words matching no API are non-essential)."""
+
+    name = "word_to_api"
+
+    def run(self, ctx: SynthesisContext, pruned):
+        from repro.synthesis.problem import (
+            build_candidates,
+            drop_candidateless,
+        )
+
+        candidates = build_candidates(ctx.domain, pruned)
+        pruned = drop_candidateless(pruned, candidates)
+        if not candidates.get(pruned.root):
+            raise SynthesisError(
+                f"no API candidates for any word of {ctx.query!r}; "
+                "cannot start synthesis"
+            )
+        remaining = {
+            n.node_id: candidates[n.node_id]
+            for n in pruned.nodes()
+            if n.node_id in candidates
+        }
+        return (pruned, remaining)
+
+
+class EdgeToPathStage(Stage):
+    """Step 4 — the reversed all-path search per dependency edge
+    (constructing a :class:`SynthesisProblem` runs it eagerly)."""
+
+    name = "edge_to_path"
+
+    def run(self, ctx: SynthesisContext, value):
+        from repro.synthesis.problem import SynthesisProblem
+
+        pruned, candidates = value
+        return SynthesisProblem(
+            ctx.domain, pruned, candidates, ctx.limits, ctx.deadline
+        )
+
+
+#: The four front-end stages are stateless — one shared instance each.
+FRONT_END_STAGES: Tuple[Stage, ...] = (
+    ParseStage(),
+    PruneStage(),
+    WordToApiStage(),
+    EdgeToPathStage(),
+)
+
+
+def run_front_end(ctx: SynthesisContext):
+    """Steps 1-4: query text in, engine-ready
+    :class:`~repro.synthesis.problem.SynthesisProblem` out."""
+    value: Any = None
+    for stage in FRONT_END_STAGES:
+        value = run_stage(ctx, stage, value)
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Engine stages (Steps 5-6)
+# ---------------------------------------------------------------------------
+
+
+class MergeStage(Stage):
+    """Step 5 — the optimal-CGT search, engine-specific: exhaustive
+    enumeration (HISyn) or the dynamic program over relocation variants
+    (DGGT).  Fills the Table III counters in ``ctx.stats``."""
+
+    name = "merge"
+
+    def __init__(self, engine):
+        self.engine = engine
+
+    def run(self, ctx: SynthesisContext, problem):
+        return self.engine.search(problem, ctx.deadline, ctx.stats)
+
+
+class CodegenStage(Stage):
+    """Step 6 — render the optimal CGT as a codelet expression.  Engine
+    independent: both back ends share this code path verbatim."""
+
+    name = "codegen"
+
+    def __init__(self, engine_name: str):
+        self.engine_name = engine_name
+
+    def run(self, ctx: SynthesisContext, value):
+        problem, cgt = value
+        graph = problem.domain.graph
+        return SynthesisOutcome(
+            query=ctx.query,
+            engine=self.engine_name,
+            expression=cgt_to_expression(cgt, graph),
+            cgt=cgt,
+            size=cgt.api_count(graph),
+            stats=ctx.stats,
+        )
+
+
+def synthesize_with(
+    engine,
+    problem,
+    deadline: Optional[Deadline] = None,
+    ctx: Optional[SynthesisContext] = None,
+) -> SynthesisOutcome:
+    """Steps 5-6 for one engine: the shared body behind both engines'
+    ``synthesize``.  When ``ctx`` is None (engines called directly on a
+    pre-built problem, the pre-refactor API) a minimal context is built
+    around ``deadline``; otherwise ``ctx`` carries the deadline and the
+    spans land in its trace."""
+    started = time.monotonic()
+    if ctx is None:
+        ctx = SynthesisContext(
+            query="",
+            domain=problem.domain,
+            deadline=(
+                deadline if deadline is not None else Deadline.unlimited()
+            ),
+        )
+    cgt = run_stage(ctx, MergeStage(engine), problem)
+    outcome = run_stage(ctx, CodegenStage(engine.name), (problem, cgt))
+    outcome.elapsed_seconds = time.monotonic() - started
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# Serving-side aggregation (GET /stats)
+# ---------------------------------------------------------------------------
+
+
+def _percentile(ordered: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    return ordered[index]
+
+
+class StageLatencyAggregator:
+    """Thread-safe per-stage latency windows for the serving layer.
+
+    Every served request's trace is observed; ``snapshot()`` renders the
+    per-stage count / mean / p50 / p99 section of ``GET /stats`` that
+    capacity planning and the scheduler's future adaptive tuning read
+    (docs/architecture.md).  Percentiles come from a bounded window of
+    the most recent ``window`` samples per stage, so a long-lived server
+    reports current behaviour, not its lifetime average.
+    """
+
+    def __init__(self, window: int = 2048):
+        self._lock = threading.Lock()
+        self._window = window
+        self._samples: Dict[str, "deque[float]"] = {}
+        self._counts: Dict[str, int] = {}
+        self._totals: Dict[str, float] = {}
+        self._cache_hits = 0
+        self._observed = 0
+
+    def observe(self, trace: Optional[Trace]) -> None:
+        if trace is None:
+            return
+        with self._lock:
+            self._observed += 1
+            if trace.cache_hit:
+                self._cache_hits += 1
+            for span in trace.spans:
+                window = self._samples.get(span.stage)
+                if window is None:
+                    window = deque(maxlen=self._window)
+                    self._samples[span.stage] = window
+                window.append(span.elapsed_seconds)
+                self._counts[span.stage] = (
+                    self._counts.get(span.stage, 0) + 1
+                )
+                self._totals[span.stage] = (
+                    self._totals.get(span.stage, 0.0) + span.elapsed_seconds
+                )
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            stages: Dict[str, Any] = {}
+            order = list(STAGE_NAMES) + sorted(
+                set(self._samples) - set(STAGE_NAMES)
+            )
+            for stage in order:
+                window = self._samples.get(stage)
+                if not window:
+                    continue
+                ordered = sorted(window)
+                count = self._counts[stage]
+                stages[stage] = {
+                    "count": count,
+                    "mean_ms": round(
+                        self._totals[stage] / count * 1000.0, 3
+                    ),
+                    "p50_ms": round(
+                        _percentile(ordered, 0.50) * 1000.0, 3
+                    ),
+                    "p99_ms": round(
+                        _percentile(ordered, 0.99) * 1000.0, 3
+                    ),
+                }
+            return {
+                "observed": self._observed,
+                "cache_hits": self._cache_hits,
+                "window": self._window,
+                "stages": stages,
+            }

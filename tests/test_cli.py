@@ -36,9 +36,42 @@ class TestMain:
         assert "engine=hisyn" in capsys.readouterr().err
 
     def test_stats_flag(self, capsys):
+        from repro import load_domain
+
+        load_domain("textediting").path_cache.clear()
         code = main(["--stats", "print every line"])
         assert code == 0
-        assert "combinations" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "combinations" in err
+        # --stats implies the per-stage timing lines.
+        assert "# stage merge = " in err
+
+    def test_trace_flag(self, capsys):
+        from repro import load_domain
+
+        # The registry domain is shared across tests; a warm outcome
+        # cache would answer before any stage runs (cache-hit trace).
+        load_domain("textediting").path_cache.clear()
+        code = main(["--trace", "print every line"])
+        assert code == 0
+        err = capsys.readouterr().err
+        for stage in (
+            "parse", "prune", "word_to_api", "edge_to_path", "merge",
+            "codegen",
+        ):
+            assert f"# stage {stage} = " in err
+        # --trace alone does not drag in the counters.
+        assert "combinations" not in err
+
+    def test_no_trace_by_default(self, capsys):
+        code = main(["print every line"])
+        assert code == 0
+        assert "# stage " not in capsys.readouterr().err
+
+    def test_timeout_names_stage(self, capsys):
+        code = main(["--timeout", "0", "print every line"])
+        assert code == 1
+        assert "expired in stage 'parse'" in capsys.readouterr().err
 
     def test_list_domains(self, capsys):
         code = main(["--list-domains"])

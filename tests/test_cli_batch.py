@@ -61,6 +61,35 @@ class TestBatchCommand:
             "elapsed_seconds", "error",
         }
 
+    def test_json_trace_flag(self, tmp_path, capsys):
+        path = _write_queries(
+            tmp_path, ["print every line", "zzz qqq xxx"]
+        )
+        code = main(["batch", path, "--json", "--trace"])
+        captured = capsys.readouterr()
+        assert code == 1
+        ok_item, bad_item = json.loads(captured.out)
+        stages = [s["stage"] for s in ok_item["trace"]["spans"]]
+        if not ok_item["trace"]["cache_hit"]:
+            assert stages == [
+                "parse", "prune", "word_to_api", "edge_to_path", "merge",
+                "codegen",
+            ]
+        assert bad_item["trace"]["spans"][-1]["status"] == "error"
+        # The legacy key set only grows by the opt-in trace.
+        assert set(ok_item) == {
+            "index", "query", "status", "codelet", "size", "engine",
+            "elapsed_seconds", "error", "trace",
+        }
+
+    def test_text_trace_flag(self, tmp_path, capsys):
+        path = _write_queries(tmp_path, ["print every line"])
+        code = main(["batch", path, "--trace"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "#   trace 1: " in captured.err
+        assert "codegen=" in captured.err or "cache hit" in captured.err
+
     def test_failing_query_sets_exit_code(self, tmp_path, capsys):
         path = _write_queries(
             tmp_path, ["print every line", "zzz qqq xxx"]

@@ -7,12 +7,14 @@ aside).  Queries are assembled from the toy domain's vocabulary so the
 exhaustive baseline stays fast enough to enumerate.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.baseline.hisyn import HISynEngine
 from repro.core.dggt import DggtConfig, DggtEngine
 from repro.errors import SynthesisError
+from repro.synthesis.pipeline import Synthesizer
 from repro.synthesis.problem import build_problem
 
 _VERBS = st.sampled_from(["insert", "delete"])
@@ -65,3 +67,71 @@ class TestEngineEquivalence:
         assert full[0] == bare[0], query
         if full[0] == "ok":
             assert full[2] == bare[2], query
+
+
+# ---------------------------------------------------------------------------
+# Tracing is behaviour-preserving (staged-pipeline refactor guard)
+# ---------------------------------------------------------------------------
+
+
+def _suite(domain_name, limit=None):
+    if domain_name == "textediting":
+        from repro.domains.textediting import build_domain
+        from repro.domains.textediting.queries import TEXTEDITING_QUERIES
+
+        cases = TEXTEDITING_QUERIES
+    else:
+        from repro.domains.astmatcher import build_domain
+        from repro.domains.astmatcher.queries import ASTMATCHER_QUERIES
+
+        cases = ASTMATCHER_QUERIES
+    queries = [case.query for case in cases]
+    return build_domain, queries[:limit] if limit else queries
+
+
+def _run_suite(build_domain, queries, engine, collect_trace):
+    """One full pass over a suite on a fresh domain; everything observable
+    except wall time and the trace itself, per query."""
+    synth = Synthesizer(build_domain(fresh=True), engine=engine)
+    results = []
+    for item in synth.synthesize_many(queries, collect_trace=collect_trace):
+        if item.ok:
+            results.append(
+                ("ok", item.outcome.codelet, item.outcome.size,
+                 item.outcome.stats.as_dict())
+            )
+        else:
+            results.append(
+                (item.status, type(item.error).__name__, str(item.error))
+            )
+    return results
+
+
+class TestTracingEquivalence:
+    """Tracing on vs. off: byte-identical codelets, identical counters.
+
+    The staged refactor's core invariant — recording spans must never
+    change what is synthesized or what the Table III counters report.
+    """
+
+    @pytest.mark.parametrize("domain_name", ["textediting", "astmatcher"])
+    def test_full_suite_dggt(self, domain_name):
+        build_domain, queries = _suite(domain_name)
+        plain = _run_suite(build_domain, queries, "dggt", False)
+        traced = _run_suite(build_domain, queries, "dggt", True)
+        assert plain == traced
+
+    @pytest.mark.parametrize("domain_name", ["textediting", "astmatcher"])
+    def test_suite_slice_hisyn(self, domain_name):
+        build_domain, queries = _suite(domain_name, limit=25)
+        plain = _run_suite(build_domain, queries, "hisyn", False)
+        traced = _run_suite(build_domain, queries, "hisyn", True)
+        assert plain == traced
+
+    def test_traced_run_actually_traces(self):
+        build_domain, queries = _suite("textediting", limit=5)
+        synth = Synthesizer(build_domain(fresh=True))
+        items = synth.synthesize_many(queries, collect_trace=True)
+        assert all(
+            item.trace is not None for item in items
+        )
