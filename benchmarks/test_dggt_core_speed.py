@@ -1,0 +1,319 @@
+"""DGGT core speed: interned engine vs. the legacy object engine.
+
+The cross-PR perf trajectory benchmark (ROADMAP "make the DP core as fast
+as the hardware allows").  Every workload runs once per engine in a
+*fresh subprocess* — domains are per-process singletons and the interner
+memos warm monotonically, so an in-process back-to-back comparison would
+hand whichever engine runs second a hot cache.
+
+Workloads:
+
+* both full query suites (TextEditing, ASTMatcher), measuring the
+  engine-core stages (``edge_to_path`` + ``merge``) from the pipeline
+  trace, cold then warm;
+* a synthetic merge-stress sweep (paper Sec. VI's complexity study:
+  ``levels`` x ``fanout`` x ``alternatives`` grammars whose combination
+  count grows as ``alternatives ** fanout`` per sibling group), where the
+  merge loop dominates and the suites' NLU stages would only add noise.
+
+Modes (``REPRO_CORE_BENCH``):
+
+* ``smoke`` (default) — the pinned smoke subset only; compares the
+  measured interned-vs-object speedup against the committed
+  ``BENCH_dggt_core.json`` baseline and fails on a >25% cold-path
+  regression.  Ratios, not absolute seconds, so the check is
+  machine-independent (both engines run on the same host).
+* ``full`` — every workload; rewrites the tracked ``BENCH_dggt_core.json``
+  at the repo root and asserts the suite-wide cold-path speedup floor.
+
+Run directly (``python benchmarks/test_dggt_core_speed.py '<spec-json>'``)
+this file is its own subprocess worker.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_dggt_core.json"
+SCHEMA = "dggt-core-speed/v1"
+
+#: Stages attributable to the DGGT engine core (the tentpole's hot path);
+#: parse/prune/word-to-API are shared NLU front-end work.
+CORE_STAGES = ("edge_to_path", "merge")
+
+COUNTER_FIELDS = (
+    "n_combinations",
+    "pruned_by_grammar",
+    "pruned_by_size",
+    "n_merged",
+    "n_valid_cgts",
+)
+
+#: The full benchmark: both suites plus the merge-stress sweep.
+FULL_WORKLOADS = {
+    "textediting": {"kind": "suite", "domain": "textediting"},
+    "astmatcher": {"kind": "suite", "domain": "astmatcher"},
+    "merge_stress_3x3x4": {"kind": "synthetic", "levels": 3, "fanout": 3, "alternatives": 4},
+    "merge_stress_3x4x4": {"kind": "synthetic", "levels": 3, "fanout": 4, "alternatives": 4},
+    "merge_stress_3x4x5": {"kind": "synthetic", "levels": 3, "fanout": 4, "alternatives": 5},
+}
+
+#: Pinned CI smoke subset: a search-heavy suite slice plus the smallest
+#: merge-stress point — seconds per engine, not minutes.
+SMOKE_WORKLOADS = {
+    "astmatcher_head15": {"kind": "suite", "domain": "astmatcher", "limit": 15},
+    "merge_stress_3x3x4": {"kind": "synthetic", "levels": 3, "fanout": 3, "alternatives": 4},
+}
+
+WARM_ROUNDS = 3
+SMOKE_MAX_REGRESSION = 1.25
+FULL_MIN_SPEEDUP = 4.0  # assertion floor; the committed JSON records ~5x
+FULL_MAX_WARM_RATIO = 1.25  # warm walls are milliseconds; allow scheduler noise
+
+
+# ----------------------------------------------------------------------
+# Subprocess worker: one (engine, workload) measurement per process.
+# ----------------------------------------------------------------------
+
+def _percentile(values, q):
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    return ordered[min(len(ordered) - 1, round(q * (len(ordered) - 1)))]
+
+
+def _per_query_summary(values):
+    return {
+        "p50": _percentile(values, 0.50),
+        "p99": _percentile(values, 0.99),
+        "total": sum(values),
+    }
+
+
+def _sum_counters(stats_list):
+    out = {field: 0 for field in COUNTER_FIELDS}
+    for stats in stats_list:
+        if stats is None:
+            continue
+        for field in COUNTER_FIELDS:
+            out[field] += getattr(stats, field)
+    return out
+
+
+def _worker_suite(impl, spec):
+    from repro.core.dggt import DggtConfig
+    from repro.domains.astmatcher import build_domain as build_astmatcher
+    from repro.domains.astmatcher.queries import ASTMATCHER_QUERIES
+    from repro.domains.textediting import build_domain as build_textediting
+    from repro.domains.textediting.queries import TEXTEDITING_QUERIES
+    from repro.eval.harness import run_dataset
+
+    build, cases = {
+        "textediting": (build_textediting, TEXTEDITING_QUERIES),
+        "astmatcher": (build_astmatcher, ASTMATCHER_QUERIES),
+    }[spec["domain"]]
+    limit = spec.get("limit")
+    if limit:
+        cases = cases[:limit]
+    domain = build()
+    config = DggtConfig(interned=(impl == "interned"))
+
+    def sweep():
+        started = time.perf_counter()
+        results = run_dataset(
+            domain, cases, engine="dggt", config=config,
+            timeout_seconds=120.0, collect_trace=True,
+        )
+        wall = time.perf_counter() - started
+        per_query = []
+        stage_totals = {stage: 0.0 for stage in CORE_STAGES}
+        for result in results:
+            stage_seconds = result.stage_seconds or {}
+            per_query.append(
+                sum(stage_seconds.get(stage, 0.0) for stage in CORE_STAGES)
+            )
+            for stage in CORE_STAGES:
+                stage_totals[stage] += stage_seconds.get(stage, 0.0)
+        return results, wall, per_query, stage_totals
+
+    cold_results, cold_wall, cold_per_query, cold_stages = sweep()
+    warm_walls = []
+    warm_per_query = []
+    for _ in range(WARM_ROUNDS):
+        _results, wall, per_query, _stages = sweep()
+        warm_walls.append(wall)
+        warm_per_query = per_query
+    return {
+        "n_queries": len(cold_results),
+        "core_cold_seconds": sum(cold_per_query),
+        "stage_seconds": cold_stages,
+        "per_query_core_cold": _per_query_summary(cold_per_query),
+        "per_query_core_warm": _per_query_summary(warm_per_query),
+        "wall_cold_seconds": cold_wall,
+        "wall_warm_seconds": min(warm_walls),
+        "counters": _sum_counters(r.stats for r in cold_results),
+    }
+
+
+def _worker_synthetic(impl, spec):
+    from repro.core.dggt import DggtConfig, DggtEngine
+    from repro.eval.synthetic import make_synthetic_domain, make_synthetic_problem
+
+    shape = (spec["levels"], spec["fanout"], spec["alternatives"])
+    domain = make_synthetic_domain(*shape)
+    problem = make_synthetic_problem(domain, *shape)
+    engine = DggtEngine(DggtConfig(interned=(impl == "interned")))
+    started = time.perf_counter()
+    out = engine.synthesize(problem)
+    cold = time.perf_counter() - started
+    return {
+        "n_queries": 1,
+        "params": {"levels": shape[0], "fanout": shape[1], "alternatives": shape[2]},
+        "core_cold_seconds": cold,
+        "per_query_core_cold": _per_query_summary([cold]),
+        "wall_cold_seconds": cold,
+        "size": out.size,
+        "counters": _sum_counters([out.stats]),
+    }
+
+
+def _worker_main(raw_spec):
+    spec = json.loads(raw_spec)
+    impl = spec["impl"]
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    if impl == "object":
+        from repro.grammar.paths import set_search_impl
+
+        set_search_impl("object")
+    runner = _worker_suite if spec["kind"] == "suite" else _worker_synthetic
+    print(json.dumps(runner(impl, spec)))
+
+
+# ----------------------------------------------------------------------
+# Orchestration (the pytest side).
+# ----------------------------------------------------------------------
+
+def _measure(name, spec, impl):
+    payload = dict(spec, impl=impl)
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    proc = subprocess.run(
+        [sys.executable, str(Path(__file__).resolve()), json.dumps(payload)],
+        capture_output=True, text=True, env=env, cwd=str(REPO_ROOT),
+        timeout=1800,
+    )
+    assert proc.returncode == 0, (
+        f"{name}/{impl} worker failed:\n{proc.stdout}\n{proc.stderr}"
+    )
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+def _run_workloads(workloads):
+    report = {}
+    for name, spec in workloads.items():
+        per_engine = {}
+        for impl in ("object", "interned"):
+            per_engine[impl] = _measure(name, spec, impl)
+        # The engines must have walked the same search space — a counter
+        # drift here means the speedup below compares different work.
+        assert (
+            per_engine["object"]["counters"] == per_engine["interned"]["counters"]
+        ), f"{name}: engine counters diverged"
+        entry = dict(spec)
+        entry["object"] = per_engine["object"]
+        entry["interned"] = per_engine["interned"]
+        entry["speedup_cold"] = (
+            per_engine["object"]["core_cold_seconds"]
+            / max(per_engine["interned"]["core_cold_seconds"], 1e-9)
+        )
+        report[name] = entry
+    return report
+
+
+def _aggregate(report):
+    object_cold = sum(w["object"]["core_cold_seconds"] for w in report.values())
+    interned_cold = sum(w["interned"]["core_cold_seconds"] for w in report.values())
+    warm_pairs = [
+        (w["object"]["wall_warm_seconds"], w["interned"]["wall_warm_seconds"])
+        for w in report.values()
+        if "wall_warm_seconds" in w["object"]
+    ]
+    object_warm = sum(pair[0] for pair in warm_pairs)
+    interned_warm = sum(pair[1] for pair in warm_pairs)
+    return {
+        "object_core_cold_seconds": object_cold,
+        "interned_core_cold_seconds": interned_cold,
+        "suite_wide_cold_speedup": object_cold / max(interned_cold, 1e-9),
+        "object_wall_warm_seconds": object_warm,
+        "interned_wall_warm_seconds": interned_warm,
+        "warm_ratio": interned_warm / max(object_warm, 1e-9),
+    }
+
+
+def test_dggt_core_speed():
+    mode = os.environ.get("REPRO_CORE_BENCH", "smoke")
+    if mode == "full":
+        report = _run_workloads(FULL_WORKLOADS)
+        aggregate = _aggregate(report)
+        smoke = _run_workloads(SMOKE_WORKLOADS)
+        smoke_cold = {
+            "object_core_cold_seconds": sum(
+                w["object"]["core_cold_seconds"] for w in smoke.values()
+            ),
+            "interned_core_cold_seconds": sum(
+                w["interned"]["core_cold_seconds"] for w in smoke.values()
+            ),
+        }
+        smoke_cold["suite_wide_cold_speedup"] = (
+            smoke_cold["object_core_cold_seconds"]
+            / max(smoke_cold["interned_core_cold_seconds"], 1e-9)
+        )
+        payload = {
+            "schema": SCHEMA,
+            "core_stages": list(CORE_STAGES),
+            "workloads": report,
+            "aggregate": aggregate,
+            "smoke_baseline": smoke_cold,
+        }
+        BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        print()
+        print(json.dumps({"aggregate": aggregate, "smoke_baseline": smoke_cold}, indent=2))
+        assert aggregate["suite_wide_cold_speedup"] >= FULL_MIN_SPEEDUP, (
+            f"suite-wide cold speedup {aggregate['suite_wide_cold_speedup']:.2f}x "
+            f"below the {FULL_MIN_SPEEDUP}x floor"
+        )
+        assert aggregate["warm_ratio"] <= FULL_MAX_WARM_RATIO, (
+            f"interned warm path {aggregate['warm_ratio']:.2f}x slower than legacy"
+        )
+        return
+
+    baseline = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+    assert baseline.get("schema") == SCHEMA, (
+        f"unrecognized baseline schema in {BENCH_PATH}; regenerate with "
+        "REPRO_CORE_BENCH=full"
+    )
+    baseline_speedup = baseline["smoke_baseline"]["suite_wide_cold_speedup"]
+    smoke = _run_workloads(SMOKE_WORKLOADS)
+    object_cold = sum(w["object"]["core_cold_seconds"] for w in smoke.values())
+    interned_cold = sum(w["interned"]["core_cold_seconds"] for w in smoke.values())
+    measured = object_cold / max(interned_cold, 1e-9)
+    summary = {
+        "baseline_smoke_speedup": baseline_speedup,
+        "measured_smoke_speedup": measured,
+        "max_regression": SMOKE_MAX_REGRESSION,
+    }
+    print()
+    print(json.dumps(summary, indent=2))
+    assert measured >= baseline_speedup / SMOKE_MAX_REGRESSION, (
+        f"cold-path speedup regressed >25%: measured {measured:.2f}x vs "
+        f"committed baseline {baseline_speedup:.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    _worker_main(sys.argv[1])

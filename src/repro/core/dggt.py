@@ -29,9 +29,15 @@ from itertools import product
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.cgt import CGT
-from repro.core.dynamic_graph import VIRTUAL, DynamicGrammarGraph, DynKey
+from repro.core.dynamic_graph import (
+    VIRTUAL,
+    DynamicGrammarGraph,
+    DynKey,
+    InternedDynamicGraph,
+)
 from repro.core.grammar_pruning import (
     combination_conflicts,
+    conflict_masks_for,
     conflict_pairs_for,
 )
 from repro.core.orphan import relocation_variants
@@ -39,8 +45,10 @@ from repro.core.size_pruning import (
     _path_api_sizes,
     bound_combination,
     exact_tree_cost,
+    exact_tree_cost_enc,
 )
 from repro.errors import SynthesisError, SynthesisTimeout
+from repro.grammar.interning import GraphInterner, IntPath, interner_for
 from repro.grammar.path_cache import PathCache
 from repro.synthesis.deadline import Deadline
 from repro.synthesis.problem import (
@@ -54,16 +62,67 @@ from repro.synthesis.stages import SynthesisContext, synthesize_with
 #: One sibling group: (dependent dep-node id, its usable candidate paths).
 SiblingEntry = Tuple[int, List[CandidatePath]]
 
+#: One usable candidate path in the interned engine:
+#: (the path, its int encoding, the predecessor's DP slot,
+#:  conflict bit, conflict mask, path size).
+IntRec = Tuple[CandidatePath, IntPath, int, int, int, int]
+
+#: One interned sibling group: (dependent dep-node id, its usable records).
+IntSiblingEntry = Tuple[int, List[IntRec]]
+
 
 @dataclass(frozen=True)
 class DggtConfig:
-    """Optimization toggles (all on = the paper's full system)."""
+    """Optimization toggles (all on = the paper's full system).
+
+    ``interned`` selects the integer-interned array core (bitmask conflict
+    pruning, flat DP tables); the legacy object engine stays available for
+    equivalence testing — both produce byte-identical codelets and stats.
+    """
 
     grammar_pruning: bool = True
     size_pruning: bool = True
     orphan_relocation: bool = True
     max_reloc_variants: int = 16
     deadline_stride: int = 256
+    interned: bool = True
+
+
+#: Shared (False, 0) merge-info value — one tuple for every invalid merge.
+_INVALID_MERGE: Tuple[bool, int] = (False, 0)
+
+
+def merge_valid_enc(
+    interner: GraphInterner, combo_encs: Sequence[IntPath]
+) -> bool:
+    """``CGT.is_grammar_valid`` of a combination's fused paths, computed
+    in the interner's bitmask algebra without materializing a
+    :class:`CGT`: the edge union must be a single-rooted tree
+    (|E| == |V| - 1, <=1 parent each) taking at most one alternative per
+    choice non-terminal.  With per-path masks memoized, a combination is
+    a handful of bigint ORs and popcounts: exactly one root means the
+    tree-node count exceeds the distinct-child count by one, |E| == |V|-1
+    then forces each child to have a unique parent, and a doubled choice
+    alternative raises the taken or-edge popcount above the taken choice
+    non-terminal popcount."""
+    em = nm = dm = onm = 0
+    enc_masks = interner.enc_masks
+    for enc in combo_encs:
+        m = enc_masks(enc)
+        em |= m[0]
+        nm |= m[1]
+        dm |= m[2]
+        onm |= m[3]
+    if not em:
+        return False
+    pn = nm.bit_count()
+    pd = dm.bit_count()
+    if pn - pd != 1:
+        return False  # not exactly one root
+    if em.bit_count() != pn - 1:
+        return False  # doubled parent or disconnected (a forest)
+    om = em & interner.or_edge_mask
+    return om.bit_count() == onm.bit_count()
 
 
 class DggtEngine:
@@ -158,6 +217,16 @@ class DggtEngine:
     # ------------------------------------------------------------------
 
     def _synthesize_variant(
+        self,
+        problem: SynthesisProblem,
+        deadline: Deadline,
+        stats: SynthesisStats,
+    ) -> Tuple[CGT, int, int]:
+        if self.config.interned:
+            return self._synthesize_variant_interned(problem, deadline, stats)
+        return self._synthesize_variant_object(problem, deadline, stats)
+
+    def _synthesize_variant_object(
         self,
         problem: SynthesisProblem,
         deadline: Deadline,
@@ -342,14 +411,19 @@ class DggtEngine:
             survivors.append(combo)
         stats.n_combinations += count
 
+        # min_size of every distinct (child, sink) pair, looked up once per
+        # sibling group: offers during this group only target the governor's
+        # level, so the values cannot change mid-group.
+        min_sizes = [
+            {cp.dst: dyng.min_size((child, cp.dst)) for cp in paths}
+            for child, paths in sibling_lists
+        ]
+
         sized = [
             bound_combination(
                 graph,
                 combo,
-                [
-                    dyng.min_size((child, cp.dst))
-                    for child, cp in zip(child_ids, combo)
-                ],
+                [ms[cp.dst] for ms, cp in zip(min_sizes, combo)],
                 path_sizes,
             )
             for combo in survivors
@@ -390,8 +464,7 @@ class DggtEngine:
                 continue  # binding conflict or cross-level invalidity
             stats.n_valid_cgts += 1
             total = tree_cost + sum(
-                dyng.min_size((child, cp.dst))
-                for child, cp in zip(child_ids, combo)
+                ms[cp.dst] for ms, cp in zip(min_sizes, combo)
             )
             if best_total is None or total < best_total:
                 best_total = total
@@ -412,7 +485,9 @@ class DggtEngine:
         sequences and the grammar graph — the per-level dynamic-program
         substructure — so with a domain :class:`PathCache` they are
         computed once per distinct combination across all queries.  The
-        cost is 0 (unused) for invalid merges.
+        layer is keyed by the paths' interned encodings so the interned
+        and legacy engines share every entry.  The cost is 0 (unused)
+        for invalid merges.
         """
 
         def compute() -> Tuple[bool, int]:
@@ -423,5 +498,330 @@ class DggtEngine:
 
         if cache is None:
             return compute()
-        key = tuple(cp.path.nodes for cp in combo)
+        path_ints = cache.interner.path_ints
+        key = tuple(path_ints(cp.path.nodes) for cp in combo)
         return cache.merge_info(key, compute)
+
+    # ------------------------------------------------------------------
+    # Interned engine: the same algorithm over dense int identity.
+    # Every branch, counter increment, and tie-break below mirrors the
+    # object engine exactly — the equivalence suite holds both engines to
+    # byte-identical codelets and identical (non-cache) stats.
+    # ------------------------------------------------------------------
+
+    def _synthesize_variant_interned(
+        self,
+        problem: SynthesisProblem,
+        deadline: Deadline,
+        stats: SynthesisStats,
+    ) -> Tuple[CGT, int, int]:
+        graph = problem.domain.graph
+        interner = interner_for(graph)
+        index = interner.index
+        dep = problem.dep_graph
+        dyng = InternedDynamicGraph(interner)
+        orphans = set(problem.orphan_nodes())
+        cache = problem.domain.path_cache
+
+        order = sorted(
+            (n.node_id for n in dep.nodes()),
+            key=lambda n: (-dep.depth(n), n),
+        )
+        for node_id in order:
+            effective = [
+                e for e in dep.children(node_id) if e.dep not in orphans
+            ]
+            if not effective:
+                for cand in problem.candidates.get(node_id, ()):
+                    dyng.add_leaf(node_id, cand)
+                continue
+            if len(effective) == 1:
+                edge = effective[0]
+                self._case_one_interned(
+                    dyng, node_id, edge.dep, problem.paths_of(edge), stats
+                )
+            else:
+                gov_cands = [
+                    c
+                    for c in problem.candidates.get(node_id, ())
+                    if not c.is_literal
+                ]
+                entries = {
+                    e.dep: problem.paths_of(e) for e in effective
+                }
+                self._case_two_interned(
+                    dyng, node_id, gov_cands, entries, stats, deadline, cache
+                )
+            covered = False
+            for c in problem.candidates.get(node_id, ()):
+                c_int = index.get(c.node_id)
+                if c_int is not None and dyng.has(node_id, c_int):
+                    covered = True
+                    break
+            if not covered:
+                word = dep.node(node_id).word
+                raise SynthesisError(
+                    f"no partial CGT covers the subtree of {word!r}"
+                )
+
+        virtual_entries: Dict[int, List[CandidatePath]] = {
+            dep.root: list(problem.root_paths)
+        }
+        for orphan in sorted(orphans):
+            virtual_entries[orphan] = problem.start_attach_paths(orphan)
+
+        if len(virtual_entries) == 1:
+            self._case_one_interned(
+                dyng, VIRTUAL, dep.root, virtual_entries[dep.root], stats
+            )
+        else:
+            start_cand = EndpointCandidate(node_id=graph.start_id)
+            self._case_two_interned(
+                dyng,
+                VIRTUAL,
+                [start_cand],
+                virtual_entries,
+                stats,
+                deadline,
+                cache,
+            )
+
+        if not dyng.has(VIRTUAL, interner.start):
+            raise SynthesisError("no CGT reaches the grammar start symbol")
+        edges, bindings, size, rank = dyng.optimal(VIRTUAL, interner.start)
+        cgt = CGT(edges, bindings)
+        if not cgt.is_grammar_valid(graph):
+            raise SynthesisError(
+                "joined optimal CGT is not grammar-valid "
+                "(cross-level prefix overlap)"
+            )
+        return cgt, size, rank
+
+    @staticmethod
+    def _case_one_interned(
+        dyng: InternedDynamicGraph,
+        gov_dep_id: int,
+        child_dep_id: int,
+        paths: Sequence[CandidatePath],
+        stats: SynthesisStats,
+    ) -> None:
+        interner = dyng.interner
+        path_ints = interner.path_ints
+        slot_get = dyng._slot.get
+        base = (child_dep_id + 1) * dyng.n
+        for cp in paths:
+            enc = path_ints(cp.path.nodes)
+            pred_slot = slot_get(base + enc[-1])
+            if pred_slot is None:
+                continue
+            dyng.offer_path(gov_dep_id, cp, enc, pred_slot)
+            stats.n_combinations += 1
+            stats.n_merged += 1
+            stats.n_valid_cgts += 1
+
+    def _case_two_interned(
+        self,
+        dyng: InternedDynamicGraph,
+        gov_dep_id: int,
+        gov_candidates: Sequence[EndpointCandidate],
+        entries: Dict[int, List[CandidatePath]],
+        stats: SynthesisStats,
+        deadline: Deadline,
+        cache: Optional[PathCache] = None,
+    ) -> None:
+        child_ids = sorted(entries)
+        interner = dyng.interner
+        index = interner.index
+        path_ints = interner.path_ints
+        slot_get = dyng._slot.get
+        n = dyng.n
+        for gov_cand in gov_candidates:
+            gov_int = index.get(gov_cand.node_id)
+            if gov_int is None:
+                continue  # no grammar path can start at a non-grammar node
+            sibling_lists: List[Tuple[int, List[Tuple[CandidatePath, IntPath, int]]]] = []
+            viable = True
+            for child in child_ids:
+                base = (child + 1) * n
+                usable: List[Tuple[CandidatePath, IntPath, int]] = []
+                for cp in entries[child]:
+                    enc = path_ints(cp.path.nodes)
+                    if enc[0] != gov_int:
+                        continue
+                    pred_slot = slot_get(base + enc[-1])
+                    if pred_slot is None:
+                        continue
+                    usable.append((cp, enc, pred_slot))
+                if not usable:
+                    viable = False
+                    break
+                sibling_lists.append((child, usable))
+            if not viable:
+                continue
+            self._process_sibling_group_interned(
+                dyng, gov_dep_id, gov_cand, gov_int, sibling_lists, stats,
+                deadline, cache,
+            )
+
+    def _process_sibling_group_interned(
+        self,
+        dyng: InternedDynamicGraph,
+        gov_dep_id: int,
+        gov_cand: EndpointCandidate,
+        gov_int: int,
+        sibling_lists: Sequence[Tuple[int, List[Tuple[CandidatePath, IntPath, int]]]],
+        stats: SynthesisStats,
+        deadline: Deadline,
+        cache: Optional[PathCache] = None,
+    ) -> None:
+        interner = dyng.interner
+        graph = interner.graph
+        all_encs = [
+            rec[1] for _child, recs in sibling_lists for rec in recs
+        ]
+        if self.config.grammar_pruning:
+            mask_records = conflict_masks_for(graph, all_encs, cache=cache)
+            check_conflicts = any(mask for _bit, mask in mask_records)
+        else:
+            mask_records = [(0, 0)] * len(all_encs)
+            check_conflicts = False
+        if cache is not None:
+            size_of_enc = cache.size_of_enc
+        else:
+            size_of_enc = interner.size_of_enc
+
+        # Fold the conflict bits, path size, and the per-encoding bitmasks
+        # into each record so the enumeration and the merge loop touch
+        # nothing but local tuples: rec = (cp, enc, pred_slot, conflict_bit,
+        # conflict_mask, size, em, nm, dm, onm, nm_all, sink_bit).
+        enc_masks = interner.enc_masks
+        rec_lists: List[List[IntRec]] = []
+        flat = 0
+        for _child, recs in sibling_lists:
+            full: List[IntRec] = []
+            for cp, enc, pred_slot in recs:
+                bit, mask = mask_records[flat]
+                flat += 1
+                em, nm, dm, onm, nm_all = enc_masks(enc)
+                full.append(
+                    (cp, enc, pred_slot, bit, mask, size_of_enc(enc),
+                     em, nm, dm, onm, nm_all, 1 << enc[-1])
+                )
+            rec_lists.append(full)
+
+        deadline_stride = self.config.deadline_stride
+        survivors: List[Tuple[IntRec, ...]] = []
+        count = 0
+        for combo in product(*rec_lists):
+            count += 1
+            if count % deadline_stride == 0:
+                deadline.check()
+            if check_conflicts:
+                acc = 0
+                conflict = False
+                for rec in combo:
+                    if rec[4] & acc:
+                        conflict = True
+                        break
+                    acc |= rec[3]
+                if conflict:
+                    stats.pruned_by_grammar += 1
+                    continue
+            survivors.append(combo)
+        stats.n_combinations += count
+
+        # (lower, upper, combo, pred_total): the SizedCombination bounds as
+        # a flat tuple; pred sizes read straight off the DP arrays (stable
+        # mid-group — offers only target the governor's level).
+        pred_size = dyng._size
+        src_weight = 1 if interner.is_api[gov_int] else 0
+        sized = []
+        for combo in survivors:
+            pred_total = 0
+            max_size = 0
+            size_sum = 0
+            for rec in combo:
+                pred_total += pred_size[rec[2]]
+                size = rec[5]
+                size_sum += size
+                if size > max_size:
+                    max_size = size
+            lower = max_size + pred_total
+            upper = size_sum - (len(combo) - 1) * src_weight + pred_total
+            sized.append((lower, upper, combo, pred_total))
+
+        sized.sort(key=lambda item: (item[0], item[1]))
+        size_pruning = self.config.size_pruning
+        gov_rank = gov_cand.rank
+        best_total: Optional[int] = None
+        # Locals for the inlined merge validity/cost algebra (the bitmask
+        # form of merge_valid_enc + exact_tree_cost_enc, fed from the
+        # masks hoisted into the records above).  The shared merge cache
+        # layer still sees every lookup on the same interned key, so the
+        # persisted layer stays byte-identical with the legacy engine.
+        or_mask = interner.or_edge_mask
+        weight = interner.weight
+        weight_mask = interner.weight_mask
+        src_bit = 1 << gov_int
+        src_api = interner.is_api[gov_int]
+        merge_info = cache.merge_info if cache is not None else None
+        for idx, item in enumerate(sized):
+            if idx % deadline_stride == 0:
+                deadline.check()
+            lower, _upper, combo, pred_total = item
+            if (
+                size_pruning
+                and best_total is not None
+                and lower > best_total
+            ):
+                stats.pruned_by_size += len(sized) - idx
+                break
+            stats.n_merged += 1
+            combo_encs = tuple(rec[1] for rec in combo)
+            fem = fnm = fdm = fonm = nodes = sinks = 0
+            for rec in combo:
+                fem |= rec[6]
+                fnm |= rec[7]
+                fdm |= rec[8]
+                fonm |= rec[9]
+                nodes |= rec[10]
+                sinks |= rec[11]
+            pn = fnm.bit_count()
+            if (
+                not fem
+                or pn - fdm.bit_count() != 1
+                or fem.bit_count() != pn - 1
+                or (fem & or_mask).bit_count() != fonm.bit_count()
+            ):
+                info = _INVALID_MERGE
+            else:
+                rem = nodes & ~sinks & ~src_bit & weight_mask
+                tree_cost = 0
+                while rem:
+                    low = rem & -rem
+                    tree_cost += weight[low.bit_length() - 1]
+                    rem ^= low
+                if src_api and not (sinks & src_bit):
+                    tree_cost += 1
+                info = (True, tree_cost)
+            if merge_info is not None:
+                info = merge_info(combo_encs, lambda: info)
+            valid, tree_cost = info
+            if not valid:
+                continue  # reconvergent or grammar-conflicting merge
+            created = dyng.add_pcgt(
+                gov_dep_id,
+                gov_int,
+                (fem, fdm, fonm),
+                [rec[0] for rec in combo],
+                [rec[2] for rec in combo],
+                tree_cost,
+                gov_rank,
+            )
+            if not created:
+                continue  # binding conflict or cross-level invalidity
+            stats.n_valid_cgts += 1
+            total = tree_cost + pred_total
+            if best_total is None or total < best_total:
+                best_total = total
+

@@ -24,12 +24,13 @@ node memoizes its full optimal partial CGT.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
+from repro.compat import slotted_dataclass
 from repro.core.cgt import merge_bindings
 from repro.errors import SynthesisError
 from repro.grammar.graph import GrammarGraph
+from repro.grammar.interning import GraphInterner
 from repro.synthesis.problem import CandidatePath, EndpointCandidate
 
 Edge = Tuple[str, str]
@@ -39,13 +40,14 @@ DynKey = Tuple[int, str]
 VIRTUAL = -1
 
 
-@dataclass
+@slotted_dataclass()
 class DynNode:
     """One dynamic-grammar-graph node with its memo fields.
 
     ``min_rank`` is the summed Step-3 rank of the endpoints chosen in the
     optimal partial CGT — the secondary objective after size, so that among
     equally small trees the better-matching APIs win deterministically.
+    Slotted: the legacy engine allocates one per offer.
     """
 
     key: DynKey
@@ -255,3 +257,301 @@ class DynamicGrammarGraph:
                 f"({node.provenance})"
             )
         return "\n".join(lines)
+
+
+class InternedDynamicGraph:
+    """Flat-array memo table for the interned DGGT engine.
+
+    The legacy :class:`DynamicGrammarGraph` keys a dict of :class:`DynNode`
+    objects by ``(dep id, node-id string)`` and re-sorts string edge sets
+    on every tie comparison.  Here a ``DynKey`` interns to a single int —
+    ``(dep_id + 1) * n + node_int`` (``+1`` folds ``VIRTUAL == -1`` into
+    slot 0) — mapping to a *slot* in parallel arrays:
+
+    ``_size``/``_rank``   the memo's two objectives;
+    ``_emask``/``_dmask``/``_onmask``
+                          the optimal partial CGT in the interner's
+                          bitmask algebra (edges / children / taken choice
+                          non-terminals).  Edge unions are single bigint
+                          ORs and validity checks are popcounts; the
+                          sorted edge-code tuple the legacy tie-break
+                          compares is only materialized on a full
+                          (size, rank, edge count) tie, which is rare.
+    ``_bind``             literal bindings keyed by interned node int.
+                          Binding dicts are treated as immutable and
+                          shared between slots when a merge adds nothing.
+
+    PCGT nodes are *counted* (``n_pcgt_nodes``) but not stored: the legacy
+    engine keys each one uniquely, so the stored node never participates
+    in another offer — only its auxiliary edge to the root API does.
+    """
+
+    __slots__ = (
+        "interner",
+        "n",
+        "_slot",
+        "_size",
+        "_rank",
+        "_emask",
+        "_dmask",
+        "_onmask",
+        "_bind",
+        "_etup",
+        "n_pcgt_nodes",
+    )
+
+    def __init__(self, interner: GraphInterner):
+        self.interner = interner
+        self.n = interner.n
+        self._slot: Dict[int, int] = {}
+        self._size: List[int] = []
+        self._rank: List[int] = []
+        self._emask: List[int] = []
+        self._dmask: List[int] = []
+        self._onmask: List[int] = []
+        self._bind: List[Dict[int, str]] = []
+        # edge mask -> its sorted edge-code tuple (tie-break comparisons)
+        self._etup: Dict[int, Tuple[int, ...]] = {}
+        self.n_pcgt_nodes = 0
+
+    # ------------------------------------------------------------------
+    # Accessors (tests / extraction; the engine reads the arrays directly)
+    # ------------------------------------------------------------------
+
+    def key_int(self, dep_id: int, node_int: int) -> int:
+        return (dep_id + 1) * self.n + node_int
+
+    def has(self, dep_id: int, node_int: int) -> bool:
+        return (dep_id + 1) * self.n + node_int in self._slot
+
+    def __len__(self) -> int:
+        return len(self._slot)
+
+    def optimal(
+        self, dep_id: int, node_int: int
+    ) -> Tuple[FrozenSet[Edge], Dict[str, str], int, int]:
+        """(edges, bindings, min_size, min_rank) decoded back to grammar
+        node-id strings — the backtrack of Algorithm 1 line 23."""
+        slot = self._slot.get((dep_id + 1) * self.n + node_int)
+        if slot is None:
+            raise SynthesisError(
+                f"no dynamic-graph node ({dep_id}, {node_int})"
+            )
+        interner = self.interner
+        decode_edge = interner.decode_edge
+        node_ids = interner.node_ids
+        edges = frozenset(
+            decode_edge(code)
+            for code in interner.edge_codes_of_mask(self._emask[slot])
+        )
+        bindings = {
+            node_ids[k]: v for k, v in self._bind[slot].items()
+        }
+        return edges, bindings, self._size[slot], self._rank[slot]
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def _edges_tuple(self, em: int) -> Tuple[int, ...]:
+        """Sorted edge codes of a mask, memoized — only full tie-breaks
+        and test accessors need the tuple form."""
+        cached = self._etup.get(em)
+        if cached is None:
+            codes = self.interner.edge_codes_of_mask(em)
+            codes.sort()
+            cached = tuple(codes)
+            self._etup[em] = cached
+        return cached
+
+    def offer(
+        self,
+        key_int: int,
+        size: int,
+        rank: int,
+        emask: int,
+        dmask: int,
+        onmask: int,
+        bindings: Dict[int, str],
+    ) -> None:
+        """Install (size, rank, partial CGT) at ``key_int`` if it beats
+        the memo — the legacy ``tie_key`` comparison with the cheap
+        components decided first.  Edge counts come from popcounts; the
+        sorted-tuple comparison (int-code order == string edge-pair
+        order) only happens on a full tie between distinct edge sets."""
+        slot = self._slot.get(key_int)
+        if slot is None:
+            self._slot[key_int] = len(self._size)
+            self._size.append(size)
+            self._rank.append(rank)
+            self._emask.append(emask)
+            self._dmask.append(dmask)
+            self._onmask.append(onmask)
+            self._bind.append(bindings)
+            return
+        cur_size = self._size[slot]
+        if size > cur_size:
+            return
+        if size == cur_size:
+            cur_rank = self._rank[slot]
+            if rank > cur_rank:
+                return
+            if rank == cur_rank:
+                cur_emask = self._emask[slot]
+                if emask == cur_emask:
+                    return
+                n_new = emask.bit_count()
+                n_cur = cur_emask.bit_count()
+                if n_new > n_cur:
+                    return
+                if n_new == n_cur and self._edges_tuple(
+                    emask
+                ) >= self._edges_tuple(cur_emask):
+                    return
+        self._size[slot] = size
+        self._rank[slot] = rank
+        self._emask[slot] = emask
+        self._dmask[slot] = dmask
+        self._onmask[slot] = onmask
+        self._bind[slot] = bindings
+
+    def partial_valid(self, emask: int, dmask: int, onmask: int, root_int: int) -> bool:
+        """The legacy ``_partial_valid`` in the bitmask algebra: a partial
+        CGT must have one parent per child (``|edges| == |children|`` —
+        any doubled child makes the edge count exceed the distinct-child
+        count), must not make the root a child, and may take at most one
+        alternative per choice non-terminal (a second taken or-edge under
+        one non-terminal raises the or-edge popcount above the taken
+        non-terminal popcount)."""
+        if not emask:
+            return True
+        if emask.bit_count() != dmask.bit_count():
+            return False
+        if (dmask >> root_int) & 1:
+            return False
+        om = emask & self.interner.or_edge_mask
+        return om.bit_count() == onmask.bit_count()
+
+    def add_leaf(self, dep_id: int, candidate: EndpointCandidate) -> None:
+        """A leaf word's endpoint: size 1 for an API, 0 for a literal
+        slot.  Endpoints outside the grammar are skipped — they could
+        never be a path's sink, so the legacy node they would create is
+        unreachable."""
+        node_int = self.interner.index.get(candidate.node_id)
+        if node_int is None:
+            return
+        size = 0 if candidate.is_literal else 1
+        self.offer(
+            (dep_id + 1) * self.n + node_int,
+            size,
+            candidate.rank,
+            0,
+            0,
+            0,
+            _EMPTY_BINDINGS,
+        )
+
+    def offer_path(
+        self,
+        gov_dep_id: int,
+        cp: CandidatePath,
+        enc: Tuple[int, ...],
+        pred_slot: int,
+    ) -> None:
+        """Case I in int space: extend the predecessor slot's optimal
+        partial CGT with one grammar path (no update on a literal-binding
+        conflict or an invalid join, exactly like the legacy path)."""
+        interner = self.interner
+        size = interner.size_of_enc(enc) + self._size[pred_slot]
+        rank = cp.src_candidate.rank + self._rank[pred_slot]
+        em, _nm, dm, onm, _all = interner.enc_masks(enc)
+        em |= self._emask[pred_slot]
+        dm |= self._dmask[pred_slot]
+        onm |= self._onmask[pred_slot]
+
+        pred_bind = self._bind[pred_slot]
+        bound = cp.binding()
+        if bound is None:
+            bindings = pred_bind
+        else:
+            lit_int = interner.index[bound[0]]
+            existing = pred_bind.get(lit_int)
+            if existing is None:
+                bindings = dict(pred_bind)
+                bindings[lit_int] = bound[1]
+            elif existing != bound[1]:
+                return
+            else:
+                bindings = pred_bind
+        if not self.partial_valid(em, dm, onm, enc[0]):
+            return
+        self.offer(
+            (gov_dep_id + 1) * self.n + enc[0],
+            size,
+            rank,
+            em,
+            dm,
+            onm,
+            bindings,
+        )
+
+    def add_pcgt(
+        self,
+        gov_dep_id: int,
+        gov_int: int,
+        path_masks: Tuple[int, int, int],
+        combo_paths: Sequence[CandidatePath],
+        pred_slots: Sequence[int],
+        tree_cost: int,
+        gov_rank: int,
+    ) -> bool:
+        """Case II in int space: one surviving combination joined with its
+        memoized subtrees, offered along the auxiliary edge to the root
+        API.  ``path_masks`` is the combination's already-folded
+        ``(em, dm, onm)`` — the caller has the per-path masks in hand from
+        its merge-validity check, so refolding here would be pure waste.
+        Returns False (no node) on a binding conflict or an invalid
+        join — the same short-circuit order as the legacy version."""
+        interner = self.interner
+        em, dm, onm = path_masks
+        bindings: Dict[int, str] = {}
+        for cp in combo_paths:
+            bound = cp.binding()
+            if bound is not None:
+                lit_int = interner.index[bound[0]]
+                existing = bindings.get(lit_int)
+                if existing is not None and existing != bound[1]:
+                    return False
+                bindings[lit_int] = bound[1]
+        total = tree_cost
+        total_rank = gov_rank
+        for pred_slot in pred_slots:
+            total += self._size[pred_slot]
+            total_rank += self._rank[pred_slot]
+            em |= self._emask[pred_slot]
+            dm |= self._dmask[pred_slot]
+            onm |= self._onmask[pred_slot]
+            for lit_int, value in self._bind[pred_slot].items():
+                existing = bindings.get(lit_int)
+                if existing is not None and existing != value:
+                    return False
+                bindings[lit_int] = value
+
+        if not self.partial_valid(em, dm, onm, gov_int):
+            return False
+        self.n_pcgt_nodes += 1
+        self.offer(
+            (gov_dep_id + 1) * self.n + gov_int,
+            total,
+            total_rank,
+            em,
+            dm,
+            onm,
+            bindings,
+        )
+        return True
+
+
+#: Shared empty-bindings dict for leaves.  Binding dicts are immutable by
+#: convention (merges always copy), so sharing one instance is safe.
+_EMPTY_BINDINGS: Dict[int, str] = {}

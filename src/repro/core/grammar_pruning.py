@@ -18,8 +18,13 @@ from __future__ import annotations
 from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.grammar.graph import GrammarGraph
+from repro.grammar.interning import IntPath, interner_for
 from repro.grammar.path_cache import PathCache
-from repro.grammar.path_voted import PathVotedGraph
+from repro.grammar.path_voted import (
+    PathVotedGraph,
+    conflict_enc_pairs,
+    conflict_mask_records,
+)
 from repro.synthesis.problem import CandidatePath
 
 
@@ -38,6 +43,23 @@ def conflict_pairs_for(
         return cache.conflict_pairs([cp.path for cp in candidate_paths])
     voted = PathVotedGraph(graph, (cp.path for cp in candidate_paths))
     return voted.conflict_path_pairs()
+
+
+def conflict_masks_for(
+    graph: GrammarGraph,
+    encs: Sequence[IntPath],
+    cache: Optional[PathCache] = None,
+) -> List[Tuple[int, int]]:
+    """Per-path ``(bit, mask)`` conflict records for interned encodings —
+    the bitmask form of :func:`conflict_pairs_for` the interned engine
+    consumes.  A combination conflicts iff, scanning members while
+    accumulating bits, a member's mask intersects the accumulated set.
+    With a domain :class:`PathCache`, the pair analysis shares the
+    conflicts layer with the legacy engine."""
+    if cache is not None:
+        return cache.conflict_masks(encs)
+    pairs = conflict_enc_pairs(interner_for(graph), set(encs))
+    return conflict_mask_records(encs, pairs)
 
 
 def combination_conflicts(

@@ -17,17 +17,21 @@ combination's pessimistic total.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.compat import slotted_dataclass
 from repro.grammar.graph import GrammarGraph, NodeKind
+from repro.grammar.interning import GraphInterner, IntPath
 from repro.grammar.path_cache import PathCache
 from repro.synthesis.problem import CandidatePath
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class SizedCombination:
-    """A combination with its cost bounds (min_size/max_size of Sec. V-C)."""
+    """A combination with its cost bounds (min_size/max_size of Sec. V-C).
+
+    Slotted: one is allocated per surviving combination of every sibling
+    group."""
 
     combo: Tuple[CandidatePath, ...]
     lower: int
@@ -101,5 +105,36 @@ def exact_tree_cost(
     src = combo[0].path.nodes[0]
     total = sum(graph.api_weight(n) for n in nodes - sinks - {src})
     if src not in sinks and graph.node(src).kind is NodeKind.API:
+        total += 1
+    return total
+
+
+def exact_tree_cost_enc(
+    interner: GraphInterner,
+    combo_encs: Sequence[IntPath],
+) -> int:
+    """:func:`exact_tree_cost` over interned path encodings.
+
+    Sources/sinks are the encodings' endpoint ints; node sets are the
+    memoized per-encoding bitmasks, so the set algebra is bigint ops and
+    only nodes with non-zero weight are touched.  Value-identical to the
+    string version (both engines share the merge cache layer, so this
+    must hold exactly).
+    """
+    enc_masks = interner.enc_masks
+    nodes = 0
+    sinks = 0
+    for enc in combo_encs:
+        nodes |= enc_masks(enc)[4]
+        sinks |= 1 << enc[-1]
+    src = combo_encs[0][0]
+    weight = interner.weight
+    rem = nodes & ~sinks & ~(1 << src) & interner.weight_mask
+    total = 0
+    while rem:
+        low = rem & -rem
+        total += weight[low.bit_length() - 1]
+        rem ^= low
+    if not (sinks >> src) & 1 and interner.is_api[src]:
         total += 1
     return total

@@ -13,20 +13,27 @@ validity/cost of a sibling-level path merge are all pure functions of path
 pure functions of (query, engine, config).
 
 :class:`PathCache` bundles those layers behind one object attached to a
-:class:`~repro.synthesis.domain.Domain`:
+:class:`~repro.synthesis.domain.Domain`.  All grammar-pure layers key on
+the domain's :class:`~repro.grammar.interning.GraphInterner` encodings
+(ints and int tuples), which is what lets snapshots persist and reload
+them as flat arrays:
 
 ``paths``
-    ``(src_id, dst_id, limits.cache_key())`` -> tuple of raw
+    ``(src_int, dst_int, limits.cache_key())`` -> :class:`_PathsEntry`
+    holding the paths' int encodings plus a lazily decoded tuple of raw
     :class:`GrammarPath` (ids unassigned; per-query catalogs relabel).
 ``conflicts``
-    frozenset of path node-tuples -> conflict pairs expressed over node
-    tuples (path *ids* are per-query labels, so they cannot key a
-    cross-query cache; node tuples are the stable identity).
+    frozenset of path encodings -> conflict pairs expressed over
+    encodings (path *ids* are per-query labels, so they cannot key a
+    cross-query cache; the interned node sequence is the stable
+    identity).  Serves both the legacy pair-set probes and the interned
+    engine's bitmask records.
 ``sizes``
-    path node-tuple -> ``GrammarPath.size(graph)``.
+    path encoding -> ``GrammarPath.size(graph)``.
 ``merge``
-    an opaque memo keyed by a combination's node tuples; the DGGT engine
-    stores (validity, exact tree cost) of a sibling-combination merge here.
+    an opaque memo keyed by a combination's path encodings; the DGGT
+    engine stores (validity, exact tree cost) of a sibling-combination
+    merge here.
 ``outcomes``
     an opaque memo for whole synthesis outcomes, used by
     :class:`~repro.synthesis.pipeline.Synthesizer` for repeated queries.
@@ -76,8 +83,18 @@ from typing import (
 
 from repro.errors import CacheSnapshotError
 from repro.grammar.graph import GrammarGraph
-from repro.grammar.paths import GrammarPath, PathSearchLimits, find_paths
-from repro.grammar.path_voted import PathVotedGraph
+from repro.grammar.interning import IntPath, interner_for
+from repro.grammar import paths as _paths_mod
+from repro.grammar.paths import (
+    GrammarPath,
+    PathSearchLimits,
+    _search_enc,
+    find_paths,
+)
+from repro.grammar.path_voted import (
+    conflict_enc_pairs,
+    conflict_mask_records,
+)
 
 #: Distinguishes "key absent" from a cached falsy value (empty path lists
 #: are common and perfectly cacheable).
@@ -85,6 +102,26 @@ _MISSING = object()
 
 #: Immutable sequence of grammar-graph node ids — a path's stable identity.
 NodeTuple = Tuple[str, ...]
+
+
+class _PathsEntry:
+    """One paths-layer value: the interned encodings plus the decoded
+    :class:`GrammarPath` tuple, filled lazily.
+
+    Snapshots store only ``encs`` (flat int tuples); a loaded entry
+    decodes on first use, sharing the interner's node-id strings — which
+    is what makes warmed-snapshot loads nearly zero-copy instead of
+    rebuilding string-keyed structures up front."""
+
+    __slots__ = ("encs", "paths")
+
+    def __init__(
+        self,
+        encs: Tuple[IntPath, ...],
+        paths: Optional[Tuple[GrammarPath, ...]] = None,
+    ):
+        self.encs = encs
+        self.paths = paths
 
 DEFAULT_MAX_PATH_ENTRIES = 8192
 DEFAULT_MAX_CONFLICT_ENTRIES = 4096
@@ -234,6 +271,7 @@ class PathCache:
         max_outcome_entries: Optional[int] = None,
     ):
         self.graph = graph
+        self.interner = interner_for(graph)
         self.capacities = resolve_capacities(
             {
                 "paths": max_path_entries,
@@ -271,17 +309,52 @@ class PathCache:
         ``on_miss`` runs before a cache-missing DFS (the problem layer
         passes its deadline check, so cache hits never pay the clock read
         and misses still honour the budget).  Results are tuples: cached
-        lists must never be mutated by callers.
+        lists must never be mutated by callers.  Keys are interned ints;
+        endpoints outside the grammar short-circuit to an empty result
+        without touching the cache.
         """
         limits = limits or PathSearchLimits()
-        key = (src_id, dst_id, limits.cache_key())
-        cached = self.paths.get(key)
-        if cached is not _MISSING:
-            return cached
+        interner = self.interner
+        index = interner.index
+        src_int = index.get(src_id)
+        dst_int = index.get(dst_id)
+        if src_int is None or dst_int is None:
+            return ()
+        key = (src_int, dst_int, limits.cache_key())
+        entry = self.paths.get(key)
+        if entry is not _MISSING:
+            paths = entry.paths
+            if paths is None:  # snapshot-loaded entry: decode on first use
+                decode = interner.decode_nodes
+                paths = tuple(
+                    GrammarPath("?", decode(enc)) for enc in entry.encs
+                )
+                entry.paths = paths
+            return paths
         if on_miss is not None:
             on_miss()
-        raw = tuple(find_paths(self.graph, src_id, dst_id, limits))
-        self.paths.put(key, raw)
+        if _paths_mod.PATH_SEARCH_IMPL == "object":
+            raw = tuple(find_paths(self.graph, src_id, dst_id, limits))
+            path_ints = interner.path_ints
+            encs = tuple(path_ints(p.nodes) for p in raw)
+        else:
+            # Search directly in int space: the cache stores the encodings
+            # the search produced, with no re-interning round trip, and
+            # back-memoizes each decoded node tuple so downstream
+            # ``path_ints`` calls are hits.
+            if src_int == dst_int:
+                encs = ((src_int,),)
+            else:
+                encs = tuple(_search_enc(interner, src_int, dst_int, limits))
+            decode = interner.decode_nodes
+            path_memo = interner._path_memo
+            decoded = []
+            for enc in encs:
+                nodes = decode(enc)
+                path_memo[nodes] = enc
+                decoded.append(GrammarPath("?", nodes))
+            raw = tuple(decoded)
+        self.paths.put(key, _PathsEntry(encs, raw))
         return raw
 
     # ------------------------------------------------------------------
@@ -302,40 +375,49 @@ class PathCache:
         and therefore never conflict with each other, so the expansion is
         exact.
         """
-        by_nodes: Dict[NodeTuple, List[str]] = {}
+        interner = self.interner
+        path_ints = interner.path_ints
+        by_enc: Dict[IntPath, List[str]] = {}
         for path in paths:
-            by_nodes.setdefault(path.nodes, []).append(path.path_id)
-        key = frozenset(by_nodes)
-
-        def compute() -> FrozenSet[FrozenSet[NodeTuple]]:
-            canonical = [
-                GrammarPath(str(i), nodes)
-                for i, nodes in enumerate(sorted(by_nodes))
-            ]
-            id_to_nodes = {p.path_id: p.nodes for p in canonical}
-            voted = PathVotedGraph(self.graph, canonical)
-            return frozenset(
-                frozenset(id_to_nodes[i] for i in pair)
-                for pair in voted.conflict_path_pairs()
-            )
-
-        node_pairs = self.conflicts.get_or_compute(key, compute)
+            by_enc.setdefault(path_ints(path.nodes), []).append(path.path_id)
+        key = frozenset(by_enc)
+        enc_pairs = self.conflicts.get_or_compute(
+            key, lambda: conflict_enc_pairs(interner, by_enc)
+        )
         out: Set[FrozenSet[str]] = set()
-        for pair in node_pairs:
-            nodes_a, nodes_b = tuple(pair)
-            for p in by_nodes[nodes_a]:
-                for q in by_nodes[nodes_b]:
+        for pair in enc_pairs:
+            enc_a, enc_b = tuple(pair)
+            for p in by_enc[enc_a]:
+                for q in by_enc[enc_b]:
                     out.add(frozenset((p, q)))
         return out
+
+    def conflict_masks(
+        self, encs: Sequence[IntPath]
+    ) -> List[Tuple[int, int]]:
+        """Per-path ``(bit, mask)`` conflict records for the interned
+        engine, aligned with ``encs`` and sharing the conflicts layer
+        (same key, same cached pair set) with :meth:`conflict_pairs`."""
+        interner = self.interner
+        key = frozenset(encs)
+        enc_pairs = self.conflicts.get_or_compute(
+            key, lambda: conflict_enc_pairs(interner, key)
+        )
+        return conflict_mask_records(encs, enc_pairs)
 
     # ------------------------------------------------------------------
     # Path-size layer
     # ------------------------------------------------------------------
 
     def path_size(self, path: GrammarPath) -> int:
-        """Memoized ``GrammarPath.size(graph)`` keyed by node tuple."""
+        """Memoized ``GrammarPath.size(graph)`` keyed by the path's
+        interned encoding."""
+        return self.size_of_enc(self.interner.path_ints(path.nodes))
+
+    def size_of_enc(self, enc: IntPath) -> int:
+        """Memoized path size for an already-interned encoding."""
         return self.sizes.get_or_compute(
-            path.nodes, lambda: path.size(self.graph)
+            enc, lambda: self.interner.size_of_enc(enc)
         )
 
     # ------------------------------------------------------------------
@@ -390,10 +472,19 @@ class PathCache:
     # ------------------------------------------------------------------
 
     def export_entries(self) -> Dict[str, List[Tuple[Any, Any]]]:
-        """The persistable layers' entries, oldest-first per layer."""
-        return {
-            name: self.layer(name).items() for name in self.PERSISTED_LAYERS
-        }
+        """The persistable layers' entries, oldest-first per layer.
+
+        The paths layer exports encodings only (flat int tuples) — the
+        decoded :class:`GrammarPath` objects are a per-process
+        convenience, not part of the snapshot format.
+        """
+        out: Dict[str, List[Tuple[Any, Any]]] = {}
+        for name in self.PERSISTED_LAYERS:
+            items = self.layer(name).items()
+            if name == "paths":
+                items = [(key, entry.encs) for key, entry in items]
+            out[name] = items
+        return out
 
     def import_entries(
         self, layers: Dict[str, List[Tuple[Any, Any]]]
@@ -402,13 +493,19 @@ class PathCache:
 
         Entries are inserted oldest-first, so when a layer's capacity here
         is smaller than the snapshot's, the LRU keeps the most recently
-        used tail — the same entries a live cache would have kept.
+        used tail — the same entries a live cache would have kept.  Path
+        entries stay encoded until first use (lazy decode).
         """
         kept = 0
         for name in self.PERSISTED_LAYERS:
             lru = self.layer(name)
-            for key, value in layers.get(name, ()):
-                lru.put(key, value)
+            entries = layers.get(name, ())
+            if name == "paths":
+                for key, encs in entries:
+                    lru.put(key, _PathsEntry(tuple(encs)))
+            else:
+                for key, value in entries:
+                    lru.put(key, value)
             kept += len(lru)
         return kept
 
@@ -425,8 +522,12 @@ class PathCache:
 # ---------------------------------------------------------------------------
 
 #: Bump when the snapshot payload layout changes; readers reject other
-#: versions rather than guessing.
-SNAPSHOT_FORMAT_VERSION = 1
+#: versions rather than guessing.  Version 2 switched every persisted
+#: layer to interned int keys/encodings (version-1 snapshots carried
+#: string node tuples and raw GrammarPath objects; loading one here
+#: would mis-key every layer, so :func:`read_snapshot` rejects it and
+#: ``cache warm`` regenerates).
+SNAPSHOT_FORMAT_VERSION = 2
 
 #: Snapshot file suffix (one file per (domain, grammar hash)).
 SNAPSHOT_SUFFIX = ".dggtcache"

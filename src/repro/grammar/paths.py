@@ -16,10 +16,12 @@ additively along the dependency graph — see DESIGN.md "Path size accounting".
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.grammar.graph import GrammarGraph, NodeKind
+from repro.grammar.interning import GraphInterner, interner_for
 
 #: Default cap on the number of nodes in one grammar path.  Recursive
 #: grammars (ASTMatcher's nested matchers) have unboundedly long simple
@@ -138,6 +140,28 @@ class PathSearchLimits:
         )
 
 
+#: Which ``find_paths`` implementation runs: "interned" (the int-space DFS
+#: over :class:`GraphInterner`, the default) or "object" (the original
+#: string-keyed search, kept verbatim for equivalence proofs).  The switch
+#: is module-level because the problem front end is engine-agnostic; flip
+#: it with :func:`set_search_impl` or ``REPRO_PATH_SEARCH``.  Both
+#: implementations return identical paths in identical order.
+PATH_SEARCH_IMPL = os.environ.get("REPRO_PATH_SEARCH", "interned")
+
+
+def set_search_impl(impl: str) -> str:
+    """Select the path-search implementation; returns the previous one."""
+    global PATH_SEARCH_IMPL
+    if impl not in ("interned", "object"):
+        raise ValueError(
+            f"unknown path-search implementation {impl!r}; "
+            "valid: 'interned', 'object'"
+        )
+    previous = PATH_SEARCH_IMPL
+    PATH_SEARCH_IMPL = impl
+    return previous
+
+
 def find_paths(
     graph: GrammarGraph,
     src_id: str,
@@ -147,12 +171,174 @@ def find_paths(
     """All simple grammar paths ``src_id -> ... -> dst_id``.
 
     Implemented as the paper's reversed search: a DFS over *predecessor*
-    edges from ``dst_id``, pruned by the memoized descendants relation (a
-    predecessor is only worth visiting if ``src_id`` can still reach it).
-    Results are deterministic (edge insertion order) and capped by
-    ``limits``.
+    edges from ``dst_id``, pruned by the memoized distances relation (a
+    predecessor is only worth visiting if ``src_id`` can still reach it
+    within the remaining length budget).  Results are deterministic (edge
+    insertion order) and capped by ``limits``.  Dispatches to the interned
+    int-space search unless ``PATH_SEARCH_IMPL`` selects the legacy one.
     """
     limits = limits or PathSearchLimits()
+    if PATH_SEARCH_IMPL == "object":
+        return _find_paths_object(graph, src_id, dst_id, limits)
+    if not graph.has_node(src_id) or not graph.has_node(dst_id):
+        return []
+    if src_id == dst_id:
+        return [GrammarPath("?", (src_id,))]
+    interner = interner_for(graph)
+    encs = _search_enc(
+        interner, interner.index[src_id], interner.index[dst_id], limits
+    )
+    decode = interner.decode_nodes
+    return [GrammarPath("?", decode(enc)) for enc in encs]
+
+
+def _search_enc(
+    interner: GraphInterner,
+    src: int,
+    dst: int,
+    limits: PathSearchLimits,
+) -> List[Tuple[int, ...]]:
+    """The reversed all-path search in interned int space.
+
+    Outcome-equivalent to :func:`_find_paths_object` under every limit:
+    same iterative-deepening rounds, same visit accounting (one visit per
+    would-be recursive call), same predecessor order (int order ==
+    node-id order), same final trim.  Two mechanical transformations keep
+    the hot loop tight without touching observable behavior:
+
+    * the recursion is unrolled onto depth-indexed arrays (~6M Python
+      calls per cold ASTMatcher sweep gone, no per-frame allocation);
+    * the visit cap is not tested per call.  Each recorded path is tagged
+      with its visit number; a round runs slightly past the cap (bounded
+      overshoot — the cap is re-checked at every frame pop) and is then
+      reconciled: results tagged past the cap are dropped and the counter
+      is clamped.  This is exact because a capped recursion records
+      nothing and changes nothing after the cap — the call sequence up to
+      the cap is identical, so the kept results and the final counter
+      value coincide with the legacy run's.
+
+    Returns encodings; callers decode (or cache the encodings directly).
+    """
+    dist = interner.dist_from(src)
+    if dist[dst] < 0:
+        return []
+
+    preds_of = interner.sorted_preds(src)
+    rows = interner._preds_memo[src]
+    weight = interner.weight
+    # Results stay in raw form until the trim settles which survive: the
+    # stack slice ``[dst, ..., nearest-to-src]``, its interior weight sum,
+    # and its visit tag — three parallel lists.  Only survivors are
+    # materialized as (src, ..., dst) encodings at the end.
+    results: List[List[int]] = []
+    rsizes: List[int] = []
+    rtags: List[int] = []
+    on_stack = [0] * interner.n
+    on_stack[dst] = 1
+    visits = 0
+    max_visits = limits.max_visits
+    max_paths = limits.max_paths
+
+    min_len = dist[dst] + 1
+    longest = min(limits.max_path_len, min_len + limits.max_extra_len)
+    # Depth-indexed frames: path[0..d] is the stack (dst first), F_i[k]
+    # the resume index of the frame at depth k, W[k] the running weight of
+    # path[1..k] (every stack node except dst — exactly the interior nodes
+    # of a completed path).  The budget at depth d is target_len - d - 2,
+    # so it steps by one per descend/pop and prev == src completes a path
+    # of exactly target_len iff budget == 0.
+    path = [0] * (longest + 1)
+    path[0] = dst
+    F_i = [0] * (longest + 1)
+    W = [0] * (longest + 1)
+    results_append = results.append
+    rsizes_append = rsizes.append
+    rtags_append = rtags.append
+
+    for target_len in range(min_len, longest + 1):
+        # visit(dst, target_len) — dst != src is guaranteed by the caller.
+        if visits >= max_visits:
+            break
+        visits += 1
+        entry = rows[dst]
+        if entry is None:
+            entry = preds_of(dst)
+        dists, prevs = entry
+        i = 0
+        d = 0
+        budget = target_len - 2
+        while True:
+            # sorted ascending with a trailing sentinel: the first pred too
+            # far for the budget (or the sentinel) ends the frame's scan.
+            if dists[i] <= budget:
+                prev = prevs[i]
+                i += 1
+                if on_stack[prev]:
+                    continue
+                visits += 1
+                if prev == src:
+                    if budget == 0:
+                        results_append(path[: d + 1])
+                        rsizes_append(W[d])
+                        rtags_append(visits)
+                    continue
+                # Descend: save the resume index, make prev current.
+                F_i[d] = i
+                d += 1
+                path[d] = prev
+                W[d] = W[d - 1] + weight[prev]
+                on_stack[prev] = 1
+                entry = rows[prev]
+                if entry is None:
+                    entry = preds_of(prev)
+                dists, prevs = entry
+                i = 0
+                budget -= 1
+                continue
+            # Frame exhausted: pop back to the parent.
+            if d == 0:
+                break
+            on_stack[path[d]] = 0
+            d -= 1
+            budget += 1
+            if visits >= max_visits:
+                # Past the cap every remaining call is a no-op; unwind.
+                while d > 0:
+                    on_stack[path[d]] = 0
+                    d -= 1
+                break
+            dists, prevs = rows[path[d]]
+            i = F_i[d]
+        if visits > max_visits:
+            # Reconcile the bounded overshoot with capped semantics.
+            while rtags and rtags[-1] > max_visits:
+                rtags.pop()
+                rsizes.pop()
+                results.pop()
+            visits = max_visits
+        if len(results) >= max_paths or visits >= max_visits:
+            break
+
+    if len(results) > max_paths:
+        # Legacy trim order is (path size, node count, insertion index).
+        # Within one search both endpoints are fixed, so the recorded
+        # interior weight differs from the true size by a constant and the
+        # raw length by exactly one — the sort order is identical, and the
+        # decorated tuples compare at C speed.
+        dec = sorted(zip(rsizes, map(len, results), range(len(results))))
+        keep = sorted(j for _size, _len, j in dec[:max_paths])
+        results = [results[j] for j in keep]
+    src_t = (src,)
+    return [src_t + tuple(reversed(raw)) for raw in results]
+
+
+def _find_paths_object(
+    graph: GrammarGraph,
+    src_id: str,
+    dst_id: str,
+    limits: PathSearchLimits,
+) -> List[GrammarPath]:
+    """The original string-keyed search (the "object" engine path)."""
     if not graph.has_node(src_id) or not graph.has_node(dst_id):
         return []
     if src_id == dst_id:

@@ -17,9 +17,9 @@ Both engines consume the same :class:`SynthesisProblem`:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.compat import slotted_dataclass
 from repro.grammar.graph import GrammarGraph, api_id
 from repro.grammar.paths import (
     GrammarPath,
@@ -33,14 +33,15 @@ from repro.synthesis.domain import Domain
 EdgeKey = Tuple[int, int]
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class EndpointCandidate:
     """One grammar-graph endpoint a dependency node may resolve to.
 
     ``rank`` is the candidate's position in the Step-3 ranking (0 = best
     match).  Both engines use the summed rank of the chosen endpoints as a
     secondary objective after CGT size, so that among equally small trees
-    the better-matching APIs win.
+    the better-matching APIs win.  Slotted: one is allocated per
+    (word, endpoint) pair of every query.
     """
 
     node_id: str  # "api:NAME" or "lit:slot"
@@ -53,10 +54,11 @@ class EndpointCandidate:
         return self.api_name is None
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class CandidatePath:
     """A grammar path serving one dependency edge, with its endpoints'
-    dependency-side interpretation."""
+    dependency-side interpretation.  Slotted: the engines allocate these
+    per (edge, governor candidate, dependent candidate, path)."""
 
     path: GrammarPath
     src_candidate: EndpointCandidate  # governor side (or grammar start)
@@ -151,16 +153,14 @@ class SynthesisProblem:
         cap = self.limits.max_paths_per_edge
         if len(found) <= cap:
             return found
-        size_of = self.domain.path_cache.path_size
-        indexed = sorted(
-            enumerate(found),
-            key=lambda pair: (
-                size_of(pair[1].path),
-                len(pair[1].path),
-                pair[0],
-            ),
+        interner = self.domain.path_cache.interner
+        size_of = interner.size_of_enc
+        path_ints = interner.path_ints
+        decorated = sorted(
+            (size_of(path_ints(cp.path.nodes)), len(cp.path), i)
+            for i, cp in enumerate(found)
         )
-        kept_ids = sorted(i for i, _cp in indexed[:cap])
+        kept_ids = sorted(i for _size, _len, i in decorated[:cap])
         return [found[i] for i in kept_ids]
 
     def compute_edge_paths(self, edge: DepEdge) -> List[CandidatePath]:

@@ -1,0 +1,313 @@
+"""Unit coverage of the integer-interned DGGT core.
+
+The interned engine's correctness rests on a handful of local invariants
+— order-preserving int assignment, the bitmask validity algebra agreeing
+with the legacy set/CGT checks, and the int-space path search emitting
+the legacy search's exact output.  Each is pinned here in isolation so a
+violation fails a unit test, not a 300-query equivalence sweep.
+"""
+
+from __future__ import annotations
+
+import pickle
+from itertools import product
+
+import pytest
+
+from repro.core.cgt import CGT
+from repro.core.dggt import merge_valid_enc
+from repro.core.dynamic_graph import DynNode
+from repro.core.grammar_pruning import (
+    combination_conflicts,
+    conflict_masks_for,
+    conflict_pairs_for,
+)
+from repro.core.size_pruning import (
+    SizedCombination,
+    exact_tree_cost,
+    exact_tree_cost_enc,
+)
+from repro.errors import CacheSnapshotError
+from repro.grammar.graph import api_id
+from repro.grammar.interning import SENTINEL_DIST, interner_for
+from repro.grammar.path_cache import (
+    SNAPSHOT_FORMAT_VERSION,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.grammar.paths import (
+    GrammarPath,
+    PathSearchLimits,
+    _find_paths_object,
+    _search_enc,
+    find_paths,
+    set_search_impl,
+)
+from repro.synthesis.problem import CandidatePath, EndpointCandidate
+
+
+def _api_int(interner, name):
+    return interner.index[api_id(name)]
+
+
+# ---------------------------------------------------------------------------
+# Order preservation: the invariant every tie-break relies on
+# ---------------------------------------------------------------------------
+
+
+class TestOrderPreservation:
+    def test_node_ints_sorted_by_node_id(self, toy_graph):
+        interner = interner_for(toy_graph)
+        assert list(interner.node_ids) == sorted(interner.node_ids)
+        for node_id, i in interner.index.items():
+            assert interner.node_ids[i] == node_id
+
+    def test_edge_codes_order_isomorphic(self, toy_graph):
+        interner = interner_for(toy_graph)
+        n = interner.n
+        edges = [
+            (pred, node)
+            for node in range(n)
+            for pred in interner.preds[node]
+        ]
+        by_code = sorted(edges, key=lambda e: e[0] * n + e[1])
+        by_string = sorted(
+            edges,
+            key=lambda e: (
+                interner.node_ids[e[0]], interner.node_ids[e[1]]
+            ),
+        )
+        assert by_code == by_string
+
+    def test_path_encoding_round_trip(self, textediting):
+        interner = interner_for(textediting.graph)
+        for path in find_paths(
+            textediting.graph, api_id("INSERT"), api_id("NUMBERTOKEN"),
+            textediting.path_limits,
+        ):
+            enc = interner.path_ints(path.nodes)
+            assert interner.decode_nodes(enc) == path.nodes
+            assert interner.path_ints(path.nodes) is enc  # memoized
+
+
+# ---------------------------------------------------------------------------
+# Search identity: int-space DFS == legacy recursive DFS, byte for byte
+# ---------------------------------------------------------------------------
+
+
+class TestSearchIdentity:
+    def _assert_identical(self, graph, src, dst, limits):
+        interner = interner_for(graph)
+        legacy = [p.nodes for p in _find_paths_object(graph, src, dst, limits)]
+        encs = _search_enc(
+            interner, interner.index[src], interner.index[dst], limits
+        )
+        assert [interner.decode_nodes(e) for e in encs] == legacy
+
+    def test_all_api_pairs_on_toy_graph(self, toy_graph):
+        apis = [
+            node.node_id
+            for node in toy_graph.nodes()
+            if node.node_id.startswith("api:")
+        ]
+        limits = PathSearchLimits()
+        for src, dst in product(apis, apis):
+            if src != dst:
+                self._assert_identical(toy_graph, src, dst, limits)
+
+    @pytest.mark.parametrize(
+        "limits_kwargs",
+        [
+            {"max_paths": 2},
+            {"max_visits": 5},
+            {"max_visits": 17, "max_paths": 3},
+            {"max_path_len": 4},
+        ],
+    )
+    def test_caps_reconcile_identically(self, toy_graph, limits_kwargs):
+        """Tight visit/path caps exercise the tagged-cap reconciliation:
+        the iterative search may overshoot within a round but must report
+        exactly what the legacy search's mid-recursion cap cut off."""
+        limits = PathSearchLimits(**limits_kwargs)
+        self._assert_identical(
+            toy_graph, api_id("INSERT"), api_id("NUMBERTOKEN"), limits
+        )
+        self._assert_identical(
+            toy_graph, api_id("DELETE"), api_id("STRING"), limits
+        )
+
+    def test_dispatcher_switches_impl(self, toy_graph):
+        src, dst = api_id("INSERT"), api_id("CONTAINS")
+        interned = find_paths(toy_graph, src, dst)
+        previous = set_search_impl("object")
+        try:
+            legacy = find_paths(toy_graph, src, dst)
+        finally:
+            set_search_impl(previous)
+        assert [p.nodes for p in interned] == [p.nodes for p in legacy]
+
+    def test_sentinel_terminates_rows(self, toy_graph):
+        interner = interner_for(toy_graph)
+        src = _api_int(interner, "INSERT")
+        lookup = interner.sorted_preds(src)
+        for node in range(interner.n):
+            dists, preds = lookup(node)
+            assert dists[-1] == SENTINEL_DIST
+            assert len(dists) == len(preds) + 1
+            assert list(dists[:-1]) == sorted(dists[:-1])
+
+
+# ---------------------------------------------------------------------------
+# Bitmask validity algebra vs. the legacy set/CGT checks
+# ---------------------------------------------------------------------------
+
+
+def _cand(node_id):
+    return EndpointCandidate(node_id=node_id, api_name=node_id)
+
+
+def _combos(graph, src, dsts, per_pair=4):
+    """Small cross-products of real paths sharing one source."""
+    groups = []
+    for group_index, dst in enumerate(dsts):
+        paths = find_paths(graph, src, dst)[:per_pair]
+        assert paths, f"no paths {src} -> {dst}"
+        groups.append(
+            [
+                CandidatePath(
+                    GrammarPath(f"{group_index}.{k}", p.nodes),
+                    _cand(src), _cand(dst),
+                )
+                for k, p in enumerate(paths)
+            ]
+        )
+    return list(product(*groups))
+
+
+class TestMaskAlgebra:
+    def test_enc_masks_shape(self, toy_graph):
+        interner = interner_for(toy_graph)
+        for path in find_paths(
+            toy_graph, api_id("INSERT"), api_id("NUMBERTOKEN")
+        ):
+            enc = interner.path_ints(path.nodes)
+            em, nm, dm, onm, nm_all = interner.enc_masks(enc)
+            assert em.bit_count() == len(enc) - 1  # simple path: all distinct
+            expected_nodes = 0
+            for node in enc:
+                expected_nodes |= 1 << node
+            assert nm == expected_nodes
+            assert nm_all == expected_nodes
+            assert dm == nm & ~(1 << enc[0])
+
+    def test_merge_validity_matches_cgt(self, toy_graph):
+        interner = interner_for(toy_graph)
+        src = api_id("INSERT")
+        # Disjoint subtrees (valid merges) plus two alternatives of the
+        # same choice rule (or-conflicting, hence invalid merges).
+        combos = _combos(
+            toy_graph, src,
+            [api_id("NUMBERTOKEN"), api_id("LINESCOPE"), api_id("STRING")],
+        ) + _combos(
+            toy_graph, src, [api_id("POSITION"), api_id("START")]
+        )
+        assert combos
+        agree_valid = agree_invalid = 0
+        for combo in combos:
+            tree = CGT.from_paths(cp.path for cp in combo)
+            legacy_valid = tree.is_tree() and not tree.or_conflicts(toy_graph)
+            encs = tuple(interner.path_ints(cp.path.nodes) for cp in combo)
+            assert merge_valid_enc(interner, encs) == legacy_valid
+            if legacy_valid:
+                agree_valid += 1
+                assert exact_tree_cost_enc(interner, encs) == exact_tree_cost(
+                    toy_graph, combo
+                )
+            else:
+                agree_invalid += 1
+        # The sample must exercise both branches to mean anything.
+        assert agree_valid and agree_invalid
+
+    def test_conflict_masks_match_pairs(self, toy_graph):
+        interner = interner_for(toy_graph)
+        src = api_id("INSERT")
+        paths = []
+        for dst in ("POSITION", "START", "STARTFROM", "NUMBERTOKEN"):
+            for k, p in enumerate(find_paths(toy_graph, src, api_id(dst))[:3]):
+                paths.append(
+                    CandidatePath(
+                        GrammarPath(f"{dst}.{k}", p.nodes),
+                        _cand(src), _cand(api_id(dst)),
+                    )
+                )
+        pairs = conflict_pairs_for(toy_graph, paths)
+        assert pairs, "sample must contain at least one or-conflict"
+        encs = [interner.path_ints(cp.path.nodes) for cp in paths]
+        records = conflict_masks_for(toy_graph, encs)
+        for i in range(len(paths)):
+            for j in range(len(paths)):
+                if i == j:
+                    continue
+                legacy = combination_conflicts(
+                    [paths[i].path_id, paths[j].path_id], pairs
+                )
+                bit_i, _mask_i = records[i]
+                _bit_j, mask_j = records[j]
+                assert bool(mask_j & bit_i) == legacy, (i, j)
+
+
+# ---------------------------------------------------------------------------
+# Snapshot format bump: v1 files must be rejected, not mis-loaded
+# ---------------------------------------------------------------------------
+
+
+class TestSnapshotVersioning:
+    def test_current_version_is_2(self):
+        assert SNAPSHOT_FORMAT_VERSION == 2
+
+    def test_v1_snapshot_rejected(self, tmp_path, toy_domain):
+        path = tmp_path / "toy.dggtcache"
+        write_snapshot(toy_domain.path_cache, path, "toy")
+        payload = pickle.loads(path.read_bytes())
+        payload["format_version"] = 1
+        path.write_bytes(pickle.dumps(payload))
+        with pytest.raises(CacheSnapshotError, match="format version"):
+            read_snapshot(path)
+
+
+# ---------------------------------------------------------------------------
+# Slotted hot records: no __dict__, and they must survive the pickle pipe
+# of the process-pool backend
+# ---------------------------------------------------------------------------
+
+
+class TestSlottedRecords:
+    def _records(self):
+        endpoint = EndpointCandidate(
+            node_id="api:INSERT", api_name="INSERT", rank=1
+        )
+        path = CandidatePath(
+            GrammarPath("1.0", ("api:INSERT", "nt:x", "api:STRING")),
+            endpoint,
+            EndpointCandidate(node_id="lit:str_val", value="x"),
+        )
+        sized = SizedCombination(combo=(path,), lower=1, upper=3)
+        dyn = DynNode(
+            key=(0, "api:INSERT"), kind="api", min_size=2, min_rank=1,
+            min_edges=frozenset({("api:INSERT", "nt:x")}), min_bindings={},
+        )
+        return endpoint, path, sized, dyn
+
+    def test_no_instance_dict(self):
+        for record in self._records():
+            assert not hasattr(record, "__dict__"), type(record).__name__
+
+    def test_pickle_round_trip(self):
+        endpoint, path, sized, dyn = self._records()
+        for record in (endpoint, path, sized):
+            clone = pickle.loads(pickle.dumps(record))
+            assert clone == record
+        dyn_clone = pickle.loads(pickle.dumps(dyn))
+        assert dyn_clone.key == dyn.key
+        assert dyn_clone.min_size == dyn.min_size
+        assert dyn_clone.tie_key() == dyn.tie_key()
