@@ -31,6 +31,16 @@ Serve mode keeps warm domains resident behind an HTTP or stdio front end
 
     python -m repro serve --http 8080 --cache-dir /var/cache
     python -m repro serve --stdio --domains textediting
+
+Pack mode authors and inspects declarative domain packs — directories of
+plain files that become registered domains (see docs/domain_packs.md)::
+
+    python -m repro pack init mydomain
+    python -m repro pack validate ./mydomain
+    python -m repro pack list
+    python -m repro pack info spreadsheet
+    python -m repro domains
+    python -m repro --pack-dir ./mydomain --domain mydomain "show messages"
 """
 
 from __future__ import annotations
@@ -43,7 +53,12 @@ from typing import List, Optional
 
 from repro import __version__, available_domains, load_domain
 from repro.core.dggt import DggtConfig
-from repro.errors import CacheSnapshotError, ReproError, SynthesisTimeout
+from repro.errors import (
+    CacheSnapshotError,
+    PackError,
+    ReproError,
+    SynthesisTimeout,
+)
 from repro.grammar.path_cache import (
     SNAPSHOT_SUFFIX,
     default_cache_dir,
@@ -52,6 +67,33 @@ from repro.grammar.path_cache import (
 from repro.synthesis.explain import explain_query
 from repro.synthesis.pipeline import Synthesizer
 from repro.synthesis.ranking import ranked_candidates
+
+
+def _pack_dir_argument(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--pack-dir`` flag: every entry point that loads
+    domains accepts extra pack directories (docs/domain_packs.md)."""
+    parser.add_argument(
+        "--pack-dir",
+        action="append",
+        default=None,
+        metavar="DIR",
+        help="register domain pack(s) from DIR (repeatable; DIR is a "
+        "pack or a folder of packs; also exported via REPRO_PACK_PATH "
+        "so process-pool workers inherit them)",
+    )
+
+
+def _register_pack_dirs(args: argparse.Namespace) -> Optional[str]:
+    """Register every ``--pack-dir`` from ``args``; returns an error
+    message (caller prints it and exits 2) or None on success."""
+    from repro.packs import add_pack_path
+
+    for directory in getattr(args, "pack_dir", None) or ():
+        try:
+            add_pack_path(directory)
+        except PackError as exc:
+            return str(exc)
+    return None
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -114,8 +156,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="disable orphan node relocation (ablation)",
     )
     parser.add_argument(
-        "--list-domains", action="store_true", help="list built-in domains"
+        "--list-domains", action="store_true",
+        help="list registered domains (built-in and pack-backed)",
     )
+    _pack_dir_argument(parser)
     parser.add_argument(
         "--version", action="version", version=f"repro {__version__}"
     )
@@ -189,6 +233,7 @@ def build_batch_arg_parser() -> argparse.ArgumentParser:
         "each item carries a 'trace' payload (docs/architecture.md), in "
         "text mode a compact per-query stage line is printed to stderr",
     )
+    _pack_dir_argument(parser)
     return parser
 
 
@@ -223,6 +268,10 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
     args = build_batch_arg_parser().parse_args(argv)
     if args.timeout < 0:
         print("error: --timeout must be non-negative", file=sys.stderr)
+        return 2
+    pack_error = _register_pack_dirs(args)
+    if pack_error is not None:
+        print(f"error: {pack_error}", file=sys.stderr)
         return 2
     try:
         domain = load_domain(args.domain)
@@ -356,11 +405,17 @@ def build_cache_arg_parser() -> argparse.ArgumentParser:
         default=5.0,
         help="warm: per-query budget in seconds (default: 5)",
     )
+    _pack_dir_argument(parser)
     return parser
 
 
 def _bundled_queries(domain_name: str) -> Optional[List[str]]:
-    """The built-in evaluation suite for a domain, if it has one."""
+    """The built-in evaluation suite for a domain, if it has one.
+
+    Pack-backed domains bundle theirs as ``examples.jsonl``, so every
+    pack with examples gets cache warming (and server smoke tests) for
+    free — no Python edits.
+    """
     if domain_name == "textediting":
         from repro.domains.textediting.queries import TEXTEDITING_QUERIES
 
@@ -369,6 +424,13 @@ def _bundled_queries(domain_name: str) -> Optional[List[str]]:
         from repro.domains.astmatcher.queries import ASTMATCHER_QUERIES
 
         return [case.query for case in ASTMATCHER_QUERIES]
+    from repro.packs import load_pack, pack_factories
+
+    factory = pack_factories().get(domain_name)
+    if factory is not None:
+        queries = [case.query for case in load_pack(factory.root).examples]
+        if queries:
+            return queries
     return None
 
 
@@ -382,6 +444,10 @@ def _snapshot_files(cache_dir, domain: Optional[str]) -> List:
 
 def cache_main(argv: Optional[List[str]] = None) -> int:
     args = build_cache_arg_parser().parse_args(argv)
+    pack_error = _register_pack_dirs(args)
+    if pack_error is not None:
+        print(f"error: {pack_error}", file=sys.stderr)
+        return 2
 
     if args.action == "warm":
         domain_name = args.domain or "textediting"
@@ -587,6 +653,7 @@ def build_serve_arg_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="how long shutdown waits for in-flight requests (default: 30)",
     )
+    _pack_dir_argument(parser)
     return parser
 
 
@@ -595,6 +662,10 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     from repro.server.stdio import serve_stdio
 
     args = build_serve_arg_parser().parse_args(argv)
+    pack_error = _register_pack_dirs(args)
+    if pack_error is not None:
+        print(f"error: {pack_error}", file=sys.stderr)
+        return 2
     domains = (
         tuple(n.strip() for n in args.domains.split(",") if n.strip())
         if args.domains
@@ -676,6 +747,263 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     return 0 if drained else 1
 
 
+def build_pack_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro pack",
+        description="author, validate and inspect declarative domain "
+        "packs — plain-file domains (see docs/domain_packs.md)",
+    )
+    sub = parser.add_subparsers(dest="action", metavar="ACTION")
+    sub.required = True
+
+    validate = sub.add_parser(
+        "validate",
+        help="check pack directories; issues print as file:line: message",
+        description="validate pack directories (or folders of packs): "
+        "manifest schema, grammar, API document, literal slots, "
+        "tunables, and every bundled example's ground truth",
+    )
+    validate.add_argument(
+        "paths",
+        nargs="+",
+        metavar="DIR",
+        help="a pack directory, or a folder whose children are packs",
+    )
+
+    list_parser = sub.add_parser(
+        "list",
+        help="list registered packs (builtin + REPRO_PACK_PATH)",
+        description="list every registered pack with its version, "
+        "description and source directory",
+    )
+    _pack_dir_argument(list_parser)
+
+    info = sub.add_parser(
+        "info",
+        help="describe one pack in detail",
+        description="full description of one pack: files, hashes, APIs, "
+        "literal slots, lexicon size, bundled examples",
+    )
+    info.add_argument(
+        "target",
+        metavar="NAME_OR_DIR",
+        help="a registered pack name or a pack directory",
+    )
+
+    init = sub.add_parser(
+        "init",
+        help="scaffold a new, working pack to edit",
+        description="write a minimal complete pack (it validates and its "
+        "examples synthesize as scaffolded) to DEST/NAME",
+    )
+    init.add_argument(
+        "name",
+        help="pack name, [a-z][a-z0-9_]* — becomes the domain name",
+    )
+    init.add_argument(
+        "--dest",
+        default=".",
+        metavar="DIR",
+        help="parent directory for the new pack (default: .)",
+    )
+    return parser
+
+
+def _pack_validate(paths: List[str]) -> int:
+    from repro.packs import discover_packs, validate_pack
+
+    failures = 0
+    for path in paths:
+        roots = discover_packs(path)
+        if not roots:
+            print(f"{path}: no pack.toml found", file=sys.stderr)
+            failures += 1
+            continue
+        for root in roots:
+            spec, issues = validate_pack(root)
+            if issues:
+                failures += 1
+                print(f"{root}: INVALID — {len(issues)} issue(s)")
+                for issue in issues:
+                    print(f"  {issue}")
+            else:
+                print(
+                    f"{root}: ok — {spec.name} v{spec.version}, "
+                    f"{len(spec.apis)} APIs, {len(spec.examples)} examples"
+                )
+    return 1 if failures else 0
+
+
+def _pack_list(args) -> int:
+    from repro.packs import MANIFEST_NAME, pack_factories, tomlmini
+
+    error = _register_pack_dirs(args)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    factories = pack_factories()
+    if not factories:
+        print("no packs registered")
+        return 0
+    for name in sorted(factories):
+        root = factories[name].root
+        try:
+            data, _ = tomlmini.parse(
+                (root / MANIFEST_NAME).read_text(encoding="utf-8")
+            )
+            pack = data.get("pack") or {}
+            version = pack.get("version", "?")
+            description = pack.get("description", "")
+        except (OSError, tomlmini.TomlError) as exc:
+            print(f"{name}: UNREADABLE ({exc})")
+            continue
+        print(f"{name} v{version}: {description}")
+        print(f"  source: {root}")
+    return 0
+
+
+def _pack_info(target: str) -> int:
+    from pathlib import Path
+
+    from repro.packs import is_pack_dir, pack_factories, validate_pack
+
+    if is_pack_dir(Path(target)):
+        root = Path(target)
+    else:
+        factory = pack_factories().get(target.lower())
+        if factory is None:
+            print(
+                f"error: {target!r} is neither a pack directory nor a "
+                f"registered pack (registered: {sorted(pack_factories())})",
+                file=sys.stderr,
+            )
+            return 2
+        root = factory.root
+    spec, issues = validate_pack(root)
+    if issues:
+        print(f"{root}: INVALID — {len(issues)} issue(s)")
+        for issue in issues:
+            print(f"  {issue}")
+        return 1
+    domain = spec.build_domain()
+    slots = ", ".join(
+        f"{kind}=[{', '.join(names)}]"
+        for kind, names in sorted(spec.literal_targets.items())
+    )
+    print(f"{spec.name} v{spec.version}: {spec.description}")
+    print(f"  source:       {root}")
+    print(f"  files:        {', '.join(spec.files)}")
+    print(f"  content hash: {spec.content_hash}")
+    print(f"  grammar hash: {domain.grammar_hash()}")
+    print(f"  APIs:         {len(spec.apis)} "
+          f"({', '.join(entry['name'] for entry in spec.apis)})")
+    print(f"  literal slots: {slots if slots else 'none'}")
+    print(f"  lexicon:      {len(spec.synonym_groups)} synonym group(s), "
+          f"{len(spec.abbreviations)} abbreviation(s)")
+    print(f"  examples:     {len(spec.examples)}")
+    return 0
+
+
+def _pack_init(name: str, dest: str) -> int:
+    from repro.packs import scaffold_pack, validate_pack
+
+    try:
+        root = scaffold_pack(dest, name)
+    except PackError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    spec, issues = validate_pack(root)
+    if issues:  # unreachable for the shipped scaffold; fail loudly anyway
+        for issue in issues:
+            print(f"  {issue}", file=sys.stderr)
+        return 1
+    print(f"scaffolded pack {spec.name!r} at {root}")
+    for fname in spec.files:
+        print(f"  {fname}")
+    print("next steps: edit the files, then")
+    print(f"  repro pack validate {root}")
+    print(f"  repro --pack-dir {root} --domain {spec.name} "
+          f'"show all messages"')
+    return 0
+
+
+def pack_main(argv: Optional[List[str]] = None) -> int:
+    args = build_pack_arg_parser().parse_args(argv)
+    if args.action == "validate":
+        return _pack_validate(args.paths)
+    if args.action == "list":
+        return _pack_list(args)
+    if args.action == "info":
+        return _pack_info(args.target)
+    return _pack_init(args.name, args.dest)
+
+
+def build_domains_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro domains",
+        description="list registered domains with provenance: API count, "
+        "grammar hash, and pack name/version/source for pack-backed ones",
+    )
+    _pack_dir_argument(parser)
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a JSON object instead of plain text",
+    )
+    return parser
+
+
+def _domain_listing() -> "dict":
+    """name -> provenance entry for every registered domain (the same
+    shape the server's ``GET /domains`` details use)."""
+    listing = {}
+    for name in available_domains():
+        try:
+            domain = load_domain(name)
+        except ReproError as exc:
+            listing[name] = {"error": str(exc)}
+            continue
+        entry = {
+            "description": domain.description,
+            "apis": len(domain.document),
+            "grammar_hash": domain.grammar_hash(),
+        }
+        if domain.provenance:
+            entry["pack"] = dict(domain.provenance)
+        listing[name] = entry
+    return listing
+
+
+def _print_domain_listing(listing: "dict") -> None:
+    for name, entry in listing.items():
+        if "error" in entry:
+            print(f"{name}: UNLOADABLE ({entry['error']})")
+            continue
+        print(f"{name}: {entry['apis']} APIs — {entry['description']}")
+        line = f"  grammar {entry['grammar_hash'][:16]}"
+        pack = entry.get("pack")
+        if pack:
+            line += (
+                f", pack {pack.get('name')} v{pack.get('version')} "
+                f"from {pack.get('source')}"
+            )
+        print(line)
+
+
+def domains_main(argv: Optional[List[str]] = None) -> int:
+    args = build_domains_arg_parser().parse_args(argv)
+    error = _register_pack_dirs(args)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    listing = _domain_listing()
+    if args.json:
+        print(json.dumps(listing, indent=2))
+    else:
+        _print_domain_listing(listing)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -685,12 +1013,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cache_main(argv[1:])
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
+    if argv and argv[0] == "pack":
+        return pack_main(argv[1:])
+    if argv and argv[0] == "domains":
+        return domains_main(argv[1:])
     args = build_arg_parser().parse_args(argv)
+    pack_error = _register_pack_dirs(args)
+    if pack_error is not None:
+        print(f"error: {pack_error}", file=sys.stderr)
+        return 2
 
     if args.list_domains:
-        for name in available_domains():
-            domain = load_domain(name)
-            print(f"{name}: {len(domain.document)} APIs — {domain.description}")
+        _print_domain_listing(_domain_listing())
         return 0
 
     if not args.query:

@@ -177,6 +177,11 @@ class HttpClient:
     def domains(self) -> List[str]:
         return self.request("GET", "/domains")[1]["domains"]
 
+    def domain_details(self) -> Dict[str, Any]:
+        """Per-domain provenance from ``GET /domains``: API count,
+        grammar hash, and pack metadata for pack-backed domains."""
+        return self.request("GET", "/domains")[1].get("details", {})
+
     def reload(self, cache_dir: Optional[str] = None) -> Dict[str, Any]:
         """POST /admin/reload — hot-swap freshly loaded cache snapshots."""
         body = None if cache_dir is None else {"cache_dir": cache_dir}

@@ -13,6 +13,7 @@ tests use it to guarantee a cold start.  Custom domains join the registry
 via :func:`register`.
 """
 
+import inspect
 from typing import Callable, Dict, List
 
 from repro.errors import DomainError
@@ -40,6 +41,27 @@ _REGISTRY: Dict[str, Callable[..., Domain]] = {
 }
 
 
+def _accepts_fresh(factory: Callable[..., Domain]) -> bool:
+    """Whether ``factory`` can be called as ``factory(fresh=...)``.
+
+    Decided by *signature inspection*, never by catching ``TypeError``
+    from the call itself — a ``TypeError`` raised inside a factory's own
+    body must propagate, not be misread as "no ``fresh`` parameter" and
+    silently retried.  Uninspectable callables (C extensions, odd
+    wrappers) are assumed to take the keyword, matching the documented
+    factory contract.
+    """
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):
+        return True
+    try:
+        signature.bind(fresh=False)
+    except TypeError:
+        return False
+    return True
+
+
 def get(name: str, *, fresh: bool = False) -> Domain:
     """A registered domain by name.
 
@@ -52,12 +74,11 @@ def get(name: str, *, fresh: bool = False) -> Domain:
         raise DomainError(
             f"unknown domain {name!r}; available: {sorted(_REGISTRY)}"
         ) from None
-    try:
+    if _accepts_fresh(factory):
         return factory(fresh=fresh)
-    except TypeError:
-        # A custom factory without a ``fresh`` parameter: every call is a
-        # fresh build, so the flag is moot.
-        return factory()
+    # A zero-argument factory: every call is a fresh build, so the flag
+    # is moot.
+    return factory()
 
 
 def load_domain(name: str, *, fresh: bool = False) -> Domain:
@@ -144,3 +165,14 @@ def _builtin_cache_clear(factory_name: str):
 
 _textediting.cache_clear = _builtin_cache_clear("textediting")
 _astmatcher.cache_clear = _builtin_cache_clear("astmatcher")
+
+
+# Domain packs (repro.packs): the shipped builtin packs and anything on
+# $REPRO_PACK_PATH register here, at import time — which is precisely what
+# makes pack domains resolvable inside forked/spawned process-pool workers
+# (they re-import this module and re-run the discovery).  The import is
+# deferred to the bottom of the module because the loader needs
+# :func:`register` to exist.
+from repro.packs.loader import register_env_packs as _register_env_packs  # noqa: E402
+
+_register_env_packs()

@@ -117,6 +117,31 @@ class DomainError(ReproError):
     """A problem with a domain registration (missing APIs, bad document)."""
 
 
+class PackError(DomainError):
+    """A domain pack failed to load or validate.
+
+    Carries the structured :class:`~repro.packs.spec.PackIssue` records
+    (``issues``) the validator produced — each names the offending file
+    and, when known, the 1-based line — alongside the usual formatted
+    message.
+    """
+
+    def __init__(self, message: str, issues: "tuple | list" = ()):
+        self.issues = tuple(issues)
+        if self.issues:
+            message = (
+                message + "\n" + "\n".join(str(i) for i in self.issues)
+            )
+        super().__init__(message)
+
+    def __reduce__(self):
+        # Rebuild from the original arguments so ``issues`` survives a
+        # process-pool worker pipe (default pickling replays __init__ with
+        # the already-joined message).
+        first = self.args[0].split("\n", 1)[0] if self.args else ""
+        return (type(self), (first, self.issues))
+
+
 class CacheSnapshotError(ReproError):
     """A persistent PathCache snapshot could not be used: unreadable or
     corrupt file, unknown format version, or a grammar hash that does not
@@ -136,6 +161,7 @@ ERROR_CODES: "tuple[tuple[type, str], ...]" = (
     (GrammarError, "grammar"),
     (TokenizationError, "tokenization"),
     (ParseError, "parse"),
+    (PackError, "pack_invalid"),
     (DomainError, "unknown_domain"),
     (CacheSnapshotError, "cache_snapshot"),
     (InvalidRequestError, "invalid_request"),

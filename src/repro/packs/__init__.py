@@ -1,0 +1,58 @@
+"""Declarative domain packs: file-based grammar/lexicon bundles.
+
+A *pack* is a directory of plain-text files — ``pack.toml`` manifest,
+``grammar.bnf``, ``apis.toml``, ``synonyms.toml``, ``examples.jsonl`` —
+that fully describes a synthesis domain.  The loader validates the files
+(with precise, line-numbered issues), materializes a
+:class:`~repro.synthesis.domain.Domain` through the existing
+``parse_bnf`` / ``Domain.create`` machinery, and registers it in
+:mod:`repro.domains` by name; from there the CLI, batch runner and
+server treat it exactly like a hand-written Python domain.
+
+See ``docs/domain_packs.md`` for the authoring guide, and
+``repro pack init`` for a working scaffold.
+"""
+
+from repro.packs.loader import (
+    PACK_PATH_ENV,
+    PackFactory,
+    add_pack_path,
+    builtin_pack_root,
+    discover_packs,
+    pack_factories,
+    pack_name,
+    refresh_domain,
+    register_env_packs,
+    register_pack,
+    register_pack_dir,
+)
+from repro.packs.scaffold import scaffold_pack
+from repro.packs.spec import (
+    MANIFEST_NAME,
+    PackIssue,
+    PackSpec,
+    is_pack_dir,
+    load_pack,
+    validate_pack,
+)
+
+__all__ = [
+    "MANIFEST_NAME",
+    "PACK_PATH_ENV",
+    "PackFactory",
+    "PackIssue",
+    "PackSpec",
+    "add_pack_path",
+    "builtin_pack_root",
+    "discover_packs",
+    "is_pack_dir",
+    "load_pack",
+    "pack_factories",
+    "pack_name",
+    "refresh_domain",
+    "register_env_packs",
+    "register_pack",
+    "register_pack_dir",
+    "scaffold_pack",
+    "validate_pack",
+]

@@ -1,0 +1,234 @@
+"""Pack discovery and registration: from a directory of plain files to a
+named entry in :mod:`repro.domains`.
+
+A :class:`PackFactory` wraps one pack directory and behaves exactly like
+the built-in domain factories (``factory(fresh=False)`` plus a
+``cache_clear`` attribute), so the registry, the process-pool workers and
+``clear_cached_domains`` need no special cases.  On top of that it knows
+how to :meth:`~PackFactory.refresh` itself from disk — the server's
+reload path uses this to pick up an *edited* pack: the content hash is
+re-read, and only a changed pack is rebuilt (unchanged domains keep their
+object identity, so their results stay byte-identical across a reload).
+
+Discovery is environment-driven so every entry point agrees:
+
+* the two shipped packs under ``repro/packs/builtin/`` always register;
+* ``REPRO_PACK_PATH`` (``os.pathsep``-separated directories, each either
+  a pack or a folder of packs) registers at ``repro.domains`` import
+  time — which is also what makes packs visible inside forked/spawned
+  process-pool workers;
+* ``--pack-dir`` on the CLI calls :func:`add_pack_path`, which registers
+  the packs *and* appends to ``REPRO_PACK_PATH`` so child processes
+  inherit them.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import warnings
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
+
+from repro.errors import PackError
+from repro.packs import tomlmini
+from repro.packs.spec import MANIFEST_NAME, is_pack_dir, load_pack
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.synthesis.domain import Domain
+
+#: Environment variable listing extra pack directories (os.pathsep-joined).
+PACK_PATH_ENV = "REPRO_PACK_PATH"
+
+
+def builtin_pack_root() -> Path:
+    """The directory holding the packs shipped inside this package."""
+    return Path(__file__).resolve().parent / "builtin"
+
+
+class PackFactory:
+    """Domain factory backed by a pack directory.
+
+    Registry-compatible: callable with a ``fresh`` keyword, exposes
+    ``cache_clear``.  The shared instance is built lazily on first use
+    (registration itself only reads the manifest), and validation
+    failures surface as :class:`~repro.errors.PackError` at build time.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root).resolve()
+        self._lock = threading.Lock()
+        self._shared: Optional["Domain"] = None
+        self._content_hash: Optional[str] = None
+
+    def __call__(self, fresh: bool = False) -> "Domain":
+        if fresh:
+            return load_pack(self.root).build_domain()
+        with self._lock:
+            if self._shared is None:
+                spec = load_pack(self.root)
+                self._shared = spec.build_domain()
+                self._content_hash = spec.content_hash
+            return self._shared
+
+    def cache_clear(self) -> None:
+        with self._lock:
+            self._shared = None
+            self._content_hash = None
+
+    def refresh(self) -> Optional["Domain"]:
+        """Re-read the pack from disk.
+
+        Returns the new shared :class:`Domain` when the pack's content
+        hash changed (or no instance was built yet), ``None`` when the
+        on-disk files are unchanged — the existing shared instance (and
+        its warm caches) stays in place.  Raises
+        :class:`~repro.errors.PackError` if the edited pack no longer
+        validates; the previous domain keeps serving in that case.
+        """
+        spec = load_pack(self.root)
+        with self._lock:
+            if (
+                self._shared is not None
+                and spec.content_hash == self._content_hash
+            ):
+                return None
+            domain = spec.build_domain()
+            self._shared = domain
+            self._content_hash = spec.content_hash
+            return domain
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PackFactory({str(self.root)!r})"
+
+
+# ---------------------------------------------------------------------------
+# Registration
+# ---------------------------------------------------------------------------
+
+
+def pack_name(root: Union[str, Path]) -> str:
+    """The pack's declared name, from the manifest alone (cheap — no
+    grammar build).  Raises :class:`~repro.errors.PackError` when the
+    manifest is missing or unreadable."""
+    path = Path(root) / MANIFEST_NAME
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise PackError(f"cannot read {path}: {exc}") from None
+    try:
+        data, _ = tomlmini.parse(source)
+    except tomlmini.TomlError as exc:
+        raise PackError(f"{path}: {exc}") from None
+    name = (data.get("pack") or {}).get("name")
+    if not isinstance(name, str) or not name:
+        raise PackError(f"{path}: missing [pack] name")
+    return name.lower()
+
+
+def register_pack(root: Union[str, Path]) -> str:
+    """Register the pack at ``root`` in :mod:`repro.domains` by its
+    declared name; returns the name.
+
+    Idempotent for the same directory (re-registering the same pack is a
+    no-op); a *different* source for an already-taken name raises
+    :class:`~repro.errors.PackError`.
+    """
+    import repro.domains as domains
+
+    name = pack_name(root)
+    resolved = Path(root).resolve()
+    existing = domains._REGISTRY.get(name)
+    if existing is not None:
+        if isinstance(existing, PackFactory) and existing.root == resolved:
+            return name
+        raise PackError(
+            f"pack name {name!r} (from {resolved}) collides with an "
+            "already-registered domain"
+        )
+    domains.register(name, PackFactory(resolved))
+    return name
+
+
+def discover_packs(directory: Union[str, Path]) -> List[Path]:
+    """Pack directories under ``directory``: the directory itself when it
+    is a pack, otherwise its immediate children that contain a manifest."""
+    base = Path(directory)
+    if is_pack_dir(base):
+        return [base]
+    if not base.is_dir():
+        return []
+    return sorted(
+        child for child in base.iterdir()
+        if child.is_dir() and is_pack_dir(child)
+    )
+
+
+def register_pack_dir(directory: Union[str, Path]) -> List[str]:
+    """Register every pack found under ``directory``; returns the names."""
+    return [register_pack(root) for root in discover_packs(directory)]
+
+
+def add_pack_path(directory: Union[str, Path]) -> List[str]:
+    """Register packs under ``directory`` *and* append it to
+    ``REPRO_PACK_PATH`` so spawned/forked workers (which re-run
+    :func:`register_env_packs` at ``repro.domains`` import) see them too.
+    """
+    names = register_pack_dir(directory)
+    entry = str(Path(directory).resolve())
+    current = os.environ.get(PACK_PATH_ENV, "")
+    parts = [p for p in current.split(os.pathsep) if p]
+    if entry not in parts:
+        parts.append(entry)
+        os.environ[PACK_PATH_ENV] = os.pathsep.join(parts)
+    return names
+
+
+def register_env_packs() -> List[str]:
+    """Register the shipped builtin packs plus everything on
+    ``REPRO_PACK_PATH``.  Called once at ``repro.domains`` import time.
+
+    A broken *environment* pack warns instead of raising — an invalid
+    directory on the path must not take down every entry point; it still
+    fails loudly under ``repro pack validate`` and at first use.
+    """
+    names: List[str] = []
+    names.extend(register_pack_dir(builtin_pack_root()))
+    for entry in os.environ.get(PACK_PATH_ENV, "").split(os.pathsep):
+        if not entry:
+            continue
+        try:
+            names.extend(register_pack_dir(entry))
+        except PackError as exc:
+            warnings.warn(
+                f"ignoring pack(s) from {PACK_PATH_ENV} entry {entry!r}: "
+                f"{exc}",
+                stacklevel=2,
+            )
+    return names
+
+
+# ---------------------------------------------------------------------------
+# Introspection / reload
+# ---------------------------------------------------------------------------
+
+
+def pack_factories() -> Dict[str, PackFactory]:
+    """Registered pack-backed domains, as ``name -> PackFactory``."""
+    import repro.domains as domains
+
+    return {
+        name: factory
+        for name, factory in domains._REGISTRY.items()
+        if isinstance(factory, PackFactory)
+    }
+
+
+def refresh_domain(name: str) -> Optional["Domain"]:
+    """Re-read a pack-backed domain from disk (see
+    :meth:`PackFactory.refresh`).  Returns ``None`` for non-pack domains
+    and for packs whose files are unchanged."""
+    factory = pack_factories().get(name.lower())
+    if factory is None:
+        return None
+    return factory.refresh()

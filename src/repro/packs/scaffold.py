@@ -1,0 +1,154 @@
+"""``repro pack init``: write a minimal working pack to start from.
+
+The scaffold is a deliberately tiny but *complete* domain (a toy
+notification console: show/clear messages and alerts, show a literal
+text) — every file of the format is present, the pack validates as
+written, and its three bundled examples synthesize.  Authors rename
+things rather than reverse-engineer the format from prose.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.errors import PackError
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+_MANIFEST = """\
+# Domain pack manifest — see docs/domain_packs.md for the format spec.
+[pack]
+name = "{name}"
+version = "0.1.0"
+description = "Scaffolded domain pack; edit me"
+
+[grammar]
+file = "grammar.bnf"
+
+[apis]
+file = "apis.toml"
+
+[synonyms]
+file = "synonyms.toml"
+
+[examples]
+file = "examples.jsonl"
+
+# Literal slots: which grammar terminals a quoted string / number in the
+# query may bind to.  Every non-API terminal must be listed somewhere here.
+[literals]
+quoted = ["text_val"]
+"""
+
+_GRAMMAR = """\
+# Target-DSL grammar (BNF).  UPPERCASE terminals are APIs (they must be
+# documented in apis.toml); lowercase terminals are literal slots.
+command   ::= show_cmd | clear_cmd
+show_cmd  ::= SHOW show_what
+show_what ::= MESSAGES | ALERTS | msg_text
+msg_text  ::= TEXT text_val
+clear_cmd ::= CLEAR clear_what
+clear_what ::= MESSAGES | ALERTS
+"""
+
+_APIS = """\
+# API document: one [[api]] entry per UPPERCASE grammar terminal.
+# 'tokens' is the explicit name-token split used for word matching;
+# 'description' supplies the bag-of-words evidence.
+
+[[api]]
+name = "SHOW"
+description = "Show or display items on the console"
+tokens = ["show"]
+
+[[api]]
+name = "CLEAR"
+description = "Clear or dismiss items from the console"
+tokens = ["clear"]
+
+[[api]]
+name = "MESSAGES"
+description = "The messages in the console"
+tokens = ["message"]
+
+[[api]]
+name = "ALERTS"
+description = "The alerts in the console"
+tokens = ["alert"]
+
+[[api]]
+name = "TEXT"
+description = "A literal piece of text"
+tokens = ["text"]
+"""
+
+_SYNONYMS = """\
+# Domain lexical knowledge, merged on top of the built-in genre table.
+# Each [[group]] is one set of interchangeable words; the first member
+# is the canonical label.
+
+[[group]]
+words = ["message", "notification"]
+
+[[group]]
+words = ["alert", "warning"]
+
+[abbreviations]
+msg = "message"
+"""
+
+_EXAMPLES = [
+    {
+        "id": "scaffold001",
+        "query": "show all messages",
+        "ground_truth": "SHOW(MESSAGES())",
+        "family": "show",
+        "complexity": 1,
+    },
+    {
+        "id": "scaffold002",
+        "query": "clear every alert",
+        "ground_truth": "CLEAR(ALERTS())",
+        "family": "clear",
+        "complexity": 1,
+    },
+    {
+        "id": "scaffold003",
+        "query": 'show the text "hello"',
+        "ground_truth": 'SHOW(TEXT("hello"))',
+        "family": "show",
+        "complexity": 2,
+    },
+]
+
+
+def scaffold_pack(dest: Union[str, Path], name: str) -> Path:
+    """Write a new pack directory ``dest / name`` and return its path.
+
+    The destination must not already contain a ``name`` entry; the pack
+    name must be a valid domain name (``[a-z][a-z0-9_]*``).
+    """
+    if not _NAME_RE.match(name):
+        raise PackError(
+            f"pack name {name!r} must match [a-z][a-z0-9_]* "
+            "(lowercase letters, digits, underscores)"
+        )
+    root = Path(dest) / name
+    if root.exists():
+        raise PackError(f"{root} already exists; refusing to overwrite")
+    root.mkdir(parents=True)
+    files: Dict[str, str] = {
+        "pack.toml": _MANIFEST.format(name=name),
+        "grammar.bnf": _GRAMMAR,
+        "apis.toml": _APIS,
+        "synonyms.toml": _SYNONYMS,
+        "examples.jsonl": "\n".join(
+            json.dumps(entry) for entry in _EXAMPLES
+        ) + "\n",
+    }
+    for fname, content in files.items():
+        (root / fname).write_text(content, encoding="utf-8")
+    return root

@@ -1,0 +1,250 @@
+"""A line-tracking reader for the TOML subset domain packs use.
+
+Domain packs are plain-text artifacts whose loader must speak precise,
+line-numbered validation errors ("apis.toml:41: api 'SUM' duplicates the
+entry on line 12"), and the repo supports Python versions without
+:mod:`tomllib`.  Both point the same way: a small parser of our own that
+returns the decoded document *and* a source map.
+
+Supported subset (everything the pack format needs, nothing more):
+
+* ``[table]`` headers and ``[[array-of-tables]]`` headers;
+* ``key = value`` pairs with bare keys;
+* values: basic ``"..."`` strings (with the usual backslash escapes),
+  integers, floats, booleans, and (possibly multi-line) arrays of those;
+* ``#`` comments and blank lines.
+
+Unsupported TOML (dotted keys, inline tables, literal/multiline strings,
+dates) fails loudly with the offending line, never silently misparses.
+
+:func:`parse` returns ``(data, linemap)`` where ``linemap`` maps a key
+path — a tuple of table names, array indices, and the key — to the
+1-based line it was defined on; table headers are mapped too.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+PathKey = Tuple[Union[str, int], ...]
+LineMap = Dict[PathKey, int]
+
+
+class TomlError(ValueError):
+    """Malformed document; carries the 1-based source line."""
+
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.message = message
+        self.line = line
+
+
+_ESCAPES = {
+    '"': '"', "\\": "\\", "n": "\n", "t": "\t", "r": "\r",
+    "b": "\b", "f": "\f",
+}
+
+_BARE_KEY = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-"
+)
+
+
+def _parse_string(text: str, pos: int, line: int) -> Tuple[str, int]:
+    """Parse a basic string starting at ``text[pos] == '"'``; returns
+    (value, position after the closing quote)."""
+    out: List[str] = []
+    i = pos + 1
+    while i < len(text):
+        ch = text[i]
+        if ch == '"':
+            return "".join(out), i + 1
+        if ch == "\\":
+            if i + 1 >= len(text):
+                break
+            esc = text[i + 1]
+            if esc == "u" and i + 5 < len(text):
+                try:
+                    out.append(chr(int(text[i + 2:i + 6], 16)))
+                except ValueError:
+                    raise TomlError(
+                        f"bad unicode escape {text[i:i + 6]!r}", line
+                    ) from None
+                i += 6
+                continue
+            if esc not in _ESCAPES:
+                raise TomlError(f"unknown escape \\{esc}", line)
+            out.append(_ESCAPES[esc])
+            i += 2
+            continue
+        out.append(ch)
+        i += 1
+    raise TomlError("unterminated string", line)
+
+
+def _parse_scalar(token: str, line: int) -> Any:
+    if token == "true":
+        return True
+    if token == "false":
+        return False
+    try:
+        return int(token, 10)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    raise TomlError(f"cannot parse value {token!r}", line)
+
+
+def _skip_ws(text: str, i: int) -> int:
+    while i < len(text) and text[i] in " \t":
+        i += 1
+    return i
+
+
+def _strip_comment(line: str) -> str:
+    """Drop a trailing comment, respecting quoted strings."""
+    in_str = False
+    i = 0
+    while i < len(line):
+        ch = line[i]
+        if ch == '"' and (i == 0 or line[i - 1] != "\\" or not in_str):
+            in_str = not in_str
+        elif ch == "#" and not in_str:
+            return line[:i]
+        i += 1
+    return line
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.lines = source.splitlines()
+        self.data: Dict[str, Any] = {}
+        self.linemap: LineMap = {}
+        #: Current table as (container dict, path prefix).
+        self.current: Dict[str, Any] = self.data
+        self.prefix: PathKey = ()
+        self.index = 0  # current physical line (0-based)
+
+    # -- value parsing -------------------------------------------------
+
+    def _parse_value(self, text: str, line_no: int) -> Tuple[Any, str]:
+        """Parse one value at the start of ``text`` (already lstripped);
+        returns (value, unconsumed trailing text).  Arrays may continue
+        onto later physical lines (``self.index`` advances)."""
+        if text.startswith('"'):
+            value, end = _parse_string(text, 0, line_no)
+            return value, text[end:]
+        if text.startswith("["):
+            return self._parse_array(text, line_no)
+        # Bare scalar: runs to end of text.
+        token = text.strip()
+        return _parse_scalar(token, line_no), ""
+
+    def _parse_array(self, text: str, line_no: int) -> Tuple[List[Any], str]:
+        items: List[Any] = []
+        i = 1  # past '['
+        while True:
+            i = _skip_ws(text, i)
+            while i >= len(text) or text[i] == "#":
+                # Array continues on the next physical line.
+                self.index += 1
+                if self.index >= len(self.lines):
+                    raise TomlError("unterminated array", line_no)
+                text = _strip_comment(self.lines[self.index]).strip()
+                line_no = self.index + 1
+                i = 0
+                i = _skip_ws(text, i)
+            if text[i] == "]":
+                return items, text[i + 1:]
+            if text[i] == ",":
+                i += 1
+                continue
+            if text[i] == '"':
+                value, i = _parse_string(text, i, line_no)
+            elif text[i] == "[":
+                raise TomlError("nested arrays are not supported", line_no)
+            else:
+                j = i
+                while j < len(text) and text[j] not in ",]# \t":
+                    j += 1
+                value = _parse_scalar(text[i:j], line_no)
+                i = j
+            items.append(value)
+
+    # -- line handling -------------------------------------------------
+
+    def _enter_table(self, header: str, line_no: int) -> None:
+        array_of_tables = header.startswith("[[")
+        name = header.strip("[]").strip()
+        if not name or not set(name) <= _BARE_KEY:
+            raise TomlError(f"bad table name {header!r}", line_no)
+        if array_of_tables:
+            bucket = self.data.setdefault(name, [])
+            if not isinstance(bucket, list):
+                raise TomlError(
+                    f"{name!r} is already a table, not an array of tables",
+                    line_no,
+                )
+            entry: Dict[str, Any] = {}
+            bucket.append(entry)
+            self.current = entry
+            self.prefix = (name, len(bucket) - 1)
+        else:
+            if name in self.data:
+                raise TomlError(f"duplicate table [{name}]", line_no)
+            entry = {}
+            self.data[name] = entry
+            self.current = entry
+            self.prefix = (name,)
+        self.linemap[self.prefix] = line_no
+
+    def _enter_pair(self, text: str, line_no: int) -> None:
+        key, sep, rest = text.partition("=")
+        key = key.strip()
+        if not sep:
+            raise TomlError(f"expected 'key = value', got {text!r}", line_no)
+        if not key or not set(key) <= _BARE_KEY:
+            raise TomlError(f"bad key {key!r}", line_no)
+        if key in self.current:
+            raise TomlError(f"duplicate key {key!r}", line_no)
+        rest = rest.strip()
+        if not rest:
+            raise TomlError(f"key {key!r} has no value", line_no)
+        value, trailing = self._parse_value(rest, line_no)
+        if trailing.strip():
+            raise TomlError(
+                f"unexpected trailing text {trailing.strip()!r}",
+                self.index + 1,
+            )
+        self.current[key] = value
+        self.linemap[self.prefix + (key,)] = line_no
+
+    def parse(self) -> Tuple[Dict[str, Any], LineMap]:
+        while self.index < len(self.lines):
+            raw = self.lines[self.index]
+            line_no = self.index + 1
+            text = _strip_comment(raw).strip()
+            if text:
+                if text.startswith("["):
+                    # Disambiguate table headers from (illegal) top-level
+                    # arrays: headers end with ']'.
+                    if not text.endswith("]"):
+                        raise TomlError(
+                            f"cannot parse line {text!r}", line_no
+                        )
+                    self._enter_table(text, line_no)
+                else:
+                    self._enter_pair(text, line_no)
+            self.index += 1
+        return self.data, self.linemap
+
+
+def parse(source: str) -> Tuple[Dict[str, Any], LineMap]:
+    """Parse TOML-subset ``source`` into ``(data, linemap)``.
+
+    Raises :class:`TomlError` (with a 1-based ``line``) on anything the
+    subset does not cover or that is malformed.
+    """
+    return _Parser(source).parse()

@@ -1,0 +1,156 @@
+"""Interpreter for StringXform codelets (the regex/string-transformation
+pack domain).
+
+Executes the DSL the ``stringxform`` pack targets, so the pipeline runs
+end to end: English query -> codelet -> transformed string.  Character
+classes compile to regexes; operations apply them over the whole input.
+
+    >>> from repro.runtime.stringxform import execute_codelet
+    >>> execute_codelet("REMOVE(DIGITS())", "a1b22c").text
+    'abc'
+    >>> execute_codelet("EXTRACT(DIGITS())", "a1b22c").output
+    ['1', '22']
+
+Transform results carry the (possibly unchanged) ``text`` plus, for the
+query-style operations (EXTRACT / SPLITON), the matched pieces in
+``output`` and their ``count``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.expression import Expr, parse_expression
+from repro.errors import ReproError
+
+
+class ExecutionError(ReproError):
+    """A codelet could not be executed (unknown API, bad arguments)."""
+
+
+#: Regexes for the single-occurrence character classes.  Operations wrap
+#: them in ``(?:...)+`` where runs are the natural unit (extract, split,
+#: collapse).
+CLASS_PATTERNS: Dict[str, str] = {
+    "DIGITS": r"\d",
+    "LETTERS": r"[A-Za-z]",
+    "SPACES": r"[ \t]",
+    "TABS": r"\t",
+    "NEWLINES": r"\n",
+    "PUNCTUATION": r"[^\w\s]",
+    "VOWELS": r"[aeiouAEIOU]",
+    "DASHES": r"-",
+    "UNDERSCORES": r"_",
+    "DOTS": r"\.",
+    "COMMAS": r",",
+    "COLONS": r":",
+    "SEMICOLONS": r";",
+    "QUOTES": r"[\"']",
+    "SLASHES": r"[/\\]",
+}
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of running one codelet."""
+
+    text: str
+    output: List[str] = field(default_factory=list)
+    count: Optional[int] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ExecutionResult(text={self.text!r}, count={self.count})"
+
+
+def _pattern_of(expr: Expr) -> str:
+    """The regex for a pattern argument: a character-class API or a
+    ``LITERAL("...")`` wrapper."""
+    if expr.name in CLASS_PATTERNS:
+        return CLASS_PATTERNS[expr.name]
+    if expr.name == "LITERAL":
+        value = next((a.name for a in expr.args if a.is_literal), None)
+        if value is None:
+            raise ExecutionError("LITERAL() without a literal value")
+        return re.escape(value)
+    raise ExecutionError(f"unknown pattern {expr.name!r}")
+
+
+def _find_pattern(expr: Expr, *, skip: str = "") -> Optional[Expr]:
+    for arg in expr.args:
+        if arg.is_literal or arg.name == skip:
+            continue
+        if arg.name in CLASS_PATTERNS or arg.name == "LITERAL":
+            return arg
+    return None
+
+
+def _require_pattern(expr: Expr) -> str:
+    pattern = _find_pattern(expr)
+    if pattern is None:
+        raise ExecutionError(f"{expr.name} needs a pattern argument")
+    return _pattern_of(pattern)
+
+
+def _run(pattern: str) -> str:
+    """A maximal run of the class (so 'a12b3' yields '12' and '3')."""
+    return f"(?:{pattern})+"
+
+
+def execute(expr: Expr, text: str) -> ExecutionResult:
+    """Execute a parsed codelet against ``text``."""
+    name = expr.name
+    if name == "REMOVE":
+        return ExecutionResult(re.sub(_require_pattern(expr), "", text))
+    if name == "EXTRACT":
+        pieces = re.findall(_run(_require_pattern(expr)), text)
+        return ExecutionResult(text, output=pieces, count=len(pieces))
+    if name == "REPLACEALL":
+        dst_node = next(
+            (a for a in expr.args if a.name == "DSTTEXT"), None
+        )
+        if dst_node is None:
+            raise ExecutionError("REPLACEALL needs a DSTTEXT argument")
+        dst = next((a.name for a in dst_node.args if a.is_literal), None)
+        if dst is None:
+            raise ExecutionError("DSTTEXT() without a literal value")
+        src = _find_pattern(expr, skip="DSTTEXT")
+        if src is None:
+            raise ExecutionError("REPLACEALL needs a source pattern")
+        return ExecutionResult(
+            re.sub(_pattern_of(src), dst.replace("\\", r"\\"), text)
+        )
+    if name == "SPLITON":
+        pieces = re.split(_run(_require_pattern(expr)), text)
+        pieces = [piece for piece in pieces if piece != ""]
+        return ExecutionResult(text, output=pieces, count=len(pieces))
+    if name in ("UPPERCASE", "LOWERCASE", "TITLECASE"):
+        transform = {
+            "UPPERCASE": str.upper,
+            "LOWERCASE": str.lower,
+            "TITLECASE": str.title,
+        }[name]
+        pattern = _find_pattern(expr)
+        if pattern is None:
+            return ExecutionResult(transform(text))
+        return ExecutionResult(
+            re.sub(
+                _run(_pattern_of(pattern)),
+                lambda m: transform(m.group(0)),
+                text,
+            )
+        )
+    if name == "REVERSE":
+        return ExecutionResult(text[::-1])
+    if name == "COLLAPSE":
+        pattern = _require_pattern(expr)
+        return ExecutionResult(
+            re.sub(f"(?:{pattern})+", lambda m: m.group(0)[0], text)
+        )
+    raise ExecutionError(f"unknown operation {name!r}")
+
+
+def execute_codelet(codelet: str, text: str) -> ExecutionResult:
+    """Parse and execute a StringXform codelet against ``text``."""
+    return execute(parse_expression(codelet), text)

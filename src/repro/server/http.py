@@ -9,9 +9,11 @@ Endpoints (docs/serving.md is the reference):
   A 429 (``overloaded``) response carries the scheduler's backpressure
   hint both as ``error.retry_after_ms`` and as a standard ``Retry-After``
   header (seconds, rounded up).
-* ``POST /admin/reload`` — hot snapshot reload: atomically swap freshly
-  loaded cache snapshots (and process-pool workers) without dropping
-  in-flight or queued work; body is optional ``{"cache_dir": "..."}``.
+* ``POST /admin/reload`` — hot reload: re-read pack-backed domains from
+  disk (an edited pack swaps in a freshly built Domain) and atomically
+  swap freshly loaded cache snapshots (and process-pool workers) without
+  dropping in-flight or queued work; body is optional
+  ``{"cache_dir": "..."}``.
 * ``GET /healthz`` — readiness: 200 while serving, 503 while draining;
   body reports domains, snapshot provenance, cache occupancy, inflight,
   and the scheduler's queue/budget state.
@@ -19,7 +21,9 @@ Endpoints (docs/serving.md is the reference):
   counters (the service-level view of ``SynthesisStats``), the scheduler
   section, and a ``stages`` section with per-stage p50/p99 latency over
   recent traffic (docs/architecture.md; capacity planning).
-* ``GET /domains`` — the served domain names.
+* ``GET /domains`` — the served domain names plus per-domain provenance
+  (API count, grammar hash, and — for pack-backed domains — the pack
+  name / version / source directory; see docs/domain_packs.md).
 
 Each request is handled on its own thread (``ThreadingHTTPServer``), so
 concurrency is bounded by the service's request scheduler, not the
@@ -132,7 +136,13 @@ class _Handler(BaseHTTPRequestHandler):
         elif path == "/stats":
             self._send(200, service.stats())
         elif path == "/domains":
-            self._send(200, {"domains": list(service.domain_names())})
+            # "domains" stays the plain name list (the stable shape);
+            # "details" adds per-domain provenance: API count, grammar
+            # hash, and pack name/version/source for pack-backed domains.
+            self._send(200, {
+                "domains": list(service.domain_names()),
+                "details": service.domain_info(),
+            })
         else:
             self._send(*error_response(
                 "not_found", f"no such endpoint: GET {self.path}"

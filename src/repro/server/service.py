@@ -59,9 +59,11 @@ from repro.domains import load_domains
 from repro.errors import (
     DeadlineExceeded,
     DomainError,
+    PackError,
     ReproError,
     error_code,
 )
+from repro.packs.loader import refresh_domain
 from repro.server.scheduler import (
     QueueFull,
     RequestScheduler,
@@ -491,6 +493,23 @@ class SynthesisService:
     def domain_names(self) -> Sequence[str]:
         return sorted(self._domains)
 
+    def domain_info(self) -> Dict[str, Any]:
+        """Per-domain provenance for ``GET /domains``: API count, grammar
+        hash, and — for pack-backed domains — the pack name / version /
+        source directory / content hash recorded at build time."""
+        info: Dict[str, Any] = {}
+        for name in sorted(self._domains):
+            domain = self._domains[name].domain
+            entry: Dict[str, Any] = {
+                "description": domain.description,
+                "apis": len(domain.document),
+                "grammar_hash": domain.grammar_hash(),
+            }
+            if domain.provenance:
+                entry["pack"] = dict(domain.provenance)
+            info[name] = entry
+        return info
+
     # ------------------------------------------------------------------
     # Hot snapshot reload (SIGHUP / POST /admin/reload)
     # ------------------------------------------------------------------
@@ -498,18 +517,31 @@ class SynthesisService:
     def reload_snapshots(
         self, cache_dir: Optional[str] = None
     ) -> Dict[str, Any]:
-        """Atomically adopt freshly loaded cache snapshots without
-        dropping in-flight or queued work.
+        """Atomically adopt freshly loaded cache snapshots — and, for
+        pack-backed domains, freshly read pack files — without dropping
+        in-flight or queued work.
 
-        For every served domain the snapshot is read from ``cache_dir``
-        (default: the directory currently in effect) into a *new*
-        PathCache which is then reference-swapped in — requests already
-        running keep the cache object they resolved, new requests see
-        the new one (:meth:`Domain.reload_cache`).  Under the process
+        Pack-backed domains (:mod:`repro.packs`) are re-read from disk
+        first: an *edited* pack builds a whole new
+        :class:`~repro.synthesis.domain.Domain` (new grammar hash, hence
+        a new snapshot key) that is reference-swapped in — in-flight
+        requests finish against the Synthesizer/Domain objects they
+        already resolved; new requests see the new grammar.  An unchanged
+        pack keeps its exact Domain object, so its results stay
+        byte-identical across the reload.  A pack that no longer
+        validates keeps serving its previous build and reports the
+        validation error in the reload payload.
+
+        Then, for every served domain, the snapshot is read from
+        ``cache_dir`` (default: the directory currently in effect) into a
+        *new* PathCache which is then reference-swapped in — requests
+        already running keep the cache object they resolved, new requests
+        see the new one (:meth:`Domain.reload_cache`).  Under the process
         backend the worker pools are replaced as well: old pools finish
         the work already submitted to them and are reaped in the
-        background, new pools preload the new snapshots.  A domain whose
-        snapshot is missing or stale keeps its current cache and reports
+        background, new pools rebuild their domains (re-reading packs)
+        and preload the new snapshots.  A domain whose snapshot is
+        missing or stale keeps its current cache and reports
         ``snapshot_loaded: false``.  Safe to call concurrently (calls
         serialize) and while serving traffic.
         """
@@ -517,14 +549,20 @@ class SynthesisService:
             target_dir = cache_dir if cache_dir is not None else self._cache_dir
             domains: Dict[str, Any] = {}
             for name, state in self._domains.items():
+                pack_info = self._refresh_pack(name, state)
                 loaded = state.domain.reload_cache(target_dir)
                 snapshot_file = str(state.domain.cache_file(target_dir))
-                if loaded:
-                    state.snapshot_loaded = True
+                if loaded or pack_info.get("pack_reloaded"):
+                    # A swapped pack means a new grammar hash, and the
+                    # snapshot key embeds it — adopt the new file path
+                    # even when no snapshot exists there yet.
+                    state.snapshot_loaded = loaded
                     state.snapshot_file = snapshot_file
                 domains[name] = {
                     "snapshot_loaded": loaded,
                     "snapshot_file": snapshot_file,
+                    "grammar_hash": state.domain.grammar_hash(),
+                    **pack_info,
                 }
             self._cache_dir = target_dir
             if self.config.backend == "process":
@@ -540,6 +578,33 @@ class SynthesisService:
             ),
             "domains": domains,
         }
+
+    def _refresh_pack(
+        self, name: str, state: _DomainState
+    ) -> Dict[str, Any]:
+        """Re-read one pack-backed domain from disk; caller holds the
+        reload lock.  Swaps ``state.domain`` (and drops its Synthesizers,
+        which wrap the old object) only when the pack content actually
+        changed.  Non-pack domains report nothing."""
+        try:
+            refreshed = refresh_domain(name)
+        except PackError as exc:
+            # The edited pack no longer validates: the previous build
+            # keeps serving, the caller sees exactly why.
+            return {"pack_reloaded": False, "pack_error": str(exc)}
+        if refreshed is None:
+            if state.domain.provenance:
+                return {"pack_reloaded": False}
+            return {}
+        with self._lock:
+            state.domain = refreshed
+            state.synthesizers = {
+                self.config.engine: Synthesizer(
+                    refreshed, engine=self.config.engine
+                )
+            }
+            state.snapshot_loaded = False
+        return {"pack_reloaded": True}
 
     def _restart_pools(self) -> None:
         """Swap in fresh process pools (new workers preload the current

@@ -68,6 +68,11 @@ class Domain:
     #: the library defaults; ``REPRO_CACHE_MAX_*`` env vars override both
     #: (see :func:`repro.grammar.path_cache.resolve_capacities`).
     cache_capacities: Mapping[str, int] = field(default_factory=dict)
+    #: Where this domain came from.  Built-in Python domains leave it
+    #: empty; pack-loaded domains record ``pack`` / ``version`` /
+    #: ``source`` (the pack directory) / ``content_hash``.  Surfaced by
+    #: :meth:`stats`, ``repro domains`` and the server's ``GET /domains``.
+    provenance: Mapping[str, str] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self._matcher: Optional[WordToApiMatcher] = None
@@ -99,6 +104,8 @@ class Domain:
         generic_apis: Optional[Iterable[str]] = None,
         candidate_reranker=None,
         cache_capacities: Optional[Mapping[str, int]] = None,
+        start: Optional[str] = None,
+        provenance: Optional[Mapping[str, str]] = None,
     ) -> "Domain":
         """Build a domain from BNF text and an API document.
 
@@ -106,7 +113,7 @@ class Domain:
         remaining terminal is a literal slot.  The document must cover
         exactly the API terminals (validated here).
         """
-        grammar = parse_bnf(bnf_source)
+        grammar = parse_bnf(bnf_source, start=start)
         document = ApiDocument(api_docs)
         api_names = set(document.names())
         missing = api_names - grammar.terminals
@@ -138,6 +145,7 @@ class Domain:
             path_limits=path_limits or PathSearchLimits(),
             candidate_reranker=candidate_reranker,
             cache_capacities=dict(cache_capacities or {}),
+            provenance=dict(provenance or {}),
         )
 
     # ------------------------------------------------------------------
@@ -276,11 +284,12 @@ class Domain:
             if self.graph.has_node(literal_id(t))
         ]
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> Dict[str, object]:
         """Summary used by Table I, plus the configured cache capacities
         (so a deployment can verify its ``REPRO_CACHE_*`` overrides took
-        effect)."""
-        out = {
+        effect) and provenance (grammar hash; pack metadata when the
+        domain was loaded from a pack)."""
+        out: Dict[str, object] = {
             "apis": len(self.document),
             "nonterminals": len(self.grammar.nonterminals),
             "terminals": len(self.grammar.terminals),
@@ -289,6 +298,9 @@ class Domain:
         }
         for layer, capacity in self.path_cache.capacities.items():
             out[f"cache_capacity_{layer}"] = capacity
+        out["grammar_hash"] = self.grammar_hash()
+        for key, value in self.provenance.items():
+            out[f"pack_{key}"] = value
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -88,3 +88,17 @@ def textediting():
 @pytest.fixture(scope="session")
 def astmatcher():
     return build_astmatcher()
+
+
+@pytest.fixture(scope="session")
+def spreadsheet():
+    from repro.domains import load_domain
+
+    return load_domain("spreadsheet")
+
+
+@pytest.fixture(scope="session")
+def stringxform():
+    from repro.domains import load_domain
+
+    return load_domain("stringxform")

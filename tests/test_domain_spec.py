@@ -71,6 +71,7 @@ class TestCreate:
         d = Domain.create("mini", BNF, [ApiDoc("DO", "x"), ApiDoc("THING", "y")])
         assert set(d.stats()) == {
             "apis", "nonterminals", "terminals", "graph_nodes", "graph_edges",
+            "grammar_hash",
             "cache_capacity_paths", "cache_capacity_conflicts",
             "cache_capacity_sizes", "cache_capacity_merge",
             "cache_capacity_outcomes",

@@ -17,7 +17,11 @@ from repro.eval.dataset import validate_dataset
 
 class TestRegistry:
     def test_available(self):
-        assert available_domains() == ["astmatcher", "textediting"]
+        # Two hand-written domains plus the two shipped builtin packs
+        # (repro.packs registers them at import time).
+        assert available_domains() == [
+            "astmatcher", "spreadsheet", "stringxform", "textediting",
+        ]
 
     def test_load_is_cached(self):
         assert load_domain("textediting") is load_domain("textediting")
@@ -33,7 +37,9 @@ class TestRegistry:
         from repro.domains import load_domains
 
         domains = load_domains()
-        assert sorted(domains) == ["astmatcher", "textediting"]
+        assert sorted(domains) == [
+            "astmatcher", "spreadsheet", "stringxform", "textediting",
+        ]
         assert domains["textediting"] is load_domain("textediting")
 
     def test_load_domains_subset_normalises_names(self):

@@ -1,0 +1,187 @@
+"""The two shipped pack domains run their full bundled suites exactly.
+
+Unlike the hand-written domains (whose Table II accuracy is measured by
+the benchmark, with one representative per family here), the pack suites
+are small enough to assert *every* bundled example synthesizes its
+authored ground truth — the suites double as the packs' regression nets.
+The stringxform codelets additionally execute through the
+:mod:`repro.runtime.stringxform` interpreter, closing the loop from
+English to transformed text.
+"""
+
+import pytest
+
+from repro.core.expression import parse_expression, validate_expression
+from repro.eval.dataset import validate_dataset
+from repro.packs import builtin_pack_root, load_pack
+from repro.runtime.stringxform import (
+    ExecutionError,
+    execute_codelet,
+)
+from repro.synthesis.pipeline import Synthesizer
+
+SPREADSHEET_CASES = load_pack(builtin_pack_root() / "spreadsheet").examples
+STRINGXFORM_CASES = load_pack(builtin_pack_root() / "stringxform").examples
+
+
+def _one_per_family(cases):
+    seen = {}
+    for case in cases:
+        seen.setdefault(case.family, case)
+    return sorted(seen.values(), key=lambda c: c.case_id)
+
+
+class TestDatasets:
+    def test_spreadsheet_suite_size_and_shape(self):
+        validate_dataset(SPREADSHEET_CASES, 55)
+
+    def test_stringxform_suite_size_and_shape(self):
+        validate_dataset(STRINGXFORM_CASES, 69)
+
+    def test_families_cover_every_operation(self):
+        spreadsheet_families = {c.family for c in SPREADSHEET_CASES}
+        assert {
+            "sum", "average", "count", "max", "min", "median", "product",
+            "round",
+        } <= spreadsheet_families
+        stringxform_families = {c.family for c in STRINGXFORM_CASES}
+        assert {
+            "remove", "extract", "split", "reverse", "collapse",
+        } <= stringxform_families
+
+
+class TestSpreadsheetSuite:
+    @pytest.mark.parametrize(
+        "case", SPREADSHEET_CASES, ids=lambda c: c.case_id
+    )
+    def test_synthesizes_ground_truth(self, spreadsheet, case):
+        out = Synthesizer(spreadsheet).synthesize(
+            case.query, timeout_seconds=30
+        )
+        assert out.codelet == case.ground_truth, case.query
+        problems = validate_expression(
+            parse_expression(out.codelet), spreadsheet.graph
+        )
+        assert problems == [], (case.query, out.codelet)
+
+
+class TestStringXformSuite:
+    @pytest.mark.parametrize(
+        "case", STRINGXFORM_CASES, ids=lambda c: c.case_id
+    )
+    def test_synthesizes_ground_truth(self, stringxform, case):
+        out = Synthesizer(stringxform).synthesize(
+            case.query, timeout_seconds=30
+        )
+        assert out.codelet == case.ground_truth, case.query
+        problems = validate_expression(
+            parse_expression(out.codelet), stringxform.graph
+        )
+        assert problems == [], (case.query, out.codelet)
+
+
+class TestEngineEquivalenceOnPacks:
+    """Both engines agree on one representative per family (the pack
+    counterpart of the cross-engine property tests)."""
+
+    @pytest.mark.parametrize(
+        "case",
+        _one_per_family(SPREADSHEET_CASES),
+        ids=lambda c: f"spreadsheet-{c.family}",
+    )
+    def test_spreadsheet(self, spreadsheet, case):
+        dggt = Synthesizer(spreadsheet, "dggt").synthesize(case.query, 30)
+        hisyn = Synthesizer(spreadsheet, "hisyn").synthesize(case.query, 30)
+        assert dggt.codelet == hisyn.codelet == case.ground_truth
+
+    @pytest.mark.parametrize(
+        "case",
+        _one_per_family(STRINGXFORM_CASES),
+        ids=lambda c: f"stringxform-{c.family}",
+    )
+    def test_stringxform(self, stringxform, case):
+        dggt = Synthesizer(stringxform, "dggt").synthesize(case.query, 30)
+        hisyn = Synthesizer(stringxform, "hisyn").synthesize(case.query, 30)
+        assert dggt.codelet == hisyn.codelet == case.ground_truth
+
+
+class TestStringXformRuntime:
+    """English -> codelet -> executed transformation, end to end."""
+
+    @pytest.mark.parametrize(
+        "query, text, expected",
+        [
+            ("remove all digits", "a1b22c", "abc"),
+            ("strip every vowel", "beautiful", "btfl"),
+            ("delete the punctuation", "a,b.c!", "abc"),
+            ('remove the literal "foo"', "foobarfoo", "bar"),
+            ("reverse the text", "abc def", "fed cba"),
+            ("collapse runs of spaces", "a  b   c", "a b c"),
+            ("uppercase the text", "abc", "ABC"),
+            ("lowercase every letter", "AbC", "abc"),
+        ],
+        ids=lambda value: repr(value)[:24],
+    )
+    def test_transform_round_trips(self, stringxform, query, text, expected):
+        out = Synthesizer(stringxform).synthesize(query, timeout_seconds=30)
+        assert execute_codelet(out.codelet, text).text == expected
+
+    @pytest.mark.parametrize(
+        "query, text, pieces",
+        [
+            ("extract all digits", "a12 b9", ["12", "9"]),
+            ("split the text on commas", "a,b,,c", ["a", "b", "c"]),
+            ("pull out every letter", "a1bc2", ["a", "bc"]),
+        ],
+        ids=lambda value: repr(value)[:24],
+    )
+    def test_query_ops_report_pieces(self, stringxform, query, text, pieces):
+        out = Synthesizer(stringxform).synthesize(query, timeout_seconds=30)
+        result = execute_codelet(out.codelet, text)
+        assert result.output == pieces
+        assert result.count == len(pieces)
+
+    def test_replace_round_trips(self, stringxform):
+        out = Synthesizer(stringxform).synthesize(
+            'replace spaces with the destination "_"', timeout_seconds=30
+        )
+        assert execute_codelet(out.codelet, "a b c").text == "a_b_c"
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(ExecutionError, match="unknown operation"):
+            execute_codelet("FROBNICATE()", "text")
+
+    def test_pattern_required(self):
+        with pytest.raises(ExecutionError, match="pattern"):
+            execute_codelet("REMOVE()", "text")
+
+
+class TestPackDomainStructure:
+    """The same structural invariants the hand-written domains assert."""
+
+    @pytest.mark.parametrize("name", ["spreadsheet", "stringxform"])
+    def test_document_covers_grammar(self, request, name):
+        domain = request.getfixturevalue(name)
+        api_terminals = {
+            t for t in domain.grammar.terminals
+            if t not in domain.literal_terminals()
+        }
+        domain.document.validate_against(api_terminals)
+
+    @pytest.mark.parametrize("name", ["spreadsheet", "stringxform"])
+    def test_literal_slots_are_literal_terminals(self, request, name):
+        domain = request.getfixturevalue(name)
+        slots = set()
+        for targets in domain.literal_targets.values():
+            slots |= set(targets)
+        assert slots <= domain.literal_terminals()
+
+    def test_api_counts(self, spreadsheet, stringxform):
+        assert len(spreadsheet.document) == 17
+        assert len(stringxform.document) == 26
+
+    def test_spreadsheet_keeps_tagger_hostile_lemmas(self, spreadsheet):
+        # "-ly" verbs (multiply, tally) and relative-clause predicates
+        # (empty, blank) would otherwise be pruned before matching.
+        kept = spreadsheet.prune_config.keep_lemmas
+        assert {"multiply", "tally", "empty", "blank"} <= set(kept)

@@ -101,7 +101,7 @@ class TestService:
     def test_serves_all_registered_domains_by_default(self):
         with SynthesisService() as service:
             assert list(service.domain_names()) == [
-                "astmatcher", "textediting",
+                "astmatcher", "spreadsheet", "stringxform", "textediting",
             ]
 
     def test_unknown_configured_domain_fails_fast(self):
@@ -1062,6 +1062,13 @@ class TestHttp:
     def test_domains_endpoint(self, http_setup):
         _, client = http_setup
         assert client.domains() == ["astmatcher", "textediting"]
+        details = client.domain_details()
+        assert set(details) == {"astmatcher", "textediting"}
+        entry = details["textediting"]
+        assert entry["apis"] == 56
+        assert len(entry["grammar_hash"]) == 64
+        # hand-written domains carry no pack provenance
+        assert "pack" not in entry
 
     def test_healthz_503_while_draining(self):
         service = SynthesisService(ServerConfig(domains=("textediting",)))
