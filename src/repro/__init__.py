@@ -20,6 +20,7 @@ from repro.errors import (
     CacheSnapshotError,
     DomainError,
     GrammarError,
+    InvalidExamplesError,
     InvalidRequestError,
     ParseError,
     ReproError,
@@ -30,7 +31,13 @@ from repro.grammar.path_cache import PathCache
 from repro.synthesis.domain import Domain
 from repro.synthesis.pipeline import BatchItem, Synthesizer, make_engine
 from repro.synthesis.result import SynthesisOutcome, SynthesisStats
-from repro.synthesis.stages import STAGE_NAMES, SynthesisContext, Trace
+from repro.synthesis.stages import (
+    ALL_STAGE_NAMES,
+    STAGE_NAMES,
+    SynthesisContext,
+    Trace,
+)
+from repro.verify import IOExample, VerificationReport
 
 __version__ = "1.0.0"
 
@@ -47,8 +54,11 @@ __all__ = [
     "SynthesisStats",
     "BatchItem",
     "STAGE_NAMES",
+    "ALL_STAGE_NAMES",
     "SynthesisContext",
     "Trace",
+    "IOExample",
+    "VerificationReport",
     "PathCache",
     "ReproError",
     "GrammarError",
@@ -56,6 +66,7 @@ __all__ = [
     "SynthesisError",
     "SynthesisTimeout",
     "InvalidRequestError",
+    "InvalidExamplesError",
     "DomainError",
     "CacheSnapshotError",
     "__version__",

@@ -132,6 +132,23 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="print up to K ranked candidate codelets (IDE mode, Sec. VII-B.4)",
     )
     parser.add_argument(
+        "--example",
+        action="append",
+        default=None,
+        metavar="INPUT=OUTPUT",
+        dest="examples",
+        help="input→output example the synthesized codelet must reproduce "
+        "(repeatable; \\n \\t \\= \\\\ escapes; execution-guided "
+        "verification, docs/verification.md)",
+    )
+    parser.add_argument(
+        "--candidates",
+        type=int,
+        default=None,
+        metavar="K",
+        help="with --example: verify up to K ranked candidates (default: 4)",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="print the engine's instrumentation counters "
@@ -233,20 +250,40 @@ def build_batch_arg_parser() -> argparse.ArgumentParser:
         "each item carries a 'trace' payload (docs/architecture.md), in "
         "text mode a compact per-query stage line is printed to stderr",
     )
+    parser.add_argument(
+        "--candidates",
+        type=int,
+        default=None,
+        metavar="K",
+        help="attach a top-K candidate list to every result (JSON lines "
+        "with an 'examples' key additionally verify against them)",
+    )
     _pack_dir_argument(parser)
     return parser
 
 
-def _read_queries(path: str) -> List[str]:
+def _read_queries(path: str) -> List[object]:
+    """Batch entries: one query per line, or — for lines starting with
+    ``{`` — a JSONL object with ``query`` and optional ``examples`` keys
+    (the shape ``synthesize_many`` validates)."""
     if path == "-":
         lines = sys.stdin.readlines()
     else:
         with open(path, "r", encoding="utf-8") as handle:
             lines = handle.readlines()
-    queries = []
-    for line in lines:
+    queries: List[object] = []
+    for number, line in enumerate(lines, start=1):
         line = line.strip()
-        if line and not line.startswith("#"):
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("{"):
+            try:
+                queries.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ReproError(
+                    f"line {number}: bad JSON batch entry: {exc}"
+                )
+        else:
             queries.append(line)
     return queries
 
@@ -297,6 +334,7 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
             backend=args.backend,
             cache_dir=args.cache_dir,
             collect_trace=args.trace,
+            candidates=args.candidates,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -1041,6 +1079,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    examples = None
+    if args.examples:
+        try:
+            from repro.verify.examples import parse_example_arg
+
+            examples = [parse_example_arg(raw) for raw in args.examples]
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
     config = DggtConfig(
         grammar_pruning=not args.no_grammar_pruning,
         size_pruning=not args.no_size_pruning,
@@ -1049,7 +1097,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     synth = Synthesizer(domain, engine=args.engine, config=config)
 
     if args.explain:
-        print(explain_query(domain, args.query))
+        print(explain_query(domain, args.query, examples=examples))
 
     if args.top > 1:
         try:
@@ -1070,6 +1118,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.query,
             timeout_seconds=args.timeout,
             collect_trace=collect_trace,
+            examples=examples,
+            candidates=args.candidates,
         )
     except SynthesisTimeout as exc:
         stage = getattr(exc, "stage", None)
@@ -1090,6 +1140,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"time={out.elapsed_seconds * 1000:.1f}ms",
         file=sys.stderr,
     )
+    if out.verification is not None:
+        report = out.verification
+        print(
+            f"# verification: status={report.status} "
+            f"winner_rank={report.winner_rank} "
+            f"reranked={'yes' if report.reranked else 'no'}",
+            file=sys.stderr,
+        )
+        for verdict in report.verdicts:
+            detail = f" ({verdict.detail})" if verdict.detail else ""
+            print(
+                f"#   rank {verdict.rank}: {verdict.verdict} "
+                f"{verdict.examples_passed}/{verdict.examples_total}"
+                f"{detail}",
+                file=sys.stderr,
+            )
     if collect_trace and out.trace is not None:
         if out.trace.cache_hit:
             print("# stage trace: cache hit (no stages run)", file=sys.stderr)

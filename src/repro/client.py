@@ -31,6 +31,15 @@ from repro.errors import ReproError
 __all__ = ["ServerError", "HttpClient", "StdioClient"]
 
 
+def _examples_to_wire(examples: Any) -> List[Dict[str, str]]:
+    """Render caller-friendly examples (IOExample records, (input, output)
+    pairs, or {"input", "output"} mappings) into the wire array shape."""
+    from repro.verify.examples import normalize_examples
+
+    normalized = normalize_examples(examples)
+    return [ex.to_json() for ex in (normalized or ())]
+
+
 class ServerError(ReproError):
     """A structured error answered by the server.
 
@@ -126,13 +135,19 @@ class HttpClient:
         timeout: Optional[float] = None,
         include_stats: bool = False,
         include_trace: bool = False,
+        examples: Any = None,
         id: Any = None,
     ) -> Dict[str, Any]:
         """Synthesize one query; returns the response payload (the shared
         ``BatchItem.to_json()`` shape) or raises :class:`ServerError`.
         With ``retries > 0``, ``overloaded`` answers are retried after
         the server's ``retry_after_ms`` hint (exponential backoff when
-        the hint is absent); every other error raises immediately."""
+        the hint is absent); every other error raises immediately.
+
+        ``examples`` (IOExample records, ``(input, output)`` pairs, or
+        ``{"input", "output"}`` mappings) requests execution-guided
+        verification; the response then carries ``candidates`` and
+        ``verification`` (see docs/verification.md)."""
         body: Dict[str, Any] = {"query": query}
         if domain is not None:
             body["domain"] = domain
@@ -144,6 +159,8 @@ class HttpClient:
             body["include_stats"] = True
         if include_trace:
             body["include_trace"] = True
+        if examples is not None:
+            body["examples"] = _examples_to_wire(examples)
         if id is not None:
             body["id"] = id
         # Leave the socket comfortably more patience than the synthesis
@@ -240,6 +257,7 @@ class StdioClient:
         timeout: Optional[float] = None,
         include_stats: bool = False,
         include_trace: bool = False,
+        examples: Any = None,
         id: Any = None,
     ) -> Dict[str, Any]:
         body: Dict[str, Any] = {"query": query}
@@ -253,6 +271,8 @@ class StdioClient:
             body["include_stats"] = True
         if include_trace:
             body["include_trace"] = True
+        if examples is not None:
+            body["examples"] = _examples_to_wire(examples)
         if id is not None:
             body["id"] = id
         payload = self.request(body)

@@ -57,6 +57,14 @@ class InvalidRequestError(ReproError):
     instead of a 500."""
 
 
+class InvalidExamplesError(ReproError):
+    """The request's input→output examples cannot be used: a malformed
+    examples payload (wrong types, missing fields, oversized texts) or a
+    domain with no registered candidate executor
+    (:mod:`repro.verify.executors`).  Maps to the stable
+    ``invalid_examples`` wire code (HTTP 400)."""
+
+
 class SynthesisTimeout(SynthesisError):
     """Cooperative timeout raised inside an engine's hot loop.
 
@@ -165,6 +173,7 @@ ERROR_CODES: "tuple[tuple[type, str], ...]" = (
     (DomainError, "unknown_domain"),
     (CacheSnapshotError, "cache_snapshot"),
     (InvalidRequestError, "invalid_request"),
+    (InvalidExamplesError, "invalid_examples"),
     (ReproError, "error"),
 )
 

@@ -12,18 +12,27 @@ order Fig. 8's accumulated-time curves and pick Table III's hard cases.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 
 @dataclass(frozen=True)
 class QueryCase:
-    """One evaluation query with its authored ground truth."""
+    """One evaluation query with its authored ground truth.
+
+    ``example_input``/``example_output`` (both-or-neither) attach an
+    input→output fixture: running the ground-truth codelet on the input
+    must reproduce the output.  Pack validation replays these through the
+    domain's registered executor (:mod:`repro.verify.executors`), and the
+    verification smoke tests reuse them as example specs.
+    """
 
     case_id: str
     query: str
     ground_truth: str
     family: str
     complexity: int = 2
+    example_input: Optional[str] = None
+    example_output: Optional[str] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"QueryCase({self.case_id}, {self.query!r})"

@@ -672,13 +672,30 @@ class _Reader:
                 family = "default"
             unknown = sorted(
                 set(obj) - {"id", "query", "ground_truth", "family",
-                            "complexity"}
+                            "complexity", "input", "output"}
             )
             if unknown:
                 self.issue(
                     fname, line_no,
                     f"example has unknown key(s): {', '.join(unknown)}",
                 )
+            example_input = obj.get("input")
+            example_output = obj.get("output")
+            if (example_input is None) != (example_output is None):
+                self.issue(
+                    fname, line_no,
+                    "example 'input' and 'output' must be given together",
+                )
+                example_input = example_output = None
+            elif example_input is not None and (
+                not isinstance(example_input, str)
+                or not isinstance(example_output, str)
+            ):
+                self.issue(
+                    fname, line_no,
+                    "example 'input'/'output' must be strings",
+                )
+                example_input = example_output = None
             case_id = obj["id"]
             if case_id in seen_ids:
                 self.issue(
@@ -701,6 +718,8 @@ class _Reader:
                     ground_truth=obj["ground_truth"],
                     family=family,
                     complexity=complexity,
+                    example_input=example_input,
+                    example_output=example_output,
                 )
             )
 
@@ -779,6 +798,43 @@ def _semantic_issues(spec: PackSpec) -> List[PackIssue]:
                     f"example {case.case_id!r} ground truth is not "
                     f"grammar-valid: {problem}",
                 ))
+        issues.extend(_executor_replay_issues(spec, domain))
+    return issues
+
+
+def _executor_replay_issues(spec: PackSpec, domain) -> List[PackIssue]:
+    """Replay every input→output fixture through the domain's registered
+    executor: the authored ground truth must actually reproduce the
+    authored output, so the same cases double as trustworthy verification
+    fixtures (docs/verification.md).  Domains without an executor skip
+    the check (the fixtures are then documentation only)."""
+    from repro.verify.executors import get_executor, has_executor
+
+    issues: List[PackIssue] = []
+    if not has_executor(spec.name):
+        return issues
+    executor = get_executor(spec.name)
+    example_file = spec.examples_file
+    line_by_id = _example_lines(spec)
+    for case in spec.examples:
+        if case.example_input is None or case.example_output is None:
+            continue
+        try:
+            observed = executor(case.ground_truth, case.example_input)
+        except Exception as exc:  # noqa: BLE001 - any failure is an issue
+            issues.append(PackIssue(
+                example_file, line_by_id.get(case.case_id),
+                f"example {case.case_id!r} ground truth fails to execute "
+                f"on its input: {type(exc).__name__}: {exc}",
+            ))
+            continue
+        if observed != case.example_output:
+            issues.append(PackIssue(
+                example_file, line_by_id.get(case.case_id),
+                f"example {case.case_id!r} ground truth does not "
+                f"reproduce its output: expected "
+                f"{case.example_output!r}, observed {observed!r}",
+            ))
     return issues
 
 

@@ -216,22 +216,36 @@ def _matches_name(self: MatchEvaluator, arg: Expr, node: AstNode) -> bool:
     pattern = self._literal(arg)
     if pattern is None or not node.name:
         return False
-    return re.search(pattern, node.name) is not None
+    try:
+        return re.search(pattern, node.name) is not None
+    except re.error:
+        # A bad candidate can land an arbitrary literal in the pattern
+        # slot; an unparseable regex matches nothing rather than raising.
+        return False
 
 
 def _has_operator_name(self: MatchEvaluator, arg: Expr, node: AstNode) -> bool:
     return node.attrs.get("operator") == self._literal(arg)
 
 
+def _count_of(want) -> object:
+    """Best-effort integer of a count literal; a non-numeric literal (a
+    bad candidate's doing) compares equal to nothing instead of raising."""
+    try:
+        return int(float(want))
+    except (TypeError, ValueError):
+        return object()
+
+
 def _argument_count_is(self: MatchEvaluator, arg: Expr, node: AstNode) -> bool:
     want = self._literal(arg)
-    return want is not None and node.attrs.get("arg_count") == int(float(want))
+    return want is not None and node.attrs.get("arg_count") == _count_of(want)
 
 
 def _parameter_count_is(self: MatchEvaluator, arg: Expr, node: AstNode) -> bool:
     want = self._literal(arg)
     return (
-        want is not None and node.attrs.get("param_count") == int(float(want))
+        want is not None and node.attrs.get("param_count") == _count_of(want)
     )
 
 

@@ -124,6 +124,17 @@ def _literal_of(expr: Optional[Expr]) -> Optional[str]:
     return None
 
 
+def _int_of(n: Optional[str], default: Optional[int]) -> Optional[int]:
+    """Best-effort integer of a literal.  Bad candidates routinely land a
+    non-numeric literal in an ordinal/position slot; execution must yield
+    a well-defined result (the verifier marks it inconsistent) instead of
+    raising."""
+    try:
+        return int(float(n))
+    except (TypeError, ValueError):
+        return default
+
+
 _TOKEN_NAMES = tuple(TOKEN_PATTERNS)
 _ORDINALS = ("FIRSTTOKEN", "LASTTOKEN", "NTHTOKEN")
 _POSITIONS = ("START", "END", "POSITION", "AFTER", "BEFORE", "STARTFROM", "ENDAT")
@@ -172,10 +183,7 @@ def _apply_quantifier(indices: List[int], quant: Optional[Expr]) -> List[int]:
     if quant.name == "LASTOCC":
         return indices[-1:]
     if quant.name == "NTHOCC":
-        n = _literal_of(quant)
-        if n is None:
-            return indices[:1]
-        k = int(float(n))
+        k = _int_of(_literal_of(quant), 1)
         return indices[k - 1 : k] if 1 <= k <= len(indices) else []
     raise ExecutionError(f"unknown quantifier {quant.name!r}")
 
@@ -226,8 +234,7 @@ def _target_spans(unit: str, target: Optional[Expr]) -> List[Tuple[int, int]]:
             return spans[:1]
         if target.name == "LASTTOKEN":
             return spans[-1:]
-        n = _literal_of(target)
-        k = int(float(n)) if n else 1
+        k = _int_of(_literal_of(target), 1)
         return spans[k - 1 : k] if 1 <= k <= len(spans) else []
     if target.name in _TOKEN_NAMES:
         return [m.span() for m in re.finditer(_token_pattern(target), unit)]
@@ -246,11 +253,11 @@ def _position_index(unit: str, pos: Optional[Expr]) -> int:
     if pos.name == "START":
         return 0
     if pos.name in ("POSITION", "STARTFROM"):
-        n = _literal_of(pos)
-        return min(int(float(n)) if n else 0, len(unit))
+        k = _int_of(_literal_of(pos), 0)
+        return max(0, min(k, len(unit)))
     if pos.name == "ENDAT":
-        n = _literal_of(pos)
-        return min(int(float(n)) if n else len(unit), len(unit))
+        k = _int_of(_literal_of(pos), len(unit))
+        return max(0, min(k, len(unit)))
     if pos.name in ("AFTER", "BEFORE"):
         anchor = _find_arg(pos, _TOKEN_NAMES + ("ANCHORSTR", "CHARTOKEN"))
         if anchor is not None and anchor.name == "ANCHORSTR":
@@ -260,10 +267,14 @@ def _position_index(unit: str, pos: Optional[Expr]) -> int:
                 return len(unit)
             return at + len(value) if pos.name == "AFTER" else at
         if anchor is not None and anchor.name == "CHARTOKEN":
-            n = _literal_of(anchor)
-            if n is not None:
-                k = min(int(float(n)), len(unit))
-                return k
+            # In a position context CHARTOKEN carries a numeric index,
+            # not its token pattern: a missing or non-numeric literal
+            # must resolve here, not fall through to the regex search
+            # below (which would anchor on the first character).
+            k = _int_of(_literal_of(anchor), None)
+            if k is None:
+                return len(unit)
+            return max(0, min(k, len(unit)))
         if anchor is not None:
             match = re.search(_token_pattern(anchor), unit)
             if match is None:

@@ -11,6 +11,8 @@ Request (HTTP ``POST /synthesize`` body, or one stdio JSON line)::
      "timeout": 5.0,                     # optional per-request budget (s)
      "include_stats": false,             # optional: attach stats payload
      "include_trace": false,             # optional: attach per-stage trace
+     "examples": [{"input": "aa",        # optional input→output examples:
+                   "output": "-aa"}],    #   execution-guided verification
      "id": "req-42"}                     # optional opaque token, echoed
 
 Success response: ``BatchItem.to_json()`` plus ``{"id": ...}`` — exactly
@@ -37,6 +39,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import ReproError
 from repro.synthesis.pipeline import BatchItem
+from repro.verify.examples import parse_examples
 
 #: Serving-layer codes (requests rejected before reaching a synthesizer).
 #: ``deadline_exceeded`` is issued by the request scheduler when a queued
@@ -66,6 +69,7 @@ HTTP_STATUS: Dict[str, int] = {
     "shutting_down": 503,
     "timeout": 504,
     "deadline_exceeded": 504,
+    "invalid_examples": 400,
     "internal": 500,
 }
 _DEFAULT_ERROR_STATUS = 422
@@ -90,6 +94,10 @@ class SynthesisRequest:
     timeout: Optional[float] = None
     include_stats: bool = False
     include_trace: bool = False
+    #: Validated input→output examples (tuple of
+    #: :class:`repro.verify.IOExample`) or None — turns on
+    #: execution-guided candidate verification.
+    examples: Optional[tuple] = None
     id: Any = None
 
 
@@ -103,7 +111,7 @@ def parse_request(payload: Any) -> SynthesisRequest:
     if not isinstance(payload, dict):
         raise BadRequest("request body must be a JSON object")
     allowed = {"query", "domain", "engine", "timeout", "include_stats",
-               "include_trace", "id", "op"}
+               "include_trace", "examples", "id", "op"}
     unknown = sorted(set(payload) - allowed)
     if unknown:
         raise BadRequest(f"unknown request field(s): {unknown}")
@@ -136,6 +144,13 @@ def parse_request(payload: Any) -> SynthesisRequest:
     if not isinstance(include_trace, bool):
         raise BadRequest("'include_trace' must be a boolean")
 
+    # Malformed examples raise InvalidExamplesError (its own stable code,
+    # also 400) rather than BadRequest: clients distinguish "fix your
+    # payload shape" from "fix your examples".
+    examples = None
+    if payload.get("examples") is not None:
+        examples = parse_examples(payload["examples"])
+
     return SynthesisRequest(
         query=query.strip(),
         domain=domain,
@@ -143,6 +158,7 @@ def parse_request(payload: Any) -> SynthesisRequest:
         timeout=timeout,
         include_stats=include_stats,
         include_trace=include_trace,
+        examples=examples,
         id=payload.get("id"),
     )
 

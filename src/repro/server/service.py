@@ -59,6 +59,7 @@ from repro.domains import load_domains
 from repro.errors import (
     DeadlineExceeded,
     DomainError,
+    InvalidExamplesError,
     PackError,
     ReproError,
     error_code,
@@ -194,6 +195,14 @@ class SynthesisService:
             "total": 0, "ok": 0, "timeout": 0, "error": 0, "rejected": 0,
             "expired": 0,
         }
+        # Execution-guided verification observability (GET /stats):
+        # requests that carried examples, how many completed verification,
+        # how many promoted a lower-ranked candidate, and how many fell
+        # back to unverified ranking on deadline exhaustion.
+        self._verify_counters: Dict[str, int] = {
+            "requests_with_examples": 0, "verified": 0, "reranked": 0,
+            "exhausted": 0,
+        }
         self._pools: Dict[Tuple[str, str], ProcessPoolExecutor] = {}
         # Every dispatched request runs with tracing on (the per-stage
         # overhead is two clock reads and a counter snapshot per stage);
@@ -249,6 +258,9 @@ class SynthesisService:
         except BadRequest as exc:
             self._count("rejected")
             return error_response("bad_request", str(exc), id=req_id)
+        except InvalidExamplesError as exc:
+            self._count("rejected")
+            return error_response("invalid_examples", str(exc), id=req_id)
         return self.synthesize(request)
 
     def synthesize(
@@ -304,6 +316,8 @@ class SynthesisService:
         try:
             item = self._dispatch(state, request, budget)
             self._stage_latency.observe(getattr(item, "trace", None))
+            if request.examples is not None:
+                self._count_verification(item)
             if self._scheduler.queueing_enabled and item.outcome is not None:
                 item.outcome.queue_wait_ms = round(
                     grant.queue_wait_seconds * 1000.0, 3
@@ -350,7 +364,8 @@ class SynthesisService:
             with self._lock:
                 pool = self._pool_locked(state.domain.name, engine)
                 future = pool.submit(
-                    _process_worker_run, 0, request.query, timeout, True
+                    _process_worker_run, 0, request.query, timeout, True,
+                    request.examples,
                 )
             # The worker enforces the deadline cooperatively; the grace
             # period only guards against a wedged worker process.
@@ -362,8 +377,25 @@ class SynthesisService:
         # when the request asked for them).
         return _run_single(
             synth, 0, request.query, timeout, record_cache_delta=False,
-            collect_trace=True,
+            collect_trace=True, examples=request.examples,
         )
+
+    def _count_verification(self, item: BatchItem) -> None:
+        """Fold one examples-carrying request into the verification
+        counters (``/stats``)."""
+        report = getattr(
+            getattr(item, "outcome", None), "verification", None
+        )
+        with self._lock:
+            self._verify_counters["requests_with_examples"] += 1
+            if report is None:
+                return
+            if report.status == "verified":
+                self._verify_counters["verified"] += 1
+            if report.status == "deadline_exhausted":
+                self._verify_counters["exhausted"] += 1
+            if report.reranked:
+                self._verify_counters["reranked"] += 1
 
     def _synthesizer(self, state: _DomainState, engine: str) -> Synthesizer:
         with self._lock:
@@ -469,6 +501,7 @@ class SynthesisService:
         view docs/architecture.md describes)."""
         with self._lock:
             counters = dict(self._counters)
+            verify_counters = dict(self._verify_counters)
             reloads = self._reloads
         domains: Dict[str, Any] = {}
         for name, state in self._domains.items():
@@ -486,6 +519,7 @@ class SynthesisService:
             "requests": counters,
             "scheduler": self._scheduler.snapshot(),
             "stages": self._stage_latency.snapshot(),
+            "verification": verify_counters,
             "reloads": reloads,
             "domains": domains,
         }

@@ -17,6 +17,7 @@ section comes from the same :class:`~repro.synthesis.stages.Trace` that
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional
 
 from repro.core.orphan import relocation_variants
@@ -95,8 +96,15 @@ def explain_query(
     query: str,
     engine: str = "dggt",
     timeout_seconds: Optional[float] = 20.0,
+    examples=None,
 ) -> str:
-    """The full six-step walk-through for one query, as rendered text."""
+    """The full six-step walk-through for one query, as rendered text.
+
+    ``examples`` (input→output pairs) appends the execution-guided
+    verification step: the top-ranked candidates run against every
+    example and the walk-through shows each verdict
+    (docs/verification.md).
+    """
     lines: List[str] = [f"query: {query}", ""]
 
     deadline = (
@@ -139,5 +147,62 @@ def explain_query(
         "  combinations={combinations} pruned_grammar={pruned_grammar} "
         "pruned_size={pruned_size} merged={merged}".format(**stats)
     )
+    if examples:
+        lines.extend(_verification_lines(domain, problem, out, ctx, engine,
+                                         examples))
     lines.extend(_trace_lines(ctx.trace))
     return "\n".join(lines)
+
+
+def _verification_lines(
+    domain: Domain, problem, out, ctx, engine: str, examples
+) -> List[str]:
+    """The execution-guided verification section of the walk-through."""
+    from repro.synthesis.pipeline import DEFAULT_TOP_K
+    from repro.synthesis.ranking import alternative_outcomes
+    from repro.synthesis.stages import VERIFY_STAGE_NAME, record_span
+    from repro.verify.examples import normalize_examples
+    from repro.verify.executors import get_executor
+    from repro.verify.verifier import verify_candidates
+
+    lines = ["Verification — execution-guided re-ranking:"]
+    normalized = normalize_examples(examples)
+    executor = get_executor(domain.name)
+    outs = alternative_outcomes(
+        problem, out, make_engine(engine), ctx.deadline, DEFAULT_TOP_K
+    )
+    started = time.monotonic()
+    report = verify_candidates(
+        executor,
+        [(i + 1, o.codelet) for i, o in enumerate(outs)],
+        normalized,
+        ctx.deadline,
+    )
+    record_span(
+        ctx,
+        VERIFY_STAGE_NAME,
+        started,
+        status=(
+            "exhausted" if report.status == "deadline_exhausted" else "ok"
+        ),
+    )
+    lines.append(
+        f"  {len(normalized)} example(s), {len(outs)} candidate(s), "
+        f"status={report.status}"
+    )
+    for verdict in report.verdicts:
+        detail = f" — {verdict.detail}" if verdict.detail else ""
+        lines.append(
+            f"  rank {verdict.rank}: {verdict.verdict} "
+            f"({verdict.examples_passed}/{verdict.examples_total})"
+            f"{detail}"
+        )
+        lines.append(f"      {verdict.codelet}")
+    winner = outs[report.winner_rank - 1]
+    if report.reranked:
+        lines.append(
+            f"  promoted rank {report.winner_rank}: {winner.codelet}"
+        )
+    else:
+        lines.append(f"  kept rank {report.winner_rank}: {winner.codelet}")
+    return lines

@@ -54,11 +54,18 @@ from repro.synthesis.domain import Domain
 from repro.synthesis.problem import SynthesisProblem, build_problem
 from repro.synthesis.result import SynthesisOutcome
 from repro.synthesis.stages import (
+    VERIFY_STAGE_NAME,
     SynthesisContext,
     Trace,
     check_stage_entry,
+    record_span,
     run_front_end,
 )
+
+#: Default candidate-list depth when a request supplies examples (or asks
+#: for candidates without a count).  Small: each extra candidate is one
+#: extra engine run over the already-built problem.
+DEFAULT_TOP_K = 4
 
 # Engines are imported lazily inside make_engine: the engine modules depend
 # on repro.synthesis.problem, so importing them at module scope would make
@@ -175,6 +182,43 @@ class BatchItem:
         return getattr(self.error, "trace", None)
 
 
+def _normalize_batch_entry(entry):
+    """One batch entry -> ``(query, examples)``.
+
+    Entries are plain query strings (the legacy shape), ``(query,
+    examples)`` pairs, or mappings with a ``"query"`` key and an optional
+    ``"examples"`` key — the JSONL object shape ``repro batch`` reads.
+    """
+    from repro.verify.examples import normalize_examples
+
+    if isinstance(entry, str):
+        return entry, None
+    if isinstance(entry, dict):
+        query = entry.get("query")
+        if not isinstance(query, str) or not query.strip():
+            raise InvalidRequestError(
+                "batch entry object needs a non-empty string 'query' key"
+            )
+        unknown = set(entry) - {"query", "examples"}
+        if unknown:
+            raise InvalidRequestError(
+                "unknown batch entry key(s): "
+                + ", ".join(sorted(unknown))
+            )
+        return query, normalize_examples(entry.get("examples"))
+    if isinstance(entry, (tuple, list)) and len(entry) == 2:
+        query, raw = entry
+        if not isinstance(query, str):
+            raise InvalidRequestError(
+                "batch entry pair must be (query, examples)"
+            )
+        return query, normalize_examples(raw)
+    raise InvalidRequestError(
+        f"bad batch entry {entry!r}: expected a query string, a "
+        "(query, examples) pair, or a {'query', 'examples'} object"
+    )
+
+
 def _run_single(
     synthesizer: "Synthesizer",
     index: int,
@@ -182,6 +226,8 @@ def _run_single(
     timeout_seconds: Optional[float],
     record_cache_delta: bool = True,
     collect_trace: bool = False,
+    examples=None,
+    candidates: Optional[int] = None,
 ) -> BatchItem:
     """One query -> one BatchItem, failures captured (shared by the serial
     loop, the thread pool, and the process-pool workers, so the three
@@ -193,6 +239,8 @@ def _run_single(
             timeout_seconds,
             record_cache_delta=record_cache_delta,
             collect_trace=collect_trace,
+            examples=examples,
+            candidates=candidates,
         )
         return BatchItem(
             query,
@@ -265,16 +313,20 @@ def _process_worker_run(
     query: str,
     timeout_seconds: Optional[float],
     collect_trace: bool = False,
+    examples=None,
+    candidates: Optional[int] = None,
 ) -> BatchItem:
     """Task body executed in a pool worker.  Per-query deltas are exact
     here: each worker process runs its queries sequentially against its
     own cache.  Traces (and the stage a timeout fired in) ride the
-    returned BatchItem across the pipe — outcomes, errors, and the
-    :class:`~repro.synthesis.stages.Trace` payload all pickle."""
+    returned BatchItem across the pipe — outcomes, errors, the
+    :class:`~repro.synthesis.stages.Trace` payload, and the frozen
+    example/verification records all pickle."""
     assert _WORKER_SYNTH is not None, "worker initializer did not run"
     return _run_single(
         _WORKER_SYNTH, index, query, timeout_seconds,
-        collect_trace=collect_trace,
+        collect_trace=collect_trace, examples=examples,
+        candidates=candidates,
     )
 
 
@@ -357,6 +409,8 @@ class Synthesizer:
         *,
         record_cache_delta: bool = True,
         collect_trace: Optional[bool] = None,
+        examples=None,
+        candidates: Optional[int] = None,
     ) -> SynthesisOutcome:
         """Synthesize a codelet for ``query``.
 
@@ -376,7 +430,32 @@ class Synthesizer:
         records a per-stage :class:`~repro.synthesis.stages.Trace` on
         ``outcome.trace`` — and on the raised exception when the pipeline
         fails mid-stage.  Tracing never changes the synthesis result.
+
+        ``examples`` (input→output pairs: :class:`~repro.verify.IOExample`
+        records, ``(input, output)`` tuples, or ``{"input", "output"}``
+        mappings) turns on execution-guided verification: the top-K
+        candidates run sandboxed against every example through the
+        domain's registered executor, consistent candidates are promoted,
+        and ``outcome.verification`` carries the per-candidate verdicts.
+        Raises :class:`~repro.errors.InvalidExamplesError` — before any
+        synthesis work — when the domain has no registered executor.
+
+        ``candidates`` asks for a top-K candidate list on
+        ``outcome.candidates`` even without examples; with examples the
+        default is ``DEFAULT_TOP_K``.  Either option bypasses the outcome
+        cache (the memoized shell carries neither list).
         """
+        from repro.verify.examples import normalize_examples
+
+        examples = normalize_examples(examples)
+        if examples is not None:
+            # Fail fast: a domain without an executor cannot consume
+            # examples, and the caller should learn that before paying
+            # for a synthesis whose verdicts could never be produced.
+            from repro.verify.executors import get_executor
+
+            get_executor(self.domain.name)
+        want_candidates = examples is not None or candidates is not None
         deadline = (
             Deadline(timeout_seconds)
             if timeout_seconds is not None
@@ -398,7 +477,11 @@ class Synthesizer:
         before = cache.snapshot() if record_cache_delta else None
         started = time.monotonic()
 
-        key = self._outcome_key(query) if self.cache_outcomes else None
+        key = (
+            self._outcome_key(query)
+            if self.cache_outcomes and not want_candidates
+            else None
+        )
         if key is not None:
             cached = cache.get_outcome(key)
             if cached is not None:
@@ -419,6 +502,10 @@ class Synthesizer:
         problem = run_front_end(ctx)
         outcome = self.engine.synthesize(problem, ctx=ctx)
         outcome.query = query
+        if want_candidates:
+            self._attach_candidates(
+                ctx, problem, outcome, examples, candidates
+            )
         if record_cache_delta:
             outcome.stats.record_cache_delta(before, cache.snapshot())
         else:
@@ -428,6 +515,63 @@ class Synthesizer:
             cache.put_outcome(key, outcome)
         outcome.trace = ctx.trace
         return outcome
+
+    def _attach_candidates(
+        self, ctx, problem, outcome, examples, candidates: Optional[int]
+    ) -> None:
+        """Generate the top-K candidate list and, when examples were
+        supplied, run the execution-guided verify stage (see
+        docs/verification.md).  Mutates ``outcome`` in place: attaches
+        ``candidates``/``verification``, and when verification promotes a
+        lower-ranked candidate, swaps in its expression/CGT as the answer.
+        """
+        # Lazy: ranking imports this module, verify is an optional stage.
+        from repro.synthesis.ranking import (
+            alternative_outcomes,
+            outcomes_to_candidates,
+        )
+
+        k = candidates if candidates is not None else DEFAULT_TOP_K
+        outs = alternative_outcomes(
+            problem, outcome, self.engine, ctx.deadline, k
+        )
+        ranked = outcomes_to_candidates(outs)
+        if examples is None:
+            outcome.candidates = ranked
+            return
+
+        from repro.verify.executors import get_executor
+        from repro.verify.verifier import verify_candidates
+
+        executor = get_executor(self.domain.name)
+        started = time.monotonic()
+        report = verify_candidates(
+            executor,
+            [(c.rank, c.codelet) for c in ranked],
+            examples,
+            ctx.deadline,
+        )
+        # Not run_stage: its entry deadline check would turn a completed
+        # synthesis into a timeout.  The span is recorded directly, with
+        # "exhausted" marking the unverified-ranking fallback in traces.
+        record_span(
+            ctx,
+            VERIFY_STAGE_NAME,
+            started,
+            status=(
+                "exhausted"
+                if report.status == "deadline_exhausted"
+                else "ok"
+            ),
+        )
+        by_rank = {c.rank: c for c in ranked}
+        outcome.candidates = tuple(by_rank[r] for r in report.order)
+        outcome.verification = report
+        if report.winner_rank != 1:
+            winner = outs[report.winner_rank - 1]
+            outcome.expression = winner.expression
+            outcome.cgt = winner.cgt
+            outcome.size = winner.size
 
     # ------------------------------------------------------------------
     # Batch entry point (serving workloads)
@@ -469,6 +613,7 @@ class Synthesizer:
         cache_dir: Optional[str] = None,
         on_result=None,
         collect_trace: bool = False,
+        candidates: Optional[int] = None,
     ) -> List[BatchItem]:
         """Synthesize a batch of queries.
 
@@ -503,17 +648,23 @@ class Synthesizer:
         (``item.trace``; ``repro batch --json --trace`` renders them) —
         identical semantics on both backends, traces pickle across the
         worker pipe.
+
+        Entries may also be ``(query, examples)`` pairs or ``{"query",
+        "examples"}`` objects (the JSONL batch shape) to verify individual
+        queries against input→output examples; ``candidates`` asks every
+        entry for a top-K candidate list.  Both ride the same per-query
+        budget.
         """
         if backend not in ("thread", "process"):
             raise InvalidRequestError(
                 f"unknown backend {backend!r}; use 'thread' or 'process'"
             )
-        queries = list(queries)
+        entries = [_normalize_batch_entry(q) for q in queries]
 
         if backend == "process":
             return self._synthesize_many_process(
-                queries, timeout_seconds_each, max_workers, cache_dir,
-                on_result, collect_trace,
+                entries, timeout_seconds_each, max_workers, cache_dir,
+                on_result, collect_trace, candidates,
             )
 
         if cache_dir is not None:
@@ -521,35 +672,37 @@ class Synthesizer:
 
         record_deltas = max_workers <= 1
 
-        def run_one(index: int, query: str) -> BatchItem:
+        def run_one(index: int, query: str, examples) -> BatchItem:
             item = _run_single(
                 self, index, query, timeout_seconds_each, record_deltas,
-                collect_trace,
+                collect_trace, examples, candidates,
             )
             if on_result is not None:
                 on_result(item)
             return item
 
         if max_workers <= 1:
-            return [run_one(i, q) for i, q in enumerate(queries)]
+            return [run_one(i, q, ex) for i, (q, ex) in enumerate(entries)]
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
             futures = [
-                pool.submit(run_one, i, q) for i, q in enumerate(queries)
+                pool.submit(run_one, i, q, ex)
+                for i, (q, ex) in enumerate(entries)
             ]
             return [f.result() for f in futures]
 
     def _synthesize_many_process(
         self,
-        queries: List[str],
+        entries: List[tuple],
         timeout_seconds_each: Optional[float],
         max_workers: int,
         cache_dir: Optional[str],
         on_result,
         collect_trace: bool = False,
+        candidates: Optional[int] = None,
     ) -> List[BatchItem]:
         spec = self._worker_spec(cache_dir)
-        n_workers = max(1, min(max_workers, max(1, len(queries))))
-        results: List[Optional[BatchItem]] = [None] * len(queries)
+        n_workers = max(1, min(max_workers, max(1, len(entries))))
+        results: List[Optional[BatchItem]] = [None] * len(entries)
         with ProcessPoolExecutor(
             max_workers=n_workers,
             mp_context=_pool_context(),
@@ -559,9 +712,9 @@ class Synthesizer:
             futures = [
                 pool.submit(
                     _process_worker_run, i, q, timeout_seconds_each,
-                    collect_trace,
+                    collect_trace, ex, candidates,
                 )
-                for i, q in enumerate(queries)
+                for i, (q, ex) in enumerate(entries)
             ]
             for future in as_completed(futures):
                 item = future.result()

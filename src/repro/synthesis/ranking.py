@@ -5,23 +5,62 @@ candidate expressions for the programmer to choose when she types in her
 intent in natural language."  This module produces that list.
 
 Strategy: the top-1 comes from the engine as usual.  Lower ranks come from
-*root-alternative exclusion*: re-synthesize with the root word's
-already-used candidate APIs excluded, so each successive result interprets
-the query's head differently — the semantically most salient variation, and
-cheap (k small syntheses instead of a k-best dynamic program).  Results are
-deduplicated by codelet and ordered by (root-candidate rank, size).
+*alternative exclusion*: re-synthesize with an already-used candidate API
+excluded, so each successive result interprets part of the query
+differently — cheap (k small syntheses instead of a k-best dynamic
+program).  :func:`ranked_candidates` varies only the root word (the
+semantically most salient variation, the original behaviour);
+:func:`alternative_outcomes` — the generator behind execution-guided
+verification (:mod:`repro.verify`) — walks *every* dependency node, so
+ambiguity anywhere in the query (an operation synonym, a literal that
+could fill two slots) yields a distinct candidate for the examples to
+discriminate.  Results are deduplicated by codelet.
+
+``score`` is the grammar-graph cost score ``1 / (1 + size)`` — the
+quantity the engine's optimal-CGT search maximizes, renormalized to
+(0, 1] so downstream consumers can compare candidates without knowing
+the cost model.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ReproError, SynthesisTimeout
+from repro.grammar.paths import PathSearchLimits
 from repro.synthesis.deadline import Deadline
 from repro.synthesis.domain import Domain
 from repro.synthesis.pipeline import EngineLike, make_engine
 from repro.synthesis.problem import SynthesisProblem, build_problem
+
+#: Per-edge path cap for alternative (exclusion) re-syntheses.  Excluding
+#: the rank-1 endpoint can strip the pruning that made the original merge
+#: cheap — measured blowups reach ~10^6 combinations (~400ms) on queries
+#: whose normal merge is sub-millisecond.  Since every useful alternative
+#: binds near-optimal (short) paths, capping the per-edge fan-in keeps
+#: them while cutting the degenerate tail; the candidate list is
+#: explicitly best-effort.
+ALTERNATIVE_MAX_PATHS_PER_EDGE = 6
+
+
+def cost_score(size: int) -> float:
+    """The (0, 1] grammar-graph cost score of a codelet of ``size`` APIs."""
+    return 1.0 / (1.0 + size)
+
+
+def _alternative_limits(limits: PathSearchLimits) -> PathSearchLimits:
+    """``limits`` with the per-edge path cap tightened for exclusion
+    re-synthesis (no-op when already at or below the cap)."""
+    if limits.max_paths_per_edge <= ALTERNATIVE_MAX_PATHS_PER_EDGE:
+        return limits
+    return PathSearchLimits(
+        max_path_len=limits.max_path_len,
+        max_paths=limits.max_paths,
+        max_visits=limits.max_visits,
+        max_paths_per_edge=ALTERNATIVE_MAX_PATHS_PER_EDGE,
+        max_extra_len=limits.max_extra_len,
+    )
 
 
 @dataclass(frozen=True)
@@ -32,6 +71,45 @@ class RankedCandidate:
     codelet: str
     size: int
     elapsed_seconds: float
+    score: float = 0.0
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "rank": self.rank,
+            "codelet": self.codelet,
+            "size": self.size,
+            "score": round(
+                self.score if self.score else cost_score(self.size), 6
+            ),
+        }
+
+
+def _without_candidate(
+    problem: SynthesisProblem,
+    node_id: str,
+    drop: Sequence[str],
+    limits: Optional[PathSearchLimits] = None,
+) -> Optional[SynthesisProblem]:
+    """A copy of the problem where dependency node ``node_id`` may no
+    longer resolve to any endpoint in ``drop``; None when no candidates
+    remain."""
+    remaining = [
+        c
+        for c in problem.candidates.get(node_id, [])
+        if c.node_id not in drop
+    ]
+    if not remaining:
+        return None
+    return SynthesisProblem(
+        problem.domain,
+        problem.dep_graph.copy(),
+        {**problem.candidates, node_id: remaining},
+        limits or problem.limits,
+        problem.deadline,
+        # Safe to share across limits: the overlay holds *raw* (uncapped)
+        # pair results; per-edge caps are applied per problem.
+        path_cache=problem._path_cache,
+    )
 
 
 def _without_root_candidates(
@@ -39,21 +117,57 @@ def _without_root_candidates(
 ) -> Optional[SynthesisProblem]:
     """A copy of the problem whose root word may no longer resolve to any
     endpoint in ``used``; None when no candidates remain."""
-    root = problem.dep_graph.root
-    remaining = [
-        c for c in problem.candidates.get(root, []) if c.node_id not in used
-    ]
-    if not remaining:
-        return None
-    clone = SynthesisProblem(
-        problem.domain,
-        problem.dep_graph.copy(),
-        {**problem.candidates, root: remaining},
-        problem.limits,
-        problem.deadline,
-        path_cache=problem._path_cache,
-    )
-    return clone
+    return _without_candidate(problem, problem.dep_graph.root, tuple(used))
+
+
+def alternative_outcomes(
+    problem: SynthesisProblem,
+    first,
+    engine,
+    deadline: Deadline,
+    k: int,
+) -> List[Any]:
+    """Up to ``k`` engine outcomes for one built problem, best first.
+
+    ``first`` is the engine outcome already synthesized for ``problem``
+    (rank 1).  Lower ranks come from per-node candidate exclusion: for
+    each dependency node in turn, re-synthesize with the endpoint the
+    rank-1 CGT bound that node to excluded, keeping every distinct
+    codelet.  The walk is bounded by ``deadline`` — alternatives are
+    best-effort, partial lists are normal — and costs at most one extra
+    engine run per dependency node.
+    """
+    outcomes: List[Any] = [first]
+    if k <= 1:
+        return outcomes
+    seen = {first.codelet}
+    used_nodes = set(first.cgt.nodes())
+    limits = _alternative_limits(problem.limits)
+    for node in problem.dep_graph.nodes():
+        if len(outcomes) >= k or deadline.expired:
+            break
+        node_id = node.node_id
+        candidates = problem.candidates.get(node_id, [])
+        if len(candidates) <= 1:
+            continue
+        used = [c for c in candidates if c.node_id in used_nodes]
+        if not used:
+            continue
+        clone = _without_candidate(
+            problem, node_id, (used[0].node_id,), limits=limits
+        )
+        if clone is None:
+            continue
+        try:
+            alternative = engine.synthesize(clone, deadline)
+        except SynthesisTimeout:
+            break
+        except ReproError:
+            continue
+        if alternative.codelet not in seen:
+            seen.add(alternative.codelet)
+            outcomes.append(alternative)
+    return outcomes
 
 
 def ranked_candidates(
@@ -101,6 +215,7 @@ def ranked_candidates(
                     codelet=outcome.codelet,
                     size=outcome.size,
                     elapsed_seconds=outcome.elapsed_seconds,
+                    score=cost_score(outcome.size),
                 )
             )
         if outcome is not None:
@@ -120,3 +235,18 @@ def ranked_candidates(
     if not results and first_error is not None:
         raise first_error
     return results
+
+
+def outcomes_to_candidates(outcomes: Sequence[Any]) -> Tuple[RankedCandidate, ...]:
+    """Render engine outcomes (best first) as :class:`RankedCandidate`
+    records with 1-based ranks."""
+    return tuple(
+        RankedCandidate(
+            rank=index + 1,
+            codelet=outcome.codelet,
+            size=outcome.size,
+            elapsed_seconds=outcome.elapsed_seconds,
+            score=cost_score(outcome.size),
+        )
+        for index, outcome in enumerate(outcomes)
+    )

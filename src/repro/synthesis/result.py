@@ -143,6 +143,15 @@ class SynthesisOutcome:
     #: (:class:`repro.synthesis.stages.Trace`); None unless tracing was
     #: requested.  Typed loosely to keep result.py free of stage imports.
     trace: Optional[object] = None
+    #: The top-K candidate list, final order (tuple of
+    #: :class:`repro.synthesis.ranking.RankedCandidate`); None unless the
+    #: caller asked for candidates or supplied examples.  Typed loosely to
+    #: keep result.py free of ranking imports.
+    candidates: Optional[tuple] = None
+    #: The execution-guided verification report
+    #: (:class:`repro.verify.VerificationReport`); None unless the request
+    #: carried input→output examples.
+    verification: Optional[object] = None
 
     @property
     def codelet(self) -> str:
@@ -168,6 +177,13 @@ class SynthesisOutcome:
         }
         if self.queue_wait_ms is not None:
             out["queue_wait_ms"] = self.queue_wait_ms
+        # Candidate/verification payloads exist only when the request
+        # opted in (candidates=K or examples), so legacy outputs stay
+        # byte-identical.
+        if self.candidates is not None:
+            out["candidates"] = [c.to_json() for c in self.candidates]
+        if self.verification is not None:
+            out["verification"] = self.verification.to_json()
         if include_stats:
             out["stats"] = self.stats.to_json()
         if include_trace and self.trace is not None:

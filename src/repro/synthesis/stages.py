@@ -64,6 +64,15 @@ STAGE_NAMES: Tuple[str, ...] = (
 FRONT_END_STAGE_NAMES: Tuple[str, ...] = STAGE_NAMES[:4]
 ENGINE_STAGE_NAMES: Tuple[str, ...] = STAGE_NAMES[4:]
 
+#: The optional seventh stage: execution-guided verification of the
+#: ranked candidates against input→output examples (repro.verify).  Not
+#: part of :data:`STAGE_NAMES` — those are pinned to the paper's six
+#: Fig. 3 stages — but a first-class trace/aggregation citizen.
+VERIFY_STAGE_NAME = "verify"
+
+#: Every stage a trace can carry, in execution order.
+ALL_STAGE_NAMES: Tuple[str, ...] = STAGE_NAMES + (VERIFY_STAGE_NAME,)
+
 
 def _stat_counters(stats: SynthesisStats) -> Dict[str, int]:
     """The Table III counters a span snapshots (as_dict short names);
@@ -273,6 +282,22 @@ def run_stage(ctx: SynthesisContext, stage: Stage, value: Any) -> Any:
     if ctx.keep_artifacts:
         ctx.artifacts[stage.name] = result
     return result
+
+
+def record_span(
+    ctx: SynthesisContext,
+    stage_name: str,
+    started: float,
+    status: str = "ok",
+) -> None:
+    """Append a span for work timed outside :func:`run_stage` (used by
+    the verification stage, which must never raise a timeout for a query
+    that already synthesized successfully — it falls back instead, so the
+    run_stage entry check would be wrong for it).  No-op without a trace.
+    """
+    if ctx.trace is None:
+        return
+    _finish_span(ctx, stage_name, started, _stat_counters(ctx.stats), status)
 
 
 def check_stage_entry(ctx: SynthesisContext, stage_name: str) -> None:
@@ -504,8 +529,8 @@ class StageLatencyAggregator:
     def snapshot(self) -> Dict[str, Any]:
         with self._lock:
             stages: Dict[str, Any] = {}
-            order = list(STAGE_NAMES) + sorted(
-                set(self._samples) - set(STAGE_NAMES)
+            order = list(ALL_STAGE_NAMES) + sorted(
+                set(self._samples) - set(ALL_STAGE_NAMES)
             )
             for stage in order:
                 window = self._samples.get(stage)

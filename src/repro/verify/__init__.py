@@ -1,0 +1,51 @@
+"""Execution-guided verification of synthesized codelets.
+
+Optional input→output examples alongside the NL query (the "multimodal
+specification" of PAPERS.md's Ye et al.) turn ranking from a pure
+grammar-graph-cost guess into a checked decision: the top-K ranked
+codelets execute — sandboxed, deadline-bounded — against every example
+through the domain's registered :mod:`executor <repro.verify.executors>`,
+and the consistent ones win.  Threaded end-to-end: ``examples=`` on
+:meth:`Synthesizer.synthesize`, the batch JSONL ``examples`` key, the
+``examples`` wire field on both serving transports, and
+``--example INPUT=OUTPUT`` on the CLI.  See docs/verification.md.
+"""
+
+from repro.verify.examples import (
+    IOExample,
+    normalize_examples,
+    parse_example_arg,
+    parse_examples,
+)
+from repro.verify.executors import (
+    Executor,
+    get_executor,
+    has_executor,
+    register_executor,
+    registered_executors,
+)
+from repro.verify.sandbox import SandboxViolation, run_sandboxed
+from repro.verify.verifier import (
+    DEFAULT_SLICE_CAP,
+    CandidateVerdict,
+    VerificationReport,
+    verify_candidates,
+)
+
+__all__ = [
+    "IOExample",
+    "normalize_examples",
+    "parse_example_arg",
+    "parse_examples",
+    "Executor",
+    "get_executor",
+    "has_executor",
+    "register_executor",
+    "registered_executors",
+    "SandboxViolation",
+    "run_sandboxed",
+    "DEFAULT_SLICE_CAP",
+    "CandidateVerdict",
+    "VerificationReport",
+    "verify_candidates",
+]

@@ -1,0 +1,167 @@
+"""Input→output example specifications (the multimodal half of a query).
+
+An :class:`IOExample` pairs one input text with the output the user
+expects the synthesized codelet to produce on it (PAPERS.md, "Optimal
+Neural Program Synthesis from Multimodal Specifications").  Examples ride
+the whole stack — library call, batch JSONL, wire protocol — as the same
+``{"input": ..., "output": ...}`` shape, validated once here so every
+entry point rejects malformed payloads with the stable
+``invalid_examples`` code instead of failing mid-verification.
+
+Frozen and slotted: examples cross the process-pool worker pipe attached
+to requests, so they must pickle and never mutate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from repro.errors import InvalidExamplesError
+
+#: Hard caps on an examples payload.  They bound the work one request can
+#: demand from the verifier (every candidate runs against every example)
+#: and the bytes a worker pipe must carry.
+MAX_EXAMPLES = 16
+MAX_TEXT_BYTES = 65536
+
+
+@dataclass(frozen=True)
+class IOExample:
+    """One input→output example; texts are exact (no normalization)."""
+
+    input_text: str
+    output_text: str
+
+    def to_json(self) -> Dict[str, str]:
+        return {"input": self.input_text, "output": self.output_text}
+
+
+def _check_text(value: Any, field: str, index: int) -> str:
+    if not isinstance(value, str):
+        raise InvalidExamplesError(
+            f"example {index}: '{field}' must be a string, "
+            f"got {type(value).__name__}"
+        )
+    if len(value.encode("utf-8")) > MAX_TEXT_BYTES:
+        raise InvalidExamplesError(
+            f"example {index}: '{field}' exceeds {MAX_TEXT_BYTES} bytes"
+        )
+    return value
+
+
+def parse_examples(raw: Any) -> Tuple[IOExample, ...]:
+    """Validate a wire-format examples payload (a JSON array of
+    ``{"input", "output"}`` objects) into :class:`IOExample` records.
+
+    Raises :class:`~repro.errors.InvalidExamplesError` with a precise,
+    human-readable message on any malformation — the message is what the
+    serving layer returns alongside the ``invalid_examples`` code.
+    """
+    if not isinstance(raw, (list, tuple)):
+        raise InvalidExamplesError(
+            "'examples' must be an array of {input, output} objects"
+        )
+    if len(raw) == 0:
+        raise InvalidExamplesError("'examples' must not be empty")
+    if len(raw) > MAX_EXAMPLES:
+        raise InvalidExamplesError(
+            f"'examples' carries {len(raw)} entries; the limit is "
+            f"{MAX_EXAMPLES}"
+        )
+    out = []
+    for index, entry in enumerate(raw):
+        if isinstance(entry, IOExample):
+            out.append(entry)
+            continue
+        if not isinstance(entry, dict):
+            raise InvalidExamplesError(
+                f"example {index}: must be an object with 'input' and "
+                f"'output' keys, got {type(entry).__name__}"
+            )
+        unknown = sorted(set(entry) - {"input", "output"})
+        if unknown:
+            raise InvalidExamplesError(
+                f"example {index}: unknown key(s) {unknown}"
+            )
+        if "input" not in entry or "output" not in entry:
+            raise InvalidExamplesError(
+                f"example {index}: both 'input' and 'output' are required"
+            )
+        out.append(
+            IOExample(
+                input_text=_check_text(entry["input"], "input", index),
+                output_text=_check_text(entry["output"], "output", index),
+            )
+        )
+    return tuple(out)
+
+
+def normalize_examples(
+    examples: Optional[Iterable[Any]],
+) -> Optional[Tuple[IOExample, ...]]:
+    """Library-call convenience: accept IOExamples, ``(input, output)``
+    pairs, or wire-shape dicts; None/empty stays None (no verification).
+    """
+    if examples is None:
+        return None
+    items = list(examples)
+    if not items:
+        return None
+    coerced = []
+    for index, item in enumerate(items):
+        if isinstance(item, IOExample):
+            coerced.append(item)
+        elif isinstance(item, dict):
+            coerced.append(item)
+        elif isinstance(item, (tuple, list)) and len(item) == 2:
+            coerced.append({"input": item[0], "output": item[1]})
+        else:
+            raise InvalidExamplesError(
+                f"example {index}: expected an IOExample, an "
+                "(input, output) pair, or an {input, output} dict, "
+                f"got {type(item).__name__}"
+            )
+    return parse_examples(coerced)
+
+
+def parse_example_arg(text: str) -> IOExample:
+    """Parse one CLI ``--example INPUT=OUTPUT`` argument.
+
+    The first unescaped ``=`` splits input from output; ``\\n``, ``\\t``,
+    ``\\=`` and ``\\\\`` escapes let multi-line texts ride a shell
+    argument (``--example 'aa\\nbb=-aa\\n-bb'``).
+    """
+    chars = []
+    split_at = None
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\" and i + 1 < len(text):
+            nxt = text[i + 1]
+            if nxt == "n":
+                chars.append("\n")
+            elif nxt == "t":
+                chars.append("\t")
+            elif nxt in ("=", "\\"):
+                chars.append(nxt)
+            else:
+                chars.append(ch)
+                chars.append(nxt)
+            i += 2
+            continue
+        if ch == "=" and split_at is None:
+            split_at = len(chars)
+            i += 1
+            continue
+        chars.append(ch)
+        i += 1
+    if split_at is None:
+        raise InvalidExamplesError(
+            f"--example needs the form INPUT=OUTPUT (use \\= for a "
+            f"literal '='): {text!r}"
+        )
+    decoded = "".join(chars)
+    return IOExample(
+        input_text=decoded[:split_at], output_text=decoded[split_at:]
+    )

@@ -1,0 +1,155 @@
+"""Per-domain candidate executors behind one registry.
+
+An *executor* turns ``(codelet, input_text)`` into the single observed
+output string the verifier compares against an example's expected output.
+The registry decouples verification from any particular runtime: a domain
+opts into example-based verification by registering an executor under its
+registry name (built-ins below cover the three interpreters the repo
+ships); a domain without one rejects examples with the stable
+``invalid_examples`` code instead of guessing.
+
+Executor contract (docs/verification.md):
+
+* pure function of its two arguments — no filesystem, network, or
+  process access (the sandbox enforces this at runtime);
+* returns the *canonical* output string for the domain: edited text for
+  transforms, newline-joined matches for query-style operations, the
+  decimal count for counting operations;
+* raises freely on bad candidates — the verifier maps any exception to
+  an ``error`` verdict, never a 500.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import InvalidExamplesError
+
+#: (codelet, input_text) -> observed output text.
+Executor = Callable[[str, str], str]
+
+#: name -> (executor, warm-up hook or None).
+_REGISTRY: Dict[str, Tuple[Executor, Optional[Callable[[], None]]]] = {}
+_WARMED: set = set()
+
+#: Outputs larger than this are truncated-as-error by the verifier: a
+#: candidate that explodes the document is wrong, not worth shipping
+#: megabytes of evidence over the wire.
+MAX_OUTPUT_BYTES = 1048576
+
+
+def register_executor(
+    domain_name: str,
+    executor: Executor,
+    warm: Optional[Callable[[], None]] = None,
+) -> None:
+    """Register (or replace) the executor for a domain registry name.
+
+    ``warm`` (optional) runs once, outside the sandbox, before the
+    executor's first use.  The sandbox blocks *all* filesystem access —
+    including first-time module imports — so an executor must finish its
+    imports before candidates execute; put lazy imports here.
+    """
+    key = domain_name.lower()
+    _REGISTRY[key] = (executor, warm)
+    _WARMED.discard(key)
+
+
+def get_executor(domain_name: str) -> Executor:
+    """The (warmed) executor for a domain; raises
+    :class:`~repro.errors.InvalidExamplesError` when the domain has
+    none registered (the stable ``invalid_examples`` rejection)."""
+    key = domain_name.lower()
+    entry = _REGISTRY.get(key)
+    if entry is None:
+        raise InvalidExamplesError(
+            f"domain {domain_name!r} has no registered candidate "
+            f"executor; examples are supported on: "
+            f"{', '.join(registered_executors()) or '(none)'}"
+        )
+    executor, warm = entry
+    if warm is not None and key not in _WARMED:
+        warm()
+        _WARMED.add(key)
+    return executor
+
+
+def has_executor(domain_name: str) -> bool:
+    return domain_name.lower() in _REGISTRY
+
+
+def registered_executors() -> Tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+# ---------------------------------------------------------------------------
+# Built-in executors over the shipped runtime interpreters
+# ---------------------------------------------------------------------------
+
+
+def _root_command(codelet: str) -> str:
+    head = codelet.split("(", 1)[0].strip()
+    return head
+
+
+def textediting_executor(codelet: str, input_text: str) -> str:
+    """TextEditing: COUNT -> the decimal count, SELECT/PRINT -> the
+    newline-joined collected pieces, every edit command -> the edited
+    document."""
+    from repro.runtime.textedit import execute_codelet
+
+    result = execute_codelet(codelet, input_text)
+    command = _root_command(codelet)
+    if command == "COUNT":
+        return str(result.count if result.count is not None else 0)
+    if command in ("SELECT", "PRINT"):
+        return "\n".join(result.output)
+    return result.text
+
+
+def stringxform_executor(codelet: str, input_text: str) -> str:
+    """StringXform: EXTRACT/SPLITON -> the newline-joined pieces, every
+    transform -> the transformed string."""
+    from repro.runtime.stringxform import execute_codelet
+
+    result = execute_codelet(codelet, input_text)
+    command = _root_command(codelet)
+    if command in ("EXTRACT", "SPLITON"):
+        return "\n".join(result.output)
+    return result.text
+
+
+def astmatcher_executor(codelet: str, input_text: str) -> str:
+    """ASTMatcher: the input is C++ source; the output is one
+    ``kind:name`` line per matched node, in traversal order."""
+    from repro.runtime.cppast import parse_cpp
+    from repro.runtime.matcher_eval import match_codelet
+
+    nodes = match_codelet(codelet, parse_cpp(input_text))
+    return "\n".join(f"{node.kind}:{node.name or ''}" for node in nodes)
+
+
+def _warm_modules(*names: str) -> Callable[[], None]:
+    def warm() -> None:
+        for name in names:
+            importlib.import_module(name)
+
+    return warm
+
+
+register_executor(
+    "textediting",
+    textediting_executor,
+    warm=_warm_modules("repro.runtime.textedit"),
+)
+register_executor(
+    "stringxform",
+    stringxform_executor,
+    warm=_warm_modules("repro.runtime.stringxform"),
+)
+register_executor(
+    "astmatcher",
+    astmatcher_executor,
+    warm=_warm_modules("repro.runtime.cppast", "repro.runtime.matcher_eval"),
+)

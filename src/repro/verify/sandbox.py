@@ -1,0 +1,146 @@
+"""Sandboxed execution of candidate codelets.
+
+Candidate codelets come out of synthesis over an *untrusted* query, so
+verification runs every execution under two fences:
+
+* **wall-clock slice** — the call runs on a daemon worker thread joined
+  with a timeout.  A candidate that blows its slice is reported as
+  ``timeout`` and the thread abandoned (it stays sandboxed and daemonic,
+  so it can never outlive the process or escape the fences below);
+* **syscall fence** — a process-wide :func:`sys.addaudithook` hook,
+  installed once on first use, rejects filesystem / socket / subprocess
+  audit events raised *by sandboxed threads only* (a thread-local flag
+  scopes the fence, so the rest of the process is untouched).  Audit
+  hooks cannot be uninstalled by design, which is exactly the guarantee
+  we want: no codelet execution can ever slip out of the fence.
+
+The interpreters themselves are pure string/regex transforms, so the
+fence is defense in depth — it turns "the interpreter should never touch
+the filesystem" into a property a test can prove
+(tests/test_verify.py::test_sandbox_blocks_filesystem).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.errors import ReproError
+
+
+class SandboxViolation(ReproError):
+    """A sandboxed execution attempted a fenced operation (file, socket,
+    or subprocess access)."""
+
+
+#: Audit events rejected inside the sandbox: exact names.
+_BLOCKED_EVENTS = frozenset({
+    "open",
+    "os.system",
+    "os.remove",
+    "os.rename",
+    "os.rmdir",
+    "os.mkdir",
+    "os.truncate",
+    "os.link",
+    "os.symlink",
+    "os.chmod",
+    "os.chown",
+    "os.fork",
+    "os.forkpty",
+    "os.posix_spawn",
+    "shutil.rmtree",
+    "shutil.move",
+    "shutil.copyfile",
+    "tempfile.mkstemp",
+    "tempfile.mkdtemp",
+})
+
+#: ...and whole families, matched by prefix.
+_BLOCKED_PREFIXES = ("socket.", "subprocess.", "os.exec", "os.spawn",
+                     "ftplib.", "smtplib.", "urllib.", "http.client.")
+
+_state = threading.local()
+_hook_installed = False
+_install_lock = threading.Lock()
+
+
+def _audit_hook(event: str, args: Any) -> None:
+    if not getattr(_state, "active", False):
+        return
+    if event in _BLOCKED_EVENTS or event.startswith(_BLOCKED_PREFIXES):
+        raise SandboxViolation(
+            f"sandboxed codelet execution attempted {event!r}"
+        )
+
+
+def _ensure_hook() -> None:
+    """Install the process-wide audit hook exactly once."""
+    global _hook_installed
+    if _hook_installed:
+        return
+    with _install_lock:
+        if not _hook_installed:
+            sys.addaudithook(_audit_hook)
+            _hook_installed = True
+
+
+def sandbox_active() -> bool:
+    """Whether the calling thread is currently inside the fence."""
+    return bool(getattr(_state, "active", False))
+
+
+@dataclass
+class SandboxResult:
+    """Outcome of one fenced call."""
+
+    status: str  # "ok" | "timeout" | "error"
+    value: Any = None
+    error: Optional[BaseException] = None
+    elapsed_seconds: float = 0.0
+
+
+def run_sandboxed(
+    fn: Callable[[], Any], timeout_seconds: Optional[float]
+) -> SandboxResult:
+    """Run ``fn`` on a fenced daemon thread with a wall-clock slice.
+
+    ``timeout_seconds=None`` means no slice (trusted callers only, e.g.
+    pack validation); the syscall fence still applies.  Exceptions —
+    :class:`SandboxViolation` included — are captured, never raised: the
+    verifier turns them into per-candidate verdicts.
+    """
+    _ensure_hook()
+    started = time.monotonic()
+    box: dict = {}
+
+    def body() -> None:
+        _state.active = True
+        try:
+            box["value"] = fn()
+        except BaseException as exc:  # a bad candidate must never escape
+            box["error"] = exc
+        finally:
+            _state.active = False
+
+    worker = threading.Thread(
+        target=body, name="repro-verify-sandbox", daemon=True
+    )
+    worker.start()
+    worker.join(timeout_seconds)
+    elapsed = time.monotonic() - started
+    if worker.is_alive():
+        # Abandon the thread: it is daemonic and stays fenced (its own
+        # thread-local flag is still set), so it cannot outlive the
+        # process or do anything the fence forbids while it winds down.
+        return SandboxResult(status="timeout", elapsed_seconds=elapsed)
+    if "error" in box:
+        return SandboxResult(
+            status="error", error=box["error"], elapsed_seconds=elapsed
+        )
+    return SandboxResult(
+        status="ok", value=box.get("value"), elapsed_seconds=elapsed
+    )

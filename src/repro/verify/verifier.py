@@ -1,0 +1,265 @@
+"""Execution-guided re-ranking of candidate codelets.
+
+The paper ranks codelets purely by grammar-graph cost, so a
+plausible-but-wrong codelet can outrank the correct one whenever the NL
+query is ambiguous.  When the request carries input→output examples,
+:func:`verify_candidates` closes the loop: every ranked candidate runs —
+sandboxed and deadline-bounded — against every example through the
+domain's registered executor, and the list is re-ranked
+*consistent-first, then original rank* (Desai et al.'s check-against-
+examples loop; Ye et al.'s execution-guided pruning).
+
+The verifier never raises for a bad candidate and never blows the
+request budget: each candidate gets a wall-clock slice carved from the
+remaining :class:`~repro.synthesis.deadline.Deadline`, and when the
+budget runs dry mid-verification the report falls back to the unverified
+ranking with ``status="deadline_exhausted"`` (remaining candidates are
+``skipped``), so a request that synthesized successfully always answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.synthesis.deadline import Deadline
+from repro.verify.examples import IOExample
+from repro.verify.executors import MAX_OUTPUT_BYTES, Executor
+from repro.verify.sandbox import run_sandboxed
+
+#: Ceiling on any one candidate's wall-clock slice (seconds), even under
+#: an unlimited deadline: verification is a ranking aid, not a second
+#: synthesis budget.
+DEFAULT_SLICE_CAP = 1.0
+
+#: Below this remaining budget (seconds) the verifier declares the
+#: deadline exhausted instead of starting another candidate.
+_MIN_SLICE = 0.002
+
+#: The per-candidate verdict vocabulary (wire format, never rename):
+#: ``consistent`` — reproduced every example's output exactly;
+#: ``inconsistent`` — executed fine but contradicted some example;
+#: ``error`` — execution raised (bad candidate) or overflowed the
+#: output cap; ``timeout`` — blew its wall-clock slice; ``skipped`` —
+#: the deadline was exhausted before this candidate ran.
+VERDICTS = ("consistent", "inconsistent", "error", "timeout", "skipped")
+
+
+@dataclass(frozen=True)
+class CandidateVerdict:
+    """The verification outcome for one ranked candidate."""
+
+    rank: int
+    codelet: str
+    verdict: str
+    examples_passed: int = 0
+    examples_total: int = 0
+    detail: Optional[str] = None
+
+    def to_json(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "rank": self.rank,
+            "codelet": self.codelet,
+            "verdict": self.verdict,
+            "examples_passed": self.examples_passed,
+            "examples_total": self.examples_total,
+        }
+        if self.detail is not None:
+            out["detail"] = self.detail
+        return out
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Everything verification decided for one request.
+
+    ``order`` lists the original ranks in final (post-re-rank) order;
+    ``winner_rank`` is ``order[0]`` — the original rank of the codelet
+    the request now answers with; ``reranked`` flags whether it differs
+    from the cost-ranked winner.  Frozen and picklable: reports ride
+    outcomes over the process-pool worker pipe.
+    """
+
+    status: str  # "verified" | "deadline_exhausted"
+    verdicts: Tuple[CandidateVerdict, ...]
+    order: Tuple[int, ...]
+    winner_rank: int
+    reranked: bool
+    examples: int
+    elapsed_seconds: float = 0.0
+    notes: Tuple[str, ...] = ()
+
+    @property
+    def consistent_ranks(self) -> Tuple[int, ...]:
+        return tuple(
+            v.rank for v in self.verdicts if v.verdict == "consistent"
+        )
+
+    def verdict_for(self, rank: int) -> Optional[CandidateVerdict]:
+        for verdict in self.verdicts:
+            if verdict.rank == rank:
+                return verdict
+        return None
+
+    def to_json(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "status": self.status,
+            "examples": self.examples,
+            "winner_rank": self.winner_rank,
+            "reranked": self.reranked,
+            "order": list(self.order),
+            "elapsed_ms": round(self.elapsed_seconds * 1000.0, 3),
+            "verdicts": [v.to_json() for v in self.verdicts],
+        }
+        if self.notes:
+            out["notes"] = list(self.notes)
+        return out
+
+
+def _candidate_slice(
+    deadline: Deadline, candidates_left: int, cap: float
+) -> Optional[float]:
+    """The wall-clock slice for the next candidate: its fair share of the
+    remaining budget, capped.  None signals exhaustion."""
+    if deadline.budget_seconds is None:
+        return cap
+    remaining = deadline.budget_seconds - deadline.elapsed
+    if remaining <= _MIN_SLICE:
+        return None
+    return min(cap, remaining / max(1, candidates_left))
+
+
+def _execute_candidate(
+    executor: Executor,
+    codelet: str,
+    examples: Sequence[IOExample],
+    slice_seconds: Optional[float],
+    rank: int,
+) -> CandidateVerdict:
+    """Run one candidate against every example inside its slice."""
+    import time
+
+    total = len(examples)
+    passed = 0
+    started = time.monotonic()
+    for example in examples:
+        budget = None
+        if slice_seconds is not None:
+            budget = slice_seconds - (time.monotonic() - started)
+            if budget <= 0:
+                return CandidateVerdict(
+                    rank, codelet, "timeout", passed, total,
+                    detail="wall-clock slice exhausted",
+                )
+        result = run_sandboxed(
+            lambda ex=example: executor(codelet, ex.input_text), budget
+        )
+        if result.status == "timeout":
+            return CandidateVerdict(
+                rank, codelet, "timeout", passed, total,
+                detail="wall-clock slice exhausted",
+            )
+        if result.status == "error":
+            return CandidateVerdict(
+                rank, codelet, "error", passed, total,
+                detail=f"{type(result.error).__name__}: {result.error}",
+            )
+        observed = result.value
+        if not isinstance(observed, str):
+            return CandidateVerdict(
+                rank, codelet, "error", passed, total,
+                detail="executor returned a non-string output",
+            )
+        if len(observed.encode("utf-8")) > MAX_OUTPUT_BYTES:
+            return CandidateVerdict(
+                rank, codelet, "error", passed, total,
+                detail=f"output exceeds the {MAX_OUTPUT_BYTES}-byte cap",
+            )
+        if observed != example.output_text:
+            return CandidateVerdict(
+                rank, codelet, "inconsistent", passed, total,
+                detail=(
+                    f"example {passed}: expected "
+                    f"{_clip(example.output_text)!r}, observed "
+                    f"{_clip(observed)!r}"
+                ),
+            )
+        passed += 1
+    return CandidateVerdict(rank, codelet, "consistent", passed, total)
+
+
+def _clip(text: str, limit: int = 80) -> str:
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+def verify_candidates(
+    executor: Executor,
+    ranked: Sequence[Tuple[int, str]],
+    examples: Sequence[IOExample],
+    deadline: Deadline,
+    *,
+    slice_cap: float = DEFAULT_SLICE_CAP,
+) -> VerificationReport:
+    """Verify ``ranked`` — ``(original_rank, codelet)`` pairs, best first
+    — against ``examples`` and compute the re-ranked order.
+
+    Consistent candidates sort ahead of everything else; ties (and all
+    non-consistent candidates among themselves) keep their original
+    cost-based order, so with zero consistent candidates the ranking is
+    unchanged.  Deadline exhaustion mid-run keeps the unverified order
+    entirely (``status="deadline_exhausted"``, a note says where it
+    stopped) — verification can only ever improve an answer, never
+    destroy one.
+    """
+    import time
+
+    started = time.monotonic()
+    verdicts: List[CandidateVerdict] = []
+    notes: List[str] = []
+    exhausted = False
+    for index, (rank, codelet) in enumerate(ranked):
+        slice_seconds = _candidate_slice(
+            deadline, len(ranked) - index, slice_cap
+        )
+        if slice_seconds is None:
+            exhausted = True
+            notes.append(
+                f"deadline exhausted after {index} of {len(ranked)} "
+                "candidates; falling back to unverified ranking"
+            )
+            verdicts.extend(
+                CandidateVerdict(r, c, "skipped", 0, len(examples))
+                for r, c in ranked[index:]
+            )
+            break
+        verdicts.append(
+            _execute_candidate(
+                executor, codelet, examples, slice_seconds, rank
+            )
+        )
+
+    original_order = tuple(rank for rank, _ in ranked)
+    if exhausted:
+        order = original_order
+    else:
+        by_rank = {v.rank: v for v in verdicts}
+        order = tuple(
+            sorted(
+                original_order,
+                key=lambda r: (
+                    0 if by_rank[r].verdict == "consistent" else 1,
+                    r,
+                ),
+            )
+        )
+    winner = order[0] if order else 1
+    return VerificationReport(
+        status="deadline_exhausted" if exhausted else "verified",
+        verdicts=tuple(verdicts),
+        order=order,
+        winner_rank=winner,
+        reranked=bool(order) and order[0] != original_order[0],
+        examples=len(examples),
+        elapsed_seconds=time.monotonic() - started,
+        notes=tuple(notes),
+    )

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ReproError
 from repro.runtime.cppast import parse_cpp
 from repro.runtime.matcher_eval import MatchError, MatchEvaluator, match_codelet
 from repro.runtime.textedit import execute_codelet
@@ -161,3 +162,137 @@ class TestMatcherEdges:
         ast = parse_cpp("int f() { if (1) return 2; else return 3; }")
         assert match_codelet("ifStmt(hasElse(returnStmt()))", ast)
         assert match_codelet("ifStmt(hasThen(returnStmt()))", ast)
+
+
+class TestBadCandidateHardening:
+    """Codelets only a bad *candidate* would produce (wrong literal in a
+    numeric slot, garbage regex, ...) must execute to a well-defined
+    result — the verifier then marks them inconsistent — never raise an
+    unexpected exception that would surface as a server 500."""
+
+    def test_nthocc_non_numeric_defaults_to_first(self):
+        result = execute_codelet(
+            'INSERT(STRING("*"), END(), ITERATIONSCOPE(LINESCOPE(), '
+            'BCONDOCCURRENCE(CONTAINS(NUMBERTOKEN()), NTHOCC("zz"))))',
+            "1\n2",
+        )
+        assert result.text == "1*\n2"
+
+    def test_nthtoken_non_numeric_defaults_to_first(self):
+        result = execute_codelet(
+            'DELETE(NTHTOKEN(WORDTOKEN(), "abc"), '
+            "ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(ALL())))",
+            "foo bar",
+        )
+        assert result.text == " bar"
+
+    def test_position_non_numeric_defaults_to_start(self):
+        result = execute_codelet(
+            'INSERT(STRING("!"), POSITION("abc"), '
+            "ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(ALL())))",
+            "ab",
+        )
+        assert result.text == "!ab"
+
+    def test_endat_non_numeric_defaults_to_end(self):
+        result = execute_codelet(
+            'INSERT(STRING("!"), ENDAT("xyz"), '
+            "ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(ALL())))",
+            "ab",
+        )
+        assert result.text == "ab!"
+
+    def test_chartoken_anchor_without_index(self):
+        # Regression: this used to fall through to the token-pattern
+        # regex search and anchor on the first character.
+        result = execute_codelet(
+            'INSERT(STRING("!"), AFTER(CHARTOKEN()), '
+            "ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(ALL())))",
+            "ab",
+        )
+        assert result.text == "ab!"
+
+    def test_chartoken_anchor_with_index_clamps(self):
+        result = execute_codelet(
+            'INSERT(STRING("!"), AFTER(CHARTOKEN("1")), '
+            "ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(ALL())))",
+            "ab",
+        )
+        assert result.text == "a!b"
+        result = execute_codelet(
+            'INSERT(STRING("!"), AFTER(CHARTOKEN("99")), '
+            "ITERATIONSCOPE(LINESCOPE(), BCONDOCCURRENCE(ALL())))",
+            "ab",
+        )
+        assert result.text == "ab!"
+
+    def test_matches_name_invalid_regex_matches_nothing(self):
+        ast = parse_cpp("int f(int a, int b);")
+        assert match_codelet('functionDecl(matchesName("["))', ast) == []
+
+    def test_count_matchers_non_numeric_literal(self):
+        ast = parse_cpp("int f(int a, int b);")
+        assert match_codelet("functionDecl(parameterCountIs(xx))", ast) == []
+        ast = parse_cpp("int g() { h(1, 2); return 0; }")
+        assert match_codelet("callExpr(argumentCountIs(xx))", ast) == []
+
+
+class TestExecutorFuzz:
+    """Every pack ground truth must execute on arbitrary inputs without
+    an unexpected exception: a domain :class:`ReproError` is acceptable
+    (the verifier maps it to an ``error`` verdict), a bare ``KeyError``
+    or ``TypeError`` is not."""
+
+    INPUTS = ("", "a", "aa\nbb", " \t \n ", "x" * 200, "á é 漢", "1.5=2")
+
+    def _sweep(self, executor, codelets):
+        for codelet in codelets:
+            for text in self.INPUTS:
+                try:
+                    observed = executor(codelet, text)
+                except ReproError:
+                    continue  # well-defined domain failure
+                assert isinstance(observed, str), (codelet, text)
+
+    def test_stringxform_pack_ground_truths(self):
+        from repro.packs.loader import builtin_pack_root
+        from repro.packs.spec import load_pack
+        from repro.verify import get_executor
+
+        spec = load_pack(builtin_pack_root() / "stringxform")
+        self._sweep(
+            get_executor("stringxform"),
+            [case.ground_truth for case in spec.examples],
+        )
+
+    def test_textediting_suite_ground_truths(self):
+        from repro.domains.textediting.queries import TEXTEDITING_QUERIES
+        from repro.verify import get_executor
+
+        cases = TEXTEDITING_QUERIES
+        assert cases
+        self._sweep(
+            get_executor("textediting"),
+            [case.ground_truth for case in cases],
+        )
+
+    def test_astmatcher_suite_ground_truths(self):
+        from repro.domains.astmatcher.queries import ASTMATCHER_QUERIES
+        from repro.verify import get_executor
+
+        sources = (
+            "",
+            "int x;",
+            "void f() { if (1) return; }",
+            "class C { public: int m(); };",
+        )
+        cases = ASTMATCHER_QUERIES
+        assert cases
+        executor = get_executor("astmatcher")
+        for case in cases:
+            for src in sources:
+                try:
+                    observed = executor(case.ground_truth, src)
+                except ReproError:
+                    continue
+                assert isinstance(observed, str), (case.ground_truth, src)
