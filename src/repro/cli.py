@@ -30,6 +30,7 @@ Serve mode keeps warm domains resident behind an HTTP or stdio front end
 (see docs/serving.md)::
 
     python -m repro serve --http 8080 --cache-dir /var/cache
+    python -m repro serve --http 8080 --workers 4 --queue-depth 16
     python -m repro serve --stdio --domains textediting
 
 Pack mode authors and inspects declarative domain packs — directories of
@@ -595,12 +596,31 @@ def build_serve_arg_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="PORT",
-        help="serve HTTP on PORT (0 picks a free port, printed on stderr)",
+        help="serve HTTP on PORT (0 picks a free port, printed on stderr "
+        "and written to --port-file)",
     )
     mode.add_argument(
         "--stdio",
         action="store_true",
         help="serve JSON lines over stdin/stdout (language-server style)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="HTTP serving worker processes behind one port (pre-fork; "
+        "default: 1 — serve in this process exactly as before). "
+        "N > 1 shares snapshots across workers, restarts crashes, and "
+        "fans out SIGHUP//admin/reload and graceful drain; see "
+        "docs/serving.md",
+    )
+    parser.add_argument(
+        "--port-file",
+        default=None,
+        metavar="PATH",
+        help="atomically write the bound HTTP port to PATH once "
+        "listening (reliable alternative to parsing stderr)",
     )
     parser.add_argument(
         "--host",
@@ -637,7 +657,7 @@ def build_serve_arg_parser() -> argparse.ArgumentParser:
         "'process' dispatches to a persistent worker pool (default: thread)",
     )
     parser.add_argument(
-        "--workers",
+        "--pool-workers",
         type=int,
         default=2,
         metavar="N",
@@ -660,6 +680,13 @@ def build_serve_arg_parser() -> argparse.ArgumentParser:
         "wait (up to their deadline) for a slot instead of being shed; "
         "'overloaded' only once N are already waiting (default: 0 — "
         "shed immediately, the pre-queueing behaviour)",
+    )
+    parser.add_argument(
+        "--adaptive-queue",
+        action="store_true",
+        help="adaptive admission: resize the effective queue from the "
+        "live EWMA service time (against --timeout) and let idle slot "
+        "budgets flow to the hot domain (requires --queue-depth >= 1)",
     )
     parser.add_argument(
         "--domain-budget",
@@ -704,6 +731,22 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     if pack_error is not None:
         print(f"error: {pack_error}", file=sys.stderr)
         return 2
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.stdio and args.workers > 1:
+        print(
+            "error: --workers applies to HTTP serving only "
+            "(stdio is one process per editor session)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.stdio and args.port_file:
+        print(
+            "error: --port-file applies to HTTP serving only",
+            file=sys.stderr,
+        )
+        return 2
     domains = (
         tuple(n.strip() for n in args.domains.split(",") if n.strip())
         if args.domains
@@ -732,13 +775,58 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
             engine=args.engine,
             cache_dir=args.cache_dir,
             backend=args.backend,
-            workers=args.workers,
+            workers=args.pool_workers,
             max_inflight=args.max_inflight,
             queue_depth=args.queue_depth,
+            adaptive_queue=args.adaptive_queue,
             domain_budgets=domain_budgets,
             default_timeout=args.timeout,
             max_timeout=args.max_timeout,
         )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.workers > 1:
+        # Pre-fork serving: the supervisor binds the port and builds the
+        # (snapshot-warm) service itself, load-before-fork, so nothing
+        # heavyweight may be constructed here.
+        from repro.server.multiproc import run_supervisor
+
+        def on_supervisor_ready(port: int) -> None:
+            print(
+                f"# listening on http://{args.host}:{port} "
+                f"(workers={args.workers}; POST /synthesize /admin/reload, "
+                "GET /healthz /stats /domains; SIGHUP reloads snapshots)",
+                file=sys.stderr,
+            )
+
+        print(
+            f"# serving with {args.workers} workers "
+            f"(backend={args.backend})",
+            file=sys.stderr,
+        )
+        try:
+            drained = run_supervisor(
+                config,
+                host=args.host,
+                port=args.http,
+                workers=args.workers,
+                grace_seconds=args.grace,
+                port_file=args.port_file,
+                on_ready=on_supervisor_ready,
+            )
+        except (ReproError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if drained:
+            print("# all workers drained and exited", file=sys.stderr)
+            return 0
+        print("# shutdown grace expired with workers still busy",
+              file=sys.stderr)
+        return 1
+
+    try:
         service = SynthesisService(config)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -762,6 +850,10 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         return 0 if drained else 1
 
     def on_ready(server) -> None:
+        if args.port_file:
+            from repro.server.multiproc import write_port_file
+
+            write_port_file(args.port_file, server.port)
         print(
             f"# listening on http://{args.host}:{server.port} "
             "(POST /synthesize /admin/reload, GET /healthz /stats "

@@ -1,7 +1,12 @@
 """Clients for a running ``repro serve`` instance.
 
 :class:`HttpClient` speaks to the HTTP front end over ``http.client``
-(stdlib, one connection per call — trivially thread-safe);
+(stdlib).  It keeps one persistent keep-alive connection per calling
+thread and reuses it across requests *and* retries (a retry of an
+``overloaded`` answer must not pay a fresh TCP handshake to a server
+that is already loaded); a connection that went stale between requests
+is replaced transparently, once.  Call :meth:`HttpClient.close` — or
+use the client as a context manager — to release the sockets.
 :class:`StdioClient` owns a ``repro serve --stdio`` child process and
 speaks the JSON-lines protocol.  Both raise :class:`ServerError` —
 carrying the server's stable error code — when the server answers with a
@@ -23,6 +28,7 @@ import http.client
 import json
 import subprocess
 import sys
+import threading
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -83,15 +89,19 @@ def _raise_for_error(payload: Dict[str, Any], status: int = 0) -> None:
 class HttpClient:
     """Minimal client for the HTTP front end.
 
-    ``retries``/``backoff`` opt into automatic retry of ``overloaded``
-    (429) answers only: each retry sleeps the server's
-    ``retry_after_ms`` hint when present, else ``backoff * 2**attempt``
-    seconds.  The default (``retries=0``) preserves fail-fast behaviour.
+    One persistent keep-alive connection per calling thread, reused
+    across requests and retries; ``keep_alive=False`` restores the old
+    connection-per-call behaviour.  ``retries``/``backoff`` opt into
+    automatic retry of ``overloaded`` (429) answers only: each retry
+    sleeps the server's ``retry_after_ms`` hint when present, else
+    ``backoff * 2**attempt`` seconds.  The default (``retries=0``)
+    preserves fail-fast behaviour.  :meth:`close` (or ``with``)
+    releases every thread's socket.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8080, *,
                  connect_timeout: float = 10.0, retries: int = 0,
-                 backoff: float = 0.05):
+                 backoff: float = 0.05, keep_alive: bool = True):
         if retries < 0:
             raise ValueError("retries must be >= 0")
         if backoff < 0:
@@ -101,6 +111,69 @@ class HttpClient:
         self.connect_timeout = connect_timeout
         self.retries = retries
         self.backoff = backoff
+        self.keep_alive = keep_alive
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._connections: List[http.client.HTTPConnection] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Connection management
+
+    def _connection(self, timeout: float) -> http.client.HTTPConnection:
+        """This thread's persistent connection, created on first use."""
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=timeout
+            )
+            self._local.conn = conn
+            with self._lock:
+                self._connections.append(conn)
+        # The timeout is per-request, not per-connection: refresh it on
+        # the object (used at connect time) and any live socket.
+        conn.timeout = timeout
+        if conn.sock is not None:
+            try:
+                conn.sock.settimeout(timeout)
+            except OSError:
+                # The socket died between requests; reset so this
+                # request opens a fresh connection instead of failing.
+                conn.close()
+        return conn
+
+    def _drop_connection(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            return
+        self._local.conn = None
+        with self._lock:
+            try:
+                self._connections.remove(conn)
+            except ValueError:
+                pass
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+    def close(self) -> None:
+        """Close every thread's persistent connection.  Idempotent; the
+        client remains usable (a subsequent request reconnects)."""
+        with self._lock:
+            connections, self._connections = self._connections, []
+            self._closed = True
+        for conn in connections:
+            try:
+                conn.close()
+            except Exception:
+                pass
+
+    def __enter__(self) -> "HttpClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
 
@@ -110,19 +183,40 @@ class HttpClient:
     ) -> Tuple[int, Dict[str, Any]]:
         """One round trip; returns ``(http_status, decoded_payload)``
         without interpreting errors (the raw escape hatch)."""
-        conn = http.client.HTTPConnection(
-            self.host, self.port,
-            timeout=self.connect_timeout if timeout is None else timeout,
-        )
-        try:
-            raw = None if body is None else json.dumps(body).encode("utf-8")
-            headers = {"Content-Type": "application/json"} if raw else {}
-            conn.request(method, path, body=raw, headers=headers)
-            response = conn.getresponse()
-            payload = json.loads(response.read().decode("utf-8"))
-            return response.status, payload
-        finally:
-            conn.close()
+        effective = self.connect_timeout if timeout is None else timeout
+        raw = None if body is None else json.dumps(body).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if raw else {}
+        if not self.keep_alive:
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=effective
+            )
+            try:
+                conn.request(method, path, body=raw, headers=headers)
+                response = conn.getresponse()
+                payload = json.loads(response.read().decode("utf-8"))
+                return response.status, payload
+            finally:
+                conn.close()
+        for attempt in (0, 1):
+            conn = self._connection(effective)
+            # A socket that existed before this request may have been
+            # idle-closed by the server; such a failure earns exactly
+            # one transparent reconnect.  A fresh connection's failure
+            # is real and propagates.
+            was_connected = conn.sock is not None
+            try:
+                conn.request(method, path, body=raw, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+                if response.will_close:
+                    self._drop_connection()
+                return response.status, json.loads(data.decode("utf-8"))
+            except (http.client.HTTPException, ConnectionError, OSError):
+                self._drop_connection()
+                if attempt == 0 and was_connected:
+                    continue
+                raise
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # ------------------------------------------------------------------
 
@@ -133,6 +227,7 @@ class HttpClient:
         domain: Optional[str] = None,
         engine: Optional[str] = None,
         timeout: Optional[float] = None,
+        priority: Optional[str] = None,
         include_stats: bool = False,
         include_trace: bool = False,
         examples: Any = None,
@@ -143,6 +238,10 @@ class HttpClient:
         With ``retries > 0``, ``overloaded`` answers are retried after
         the server's ``retry_after_ms`` hint (exponential backoff when
         the hint is absent); every other error raises immediately.
+
+        ``priority`` ("interactive", the default, or "batch") picks the
+        admission class — batch requests yield slots to interactive
+        ones and may be evicted from a full queue by them.
 
         ``examples`` (IOExample records, ``(input, output)`` pairs, or
         ``{"input", "output"}`` mappings) requests execution-guided
@@ -155,6 +254,8 @@ class HttpClient:
             body["engine"] = engine
         if timeout is not None:
             body["timeout"] = timeout
+        if priority is not None:
+            body["priority"] = priority
         if include_stats:
             body["include_stats"] = True
         if include_trace:
@@ -255,6 +356,7 @@ class StdioClient:
         domain: Optional[str] = None,
         engine: Optional[str] = None,
         timeout: Optional[float] = None,
+        priority: Optional[str] = None,
         include_stats: bool = False,
         include_trace: bool = False,
         examples: Any = None,
@@ -267,6 +369,8 @@ class StdioClient:
             body["engine"] = engine
         if timeout is not None:
             body["timeout"] = timeout
+        if priority is not None:
+            body["priority"] = priority
         if include_stats:
             body["include_stats"] = True
         if include_trace:

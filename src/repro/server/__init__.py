@@ -12,6 +12,10 @@ with warm grammar caches, not a per-query process.  Three layers:
   budgets, sitting between the transports and the service;
 * :mod:`repro.server.http` — ``POST /synthesize`` + ``GET
   /healthz``/``/stats``/``/domains`` over a stdlib threading HTTP server;
+* :mod:`repro.server.multiproc` — pre-fork multi-worker serving
+  (``repro serve --workers N``): a supervisor shares one listening
+  socket (or ``SO_REUSEPORT`` siblings) across N worker processes,
+  restarts crashes, fans out reload/drain, and merges per-worker stats;
 * :mod:`repro.server.stdio` — the same payloads as JSON lines over
   stdin/stdout (language-server style, one child per editor session).
 
@@ -23,6 +27,11 @@ from repro.server.http import (
     SynthesisHTTPServer,
     run_http,
     start_http_server,
+)
+from repro.server.multiproc import (
+    WorkerStatsBoard,
+    run_supervisor,
+    write_port_file,
 )
 from repro.server.protocol import (
     BadRequest,
@@ -57,5 +66,8 @@ __all__ = [
     "http_status",
     "run_http",
     "start_http_server",
+    "run_supervisor",
+    "WorkerStatsBoard",
+    "write_port_file",
     "serve_stdio",
 ]

@@ -60,8 +60,26 @@ class SynthesisHTTPServer(ThreadingHTTPServer):
     #: process exit; the graceful path drains via the service instead.
     daemon_threads = True
 
-    def __init__(self, address: Tuple[str, int], service: SynthesisService):
-        super().__init__(address, _Handler)
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: SynthesisService,
+        *,
+        sock: Optional[Any] = None,
+    ):
+        if sock is None:
+            super().__init__(address, _Handler)
+        else:
+            # Adopt a listener bound (and listen()-ed) by someone else —
+            # the pre-fork supervisor hands every worker the same socket
+            # so the kernel load-balances accepts across processes.
+            super().__init__(address, _Handler, bind_and_activate=False)
+            self.socket.close()
+            self.socket = sock
+            self.server_address = sock.getsockname()[:2]
+            host, port = self.server_address
+            self.server_name = host
+            self.server_port = port
         self.service = service
 
     @property
@@ -82,6 +100,10 @@ class _Handler(BaseHTTPRequestHandler):
             self._handle_reload()
             return
         if path != "/synthesize":
+            # Consume the (ignored) body first: on a keep-alive
+            # connection, unread body bytes would be parsed as the next
+            # request line.
+            self._discard_body()
             self._send(*error_response(
                 "not_found", f"no such endpoint: POST {self.path}"
             ))
@@ -125,6 +147,16 @@ class _Handler(BaseHTTPRequestHandler):
                 "internal", f"{type(exc).__name__}: {exc}"
             ))
             return
+        # Multi-worker serving: one worker handled this request, but the
+        # operator meant "reload the server" — ask the supervisor to
+        # SIGHUP every worker.  (Signal-triggered reloads do not
+        # re-notify, so the fan-out terminates.)
+        board = getattr(self.server.service, "worker_board", None)
+        if board is not None:
+            try:
+                board.notify_siblings_reload()
+            except Exception:
+                pass  # this worker's reload already succeeded
         self._send(200, result)
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
@@ -150,6 +182,20 @@ class _Handler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------
 
+    def _discard_body(self) -> None:
+        """Drain an unread request body so the keep-alive stream stays
+        framed; when the declared length is untrustworthy, close the
+        connection after the response instead."""
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if 0 <= length <= MAX_BODY_BYTES:
+            if length:
+                self.rfile.read(length)
+        else:
+            self.close_connection = True
+
     def _read_json(self):
         """Returns ``(None, decoded_body)`` or ``((status, payload), None)``
         for a body that cannot be decoded."""
@@ -158,6 +204,9 @@ class _Handler(BaseHTTPRequestHandler):
         except ValueError:
             length = -1
         if length < 0 or length > MAX_BODY_BYTES:
+            # The body cannot be safely skipped, so the connection must
+            # not be reused after this error response.
+            self.close_connection = True
             return (
                 error_response(
                     "bad_request",
@@ -224,15 +273,18 @@ def run_http(
     grace_seconds: float = 30.0,
     install_signal_handlers: bool = True,
     on_ready=None,
+    sock: Optional[Any] = None,
 ) -> bool:
     """Serve until SIGINT/SIGTERM, then drain gracefully.
 
     Returns True when the drain finished inside ``grace_seconds`` (the
     CLI turns False into a non-zero exit code).  ``on_ready(server)`` is
     invoked once the socket is bound — the CLI uses it to print the
-    listening address.
+    listening address.  ``sock`` serves on an already-bound listening
+    socket instead of binding ``(host, port)`` (the pre-fork worker
+    path; see :mod:`repro.server.multiproc`).
     """
-    server = SynthesisHTTPServer((host, port), service)
+    server = SynthesisHTTPServer((host, port), service, sock=sock)
     if on_ready is not None:
         on_ready(server)
 

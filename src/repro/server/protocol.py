@@ -9,6 +9,8 @@ Request (HTTP ``POST /synthesize`` body, or one stdio JSON line)::
      "domain": "textediting",            # optional (service default)
      "engine": "dggt",                   # optional (service default)
      "timeout": 5.0,                     # optional per-request budget (s)
+     "priority": "interactive",          # optional admission class
+                                         #   ("interactive" | "batch")
      "include_stats": false,             # optional: attach stats payload
      "include_trace": false,             # optional: attach per-stage trace
      "examples": [{"input": "aa",        # optional input→output examples:
@@ -38,6 +40,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import ReproError
+from repro.server.scheduler import PRIORITIES
 from repro.synthesis.pipeline import BatchItem
 from repro.verify.examples import parse_examples
 
@@ -92,6 +95,11 @@ class SynthesisRequest:
     domain: Optional[str] = None
     engine: Optional[str] = None
     timeout: Optional[float] = None
+    #: Admission class (one of
+    #: :data:`repro.server.scheduler.PRIORITIES`); interactive requests
+    #: are granted slots before batch ones and may evict queued batch
+    #: work when the queue is full.
+    priority: str = PRIORITIES[0]
     include_stats: bool = False
     include_trace: bool = False
     #: Validated input→output examples (tuple of
@@ -110,8 +118,8 @@ def parse_request(payload: Any) -> SynthesisRequest:
     """
     if not isinstance(payload, dict):
         raise BadRequest("request body must be a JSON object")
-    allowed = {"query", "domain", "engine", "timeout", "include_stats",
-               "include_trace", "examples", "id", "op"}
+    allowed = {"query", "domain", "engine", "timeout", "priority",
+               "include_stats", "include_trace", "examples", "id", "op"}
     unknown = sorted(set(payload) - allowed)
     if unknown:
         raise BadRequest(f"unknown request field(s): {unknown}")
@@ -136,6 +144,13 @@ def parse_request(payload: Any) -> SynthesisRequest:
             raise BadRequest("'timeout' must be non-negative")
         timeout = float(timeout)
 
+    priority = payload.get("priority", PRIORITIES[0])
+    if priority not in PRIORITIES:
+        raise BadRequest(
+            "'priority' must be one of "
+            + " or ".join(repr(name) for name in PRIORITIES)
+        )
+
     include_stats = payload.get("include_stats", False)
     if not isinstance(include_stats, bool):
         raise BadRequest("'include_stats' must be a boolean")
@@ -156,6 +171,7 @@ def parse_request(payload: Any) -> SynthesisRequest:
         domain=domain,
         engine=engine,
         timeout=timeout,
+        priority=priority,
         include_stats=include_stats,
         include_trace=include_trace,
         examples=examples,

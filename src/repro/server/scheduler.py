@@ -24,11 +24,37 @@ every admission decision the service makes:
   (``ceil(max_inflight / n_domains)``) when queueing is enabled and to
   ``max_inflight`` (no constraint beyond the global bound) in the
   legacy ``queue_depth=0`` mode, preserving its exact semantics.
+* **priority classes** — every request carries a priority from
+  :data:`PRIORITIES` (``interactive`` > ``batch``; the default is
+  ``interactive``, which is also the exact pre-priority behaviour).
+  Admission is strict-priority: whenever a slot frees, *every*
+  dispatchable interactive waiter is granted before any batch waiter is
+  considered; within one class order stays FIFO-with-eligibility.  When
+  the queue is full an arriving interactive request evicts the youngest
+  waiting batch request (which sheds with ``QueueFull`` and the usual
+  retry hint) instead of being shed itself — batch traffic can never
+  make the server turn interactive traffic away while batch work is
+  still waiting.
+* **adaptive tuning** (``adaptive=True``) — the scheduler resizes its
+  own effective queue using the live EWMA service time: a queue slot is
+  only useful if the wait it implies fits inside the target deadline,
+  so the effective capacity is
+  ``clamp(max_inflight * (target_deadline / ewma - 1), 1, queue_depth)``
+  (the capacity-planning rule of thumb from docs/serving.md, applied
+  continuously).  Fast service ⇒ the full configured queue; slow
+  service ⇒ shed early instead of queueing requests that are doomed to
+  expire.  Adaptive mode also makes implicit (fair-share) domain
+  budgets *work-conserving*: while no other domain has a waiter, a
+  domain may use every slot; the moment another domain queues, the
+  fair-share fence is restored and the hot domain drains back to it.
+  Budgets set explicitly via ``domain_budgets`` are hard fences and are
+  never raised.
 
-Dispatch order is FIFO with eligibility: the oldest waiter whose domain
-is under budget runs first; a waiter blocked on its domain's budget does
-not block younger waiters of other domains (no cross-domain head-of-line
-blocking).  Within one domain, order is strictly FIFO.
+Dispatch order is FIFO with eligibility inside each priority class: the
+oldest waiter whose domain is under budget runs first; a waiter blocked
+on its domain's budget does not block younger waiters of other domains
+(no cross-domain head-of-line blocking).  Within one domain and class,
+order is strictly FIFO.
 
 The scheduler is also the service's single source of truth for in-flight
 accounting: :meth:`begin_shutdown` wakes every waiter with
@@ -50,10 +76,15 @@ from repro.errors import DeadlineExceeded, ReproError
 
 __all__ = [
     "Grant",
+    "PRIORITIES",
     "QueueFull",
     "RequestScheduler",
     "SchedulerDraining",
 ]
+
+#: Admission classes, highest priority first.  The first entry is the
+#: default for requests that do not specify one.
+PRIORITIES: Tuple[str, ...] = ("interactive", "batch")
 
 #: Floor / ceiling for the ``retry_after_ms`` backpressure hint.
 MIN_RETRY_AFTER_MS = 50
@@ -66,20 +97,27 @@ DEFAULT_SERVICE_SECONDS = 0.1
 #: EWMA smoothing for the observed per-request service time.
 _EWMA_ALPHA = 0.2
 
+#: Fallback deadline (seconds) for adaptive queue sizing when the
+#: caller does not provide one (matches ServerConfig.default_timeout).
+DEFAULT_TARGET_DEADLINE_SECONDS = 20.0
+
 # Waiter lifecycle: exactly one transition away from WAITING, performed
 # under the scheduler lock by whoever decides the outcome (the pump on
-# grant/expiry, begin_shutdown on drain, the waiter thread on its own
-# deadline) — so every waiter is counted exactly once.
+# grant/expiry, begin_shutdown on drain, an arriving interactive request
+# on evict, the waiter thread on its own deadline) — so every waiter is
+# counted exactly once.
 _WAITING = "waiting"
 _GRANTED = "granted"
 _EXPIRED = "expired"
 _DRAINING = "draining"
+_EVICTED = "evicted"
 
 
 class QueueFull(ReproError):
     """Admission failed: no free slot and the wait queue is at capacity
-    (or queueing is disabled).  Maps to the stable ``overloaded`` wire
-    code; ``retry_after_ms`` is the backpressure hint."""
+    (or queueing is disabled), or a queued batch request was evicted to
+    make room for an interactive one.  Maps to the stable ``overloaded``
+    wire code; ``retry_after_ms`` is the backpressure hint."""
 
     def __init__(self, message: str, retry_after_ms: int):
         self.retry_after_ms = retry_after_ms
@@ -107,10 +145,13 @@ class Grant:
 class _Waiter:
     """One queued request (internal)."""
 
-    __slots__ = ("domain", "deadline", "enqueued_at", "state")
+    __slots__ = ("domain", "priority", "deadline", "enqueued_at", "state")
 
-    def __init__(self, domain: str, deadline: float, enqueued_at: float):
+    def __init__(
+        self, domain: str, priority: str, deadline: float, enqueued_at: float
+    ):
         self.domain = domain
+        self.priority = priority
         self.deadline = deadline
         self.enqueued_at = enqueued_at
         self.state = _WAITING
@@ -122,6 +163,10 @@ class RequestScheduler:
     Thread-safe; every public method may be called from any transport
     thread.  ``domain_budgets`` maps domain name -> slot budget; domains
     not listed get the default described in the module docstring.
+    ``adaptive`` turns on EWMA-driven queue sizing and work-conserving
+    implicit budgets; ``target_deadline_seconds`` is the deadline the
+    adaptive queue sizes against (typically the service's default
+    request timeout).
     """
 
     def __init__(
@@ -131,13 +176,19 @@ class RequestScheduler:
         queue_depth: int = 0,
         domains: Tuple[str, ...] = (),
         domain_budgets: Optional[Mapping[str, int]] = None,
+        adaptive: bool = False,
+        target_deadline_seconds: Optional[float] = None,
     ):
         if max_inflight < 1:
             raise ReproError("max_inflight must be >= 1")
         if queue_depth < 0:
             raise ReproError("queue_depth must be >= 0")
+        if adaptive and queue_depth < 1:
+            raise ReproError("adaptive tuning requires queue_depth >= 1")
         if not domains:
             raise ReproError("the scheduler needs at least one domain")
+        if target_deadline_seconds is not None and target_deadline_seconds <= 0:
+            raise ReproError("target_deadline_seconds must be positive")
         budgets = dict(domain_budgets or {})
         unknown = sorted(set(budgets) - set(domains))
         if unknown:
@@ -155,11 +206,20 @@ class RequestScheduler:
 
         self.max_inflight = max_inflight
         self.queue_depth = queue_depth
+        self.adaptive = adaptive
+        self._target_deadline_seconds = (
+            target_deadline_seconds
+            if target_deadline_seconds is not None
+            else DEFAULT_TARGET_DEADLINE_SECONDS
+        )
         if queue_depth > 0:
             default_budget = max(1, math.ceil(max_inflight / len(domains)))
         else:
             # Legacy mode: the global bound is the only constraint.
             default_budget = max_inflight
+        #: Domains with an operator-set budget: hard fences that adaptive
+        #: mode never raises.
+        self._explicit_budgets = frozenset(budgets)
         self.budgets: Dict[str, int] = {
             name: min(max_inflight, budgets.get(name, default_budget))
             for name in domains
@@ -177,7 +237,19 @@ class RequestScheduler:
             "completed": 0,      # slots released after dispatch
             "shed": 0,           # rejected: queue full / queueing disabled
             "expired": 0,        # deadline passed while waiting
+            "evicted": 0,        # batch waiter displaced by interactive
             "drained": 0,        # rejected or woken by shutdown
+        }
+        self._priority_counters: Dict[str, Dict[str, int]] = {
+            priority: {
+                "admitted": 0,
+                "queued": 0,
+                "shed": 0,
+                "expired": 0,
+                "evicted": 0,
+                "drained": 0,
+            }
+            for priority in PRIORITIES
         }
         self._queue_wait_total_ms = 0.0
 
@@ -189,33 +261,53 @@ class RequestScheduler:
     def queueing_enabled(self) -> bool:
         return self.queue_depth > 0
 
-    def acquire(self, domain: str, timeout_seconds: float) -> Grant:
+    def acquire(
+        self,
+        domain: str,
+        timeout_seconds: float,
+        priority: str = PRIORITIES[0],
+    ) -> Grant:
         """Acquire an execution slot for ``domain``, waiting up to
         ``timeout_seconds`` (the request's whole budget) when queueing is
-        enabled.
+        enabled.  ``priority`` is one of :data:`PRIORITIES`.
 
-        Raises :class:`QueueFull` (shed), :class:`SchedulerDraining`
-        (shutdown), or :class:`~repro.errors.DeadlineExceeded` (the
-        budget elapsed while waiting).
+        Raises :class:`QueueFull` (shed or evicted),
+        :class:`SchedulerDraining` (shutdown), or
+        :class:`~repro.errors.DeadlineExceeded` (the budget elapsed
+        while waiting).
         """
         if domain not in self._inflight:
             raise ReproError(f"unknown scheduler domain {domain!r}")
+        if priority not in PRIORITIES:
+            raise ReproError(
+                f"unknown priority {priority!r}; expected one of "
+                f"{list(PRIORITIES)}"
+            )
         now = time.monotonic()
         with self._cond:
             if self._draining:
                 self._counters["drained"] += 1
+                self._priority_counters[priority]["drained"] += 1
                 raise SchedulerDraining(
                     "service is draining; retry against another replica"
                 )
+            # Immediate grants cannot jump a grantable higher-priority
+            # waiter: release() pumps before dropping the lock, so any
+            # waiter still queued here is blocked on its domain budget,
+            # not on a free slot.
             if self._can_dispatch(domain):
-                self._admit(domain)
+                self._admit(domain, priority)
                 return Grant(domain, 0.0)
-            if len(self._waiters) >= self.queue_depth:
-                self._counters["shed"] += 1
-                raise QueueFull(
-                    self._shed_message(), self._retry_after_ms_locked()
-                )
-            waiter = _Waiter(domain, now + timeout_seconds, now)
+            if self._waiting_count() >= self._effective_queue_capacity():
+                if priority == PRIORITIES[0] and self._evict_batch_waiter():
+                    pass  # a batch slot was freed for this request
+                else:
+                    self._counters["shed"] += 1
+                    self._priority_counters[priority]["shed"] += 1
+                    raise QueueFull(
+                        self._shed_message(), self._retry_after_ms_locked()
+                    )
+            waiter = _Waiter(domain, priority, now + timeout_seconds, now)
             self._waiters.append(waiter)
             try:
                 while waiter.state == _WAITING:
@@ -223,6 +315,7 @@ class RequestScheduler:
                     if remaining <= 0:
                         waiter.state = _EXPIRED
                         self._counters["expired"] += 1
+                        self._priority_counters[priority]["expired"] += 1
                         break
                     self._cond.wait(timeout=remaining)
             finally:
@@ -231,11 +324,18 @@ class RequestScheduler:
             waited = time.monotonic() - waiter.enqueued_at
             if waiter.state == _GRANTED:
                 self._counters["queued"] += 1
+                self._priority_counters[priority]["queued"] += 1
                 self._queue_wait_total_ms += waited * 1000.0
                 return Grant(domain, waited)
             if waiter.state == _DRAINING:
                 raise SchedulerDraining(
                     "service is draining; retry against another replica"
+                )
+            if waiter.state == _EVICTED:
+                raise QueueFull(
+                    "evicted from the queue by an interactive request; "
+                    "retry after the hint",
+                    self._retry_after_ms_locked(),
                 )
             raise DeadlineExceeded(waited)
 
@@ -243,7 +343,8 @@ class RequestScheduler:
         self, domain: str, *, service_seconds: Optional[float] = None
     ) -> None:
         """Return a granted slot.  ``service_seconds`` (dispatch wall
-        time) feeds the EWMA behind the ``retry_after_ms`` hint."""
+        time) feeds the EWMA behind the ``retry_after_ms`` hint and the
+        adaptive queue capacity."""
         with self._cond:
             self._inflight_total -= 1
             self._inflight[domain] -= 1
@@ -262,38 +363,87 @@ class RequestScheduler:
     # Internals (all called with the lock held)
     # ------------------------------------------------------------------
 
+    def _waiting_count(self) -> int:
+        return sum(1 for w in self._waiters if w.state == _WAITING)
+
+    def _effective_queue_capacity(self) -> int:
+        """The live queue bound.  Static ``queue_depth`` normally; under
+        ``adaptive`` it shrinks when the EWMA service time says queued
+        requests would blow the target deadline anyway (never below 1,
+        never above the configured depth)."""
+        if not self.adaptive:
+            return self.queue_depth
+        service = self._service_ewma_seconds
+        if service is None or service <= 0:
+            return self.queue_depth
+        headroom = self._target_deadline_seconds / service - 1.0
+        bound = int(self.max_inflight * headroom)
+        return max(1, min(self.queue_depth, bound))
+
+    def _effective_budget(self, domain: str) -> int:
+        """The live slot budget for ``domain``.  Explicit budgets are
+        hard fences; under ``adaptive`` an implicit (fair-share) budget
+        is work-conserving — the whole server while nobody else waits,
+        the fair share the moment another domain queues."""
+        budget = self.budgets[domain]
+        if not self.adaptive or domain in self._explicit_budgets:
+            return budget
+        for waiter in self._waiters:
+            if waiter.state == _WAITING and waiter.domain != domain:
+                return budget
+        return self.max_inflight
+
     def _can_dispatch(self, domain: str) -> bool:
         return (
             self._inflight_total < self.max_inflight
-            and self._inflight[domain] < self.budgets[domain]
+            and self._inflight[domain] < self._effective_budget(domain)
         )
 
-    def _admit(self, domain: str) -> None:
+    def _admit(self, domain: str, priority: str) -> None:
         self._inflight_total += 1
         self._inflight[domain] += 1
         self._counters["admitted"] += 1
+        self._priority_counters[priority]["admitted"] += 1
+
+    def _evict_batch_waiter(self) -> bool:
+        """Displace the youngest waiting batch request to admit an
+        interactive one into a full queue.  Returns False when every
+        waiter is interactive (the arrival sheds instead)."""
+        for waiter in reversed(self._waiters):
+            if waiter.state == _WAITING and waiter.priority != PRIORITIES[0]:
+                waiter.state = _EVICTED
+                self._counters["evicted"] += 1
+                self._priority_counters[waiter.priority]["evicted"] += 1
+                self._discard(waiter)
+                self._cond.notify_all()
+                return True
+        return False
 
     def _pump(self) -> None:
-        """Grant slots to waiters: oldest-first, skipping waiters whose
-        domain is at budget (they keep their place), expiring waiters
-        whose deadline passed."""
+        """Grant slots to waiters: strict priority across classes,
+        oldest-first within a class, skipping waiters whose domain is at
+        budget (they keep their place), expiring waiters whose deadline
+        passed."""
         if not self._waiters:
             return
         now = time.monotonic()
-        remaining: Deque[_Waiter] = deque()
         for waiter in self._waiters:
-            if waiter.state != _WAITING:
-                continue  # already resolved; drop from the queue
-            if waiter.deadline <= now:
+            if waiter.state == _WAITING and waiter.deadline <= now:
                 waiter.state = _EXPIRED
                 self._counters["expired"] += 1
-                continue
-            if self._can_dispatch(waiter.domain):
-                waiter.state = _GRANTED
-                self._admit(waiter.domain)
-                continue
-            remaining.append(waiter)
-        self._waiters = remaining
+                self._priority_counters[waiter.priority]["expired"] += 1
+        for priority in PRIORITIES:
+            for waiter in self._waiters:
+                if (
+                    waiter.state == _WAITING
+                    and waiter.priority == priority
+                    and self._can_dispatch(waiter.domain)
+                ):
+                    waiter.state = _GRANTED
+                    self._admit(waiter.domain, priority)
+        self._waiters = deque(
+            w for w in self._waiters if w.state == _WAITING
+        )
 
     def _discard(self, waiter: _Waiter) -> None:
         try:
@@ -308,7 +458,7 @@ class RequestScheduler:
                 "retry with backoff"
             )
         return (
-            f"queue full ({len(self._waiters)} waiting, "
+            f"queue full ({self._waiting_count()} waiting, "
             f"{self._inflight_total} in flight); retry after the hint"
         )
 
@@ -318,7 +468,7 @@ class RequestScheduler:
             service = DEFAULT_SERVICE_SECONDS
         # Rough time until a queue slot frees: the backlog ahead of a
         # retrying client, drained max_inflight at a time.
-        backlog = len(self._waiters) + 1
+        backlog = self._waiting_count() + 1
         hint = service * backlog / self.max_inflight
         return max(
             MIN_RETRY_AFTER_MS, min(MAX_RETRY_AFTER_MS, int(hint * 1000))
@@ -337,6 +487,7 @@ class RequestScheduler:
                 if waiter.state == _WAITING:
                     waiter.state = _DRAINING
                     self._counters["drained"] += 1
+                    self._priority_counters[waiter.priority]["drained"] += 1
             self._waiters.clear()
             self._cond.notify_all()
 
@@ -370,7 +521,7 @@ class RequestScheduler:
     @property
     def queued(self) -> int:
         with self._cond:
-            return sum(1 for w in self._waiters if w.state == _WAITING)
+            return self._waiting_count()
 
     def snapshot(self) -> Dict[str, Any]:
         """The scheduler section of ``/stats`` and ``/healthz``."""
@@ -378,9 +529,13 @@ class RequestScheduler:
             queued_by_domain: Dict[str, int] = {
                 name: 0 for name in self._inflight
             }
+            queued_by_priority: Dict[str, int] = {
+                name: 0 for name in PRIORITIES
+            }
             for waiter in self._waiters:
                 if waiter.state == _WAITING:
                     queued_by_domain[waiter.domain] += 1
+                    queued_by_priority[waiter.priority] += 1
             served = self._counters["queued"]
             avg_wait = (
                 round(self._queue_wait_total_ms / served, 3) if served else 0.0
@@ -389,14 +544,24 @@ class RequestScheduler:
                 "queueing_enabled": self.queueing_enabled,
                 "queue_depth": sum(queued_by_domain.values()),
                 "queue_capacity": self.queue_depth,
+                "effective_queue_capacity": self._effective_queue_capacity(),
+                "adaptive": self.adaptive,
                 "max_inflight": self.max_inflight,
                 "inflight": self._inflight_total,
                 "avg_queue_wait_ms": avg_wait,
                 "counters": dict(self._counters),
+                "priorities": {
+                    name: {
+                        "queued": queued_by_priority[name],
+                        "counters": dict(self._priority_counters[name]),
+                    }
+                    for name in PRIORITIES
+                },
                 "domains": {
                     name: {
                         "inflight": self._inflight[name],
                         "budget": self.budgets[name],
+                        "effective_budget": self._effective_budget(name),
                         "queued": queued_by_domain[name],
                     }
                     for name in sorted(self._inflight)

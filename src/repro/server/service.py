@@ -49,6 +49,7 @@ Execution backends mirror :meth:`Synthesizer.synthesize_many`:
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -113,6 +114,11 @@ class ServerConfig:
     #: default) disables queueing: at capacity, shed immediately with
     #: ``overloaded`` — exactly the pre-scheduler semantics.
     queue_depth: int = 0
+    #: Adaptive admission tuning: the scheduler resizes its effective
+    #: queue from the live EWMA service time (against
+    #: ``default_timeout``) and makes implicit domain budgets
+    #: work-conserving.  Requires ``queue_depth >= 1``.
+    adaptive_queue: bool = False
     #: Per-domain concurrency budgets as (name, slots) pairs (a dict is
     #: accepted and normalized).  Domains not listed get a fair share of
     #: ``max_inflight`` when queueing is enabled, or ``max_inflight``
@@ -142,6 +148,8 @@ class ServerConfig:
             raise ReproError("max_inflight must be >= 1")
         if self.queue_depth < 0:
             raise ReproError("queue_depth must be >= 0")
+        if self.adaptive_queue and self.queue_depth < 1:
+            raise ReproError("adaptive_queue requires queue_depth >= 1")
         for name, slots in self.domain_budgets:
             if not isinstance(slots, int) or isinstance(slots, bool) \
                     or slots < 1:
@@ -243,6 +251,19 @@ class SynthesisService:
             domain_budgets={
                 name.lower(): slots for name, slots in config.domain_budgets
             },
+            adaptive=config.adaptive_queue,
+            target_deadline_seconds=config.default_timeout,
+        )
+        # Multi-worker serving: set via attach_worker_board() by the
+        # worker entry point.  When attached, /stats aggregates every
+        # worker's counters and /healthz identifies the worker.
+        self._worker_board: Optional[Any] = None
+        # Test/benchmark knob: an artificial floor on per-request service
+        # time, so load tests measure serving capacity independent of
+        # engine speed and host CPU count.
+        raw_delay = os.environ.get("REPRO_SERVE_INJECT_DELAY_MS", "")
+        self._inject_delay_seconds = (
+            float(raw_delay) / 1000.0 if raw_delay else 0.0
         )
 
     # ------------------------------------------------------------------
@@ -283,7 +304,7 @@ class SynthesisService:
         # after a bounded deadline-aware wait), or rejects with a stable
         # structured code — an expired or shed request never dispatches.
         try:
-            grant = self._scheduler.acquire(name, timeout)
+            grant = self._scheduler.acquire(name, timeout, request.priority)
         except SchedulerDraining as exc:
             self._count("rejected")
             return error_response("shutting_down", str(exc), id=request.id)
@@ -357,6 +378,8 @@ class SynthesisService:
         timeout: float,
     ) -> BatchItem:
         engine = request.engine or self.config.engine
+        if self._inject_delay_seconds > 0:
+            time.sleep(self._inject_delay_seconds)
         if self.config.backend == "process":
             # Look up the pool and submit under one lock so a concurrent
             # hot reload (which swaps pools) can never shut a pool down
@@ -455,6 +478,18 @@ class SynthesisService:
         with self._lock:
             return self._draining
 
+    def attach_worker_board(self, board: Any) -> None:
+        """Join a multi-worker stats board (see
+        :mod:`repro.server.multiproc`).  Once attached, :meth:`stats`
+        returns the cross-worker aggregate and :meth:`health` identifies
+        this worker; a board-less service (the single-worker mode) is
+        byte-identical to the pre-multiproc payloads."""
+        self._worker_board = board
+
+    @property
+    def worker_board(self) -> Optional[Any]:
+        return self._worker_board
+
     def health(self) -> Dict[str, Any]:
         """Readiness payload: lifecycle state plus, per domain, the
         snapshot provenance and current cache occupancy."""
@@ -477,7 +512,7 @@ class SynthesisService:
                     for layer in (*cache.PERSISTED_LAYERS, "outcomes")
                 },
             }
-        return {
+        payload = {
             "status": status,
             "uptime_seconds": round(time.monotonic() - self._started, 3),
             "backend": self.config.backend,
@@ -490,8 +525,25 @@ class SynthesisService:
             "reloads": reloads,
             "domains": domains,
         }
+        if self._worker_board is not None:
+            payload["worker"] = {
+                "id": self._worker_board.worker_id,
+                "pid": os.getpid(),
+            }
+        return payload
 
     def stats(self) -> Dict[str, Any]:
+        """The ``GET /stats`` payload.  Single-worker: this worker's
+        counters (:meth:`stats_local`), byte-identical to the
+        pre-multiproc schema.  With a worker board attached: the
+        cross-worker aggregate (summed request/scheduler/verification
+        counters plus a per-worker breakdown)."""
+        local = self.stats_local()
+        if self._worker_board is None:
+            return local
+        return self._worker_board.merged(local)
+
+    def stats_local(self) -> Dict[str, Any]:
         """Service-level cache counters: per domain, the cumulative
         PathCache layer hits/misses/evictions plus configured capacities
         (the same counters ``SynthesisStats`` reports per query), the

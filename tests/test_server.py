@@ -56,6 +56,11 @@ class TestProtocol:
         req = parse_request({"query": " print every line "})
         assert req.query == QUERY
         assert req.domain is None and req.timeout is None
+        assert req.priority == "interactive"
+
+    def test_parse_priority(self):
+        req = parse_request({"query": "q", "priority": "batch"})
+        assert req.priority == "batch"
 
     @pytest.mark.parametrize(
         "payload, fragment",
@@ -69,6 +74,8 @@ class TestProtocol:
             ({"query": "q", "timeout": -1}, "'timeout'"),
             ({"query": "q", "engine": "gpt"}, "'engine'"),
             ({"query": "q", "include_stats": 1}, "'include_stats'"),
+            ({"query": "q", "priority": "bulk"}, "'priority'"),
+            ({"query": "q", "priority": 1}, "'priority'"),
             ({"query": "q", "querry": "typo"}, "querry"),
         ],
     )
@@ -1088,6 +1095,100 @@ class TestHttp:
 
 
 # ---------------------------------------------------------------------------
+# HttpClient connection management (keep-alive, retry-on-stale, close)
+# ---------------------------------------------------------------------------
+
+
+class TestHttpClientKeepAlive:
+    def test_connection_reused_across_requests(self, http_setup):
+        _, shared = http_setup
+        with HttpClient(port=shared.port) as client:
+            assert client.request("GET", "/healthz")[0] == 200
+            first_sock = client._local.conn.sock
+            assert first_sock is not None
+            assert client.request("GET", "/stats")[0] == 200
+            assert client.synthesize(QUERY)["status"] == "ok"
+            # Same socket served all three requests — no per-call TCP.
+            assert client._local.conn.sock is first_sock
+
+    def test_stale_connection_retried_once_transparently(self, http_setup):
+        _, shared = http_setup
+        with HttpClient(port=shared.port) as client:
+            assert client.request("GET", "/healthz")[0] == 200
+            # Simulate the server idle-closing the socket between
+            # requests; the next call must reconnect, not raise.
+            client._local.conn.sock.close()
+            status, payload = client.request("GET", "/healthz")
+            assert status == 200 and payload["status"] == "ok"
+
+    def test_fresh_connection_failure_propagates(self):
+        # Nothing listens here: the very first attempt has no prior
+        # socket, so there is no "stale" to blame and no retry.
+        dead = bind_free_port_then_close()
+        client = HttpClient(port=dead, connect_timeout=0.5)
+        with pytest.raises(OSError):
+            client.request("GET", "/healthz")
+        client.close()
+
+    def test_close_releases_sockets_and_client_stays_usable(
+        self, http_setup
+    ):
+        _, shared = http_setup
+        client = HttpClient(port=shared.port)
+        assert client.request("GET", "/healthz")[0] == 200
+        assert len(client._connections) == 1
+        client.close()
+        assert client._connections == []
+        # close() is not a poison pill: the next request reconnects.
+        assert client.request("GET", "/healthz")[0] == 200
+        client.close()
+
+    def test_close_covers_other_threads_connections(self, http_setup):
+        _, shared = http_setup
+        client = HttpClient(port=shared.port)
+        assert client.request("GET", "/healthz")[0] == 200
+        worker_status = []
+        thread = threading.Thread(
+            target=lambda: worker_status.append(
+                client.request("GET", "/healthz")[0]
+            )
+        )
+        thread.start()
+        thread.join(timeout=10)
+        assert worker_status == [200]
+        # One persistent connection per thread that used the client.
+        assert len(client._connections) == 2
+        client.close()
+        assert client._connections == []
+
+    def test_keep_alive_false_keeps_per_call_behaviour(self, http_setup):
+        _, shared = http_setup
+        client = HttpClient(port=shared.port, keep_alive=False)
+        assert client.request("GET", "/healthz")[0] == 200
+        assert client.synthesize(QUERY)["status"] == "ok"
+        assert client._connections == []  # nothing persisted
+
+    def test_priority_accepted_over_the_wire(self, http_setup):
+        _, shared = http_setup
+        payload = shared.synthesize(QUERY, priority="batch")
+        assert payload["status"] == "ok"
+        with pytest.raises(ServerError) as info:
+            shared.synthesize(QUERY, priority="urgent")
+        assert info.value.code == "bad_request"
+
+
+def bind_free_port_then_close():
+    """A port that was just free — connecting to it fails fast."""
+    import socket
+
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+# ---------------------------------------------------------------------------
 # Full-process lifecycle: `repro serve --http` under SIGTERM
 # ---------------------------------------------------------------------------
 
@@ -1095,35 +1196,47 @@ class TestHttp:
 REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
 
 
-def _spawn_http_server(*extra):
+def _wait_for_port_file(proc, path, timeout=60):
+    """Poll the ``--port-file`` the server writes atomically at startup.
+    (Scraping the port out of stderr was flaky: the listening line races
+    with other startup output and blocks when the pipe buffer fills.)"""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            text = path.read_text()
+        except OSError:
+            text = ""
+        if text.strip():
+            return int(text)
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"server exited with code {proc.returncode} before "
+                f"writing its port file: {proc.stderr.read()}"
+            )
+        time.sleep(0.02)
+    proc.kill()
+    raise AssertionError("server never wrote its port file")
+
+
+def _spawn_http_server(tmp_path, *extra):
     env = dict(os.environ)
     env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    port_path = tmp_path / "serve.port"
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", "--http", "0",
+         "--port-file", str(port_path),
          "--domains", "textediting", *extra],
         stderr=subprocess.PIPE,
         text=True,
         env=env,
     )
-    port = None
-    deadline = time.monotonic() + 60
-    while time.monotonic() < deadline:
-        line = proc.stderr.readline()
-        if not line:
-            break
-        match = re.search(r"listening on http://[^:]+:(\d+)", line)
-        if match:
-            port = int(match.group(1))
-            break
-    if port is None:
-        proc.kill()
-        raise AssertionError("server did not report a listening port")
+    port = _wait_for_port_file(proc, port_path)
     return proc, HttpClient(port=port)
 
 
 class TestServeProcess:
-    def test_sigterm_drains_and_exits_zero(self):
-        proc, client = _spawn_http_server()
+    def test_sigterm_drains_and_exits_zero(self, tmp_path):
+        proc, client = _spawn_http_server(tmp_path)
         try:
             payload = client.synthesize(QUERY)
             direct = Synthesizer(load_domain("textediting")).synthesize(QUERY)
@@ -1143,6 +1256,7 @@ class TestServeProcess:
         Synthesizer(domain).synthesize(QUERY)
         domain.save_cache(tmp_path)
         proc, client = _spawn_http_server(
+            tmp_path,
             "--cache-dir", str(tmp_path),
             "--queue-depth", "4", "--domain-budget", "textediting=2",
         )

@@ -9,7 +9,6 @@ byte-identical results for the domains that did not change.
 """
 
 import os
-import re
 import signal
 import subprocess
 import sys
@@ -217,37 +216,47 @@ class TestPackReloadInProcess:
 REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
 
 
-def _spawn_pack_server(pack_root):
+def _spawn_pack_server(pack_root, tmp_path):
     env = dict(os.environ)
     env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
     env.pop("REPRO_PACK_PATH", None)  # only --pack-dir feeds the server
+    port_path = tmp_path / "serve.port"
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", "--http", "0",
+         "--port-file", str(port_path),
          "--pack-dir", str(pack_root), "--domains", "hotdemo"],
         stderr=subprocess.PIPE,
         text=True,
         env=env,
     )
-    port = None
+    # The atomically written port file replaces the old stderr scrape,
+    # which raced with other startup output.
     deadline = time.monotonic() + 60
+    port = None
     while time.monotonic() < deadline:
-        line = proc.stderr.readline()
-        if not line:
+        try:
+            text = port_path.read_text()
+        except OSError:
+            text = ""
+        if text.strip():
+            port = int(text)
             break
-        match = re.search(r"listening on http://[^:]+:(\d+)", line)
-        if match:
-            port = int(match.group(1))
-            break
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"server exited with code {proc.returncode} before "
+                f"writing its port file: {proc.stderr.read()}"
+            )
+        time.sleep(0.02)
     if port is None:
         proc.kill()
-        raise AssertionError("server did not report a listening port")
+        raise AssertionError("server never wrote its port file")
     return proc, HttpClient(port=port)
 
 
 class TestPackReloadSighup:
     def test_sighup_serves_edited_pack(self, tmp_path):
         root = scaffold_pack(tmp_path, "hotdemo")
-        proc, client = _spawn_pack_server(root)
+        proc, client = _spawn_pack_server(root, tmp_path)
         try:
             payload = client.synthesize("show all messages")
             assert payload["codelet"] == "SHOW(MESSAGES())"
